@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: cache and AM
+//! probes, mesh message accounting, workload generation, and a small
+//! end-to-end machine run per protocol mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ftcoma_core::FtConfig;
+use ftcoma_machine::{Machine, MachineConfig};
+use ftcoma_mem::addr::LineId;
+use ftcoma_mem::{AttractionMemory, Cache, ItemId, ItemState, NodeId};
+use ftcoma_net::{Mesh, MeshGeometry, NetClass, NetConfig};
+use ftcoma_sim::DetRng;
+use ftcoma_workloads::{presets, NodeStream, RefStream};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = Cache::ksr1();
+    for i in 0..512u64 {
+        cache.fill(LineId::new(i * 3), i % 2 == 0);
+    }
+    let mut i = 0u64;
+    c.bench_function("cache_probe", |b| {
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(cache.probe(LineId::new(i * 3)))
+        })
+    });
+    c.bench_function("cache_fill", |b| {
+        b.iter(|| {
+            i += 7;
+            black_box(cache.fill(LineId::new(i % 40_000), false))
+        })
+    });
+}
+
+fn bench_am(c: &mut Criterion) {
+    let mut am = AttractionMemory::ksr1();
+    for p in 0..64u64 {
+        am.allocate_page(ftcoma_mem::PageId::new(p)).unwrap();
+    }
+    for i in 0..4096u64 {
+        am.install(ItemId::new(i * 2), ItemState::Shared, i, None);
+    }
+    let mut i = 0u64;
+    c.bench_function("am_state_lookup", |b| {
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(am.state(ItemId::new(i * 2)))
+        })
+    });
+    c.bench_function("am_injection_acceptance", |b| {
+        b.iter(|| {
+            i = (i + 1) % 8192;
+            black_box(am.injection_acceptance(ItemId::new(i)))
+        })
+    });
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut mesh = Mesh::new(MeshGeometry::for_nodes(56), NetConfig::default());
+    let mut t = 0u64;
+    c.bench_function("mesh_send_item", |b| {
+        b.iter(|| {
+            t += 10;
+            black_box(mesh.send(t, NodeId::new(3), NodeId::new(52), NetClass::Reply, 128))
+        })
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut stream = NodeStream::new(&presets::mp3d(), 0, 16, 1);
+    c.bench_function("workload_next_ref", |b| b.iter(|| black_box(stream.next_ref())));
+    let mut rng = DetRng::seeded(1);
+    c.bench_function("rng_next", |b| b.iter(|| black_box(rng.next_u64())));
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.sample_size(10);
+    for (name, ft) in [("standard", FtConfig::disabled()), ("ecp_400rps", FtConfig::enabled(400.0))]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = MachineConfig {
+                    nodes: 9,
+                    refs_per_node: 5_000,
+                    workload: presets::water(),
+                    ft,
+                    ..MachineConfig::default()
+                };
+                black_box(Machine::new(cfg).run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_am, bench_mesh, bench_workload, bench_machine);
+criterion_main!(benches);

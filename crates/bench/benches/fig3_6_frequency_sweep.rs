@@ -1,0 +1,105 @@
+//! Figs. 3–6 — the recovery-point-frequency sweep (one sweep regenerates
+//! all four figures; they are different views of the same experiment).
+//!
+//! * Fig. 3: execution-time overhead decomposed into T_create + T_commit +
+//!   T_pollution (paper: 5 % best case to 35 % worst case, falling with
+//!   the frequency; Mp3d worst; T_commit small);
+//! * Fig. 4: per-node replication throughput during establishment
+//!   (paper: ~20 MB/s; Barnes ~30 MB/s effective thanks to 52 % replica
+//!   reuse);
+//! * Fig. 5: AM miss rates (paper: negligible variation with frequency —
+//!   recovery data stays readable until modified);
+//! * Fig. 6: injections per 10 000 references (paper: ≤ ~25; writes grow
+//!   with frequency and are 88–98 % on Shared-CK1 copies; reads roughly
+//!   frequency-independent).
+
+use ftcoma_bench::{banner, mbps, pct, run_pair, Pair, NODES, PAPER_FREQS};
+use ftcoma_workloads::presets;
+
+fn main() {
+    let mut sweep: Vec<(String, f64, Pair)> = Vec::new();
+    for wl in presets::all() {
+        for freq in PAPER_FREQS {
+            eprintln!("running {} at {freq} rp/s ...", wl.name);
+            sweep.push((wl.name.clone(), freq, run_pair(&wl, NODES, freq)));
+        }
+    }
+
+    banner(
+        "Fig 3: time overhead vs recovery-point frequency (16 nodes)",
+        "§4.2.3, Fig. 3 — paper range: 5% best to 35% worst (Mp3d @400)",
+    );
+    for (name, freq, pair) in &sweep {
+        let d = pair.decomposition();
+        println!(
+            "{:<10} {:>5} rp/s  create={:>6}  commit={:>6}  pollution={:>6}  total={:>6}  ckpts={}",
+            name,
+            freq,
+            pct(d.create),
+            pct(d.commit),
+            pct(d.pollution),
+            pct(d.total_overhead),
+            pair.ft.checkpoints,
+        );
+    }
+
+    banner(
+        "Fig 4: per-node replication throughput during establishment",
+        "§4.2.3, Fig. 4 — paper: ~20 MB/s/node, Barnes ~30 MB/s effective",
+    );
+    for (name, freq, pair) in &sweep {
+        println!(
+            "{:<10} {:>5} rp/s  transferred={:>11}  effective={:>11}  reused={:>4.0}%",
+            name,
+            freq,
+            mbps(pair.ft.replication_throughput_bps(20e6)),
+            mbps(pair.ft.effective_replication_throughput_bps(20e6)),
+            pair.ft.replica_reuse_fraction() * 100.0,
+        );
+    }
+
+    banner(
+        "Fig 5: AM miss rates vs frequency",
+        "§4.2.3, Fig. 5 — paper: negligible variation across frequencies",
+    );
+    for (name, freq, pair) in &sweep {
+        let ck = if pair.ft.reads == 0 {
+            0.0
+        } else {
+            pair.ft.shared_ck_reads as f64 / pair.ft.reads as f64
+        };
+        println!(
+            "{:<10} {:>5} rp/s  read={:>6.2}% (std {:>5.2}%)  write={:>6.2}% (std {:>5.2}%)  CK-reads={:>5.1}%",
+            name,
+            freq,
+            pair.ft.read_miss_rate() * 100.0,
+            pair.std.read_miss_rate() * 100.0,
+            pair.ft.write_miss_rate() * 100.0,
+            pair.std.write_miss_rate() * 100.0,
+            ck * 100.0,
+        );
+    }
+
+    banner(
+        "Fig 6: injections per 10k references vs frequency",
+        "§4.2.3, Fig. 6 — paper: <=~25 total; writes grow with rp/s, 88-98% on Shared-CK1",
+    );
+    for (name, freq, pair) in &sweep {
+        let ft = &pair.ft;
+        let wr = ft.injections_on_write();
+        let sck = if wr == 0 {
+            0.0
+        } else {
+            ft.injections_write_shared_ck as f64 / wr as f64 * 100.0
+        };
+        println!(
+            "{:<10} {:>5} rp/s  on-read={:>5.1}  on-write={:>5.1}  total={:>5.1}  S-CK1 share={:>3.0}%",
+            name,
+            freq,
+            ft.per_10k_refs(ft.injections_on_read),
+            ft.per_10k_refs(wr),
+            ft.per_10k_refs(ft.injections_total()),
+            sck,
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Figs. 8–11 — scalability of the ECP from 9 to 56 processors at 100
+//! recovery points per second (one sweep regenerates all four figures).
+//!
+//! * Fig. 8: T_create overhead is constant or *decreases* with more
+//!   processors (per-processor recovery data shrinks for a fixed-size
+//!   application);
+//! * Fig. 9: aggregate replication throughput grows nearly linearly
+//!   (paper: 211 MB/s at 9 processors to 1.1 GB/s at 56 for Cholesky);
+//! * Fig. 10: the pollution effect stays flat or decreases;
+//! * Fig. 11: injections on writes stay constant; injections on reads
+//!   *decrease* with more processors.
+
+use ftcoma_bench::{banner, mbps, pct, run_one, Pair, PAPER_SIZES};
+use ftcoma_core::FtConfig;
+use ftcoma_workloads::presets;
+
+fn main() {
+    const FREQ: f64 = 100.0;
+    let (refs, warmup) = (60_000u64, 30_000u64);
+
+    let mut results: Vec<(String, u16, Pair)> = Vec::new();
+    for wl in presets::all() {
+        for &nodes in &PAPER_SIZES {
+            // Fixed-size application: per-node private share shrinks as the
+            // problem is split across more processors.
+            let mut scaled = wl.clone();
+            scaled.private_pages_per_node =
+                (wl.private_pages_per_node * 16 / u64::from(nodes)).max(1);
+            let pair = Pair {
+                std: run_one(&scaled, nodes, FtConfig::disabled(), refs, warmup),
+                ft: run_one(&scaled, nodes, FtConfig::enabled(FREQ), refs, warmup),
+            };
+            results.push((wl.name.clone(), nodes, pair));
+        }
+    }
+
+    banner(
+        "Fig 8: T_create overhead vs number of processors (100 rp/s)",
+        "§4.2.5, Fig. 8 — paper: constant or decreasing",
+    );
+    print_per_size(&results, |p| pct(p.decomposition().create));
+
+    banner(
+        "Fig 9: aggregate replication throughput vs processors",
+        "§4.2.5, Fig. 9 — paper: near-linear growth (211 MB/s @9 -> 1.1 GB/s @56)",
+    );
+    print_per_size(&results, |p| mbps(p.ft.aggregate_replication_throughput_bps(20e6)));
+
+    banner(
+        "Fig 10: pollution effect vs number of processors",
+        "§4.2.5, Fig. 10 — paper: constant or decreasing",
+    );
+    print_per_size(&results, |p| pct(p.decomposition().pollution));
+
+    banner(
+        "Fig 11: injections per node per 10k references vs processors",
+        "§4.2.5, Fig. 11 — paper: writes constant, reads decrease",
+    );
+    print_per_size(&results, |p| {
+        format!(
+            "r={:.1} w={:.1}",
+            p.ft.per_10k_refs(p.ft.injections_on_read),
+            p.ft.per_10k_refs(p.ft.injections_on_write())
+        )
+    });
+}
+
+fn print_per_size(results: &[(String, u16, Pair)], f: impl Fn(&Pair) -> String) {
+    print!("{:<10}", "app");
+    for &n in &PAPER_SIZES {
+        print!(" {:>14}", format!("{n} nodes"));
+    }
+    println!();
+    for wl in ["Barnes", "Cholesky", "Mp3d", "Water"] {
+        print!("{wl:<10}");
+        for &n in &PAPER_SIZES {
+            let pair = &results
+                .iter()
+                .find(|(name, size, _)| name == wl && *size == n)
+                .expect("sweep covers all points")
+                .2;
+            print!(" {:>14}", f(pair));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,150 @@
+//! Shared harness for the paper-reproduction benchmarks.
+//!
+//! Every table and figure of the paper's evaluation (§4.2) has a dedicated
+//! bench target in `benches/` (custom harnesses, run with `cargo bench`);
+//! this library holds the common machinery: paired standard/ECP runs with
+//! identical seeds, the execution-time decomposition, run-length scaling
+//! for low checkpoint frequencies, and plain-text table printing.
+//!
+//! Absolute numbers will not match the paper (different workload substrate
+//! — see DESIGN.md §4); the *shapes* are the reproduction target and
+//! EXPERIMENTS.md records both sides.
+
+use ftcoma_core::FtConfig;
+use ftcoma_machine::{Machine, MachineConfig, RunMetrics};
+use ftcoma_sim::Clock;
+use ftcoma_workloads::SplashConfig;
+
+/// The recovery-point frequencies of Fig. 3 (per simulated second).
+pub const PAPER_FREQS: [f64; 5] = [400.0, 200.0, 100.0, 50.0, 5.0];
+
+/// The machine sizes of the scalability figures (Figs. 8–11).
+pub const PAPER_SIZES: [u16; 5] = [9, 16, 30, 42, 56];
+
+/// Default node count (the paper's 4×4 mesh).
+pub const NODES: u16 = 16;
+
+/// Benchmark run lengths `(refs_per_node, warmup_refs_per_node)` for a
+/// checkpoint frequency: low frequencies need long runs so several recovery
+/// points land inside the measured window ("all the simulations are
+/// sufficiently long so that several recovery point establishments occur").
+pub fn lengths_for(freq_hz: f64) -> (u64, u64) {
+    let period = Clock::ksr1().period_for_rate_hz(freq_hz);
+    // At ~5 cycles/reference, `period * 4 / 5` references cover several
+    // checkpoint intervals; the warmup covers at least one full interval so
+    // measurement starts from a steady recovery-data population.
+    let refs = (period * 4 / 5).max(60_000);
+    let warmup = (period * 2 / 5).max(30_000);
+    (refs, warmup)
+}
+
+/// Runs one machine configuration to completion.
+pub fn run_one(
+    workload: &SplashConfig,
+    nodes: u16,
+    ft: FtConfig,
+    refs: u64,
+    warmup: u64,
+) -> RunMetrics {
+    let cfg = MachineConfig {
+        nodes,
+        refs_per_node: refs,
+        warmup_refs_per_node: warmup,
+        workload: workload.clone(),
+        ft,
+        ..MachineConfig::default()
+    };
+    Machine::new(cfg).run()
+}
+
+/// A paired baseline/ECP measurement with identical seed and run length.
+#[derive(Debug, Clone)]
+pub struct Pair {
+    /// Standard-protocol run.
+    pub std: RunMetrics,
+    /// ECP run.
+    pub ft: RunMetrics,
+}
+
+/// Runs the standard and ECP machines over the same workload and seed.
+pub fn run_pair(workload: &SplashConfig, nodes: u16, freq_hz: f64) -> Pair {
+    let (refs, warmup) = lengths_for(freq_hz);
+    Pair {
+        std: run_one(workload, nodes, FtConfig::disabled(), refs, warmup),
+        ft: run_one(workload, nodes, FtConfig::enabled(freq_hz), refs, warmup),
+    }
+}
+
+/// Fig. 3's execution-time decomposition, as fractions of the standard
+/// execution time.
+#[derive(Debug, Clone, Copy)]
+pub struct Decomposition {
+    /// `T_ft / T_standard - 1`.
+    pub total_overhead: f64,
+    /// `T_create / T_standard`.
+    pub create: f64,
+    /// `T_commit / T_standard`.
+    pub commit: f64,
+    /// `T_pollution / T_standard` (may be slightly negative: simulation
+    /// noise when the pollution effect is ~0).
+    pub pollution: f64,
+}
+
+impl Pair {
+    /// Computes the decomposition `T_ft = T_std + T_create + T_commit +
+    /// T_pollution`.
+    pub fn decomposition(&self) -> Decomposition {
+        let t_std = self.std.total_cycles as f64;
+        let t_ft = self.ft.total_cycles as f64;
+        let create = self.ft.t_create as f64;
+        let commit = self.ft.t_commit as f64;
+        Decomposition {
+            total_overhead: t_ft / t_std - 1.0,
+            create: create / t_std,
+            commit: commit / t_std,
+            pollution: (t_ft - t_std - create - commit) / t_std,
+        }
+    }
+}
+
+/// Prints a benchmark banner.
+pub fn banner(id: &str, paper: &str) {
+    println!("\n=== {id} ===");
+    println!("paper reference: {paper}");
+    println!("{}", "-".repeat(72));
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats bytes/second as MB/s.
+pub fn mbps(x: f64) -> String {
+    format!("{:.1} MB/s", x / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcoma_workloads::presets;
+
+    #[test]
+    fn lengths_scale_with_period() {
+        let (r400, w400) = lengths_for(400.0);
+        let (r5, w5) = lengths_for(5.0);
+        assert_eq!(r400, 60_000);
+        assert_eq!(w400, 30_000);
+        assert!(r5 >= 3_000_000);
+        assert!(w5 >= 1_500_000);
+    }
+
+    #[test]
+    fn pair_decomposition_adds_up() {
+        let pair = run_pair(&presets::water(), 4, 400.0);
+        let d = pair.decomposition();
+        let recomposed = d.create + d.commit + d.pollution;
+        assert!((recomposed - d.total_overhead).abs() < 1e-9);
+        assert!(pair.ft.checkpoints > 0);
+    }
+}

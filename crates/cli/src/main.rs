@@ -1,0 +1,246 @@
+//! `ftcoma` — command-line front end for the ft-coma simulator.
+//!
+//! ```text
+//! ftcoma run     --workload mp3d --nodes 16 --refs 60000 [--freq 100 | --no-ft]
+//! ftcoma compare --workload mp3d --nodes 16 --freq 100        # std vs ECP
+//! ftcoma sweep   --workload water --freqs 400,200,100,50,5    # Fig 3 style
+//! ftcoma failure --workload water --kind permanent --node 3 --at 20000 [--repair-at 80000]
+//! ftcoma latency                                              # Table 2 probe
+//! ftcoma help
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{ArgError, Parsed};
+use ftcoma_core::FtConfig;
+use ftcoma_machine::{probe, FailureKind, Machine, MachineConfig, RunMetrics};
+use ftcoma_mem::NodeId;
+use ftcoma_workloads::{presets, SplashConfig};
+
+fn main() -> ExitCode {
+    let parsed = match Parsed::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\nrun `ftcoma help` for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    match dispatch(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\nrun `ftcoma help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(p: &Parsed) -> Result<(), ArgError> {
+    match p.command.as_str() {
+        "run" => cmd_run(p),
+        "compare" => cmd_compare(p),
+        "sweep" => cmd_sweep(p),
+        "failure" => cmd_failure(p),
+        "latency" => cmd_latency(p),
+        "help" | "--help" | "-h" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        other => Err(ArgError(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+const HELP: &str = "\
+ftcoma — fault-tolerant COMA simulator (Morin et al., ISCA 1996)
+
+USAGE
+  ftcoma run      --workload W [--nodes N] [--refs R] [--warmup U]
+                  [--freq RP_PER_S | --no-ft] [--seed S] [--verify]
+  ftcoma compare  --workload W [--nodes N] [--refs R] [--warmup U] [--freq F]
+  ftcoma sweep    --workload W [--nodes N] [--freqs F1,F2,...]
+  ftcoma failure  --workload W --kind transient|permanent [--node K]
+                  [--at CYCLES] [--repair-at CYCLES]
+  ftcoma latency
+  ftcoma help
+
+WORKLOADS
+  barnes, cholesky, mp3d, water (paper's Table 3), plus micro-benchmarks
+  uniform, hotspot, prodcons.
+";
+
+fn workload(p: &Parsed) -> Result<SplashConfig, ArgError> {
+    let name = p.str_or("workload", "water");
+    let all: Vec<SplashConfig> =
+        presets::all().into_iter().chain(presets::micros()).collect();
+    all.into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(&name))
+        .ok_or_else(|| ArgError(format!("unknown workload `{name}`")))
+}
+
+fn machine_config(p: &Parsed) -> Result<MachineConfig, ArgError> {
+    let ft = if p.has("no-ft") {
+        FtConfig::disabled()
+    } else {
+        FtConfig::enabled(p.f64_or("freq", 100.0)?)
+    };
+    let net = if p.has("wormhole") {
+        ftcoma_net_config_wormhole()
+    } else {
+        Default::default()
+    };
+    Ok(MachineConfig {
+        nodes: p.u64_or("nodes", 16)? as u16,
+        refs_per_node: p.u64_or("refs", 60_000)?,
+        warmup_refs_per_node: p.u64_or("warmup", 30_000)?,
+        workload: workload(p)?,
+        ft,
+        net,
+        seed: p.u64_or("seed", 0xF7C0_3A11)?,
+        verify: p.has("verify"),
+        ..MachineConfig::default()
+    })
+}
+
+fn ftcoma_net_config_wormhole() -> ftcoma_net::NetConfig {
+    ftcoma_net::NetConfig::wormhole()
+}
+
+fn print_metrics(m: &RunMetrics) {
+    println!("cycles           {:>14}", m.total_cycles);
+    println!("instructions     {:>14}", m.instructions);
+    println!("references       {:>14}", m.refs);
+    println!("read miss rate   {:>13.2}%", m.read_miss_rate() * 100.0);
+    println!("write miss rate  {:>13.2}%", m.write_miss_rate() * 100.0);
+    if m.checkpoints > 0 {
+        println!("recovery points  {:>14}", m.checkpoints);
+        println!("T_create         {:>14}", m.t_create);
+        println!("T_commit         {:>14}", m.t_commit);
+        println!(
+            "replication      {:>11.1} MB/s per node",
+            m.replication_throughput_bps(20e6) / 1e6
+        );
+        println!(
+            "injections/10k   {:>14.1}",
+            m.per_10k_refs(m.injections_total())
+        );
+    }
+    if m.failures > 0 {
+        println!("failures         {:>14}", m.failures);
+        println!("repairs          {:>14}", m.repairs);
+        println!("T_recovery       {:>14}", m.t_recovery);
+    }
+    println!("pages allocated  {:>14}", m.pages_allocated);
+    println!(
+        "access latency   mean {:.1}cy, p50<={:.0}, p99<={:.0}, max {}",
+        m.access_latency.mean(),
+        m.access_latency.quantile(0.5),
+        m.access_latency.quantile(0.99),
+        m.access_latency.max(),
+    );
+}
+
+const RUN_FLAGS: &[&str] =
+    &["workload", "nodes", "refs", "warmup", "freq", "no-ft", "seed", "verify", "wormhole"];
+
+fn cmd_run(p: &Parsed) -> Result<(), ArgError> {
+    p.assert_only(RUN_FLAGS)?;
+    let cfg = machine_config(p)?;
+    println!(
+        "running {} on {} nodes ({})",
+        cfg.workload.name,
+        cfg.nodes,
+        if cfg.ft.mode.is_enabled() {
+            format!("ECP, {} rp/s", cfg.ft.ckpt_rate_hz)
+        } else {
+            "standard protocol".into()
+        }
+    );
+    let machine = Machine::new(cfg);
+    println!("capacity check: {}", machine.capacity_report());
+    let mut machine = machine;
+    let metrics = machine.run();
+    machine.assert_invariants();
+    print_metrics(&metrics);
+    Ok(())
+}
+
+fn cmd_compare(p: &Parsed) -> Result<(), ArgError> {
+    p.assert_only(RUN_FLAGS)?;
+    let ft_cfg = machine_config(p)?;
+    let std_cfg = MachineConfig { ft: FtConfig::disabled(), ..ft_cfg.clone() };
+    let std_m = Machine::new(std_cfg).run();
+    let ft_m = Machine::new(ft_cfg.clone()).run();
+    let t_std = std_m.total_cycles as f64;
+    let poll = ft_m.total_cycles as f64 - t_std - ft_m.t_create as f64 - ft_m.t_commit as f64;
+    println!("{} on {} nodes at {} rp/s:", ft_cfg.workload.name, ft_cfg.nodes, ft_cfg.ft.ckpt_rate_hz);
+    println!("standard    {:>12} cycles", std_m.total_cycles);
+    println!("ECP         {:>12} cycles", ft_m.total_cycles);
+    println!("overhead    {:>11.1}%", (ft_m.total_cycles as f64 / t_std - 1.0) * 100.0);
+    println!("  create    {:>11.1}%", ft_m.t_create as f64 / t_std * 100.0);
+    println!("  commit    {:>11.1}%", ft_m.t_commit as f64 / t_std * 100.0);
+    println!("  pollution {:>11.1}%", poll / t_std * 100.0);
+    Ok(())
+}
+
+fn cmd_sweep(p: &Parsed) -> Result<(), ArgError> {
+    p.assert_only(&["workload", "nodes", "freqs", "refs", "warmup", "seed"])?;
+    let freqs = p.f64_list_or("freqs", &[400.0, 200.0, 100.0, 50.0])?;
+    println!("{:>8}  {:>9}  {:>8}  {:>8}  {:>9}", "rp/s", "overhead", "create", "commit", "pollution");
+    for f in freqs {
+        let base = machine_config(p)?;
+        let ft_cfg = MachineConfig { ft: FtConfig::enabled(f), ..base.clone() };
+        let std_cfg = MachineConfig { ft: FtConfig::disabled(), ..base };
+        let std_m = Machine::new(std_cfg).run();
+        let ft_m = Machine::new(ft_cfg).run();
+        let t_std = std_m.total_cycles as f64;
+        let poll = ft_m.total_cycles as f64 - t_std - ft_m.t_create as f64 - ft_m.t_commit as f64;
+        println!(
+            "{:>8}  {:>8.1}%  {:>7.1}%  {:>7.1}%  {:>8.1}%",
+            f,
+            (ft_m.total_cycles as f64 / t_std - 1.0) * 100.0,
+            ft_m.t_create as f64 / t_std * 100.0,
+            ft_m.t_commit as f64 / t_std * 100.0,
+            poll / t_std * 100.0,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_failure(p: &Parsed) -> Result<(), ArgError> {
+    p.assert_only(&[
+        "workload", "nodes", "refs", "warmup", "freq", "seed", "kind", "node", "at", "repair-at",
+    ])?;
+    let mut cfg = machine_config(p)?;
+    cfg.verify = true;
+    let kind = match p.str_or("kind", "transient").as_str() {
+        "transient" => FailureKind::Transient,
+        "permanent" => FailureKind::Permanent,
+        other => return Err(ArgError(format!("--kind must be transient|permanent, got {other}"))),
+    };
+    let node = NodeId::new(p.u64_or("node", 1)? as u16);
+    let at = p.u64_or("at", 20_000)?;
+    let mut machine = Machine::new(cfg);
+    machine.schedule_failure(at, node, kind);
+    if let Ok(repair_at) = p.u64_or("repair-at", u64::MAX) {
+        if repair_at != u64::MAX {
+            machine.schedule_repair(repair_at, node);
+        }
+    }
+    let metrics = machine.run();
+    machine.assert_invariants();
+    println!("{kind:?} failure of {node} at cycle {at}: recovered and verified");
+    print_metrics(&metrics);
+    Ok(())
+}
+
+fn cmd_latency(p: &Parsed) -> Result<(), ArgError> {
+    p.assert_only(&[])?;
+    let t = probe::read_miss_latencies();
+    println!("read miss latencies (paper Table 2):");
+    println!("  cache            {:>4} cycles", t.cache);
+    println!("  local AM         {:>4} cycles", t.local_am);
+    println!("  remote AM, 1 hop {:>4} cycles", t.remote_1hop);
+    println!("  remote AM, 2 hop {:>4} cycles", t.remote_2hop);
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! The four-irreplaceable-pages capacity guarantee (§4.1).
+//!
+//! "As in traditional COMAs, an architecture using the ECP must guarantee
+//! that an injected copy of a line will always find a place in the set of
+//! AMs. … Four copies are necessary during the create phase. In our study,
+//! four pages are statically allocated as irreplaceable pages instead of
+//! one, to ensure that there is always enough memory space for
+//! establishing a new recovery point."
+//!
+//! This module performs the corresponding admission check before a run:
+//! for every AM *set*, the machine-wide frame supply must cover four
+//! page-frames per distinct page mapping to that set (the create-phase
+//! worst case: `Pre-Commit1` + `Pre-Commit2` + two old `Inv-CK` copies,
+//! each in a different AM). Because an item's page maps to the *same* set
+//! index on every node, undersized or under-associative AMs fail per-set
+//! long before they fail in aggregate — which is exactly what this check
+//! catches.
+
+use ftcoma_mem::{AmGeometry, PageId};
+
+/// Required simultaneous page copies during recovery-point establishment.
+pub const COPIES_REQUIRED: u64 = 4;
+
+/// Result of the capacity check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityReport {
+    /// Does every set satisfy the guarantee?
+    pub fits: bool,
+    /// Machine-wide frames available per set (`nodes × ways`).
+    pub frames_per_set: u64,
+    /// Worst-case demand over all sets (pages mapping there ×
+    /// [`COPIES_REQUIRED`]).
+    pub worst_set_demand: u64,
+    /// Set index realising the worst case.
+    pub worst_set: usize,
+    /// Demand / supply in the worst set.
+    pub worst_utilization: f64,
+}
+
+impl std::fmt::Display for CapacityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worst set {}: demand {} of {} frames ({:.0}%) — {}",
+            self.worst_set,
+            self.worst_set_demand,
+            self.frames_per_set,
+            self.worst_utilization * 100.0,
+            if self.fits { "guarantee holds" } else { "guarantee VIOLATED" },
+        )
+    }
+}
+
+/// Checks the guarantee for a machine of `nodes` AMs of geometry `am`
+/// against the distinct pages the workload uses.
+///
+/// `pages` is the set of pages the application can touch (shared region +
+/// every node's private region); duplicates are tolerated.
+pub fn check(am: &AmGeometry, nodes: u16, pages: impl IntoIterator<Item = PageId>) -> CapacityReport {
+    let sets = am.sets();
+    let mut per_set = vec![0u64; sets];
+    let mut seen = std::collections::HashSet::new();
+    for page in pages {
+        if seen.insert(page) {
+            per_set[(page.index() % sets as u64) as usize] += COPIES_REQUIRED;
+        }
+    }
+    let frames_per_set = am.ways as u64 * u64::from(nodes);
+    let (worst_set, &worst_set_demand) =
+        per_set.iter().enumerate().max_by_key(|&(_, &d)| d).unwrap_or((0, &0));
+    CapacityReport {
+        fits: worst_set_demand <= frames_per_set,
+        frames_per_set,
+        worst_set_demand,
+        worst_set,
+        worst_utilization: if frames_per_set == 0 {
+            f64::INFINITY
+        } else {
+            worst_set_demand as f64 / frames_per_set as f64
+        },
+    }
+}
+
+/// The pages a Splash-style workload touches: the shared region plus each
+/// node's private region.
+pub fn workload_pages(
+    shared_pages: u64,
+    private_pages_per_node: u64,
+    nodes: u16,
+) -> impl Iterator<Item = PageId> {
+    let total = shared_pages + private_pages_per_node * u64::from(nodes);
+    (0..total).map(PageId::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_fits_easily() {
+        // 8 MB 16-way AMs, 16 nodes, Mp3d-sized working set.
+        let report = check(&AmGeometry::ksr1(), 16, workload_pages(36, 3, 16));
+        assert!(report.fits, "{report:?}");
+        assert!(report.worst_utilization < 0.1);
+    }
+
+    #[test]
+    fn under_associative_am_fails_per_set() {
+        // 2 frames of 1 way each => 2 sets; 8 pages over 2 sets on 4 nodes:
+        // demand 4 pages * 4 copies = 16 > 4 frames per set.
+        let tiny = AmGeometry { capacity_bytes: 2 * 16 * 1024, ways: 1 };
+        let report = check(&tiny, 4, workload_pages(8, 0_u64.max(1), 4));
+        assert!(!report.fits);
+        assert!(report.worst_set_demand > report.frames_per_set);
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let pages = vec![PageId::new(3), PageId::new(3), PageId::new(3)];
+        let report = check(&AmGeometry::ksr1(), 4, pages);
+        assert_eq!(report.worst_set_demand, COPIES_REQUIRED);
+        assert!(report.fits);
+    }
+
+    #[test]
+    fn report_identifies_worst_set() {
+        // Pages 0, 32, 64 all map to set 0 of a 32-set AM.
+        let pages = [0u64, 32, 64, 1].map(PageId::new);
+        let report = check(&AmGeometry::ksr1(), 2, pages);
+        assert_eq!(report.worst_set, 0);
+        assert_eq!(report.worst_set_demand, 3 * COPIES_REQUIRED);
+    }
+}

@@ -1,0 +1,1558 @@
+//! The coherence engine: every protocol transaction of both modes.
+//!
+//! The engine is invoked by the machine for two kinds of stimuli:
+//!
+//! * [`Engine::access`] — the local processor issues a load or store;
+//! * [`Engine::handle`] — a coherence message arrives from the network.
+//!
+//! Handlers mutate only the handling node's [`NodeState`] (plus the
+//! engine's per-node transaction bookkeeping) and communicate through
+//! messages and [`Effect`]s, exactly like the distributed AM controllers
+//! they model.
+//!
+//! ## Serialization discipline
+//!
+//! Transactions for an item are serialized at the item's *home* via the
+//! busy bit in [`ftcoma_protocol::HomeTable`]. Every runtime injection of a
+//! copy that must not be lost (masters and all CK states) also acquires the
+//! home lock, so a recovery copy can never move concurrently with a write
+//! transaction that must convert it — this is what keeps the
+//! `Shared-CK → Inv-CK` transitions and the partner pointers race-free.
+//! Checkpoint-establishment and reconfiguration replications run while the
+//! processors are stalled and need no locks.
+
+use std::collections::{HashMap, VecDeque};
+
+use ftcoma_mem::addr::ITEM_BYTES;
+use ftcoma_mem::{Addr, ItemId, ItemState, NodeId, PageId};
+use ftcoma_protocol::home::QueuedReq;
+use ftcoma_protocol::msg::{InjectCause, ItemPayload, Msg};
+use ftcoma_protocol::{home_of, MemTiming, NodeState};
+use ftcoma_sim::Cycles;
+
+use crate::config::FtConfig;
+use crate::ctx::{Ctx, Effect};
+
+/// A processor memory access presented to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessReq {
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Store (`true`) or load.
+    pub is_write: bool,
+    /// Version value the store writes (ignored for loads).
+    pub write_value: u64,
+}
+
+/// What served a locally completed access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitSource {
+    /// Served by the processor cache.
+    Cache,
+    /// Served by the local AM (current copy).
+    LocalAm,
+    /// Served by a local `Shared-CK` recovery copy — the ECP lets
+    /// processors keep reading unmodified recovery data (the paper reports
+    /// up to 33 % of Barnes' reads being served this way).
+    LocalAmCk,
+}
+
+/// Result of presenting an access to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The access completed locally after `latency` cycles.
+    Complete {
+        /// Total access latency in cycles.
+        latency: Cycles,
+        /// What served it.
+        source: HitSource,
+    },
+    /// A coherence transaction was started; the machine must stall the
+    /// processor until a [`Effect::Resume`] is emitted.
+    Stalled,
+}
+
+/// What to do once an injection completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AfterInject {
+    /// Re-issue the stalled processor access as a plain miss.
+    Miss,
+    /// Continue the page-eviction task.
+    ContinueEvict,
+    /// Continue the create-phase replication queue.
+    CreateNext,
+    /// Continue the reconfiguration replication queue.
+    ReconfigNext,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InjStage {
+    /// Waiting for the home's serialization lock.
+    WaitLock,
+    /// Ring walk in progress, waiting for an acceptor.
+    WaitAccept,
+    /// Data sent, waiting for the acceptor's acknowledgement.
+    WaitDone,
+    /// Waiting for the sibling recovery copy to acknowledge the partner
+    /// pointer update.
+    WaitPartnerAck,
+}
+
+#[derive(Debug)]
+struct InjectionTask {
+    cause: InjectCause,
+    then: AfterInject,
+    stage: InjStage,
+    host: Option<NodeId>,
+    /// State the copy had when it left this node (set at `InjectDone`;
+    /// needed to decide how the home lock is released after the partner
+    /// pointer settles).
+    moved_state: Option<ItemState>,
+}
+
+#[derive(Debug)]
+struct WriteCollect {
+    /// Invalidation acks still unknown until the data reply arrives.
+    needed: Option<u32>,
+    got: u32,
+    /// Value carried by the ownership transfer (`None` for in-place
+    /// upgrades, which keep the local value).
+    data_value: Option<u64>,
+    upgrade_in_place: bool,
+}
+
+#[derive(Debug)]
+struct PendingAccess {
+    item: ItemId,
+    addr: Addr,
+    is_write: bool,
+    write_value: u64,
+}
+
+#[derive(Debug)]
+struct EvictTask {
+    victim: PageId,
+    to_inject: VecDeque<ItemId>,
+    then_alloc: PageId,
+}
+
+#[derive(Debug)]
+struct CreateTask {
+    gen: u64,
+    queue: VecDeque<ItemId>,
+    /// Cache write-back cycles accumulated up-front, charged as extra
+    /// delay on the first replication message.
+    pending_delay: Cycles,
+    /// Replications whose data is still in flight. The AM controller
+    /// pipelines them: the next item's victim search starts as soon as the
+    /// previous item's data has left ("a line is ready to be injected as
+    /// soon as the previous injection is done").
+    outstanding: u32,
+    /// `PreCommitMark` answers still pending.
+    marks_outstanding: u32,
+}
+
+#[derive(Debug)]
+struct ReconfigTask {
+    queue: VecDeque<ItemId>,
+}
+
+/// Per-node transaction bookkeeping (the node's transient-state memory).
+#[derive(Debug, Default)]
+struct NodeEngine {
+    pending: Option<PendingAccess>,
+    /// The pending access targets a slot reserved for an in-flight
+    /// injection; it re-dispatches when the copy installs.
+    wait_install: bool,
+    write_collect: HashMap<ItemId, WriteCollect>,
+    injections: HashMap<ItemId, InjectionTask>,
+    evict: Option<EvictTask>,
+    create: Option<CreateTask>,
+    reconfig: Option<ReconfigTask>,
+}
+
+impl NodeEngine {
+    fn is_idle(&self) -> bool {
+        self.pending.is_none()
+            && self.write_collect.is_empty()
+            && self.injections.is_empty()
+            && self.evict.is_none()
+            && self.create.is_none()
+            && self.reconfig.is_none()
+    }
+
+    fn reset(&mut self) {
+        *self = NodeEngine::default();
+    }
+}
+
+/// The coherence engine for the whole machine (one logical instance per
+/// node; kept together for simulation convenience — handlers only ever
+/// touch the state of the node they run on).
+#[derive(Debug)]
+pub struct Engine {
+    cfg: FtConfig,
+    timing: MemTiming,
+    per_node: Vec<NodeEngine>,
+}
+
+impl Engine {
+    /// Creates an engine for `nodes` nodes.
+    pub fn new(cfg: FtConfig, timing: MemTiming, nodes: usize) -> Self {
+        timing.validate();
+        Self { cfg, timing, per_node: (0..nodes).map(|_| NodeEngine::default()).collect() }
+    }
+
+    /// The fault-tolerance configuration.
+    pub fn config(&self) -> &FtConfig {
+        &self.cfg
+    }
+
+    /// The memory-timing parameters.
+    pub fn timing(&self) -> &MemTiming {
+        &self.timing
+    }
+
+    /// Is node `n` free of in-flight transactions?
+    pub fn node_idle(&self, n: NodeId) -> bool {
+        self.per_node[n.index()].is_idle()
+    }
+
+    /// Has node `n` a stalled processor access in flight?
+    pub fn node_has_pending_access(&self, n: NodeId) -> bool {
+        self.per_node[n.index()].pending.is_some()
+    }
+
+    /// Drops all transient transaction state of node `n` (rollback).
+    pub fn reset_node(&mut self, n: NodeId) {
+        self.per_node[n.index()].reset();
+    }
+
+    /// Presents a processor access to node `ns.id`.
+    pub fn access(&mut self, ns: &mut NodeState, req: AccessReq, ctx: &mut Ctx) -> AccessOutcome {
+        let eng = &mut self.per_node[ns.id.index()];
+        access_impl(eng, ns, &self.timing, req, ctx)
+    }
+
+    /// Delivers a coherence message to node `ns.id`.
+    pub fn handle(&mut self, ns: &mut NodeState, msg: Msg, ctx: &mut Ctx) {
+        let eng = &mut self.per_node[ns.id.index()];
+        handle_impl(eng, ns, &self.timing, &self.cfg, msg, ctx);
+    }
+
+    /// Starts the create phase of recovery point `gen` on node `ns.id`.
+    /// Emits [`Effect::CreateDone`] when all modified items are secured.
+    pub fn begin_create(&mut self, ns: &mut NodeState, gen: u64, ctx: &mut Ctx) {
+        let eng = &mut self.per_node[ns.id.index()];
+        debug_assert!(eng.is_idle(), "create phase must start quiescent");
+        let queue: VecDeque<ItemId> =
+            ns.am.items_where(|s| s.state.is_modified_since_ckpt()).into();
+        // Flush dirty cache lines of the items about to be checkpointed so
+        // the AM holds the current data ("cached modified data, flushed to
+        // memory when a recovery point is established, remain in the cache").
+        let mut flushed = 0u64;
+        for &item in &queue {
+            flushed += u64::from(ns.cache.flush_item(item));
+        }
+        eng.create = Some(CreateTask {
+            gen,
+            queue,
+            pending_delay: flushed * self.timing.writeback,
+            outstanding: 0,
+            marks_outstanding: 0,
+        });
+        create_next(eng, ns, &self.timing, &self.cfg, ctx);
+    }
+
+    /// Starts post-failure reconfiguration on node `ns.id`: re-replicates
+    /// the recovery copies in `orphans` (whose partners died). Emits
+    /// [`Effect::ReconfigDone`] when finished.
+    pub fn begin_reconfig(&mut self, ns: &mut NodeState, orphans: Vec<ItemId>, ctx: &mut Ctx) {
+        let eng = &mut self.per_node[ns.id.index()];
+        debug_assert!(eng.is_idle(), "reconfiguration must start quiescent");
+        eng.reconfig = Some(ReconfigTask { queue: orphans.into() });
+        reconfig_next(eng, ns, &self.timing, ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Processor accesses
+// ---------------------------------------------------------------------------
+
+fn access_impl(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    req: AccessReq,
+    ctx: &mut Ctx,
+) -> AccessOutcome {
+    debug_assert!(eng.pending.is_none(), "processor issued while stalled");
+    let item = req.addr.item();
+    let line = req.addr.line();
+
+    // A copy of this very item is in flight towards a reserved local slot
+    // (an accepted injection): wait for it to install, then re-dispatch —
+    // racing the injection would corrupt the incoming recovery copy.
+    if ns.reserved.contains(&item) {
+        eng.pending = Some(PendingAccess {
+            item,
+            addr: req.addr,
+            is_write: req.is_write,
+            write_value: req.write_value,
+        });
+        eng.wait_install = true;
+        return AccessOutcome::Stalled;
+    }
+
+    // Loads served by the cache.
+    if !req.is_write && ns.cache.probe(line) {
+        return AccessOutcome::Complete { latency: t.cache_hit, source: HitSource::Cache };
+    }
+
+    let st = ns.am.state(item);
+
+    if req.is_write && st == ItemState::Exclusive {
+        // Writable in place.
+        ns.am.slot_mut(item).expect("exclusive copy present").value = req.write_value;
+        ns.am.touch(item.page());
+        if ns.cache.probe(line) {
+            ns.cache.mark_dirty(line);
+            return AccessOutcome::Complete { latency: t.cache_hit, source: HitSource::Cache };
+        }
+        let fill = ns.cache.fill(line, true);
+        let latency = t.local_am + Cycles::from(fill.writebacks) * t.writeback;
+        return AccessOutcome::Complete { latency, source: HitSource::LocalAm };
+    }
+
+    if !req.is_write && st.is_readable() {
+        // Cache miss served by the local AM (including Shared-CK recovery
+        // copies: the ECP keeps unmodified recovery data readable).
+        ns.am.touch(item.page());
+        let fill = ns.cache.fill(line, false);
+        let latency = t.local_am + Cycles::from(fill.writebacks) * t.writeback;
+        let source = if matches!(st, ItemState::SharedCk1 | ItemState::SharedCk2) {
+            HitSource::LocalAmCk
+        } else {
+            HitSource::LocalAm
+        };
+        return AccessOutcome::Complete { latency, source };
+    }
+
+    // Anything further is a coherence transaction.
+    eng.pending =
+        Some(PendingAccess { item, addr: req.addr, is_write: req.is_write, write_value: req.write_value });
+
+    match st {
+        // Recovery copies block the slot: inject them first (Table 1).
+        ItemState::InvCk1 | ItemState::InvCk2 => {
+            let cause =
+                if req.is_write { InjectCause::WriteOnInvCk } else { InjectCause::ReadOnInvCk };
+            start_injection(eng, ns, item, cause, AfterInject::Miss, ctx);
+            AccessOutcome::Stalled
+        }
+        ItemState::SharedCk1 | ItemState::SharedCk2 if req.is_write => {
+            start_injection(eng, ns, item, InjectCause::WriteOnSharedCk, AfterInject::Miss, ctx);
+            AccessOutcome::Stalled
+        }
+        // Upgrade: we hold a readable copy but need exclusivity.
+        ItemState::Shared | ItemState::MasterShared => {
+            debug_assert!(req.is_write);
+            ns.pending_fill.insert(item);
+            ctx.send_after(
+                home_of(item, ctx.ring),
+                Msg::WriteReq { item, requester: ns.id },
+                t.miss_detect,
+            );
+            AccessOutcome::Stalled
+        }
+        ItemState::Invalid => {
+            ensure_page_then_miss(eng, ns, t, ctx);
+            AccessOutcome::Stalled
+        }
+        other => unreachable!("access fell through with state {other}"),
+    }
+}
+
+/// Allocates the pending access's page (evicting if necessary), then issues
+/// the miss to the home.
+fn ensure_page_then_miss(eng: &mut NodeEngine, ns: &mut NodeState, t: &MemTiming, ctx: &mut Ctx) {
+    let pending = eng.pending.as_ref().expect("miss path requires a pending access");
+    let page = pending.item.page();
+    if ns.am.has_page(page) {
+        issue_miss(eng, ns, t.miss_detect, ctx);
+        return;
+    }
+    match ns.am.allocate_page(page) {
+        Ok(_) => issue_miss(eng, ns, t.miss_detect, ctx),
+        Err(_) => {
+            // Pick the least-recently-used evictable page in the set.
+            let victim = ns
+                .am
+                .eviction_candidates(page)
+                .into_iter()
+                .find(|&p| ns.can_evict_page(p));
+            match victim {
+                Some(victim) => start_evict(eng, ns, t, victim, page, ctx),
+                None => {
+                    // Every page in the set is pinned by in-flight
+                    // transfers; with sane sizing this cannot persist.
+                    ctx.effect(Effect::FatalNoSpace { item: pending.item });
+                }
+            }
+        }
+    }
+}
+
+/// Sends the pending access's Read/Write request to the home node.
+fn issue_miss(eng: &mut NodeEngine, ns: &mut NodeState, delay: Cycles, ctx: &mut Ctx) {
+    let pending = eng.pending.as_ref().expect("issue_miss without pending access");
+    let item = pending.item;
+    if ns.reserved.contains(&item) {
+        // An injected copy of this item is arriving; re-dispatch once it
+        // lands instead of racing it.
+        eng.wait_install = true;
+        return;
+    }
+    debug_assert!(ns.am.has_page(item.page()), "miss issued without its page");
+    ns.pending_fill.insert(item);
+    ns.am.touch(item.page());
+    let home = home_of(item, ctx.ring);
+    let msg = if pending.is_write {
+        Msg::WriteReq { item, requester: ns.id }
+    } else {
+        Msg::ReadReq { item, requester: ns.id }
+    };
+    ctx.send_after(home, msg, delay);
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+fn handle_impl(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    cfg: &FtConfig,
+    msg: Msg,
+    ctx: &mut Ctx,
+) {
+    match msg {
+        // ---- home side ----
+        Msg::ReadReq { item, requester } => {
+            if ns.home.try_acquire(item) {
+                home_dispatch_read(eng, ns, t, item, requester, ctx);
+            } else {
+                ns.home.enqueue(item, QueuedReq::Read(requester));
+            }
+        }
+        Msg::WriteReq { item, requester } => {
+            if ns.home.try_acquire(item) {
+                home_dispatch_write(eng, ns, t, item, requester, ctx);
+            } else {
+                ns.home.enqueue(item, QueuedReq::Write(requester));
+            }
+        }
+        Msg::InjectLock { item, origin } => {
+            if ns.home.try_acquire(item) {
+                ctx.send(origin, Msg::InjectLockGrant { item });
+            } else {
+                ns.home.enqueue(item, QueuedReq::InjectLock(origin));
+            }
+        }
+        Msg::TxnDone { item } | Msg::InjectLockRelease { item } => {
+            home_release(eng, ns, t, item, ctx);
+        }
+        Msg::OwnerUpdate { item, new_owner } => {
+            ns.home.set_owner(item, new_owner);
+            home_release(eng, ns, t, item, ctx);
+        }
+
+        // ---- owner side ----
+        Msg::ReadFwd { item, requester } => owner_read_fwd(eng, ns, t, item, requester, ctx),
+        Msg::WriteFwd { item, requester } => owner_write_fwd(eng, ns, t, item, requester, ctx),
+
+        // ---- requester side ----
+        Msg::DataShared { item, value } => {
+            finalize_read(eng, ns, t, item, value, ItemState::Shared, ctx);
+        }
+        Msg::DataExclusive { item, value, acks_expected } => {
+            let entry = eng.write_collect.entry(item).or_insert(WriteCollect {
+                needed: None,
+                got: 0,
+                data_value: None,
+                upgrade_in_place: false,
+            });
+            entry.needed = Some(acks_expected);
+            entry.data_value = Some(value);
+            try_finalize_write(eng, ns, t, item, ctx);
+        }
+        Msg::InvalAck { item } => {
+            let entry = eng.write_collect.entry(item).or_insert(WriteCollect {
+                needed: None,
+                got: 0,
+                data_value: None,
+                upgrade_in_place: false,
+            });
+            entry.got += 1;
+            try_finalize_write(eng, ns, t, item, ctx);
+        }
+        Msg::InitGrant { item, state } => {
+            if state == ItemState::Exclusive {
+                let pending = eng.pending.as_ref().expect("grant without pending");
+                debug_assert!(pending.is_write);
+                let value = pending.write_value;
+                finalize_first_touch(eng, ns, t, item, state, value, ctx);
+            } else {
+                finalize_first_touch(eng, ns, t, item, state, 0, ctx);
+            }
+        }
+
+        // ---- sharer side ----
+        Msg::Inval { item, ack_to } => {
+            if ns.am.state(item) == ItemState::Shared {
+                ns.cache.invalidate_item(item);
+                ns.am.clear_slot(item);
+            }
+            ctx.send(ack_to, Msg::InvalAck { item });
+        }
+        Msg::InvalCk { item, ack_to } => {
+            let st = ns.am.state(item);
+            debug_assert!(
+                st == ItemState::SharedCk2 || st == ItemState::Invalid,
+                "InvalCk on {st}"
+            );
+            if st == ItemState::SharedCk2 {
+                ns.cache.invalidate_item(item);
+                ns.am.set_state(item, ItemState::InvCk2);
+            }
+            ctx.send(ack_to, Msg::InvalAck { item });
+        }
+
+        // ---- injection ring ----
+        Msg::InjectLockGrant { item } => on_inject_lock_grant(eng, ns, t, item, ctx),
+        Msg::InjectReq { item, origin, state, cause, hops } => {
+            on_inject_req(ns, t, item, origin, state, cause, hops, ctx);
+        }
+        Msg::InjectAccept { item, host, cause } => {
+            on_inject_accept(eng, ns, t, cfg, item, host, cause, ctx);
+        }
+        Msg::InjectData { item, origin, payload, cause } => {
+            on_inject_data(eng, ns, t, item, origin, payload, cause, ctx);
+        }
+        Msg::InjectDone { item, host, cause: _ } => on_inject_done(eng, ns, t, cfg, item, host, ctx),
+        Msg::PartnerUpdate { item, new_partner, ckpt_gen, reply_to } => {
+            if let Some(slot) = ns.am.slot_mut(item) {
+                if slot.state.is_ck() && slot.ckpt_gen == ckpt_gen {
+                    slot.partner = Some(new_partner);
+                }
+            }
+            ctx.send(reply_to, Msg::PartnerUpdateAck { item });
+        }
+        Msg::PartnerUpdateAck { item } => {
+            let task = eng.injections.get(&item).expect("partner ack without injection task");
+            debug_assert_eq!(task.stage, InjStage::WaitPartnerAck);
+            let moved = task.moved_state.expect("moved state recorded at InjectDone");
+            finish_move_with(eng, ns, t, item, moved, ctx);
+        }
+
+        // ---- create phase ----
+        Msg::PreCommitMark { item, origin, ckpt_gen } => {
+            let accepted = ns.am.state(item) == ItemState::Shared;
+            if accepted {
+                let slot = ns.am.slot_mut(item).expect("shared copy present");
+                slot.state = ItemState::PreCommit2;
+                slot.partner = Some(origin);
+                slot.ckpt_gen = ckpt_gen;
+            }
+            ctx.send(origin, Msg::PreCommitMarkAck { item, accepted });
+        }
+        Msg::PreCommitMarkAck { item, accepted } => {
+            let task = eng.create.as_mut().expect("mark ack outside create phase");
+            task.marks_outstanding -= 1;
+            if accepted {
+                let gen = task.gen;
+                let slot = ns.am.slot_mut(item).expect("pre-commit1 copy present");
+                debug_assert_eq!(slot.state, ItemState::PreCommit1);
+                debug_assert_eq!(slot.ckpt_gen, gen);
+                ctx.effect(Effect::ItemCheckpointed { reused_existing: true });
+                create_next(eng, ns, t, cfg, ctx);
+            } else {
+                // The shared copy vanished in the meantime: fall back to a
+                // physical replication of this item.
+                eng.create.as_mut().expect("still present").outstanding += 1;
+                start_replication_walk(eng, ns, item, ItemState::PreCommit2, 0, ctx);
+                create_next(eng, ns, t, cfg, ctx);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Home-side logic
+// ---------------------------------------------------------------------------
+
+fn home_dispatch_read(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    item: ItemId,
+    requester: NodeId,
+    ctx: &mut Ctx,
+) {
+    match ns.home.owner(item) {
+        None => {
+            // First touch machine-wide: grant a fresh master copy.
+            ns.home.set_owner(item, requester);
+            ctx.send(requester, Msg::InitGrant { item, state: ItemState::MasterShared });
+        }
+        Some(o) if o == ns.id => owner_read_fwd(eng, ns, t, item, requester, ctx),
+        Some(o) => ctx.send(o, Msg::ReadFwd { item, requester }),
+    }
+}
+
+fn home_dispatch_write(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    item: ItemId,
+    requester: NodeId,
+    ctx: &mut Ctx,
+) {
+    match ns.home.owner(item) {
+        None => {
+            ns.home.set_owner(item, requester);
+            ctx.send(requester, Msg::InitGrant { item, state: ItemState::Exclusive });
+        }
+        Some(o) if o == ns.id => owner_write_fwd(eng, ns, t, item, requester, ctx),
+        Some(o) => ctx.send(o, Msg::WriteFwd { item, requester }),
+    }
+}
+
+fn home_release(eng: &mut NodeEngine, ns: &mut NodeState, t: &MemTiming, item: ItemId, ctx: &mut Ctx) {
+    match ns.home.release(item) {
+        None => {}
+        Some(QueuedReq::Read(r)) => home_dispatch_read(eng, ns, t, item, r, ctx),
+        Some(QueuedReq::Write(r)) => home_dispatch_write(eng, ns, t, item, r, ctx),
+        Some(QueuedReq::InjectLock(o)) => ctx.send(o, Msg::InjectLockGrant { item }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Owner-side logic
+// ---------------------------------------------------------------------------
+
+fn owner_read_fwd(
+    _eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    item: ItemId,
+    requester: NodeId,
+    ctx: &mut Ctx,
+) {
+    let st = ns.am.state(item);
+    if cfg!(debug_assertions) && (requester == ns.id || !st.is_owner()) {
+        panic!(
+            "bad ReadFwd at {}: item {item} state {st} requester {requester} \
+             pending_fill={} reserved={} dir_owns={}",
+            ns.id,
+            ns.pending_fill.contains(&item),
+            ns.reserved.contains(&item),
+            ns.dir.owns(item),
+        );
+    }
+    // Push any dirty cached data down into the AM before serving.
+    let flushed = ns.cache.flush_item(item);
+    if st == ItemState::Exclusive {
+        ns.am.set_state(item, ItemState::MasterShared);
+    }
+    if !ns.dir.owns(item) {
+        ns.dir.create(item, Vec::new());
+    }
+    ns.dir.add_sharer(item, requester);
+    let value = ns.am.slot(item).expect("owner copy present").value;
+    let delay = t.remote_am_access + Cycles::from(flushed) * t.writeback;
+    ctx.send_after(requester, Msg::DataShared { item, value }, delay);
+}
+
+fn owner_write_fwd(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    item: ItemId,
+    requester: NodeId,
+    ctx: &mut Ctx,
+) {
+    let st = ns.am.state(item);
+    debug_assert!(st.is_owner(), "write forwarded to non-owner in state {st}");
+    let flushed = ns.cache.flush_item(item);
+    let value = ns.am.slot(item).expect("owner copy present").value;
+    let delay = t.remote_am_access + Cycles::from(flushed) * t.writeback;
+
+    match st {
+        ItemState::Exclusive => {
+            debug_assert_ne!(requester, ns.id, "write hit on own exclusive is local");
+            ns.cache.invalidate_item(item);
+            ns.am.clear_slot(item);
+            ns.dir.drop_entry(item);
+            ctx.send_after(requester, Msg::DataExclusive { item, value, acks_expected: 0 }, delay);
+        }
+        ItemState::MasterShared => {
+            let sharers = if ns.dir.owns(item) { ns.dir.take(item) } else { Vec::new() };
+            let targets: Vec<NodeId> = sharers
+                .into_iter()
+                .filter(|&s| s != requester && ctx.ring.is_alive(s))
+                .collect();
+            for &s in &targets {
+                ctx.send(s, Msg::Inval { item, ack_to: requester });
+            }
+            let n = targets.len() as u32;
+            if requester == ns.id {
+                // In-place upgrade: keep the copy, collect the acks.
+                eng.write_collect.insert(
+                    item,
+                    WriteCollect { needed: Some(n), got: 0, data_value: None, upgrade_in_place: true },
+                );
+                ns.dir.create(item, Vec::new());
+                try_finalize_write(eng, ns, t, item, ctx);
+            } else {
+                ns.cache.invalidate_item(item);
+                ns.am.clear_slot(item);
+                ctx.send_after(
+                    requester,
+                    Msg::DataExclusive { item, value, acks_expected: n },
+                    delay,
+                );
+            }
+        }
+        ItemState::SharedCk1 => {
+            // First write since the recovery point: both recovery copies
+            // freeze into Inv-CK, everything else is invalidated, and the
+            // requester becomes the exclusive owner (ECP core transition).
+            debug_assert_ne!(requester, ns.id, "local write on Shared-CK injects first");
+            let sharers = if ns.dir.owns(item) { ns.dir.take(item) } else { Vec::new() };
+            let targets: Vec<NodeId> = sharers
+                .into_iter()
+                .filter(|&s| s != requester && ctx.ring.is_alive(s))
+                .collect();
+            for &s in &targets {
+                ctx.send(s, Msg::Inval { item, ack_to: requester });
+            }
+            let mut n = targets.len() as u32;
+            let partner =
+                ns.am.slot(item).expect("owner copy present").partner.expect("CK copy has partner");
+            if ctx.ring.is_alive(partner) {
+                ctx.send(partner, Msg::InvalCk { item, ack_to: requester });
+                n += 1;
+            }
+            ns.cache.invalidate_item(item);
+            ns.am.set_state(item, ItemState::InvCk1);
+            ctx.send_after(requester, Msg::DataExclusive { item, value, acks_expected: n }, delay);
+        }
+        other => unreachable!("write forwarded to owner in state {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requester-side completion
+// ---------------------------------------------------------------------------
+
+fn finalize_read(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    item: ItemId,
+    value: u64,
+    state: ItemState,
+    ctx: &mut Ctx,
+) {
+    let pending = eng.pending.take().expect("data reply without pending access");
+    debug_assert_eq!(pending.item, item);
+    debug_assert!(!pending.is_write);
+    ns.pending_fill.remove(&item);
+    ns.am.install(item, state, value, None);
+    ns.am.touch(item.page());
+    let fill = ns.cache.fill(pending.addr.line(), false);
+    ctx.send(home_of(item, ctx.ring), Msg::TxnDone { item });
+    let latency = t.install + Cycles::from(fill.writebacks) * t.writeback;
+    ctx.effect(Effect::Resume { latency });
+}
+
+fn finalize_first_touch(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    item: ItemId,
+    state: ItemState,
+    value: u64,
+    ctx: &mut Ctx,
+) {
+    let pending = eng.pending.take().expect("grant without pending access");
+    debug_assert_eq!(pending.item, item);
+    ns.pending_fill.remove(&item);
+    ns.am.install(item, state, value, None);
+    ns.am.touch(item.page());
+    ns.dir.create(item, Vec::new());
+    let fill = ns.cache.fill(pending.addr.line(), pending.is_write);
+    ctx.send(home_of(item, ctx.ring), Msg::TxnDone { item });
+    let latency = t.install + Cycles::from(fill.writebacks) * t.writeback;
+    ctx.effect(Effect::Resume { latency });
+}
+
+fn try_finalize_write(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    item: ItemId,
+    ctx: &mut Ctx,
+) {
+    let ready = matches!(
+        eng.write_collect.get(&item),
+        Some(WriteCollect { needed: Some(n), got, .. }) if got >= n
+    );
+    if !ready {
+        return;
+    }
+    let collect = eng.write_collect.remove(&item).expect("checked above");
+    let pending = eng.pending.take().expect("write completion without pending access");
+    debug_assert_eq!(pending.item, item);
+    debug_assert!(pending.is_write);
+    ns.pending_fill.remove(&item);
+
+    if collect.upgrade_in_place {
+        ns.am.set_state(item, ItemState::Exclusive);
+        ns.am.slot_mut(item).expect("upgraded copy present").value = pending.write_value;
+    } else {
+        ns.am.install(item, ItemState::Exclusive, pending.write_value, None);
+        ns.dir.create(item, Vec::new());
+    }
+    ns.am.touch(item.page());
+    let fill = ns.cache.fill(pending.addr.line(), true);
+    ctx.send(home_of(item, ctx.ring), Msg::OwnerUpdate { item, new_owner: ns.id });
+    let latency = t.install + Cycles::from(fill.writebacks) * t.writeback;
+    ctx.effect(Effect::Resume { latency });
+}
+
+// ---------------------------------------------------------------------------
+// Injections (runtime moves) and replications (checkpoint/reconfig copies)
+// ---------------------------------------------------------------------------
+
+/// Starts a runtime injection (a *move*) of this node's copy of `item`.
+/// All such copies are serialized through the home lock.
+fn start_injection(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    item: ItemId,
+    cause: InjectCause,
+    then: AfterInject,
+    ctx: &mut Ctx,
+) {
+    debug_assert!(cause.is_move());
+    debug_assert!(ns.am.state(item).requires_injection());
+    debug_assert!(!eng.injections.contains_key(&item), "double injection of {item}");
+    ctx.effect(Effect::InjectionStarted { cause });
+    eng.injections.insert(
+        item,
+        InjectionTask { cause, then, stage: InjStage::WaitLock, host: None, moved_state: None },
+    );
+    ctx.send(home_of(item, ctx.ring), Msg::InjectLock { item, origin: ns.id });
+}
+
+/// Starts a checkpoint/reconfiguration replication (a *copy*) of `item`.
+fn start_replication_walk(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    item: ItemId,
+    dest_state: ItemState,
+    extra_delay: Cycles,
+    ctx: &mut Ctx,
+) {
+    let cause = if dest_state == ItemState::PreCommit2 {
+        InjectCause::CkptReplication
+    } else {
+        InjectCause::Reconfiguration
+    };
+    let then = if cause == InjectCause::CkptReplication {
+        AfterInject::CreateNext
+    } else {
+        AfterInject::ReconfigNext
+    };
+    eng.injections.insert(
+        item,
+        InjectionTask { cause, then, stage: InjStage::WaitAccept, host: None, moved_state: None },
+    );
+    let first = ctx.ring.successor(ns.id).expect("replication needs another live node");
+    ctx.send_after(
+        first,
+        Msg::InjectReq { item, origin: ns.id, state: dest_state, cause, hops: 0 },
+        extra_delay,
+    );
+}
+
+fn on_inject_lock_grant(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    item: ItemId,
+    ctx: &mut Ctx,
+) {
+    let task = eng.injections.get_mut(&item).expect("grant without injection task");
+    debug_assert_eq!(task.stage, InjStage::WaitLock);
+    let st = ns.am.state(item);
+    if !st.requires_injection() {
+        // The copy left this node (or was invalidated) while we waited for
+        // the lock; release it and continue with whatever came next.
+        let then = task.then;
+        eng.injections.remove(&item);
+        ctx.send(home_of(item, ctx.ring), Msg::InjectLockRelease { item });
+        after_injection(eng, ns, t, then, ctx);
+        return;
+    }
+    task.stage = InjStage::WaitAccept;
+    let first = ctx.ring.successor(ns.id).expect("injection needs another live node");
+    ctx.send(first, Msg::InjectReq { item, origin: ns.id, state: st, cause: task.cause, hops: 0 });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn on_inject_req(
+    ns: &mut NodeState,
+    _t: &MemTiming,
+    item: ItemId,
+    origin: NodeId,
+    state: ItemState,
+    cause: InjectCause,
+    hops: u32,
+    ctx: &mut Ctx,
+) {
+    if origin == ns.id {
+        // The walk came full circle: no AM in the machine can take the
+        // copy. The capacity guarantee is violated.
+        ctx.effect(Effect::FatalNoSpace { item });
+        return;
+    }
+    let acceptance = if ns.slot_blocked(item) {
+        ftcoma_mem::InjectionAccept::Reject
+    } else {
+        ns.am.injection_acceptance(item)
+    };
+    use ftcoma_mem::InjectionAccept as A;
+    match acceptance {
+        A::ReplaceInvalid | A::ReplaceShared | A::NewPage | A::ReplacePage(_) => {
+            if let A::ReplacePage(victim) = acceptance {
+                // Sacrifice a resident page holding only droppable copies.
+                if ns.can_evict_page(victim) {
+                    for (dropped, _) in ns.am.evict_page(victim) {
+                        ns.cache.invalidate_item(dropped);
+                    }
+                } else {
+                    // Pinned by an in-flight transfer: pass the injection on.
+                    let next = ctx.ring.successor(ns.id).expect("walk on live ring");
+                    ctx.send(
+                        next,
+                        Msg::InjectReq { item, origin, state, cause, hops: hops.saturating_add(1) },
+                    );
+                    return;
+                }
+            }
+            if matches!(acceptance, A::NewPage | A::ReplacePage(_)) {
+                ns.am.allocate_page(item.page()).expect("free frame checked by acceptance");
+            }
+            if acceptance == A::ReplaceShared {
+                // Drop our plain shared copy to make room.
+                ns.cache.invalidate_item(item);
+                ns.am.clear_slot(item);
+            }
+            ns.reserved.insert(item);
+            ctx.send(origin, Msg::InjectAccept { item, host: ns.id, cause });
+        }
+        A::Reject => {
+            let next = ctx.ring.successor(ns.id).expect("walk on live ring");
+            ctx.send(
+                next,
+                Msg::InjectReq { item, origin, state, cause, hops: hops.saturating_add(1) },
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn on_inject_accept(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    cfg: &FtConfig,
+    item: ItemId,
+    host: NodeId,
+    cause: InjectCause,
+    ctx: &mut Ctx,
+) {
+    let task = eng.injections.get_mut(&item).expect("accept without injection task");
+    debug_assert_eq!(task.stage, InjStage::WaitAccept);
+    task.stage = InjStage::WaitDone;
+    task.host = Some(host);
+
+    let slot = *ns.am.slot(item).expect("injected copy still present");
+    let (dest_state, partner, sharers) = if cause.is_move() {
+        let sharers = if slot.state.is_owner() && ns.dir.owns(item) {
+            ns.dir.take(item)
+        } else {
+            Vec::new()
+        };
+        (slot.state, slot.partner, sharers)
+    } else if cause == InjectCause::CkptReplication {
+        (ItemState::PreCommit2, Some(ns.id), Vec::new())
+    } else {
+        (ItemState::SharedCk2, Some(ns.id), Vec::new())
+    };
+    if !cause.is_move() {
+        ctx.effect(Effect::ReplicationBytes { bytes: ITEM_BYTES });
+    }
+    let payload = ItemPayload {
+        state: dest_state,
+        value: slot.value,
+        partner,
+        ckpt_gen: slot.ckpt_gen,
+        sharers,
+    };
+    ctx.send_after(
+        host,
+        Msg::InjectData { item, origin: ns.id, payload, cause },
+        t.remote_am_access,
+    );
+    // The AM controller can search the next victim while this item's data
+    // drains to the network: pipeline the create phase.
+    if cause == InjectCause::CkptReplication
+        && eng.create.as_ref().is_some_and(|c| !c.queue.is_empty())
+    {
+        create_next(eng, ns, t, cfg, ctx);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn on_inject_data(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    item: ItemId,
+    origin: NodeId,
+    payload: ItemPayload,
+    cause: InjectCause,
+    ctx: &mut Ctx,
+) {
+    debug_assert!(ns.reserved.contains(&item), "inject data without reservation");
+    ns.reserved.remove(&item);
+    ns.am.install(item, payload.state, payload.value, payload.partner);
+    ns.am.slot_mut(item).expect("just installed").ckpt_gen = payload.ckpt_gen;
+    ns.am.touch(item.page());
+    if payload.state.is_owner() || !payload.sharers.is_empty() {
+        ns.dir.create(item, payload.sharers);
+    }
+    // "The injection acknowledgment is sent 5 cycles after the reception of
+    // the item" — copying into memory overlaps with the acknowledged path.
+    ctx.send_after(origin, Msg::InjectDone { item, host: ns.id, cause }, t.inject_ack_delay);
+
+    // A local access was parked waiting for this copy to land: replay it.
+    if eng.wait_install && eng.pending.as_ref().is_some_and(|p| p.item == item) {
+        eng.wait_install = false;
+        let pending = eng.pending.take().expect("checked above");
+        let req = AccessReq {
+            addr: pending.addr,
+            is_write: pending.is_write,
+            write_value: pending.write_value,
+        };
+        match access_impl(eng, ns, t, req, ctx) {
+            AccessOutcome::Complete { latency, .. } => {
+                ctx.effect(Effect::Resume { latency });
+            }
+            AccessOutcome::Stalled => {}
+        }
+    }
+}
+
+fn on_inject_done(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    cfg: &FtConfig,
+    item: ItemId,
+    host: NodeId,
+    ctx: &mut Ctx,
+) {
+    let (cause, stage, task_host) = {
+        let task = eng.injections.get(&item).expect("done without injection task");
+        (task.cause, task.stage, task.host)
+    };
+    debug_assert_eq!(stage, InjStage::WaitDone);
+    debug_assert_eq!(task_host, Some(host));
+
+    if cause.is_move() {
+        let slot = *ns.am.slot(item).expect("moved copy still present");
+        ns.cache.invalidate_item(item);
+        ns.am.clear_slot(item);
+        if slot.state.is_ck() {
+            if let Some(p) = slot.partner.filter(|&p| ctx.ring.is_alive(p)) {
+                let task = eng.injections.get_mut(&item).expect("still present");
+                task.stage = InjStage::WaitPartnerAck;
+                task.moved_state = Some(slot.state);
+                ctx.send(
+                    p,
+                    Msg::PartnerUpdate {
+                        item,
+                        new_partner: host,
+                        ckpt_gen: slot.ckpt_gen,
+                        reply_to: ns.id,
+                    },
+                );
+                return;
+            }
+        }
+        finish_move_with(eng, ns, t, item, slot.state, ctx);
+    } else {
+        // Replication copy: remember where the new sibling lives.
+        ns.am.slot_mut(item).expect("replicated original present").partner = Some(host);
+        let then = {
+            let task = eng.injections.remove(&item).expect("still present");
+            task.then
+        };
+        match then {
+            AfterInject::CreateNext => {
+                ctx.effect(Effect::ItemCheckpointed { reused_existing: false });
+                let task = eng.create.as_mut().expect("create replication without task");
+                task.outstanding -= 1;
+                // Keep one replication in flight (the accept hook already
+                // pipelines the successor); restart the queue only when the
+                // pipeline drained, and finish when nothing remains.
+                if task.outstanding == 0 && task.marks_outstanding == 0 {
+                    create_next(eng, ns, t, cfg, ctx);
+                }
+            }
+            AfterInject::ReconfigNext => reconfig_next(eng, ns, t, ctx),
+            _ => unreachable!("replications continue a create/reconfig task"),
+        }
+    }
+}
+
+fn finish_move_with(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    item: ItemId,
+    moved_state: ItemState,
+    ctx: &mut Ctx,
+) {
+    let task = eng.injections.remove(&item).expect("finishing unknown injection");
+    let host = task.host.expect("move completed without host");
+    let home = home_of(item, ctx.ring);
+    if moved_state.is_owner() {
+        ctx.send(home, Msg::OwnerUpdate { item, new_owner: host });
+    } else {
+        ctx.send(home, Msg::InjectLockRelease { item });
+    }
+    after_injection(eng, ns, t, task.then, ctx);
+}
+
+fn after_injection(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    then: AfterInject,
+    ctx: &mut Ctx,
+) {
+    match then {
+        AfterInject::Miss => {
+            // The slot is free now; proceed with the stalled access.
+            ensure_page_then_miss(eng, ns, t, ctx);
+        }
+        AfterInject::ContinueEvict => evict_next(eng, ns, t, ctx),
+        AfterInject::CreateNext | AfterInject::ReconfigNext => {
+            unreachable!("replication continuations handled in on_inject_done")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Page eviction
+// ---------------------------------------------------------------------------
+
+fn start_evict(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    victim: PageId,
+    then_alloc: PageId,
+    ctx: &mut Ctx,
+) {
+    debug_assert!(eng.evict.is_none(), "one eviction at a time");
+    let to_inject: VecDeque<ItemId> =
+        victim.items().filter(|&i| ns.am.state(i).requires_injection()).collect();
+    eng.evict = Some(EvictTask { victim, to_inject, then_alloc });
+    evict_next(eng, ns, t, ctx);
+}
+
+fn evict_next(eng: &mut NodeEngine, ns: &mut NodeState, t: &MemTiming, ctx: &mut Ctx) {
+    // Skip items whose copies left by other means while we worked; inject
+    // the next one that still needs it.
+    loop {
+        let next = eng.evict.as_mut().expect("evict continuation without task").to_inject.pop_front();
+        match next {
+            Some(item) if ns.am.state(item).requires_injection() => {
+                start_injection(
+                    eng,
+                    ns,
+                    item,
+                    InjectCause::Replacement,
+                    AfterInject::ContinueEvict,
+                    ctx,
+                );
+                return;
+            }
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    // All irreplaceable copies moved: drop the page and allocate the new one.
+    let task = eng.evict.take().expect("task present until here");
+    for (item, _slot) in ns.am.evict_page(task.victim) {
+        ns.cache.invalidate_item(item);
+    }
+    ns.am.allocate_page(task.then_alloc).expect("eviction freed a frame in the right set");
+    issue_miss(eng, ns, t.miss_detect, ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Create phase
+// ---------------------------------------------------------------------------
+
+fn create_next(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    _t: &MemTiming,
+    cfg: &FtConfig,
+    ctx: &mut Ctx,
+) {
+    let task = eng.create.as_mut().expect("create continuation without task");
+    let gen = task.gen;
+    let delay = std::mem::take(&mut task.pending_delay);
+    let item = match task.queue.pop_front() {
+        Some(i) => i,
+        None => {
+            try_finish_create(eng, ctx);
+            return;
+        }
+    };
+    let st = ns.am.state(item);
+    debug_assert!(st.is_modified_since_ckpt(), "create queue item in state {st}");
+    {
+        let slot = ns.am.slot_mut(item).expect("modified item present");
+        slot.state = ItemState::PreCommit1;
+        slot.ckpt_gen = gen;
+        slot.partner = None;
+    }
+    if st == ItemState::MasterShared && cfg.reuse_shared_replica {
+        // Re-label an existing replica instead of transferring the data.
+        let sharer = ns.dir.sharers(item).iter().copied().find(|&s| ctx.ring.is_alive(s));
+        if let Some(s) = sharer {
+            eng.create.as_mut().expect("still present").marks_outstanding += 1;
+            ns.dir.remove_sharer(item, s);
+            ns.am.slot_mut(item).expect("pre-commit1 present").partner = Some(s);
+            ctx.send_after(s, Msg::PreCommitMark { item, origin: ns.id, ckpt_gen: gen }, delay);
+            return;
+        }
+    }
+    eng.create.as_mut().expect("still present").outstanding += 1;
+    start_replication_walk(eng, ns, item, ItemState::PreCommit2, delay, ctx);
+}
+
+/// Declares the create phase done once nothing is queued or in flight.
+fn try_finish_create(eng: &mut NodeEngine, ctx: &mut Ctx) {
+    let task = eng.create.as_ref().expect("create continuation without task");
+    if task.queue.is_empty() && task.outstanding == 0 && task.marks_outstanding == 0 {
+        eng.create = None;
+        ctx.effect(Effect::CreateDone);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reconfiguration
+// ---------------------------------------------------------------------------
+
+fn reconfig_next(eng: &mut NodeEngine, ns: &mut NodeState, _t: &MemTiming, ctx: &mut Ctx) {
+    let task = eng.reconfig.as_mut().expect("reconfig continuation without task");
+    let item = match task.queue.pop_front() {
+        Some(i) => i,
+        None => {
+            eng.reconfig = None;
+            ctx.effect(Effect::ReconfigDone);
+            return;
+        }
+    };
+    debug_assert!(ns.am.slot(item).is_some(), "orphan copy present");
+    start_replication_walk(eng, ns, item, ItemState::SharedCk2, 0, ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcoma_net::LogicalRing;
+
+    fn rig4() -> (Vec<NodeState>, LogicalRing, Engine) {
+        let nodes = (0..4u16).map(|i| NodeState::ksr1(NodeId::new(i))).collect();
+        let ring = LogicalRing::new(4);
+        let engine = Engine::new(FtConfig::enabled(100.0), MemTiming::ksr1(), 4);
+        (nodes, ring, engine)
+    }
+
+    fn read(addr: u64) -> AccessReq {
+        AccessReq { addr: Addr::new(addr), is_write: false, write_value: 0 }
+    }
+
+    fn write(addr: u64, v: u64) -> AccessReq {
+        AccessReq { addr: Addr::new(addr), is_write: true, write_value: v }
+    }
+
+    #[test]
+    fn cold_read_sends_read_req_to_home() {
+        let (mut nodes, ring, mut engine) = rig4();
+        let mut ctx = Ctx::new(&ring, 0);
+        let outcome = engine.access(&mut nodes[0], read(128), &mut ctx);
+        assert_eq!(outcome, AccessOutcome::Stalled);
+        let (out, _) = ctx.finish();
+        assert_eq!(out.len(), 1);
+        // Item 1 is homed on node 1; the miss-detect latency precedes it.
+        assert_eq!(out[0].to, NodeId::new(1));
+        assert_eq!(out[0].delay, MemTiming::ksr1().miss_detect);
+        assert!(matches!(out[0].msg, Msg::ReadReq { requester, .. } if requester == NodeId::new(0)));
+        // The page was allocated eagerly and the slot is fill-pending.
+        assert!(nodes[0].am.has_page(ItemId::new(1).page()));
+        assert!(nodes[0].pending_fill.contains(&ItemId::new(1)));
+    }
+
+    #[test]
+    fn exclusive_write_is_a_local_hit() {
+        let (mut nodes, ring, mut engine) = rig4();
+        nodes[0].am.allocate_page(ItemId::new(0).page()).unwrap();
+        nodes[0].am.install(ItemId::new(0), ItemState::Exclusive, 1, None);
+        let mut ctx = Ctx::new(&ring, 0);
+        let outcome = engine.access(&mut nodes[0], write(0, 9), &mut ctx);
+        assert!(matches!(outcome, AccessOutcome::Complete { .. }));
+        assert_eq!(nodes[0].am.slot(ItemId::new(0)).unwrap().value, 9);
+        assert!(ctx.queued_messages().is_empty(), "no coherence traffic for a hit");
+    }
+
+    #[test]
+    fn shared_ck_read_hit_reports_ck_source() {
+        let (mut nodes, ring, mut engine) = rig4();
+        nodes[1].am.allocate_page(ItemId::new(0).page()).unwrap();
+        nodes[1].am.install(ItemId::new(0), ItemState::SharedCk2, 5, Some(NodeId::new(2)));
+        let mut ctx = Ctx::new(&ring, 0);
+        let outcome = engine.access(&mut nodes[1], read(0), &mut ctx);
+        assert!(matches!(
+            outcome,
+            AccessOutcome::Complete { source: HitSource::LocalAmCk, .. }
+        ));
+    }
+
+    #[test]
+    fn access_on_reserved_slot_waits_for_install() {
+        let (mut nodes, ring, mut engine) = rig4();
+        let item = ItemId::new(0);
+        nodes[0].am.allocate_page(item.page()).unwrap();
+        nodes[0].reserved.insert(item);
+        let mut ctx = Ctx::new(&ring, 0);
+        assert_eq!(engine.access(&mut nodes[0], read(0), &mut ctx), AccessOutcome::Stalled);
+        assert!(ctx.queued_messages().is_empty(), "must not race the incoming copy");
+
+        // The injected copy lands: a readable Shared-CK copy, so the parked
+        // access resumes locally.
+        let payload = ItemPayload {
+            state: ItemState::SharedCk2,
+            value: 3,
+            partner: Some(NodeId::new(2)),
+            ckpt_gen: 1,
+            sharers: vec![],
+        };
+        let mut ctx = Ctx::new(&ring, 10);
+        engine.handle(
+            &mut nodes[0],
+            Msg::InjectData {
+                item,
+                origin: NodeId::new(3),
+                payload,
+                cause: InjectCause::Replacement,
+            },
+            &mut ctx,
+        );
+        let (out, effects) = ctx.finish();
+        assert!(effects.iter().any(|e| matches!(e, Effect::Resume { .. })));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o.msg, Msg::InjectDone { .. }) && o.to == NodeId::new(3)));
+        assert_eq!(nodes[0].am.state(item), ItemState::SharedCk2);
+    }
+
+    #[test]
+    fn inject_req_walks_past_full_nodes() {
+        let (mut nodes, ring, mut engine) = rig4();
+        // Node 1 holds an Exclusive copy of the item: it must refuse.
+        let item = ItemId::new(0);
+        nodes[1].am.allocate_page(item.page()).unwrap();
+        nodes[1].am.install(item, ItemState::Exclusive, 0, None);
+        let mut ctx = Ctx::new(&ring, 0);
+        engine.handle(
+            &mut nodes[1],
+            Msg::InjectReq {
+                item,
+                origin: NodeId::new(0),
+                state: ItemState::InvCk1,
+                cause: InjectCause::ReadOnInvCk,
+                hops: 0,
+            },
+            &mut ctx,
+        );
+        let (out, _) = ctx.finish();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, NodeId::new(2), "forwarded along the ring");
+        assert!(matches!(out[0].msg, Msg::InjectReq { hops: 1, .. }));
+    }
+
+    #[test]
+    fn inject_req_returning_to_origin_is_fatal() {
+        let (mut nodes, ring, mut engine) = rig4();
+        let item = ItemId::new(0);
+        let mut ctx = Ctx::new(&ring, 0);
+        engine.handle(
+            &mut nodes[0],
+            Msg::InjectReq {
+                item,
+                origin: NodeId::new(0),
+                state: ItemState::InvCk1,
+                cause: InjectCause::ReadOnInvCk,
+                hops: 3,
+            },
+            &mut ctx,
+        );
+        let (_, effects) = ctx.finish();
+        assert!(effects.iter().any(|e| matches!(e, Effect::FatalNoSpace { .. })));
+    }
+
+    #[test]
+    fn inject_accept_reserves_and_blocks_second_acceptance() {
+        let (mut nodes, ring, mut engine) = rig4();
+        let item = ItemId::new(0);
+        let mk = |hops| Msg::InjectReq {
+            item,
+            origin: NodeId::new(3),
+            state: ItemState::InvCk2,
+            cause: InjectCause::WriteOnInvCk,
+            hops,
+        };
+        let mut ctx = Ctx::new(&ring, 0);
+        engine.handle(&mut nodes[1], mk(0), &mut ctx);
+        let (out, _) = ctx.finish();
+        assert!(matches!(out[0].msg, Msg::InjectAccept { .. }));
+        assert!(nodes[1].reserved.contains(&item));
+
+        // A second walk for the same item must be forwarded, not accepted.
+        let mut ctx = Ctx::new(&ring, 1);
+        engine.handle(&mut nodes[1], mk(0), &mut ctx);
+        let (out, _) = ctx.finish();
+        assert!(matches!(out[0].msg, Msg::InjectReq { .. }));
+    }
+
+    #[test]
+    fn home_queues_second_transaction() {
+        let (mut nodes, ring, mut engine) = rig4();
+        let item = ItemId::new(1); // homed on node 1
+        nodes[1].home.set_owner(item, NodeId::new(2));
+        nodes[2].am.allocate_page(item.page()).unwrap();
+        nodes[2].am.install(item, ItemState::MasterShared, 4, None);
+        nodes[2].dir.create(item, Vec::new());
+
+        let mut ctx = Ctx::new(&ring, 0);
+        engine.handle(
+            &mut nodes[1],
+            Msg::ReadReq { item, requester: NodeId::new(0) },
+            &mut ctx,
+        );
+        let (out, _) = ctx.finish();
+        assert!(matches!(out[0].msg, Msg::ReadFwd { .. }));
+        assert!(nodes[1].home.is_busy(item));
+
+        let mut ctx = Ctx::new(&ring, 1);
+        engine.handle(
+            &mut nodes[1],
+            Msg::WriteReq { item, requester: NodeId::new(3) },
+            &mut ctx,
+        );
+        let (out, _) = ctx.finish();
+        assert!(out.is_empty(), "second transaction must wait in the queue");
+
+        // The first transaction's completion releases and dispatches it.
+        let mut ctx = Ctx::new(&ring, 2);
+        engine.handle(&mut nodes[1], Msg::TxnDone { item }, &mut ctx);
+        let (out, _) = ctx.finish();
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].msg, Msg::WriteFwd { requester, .. } if requester == NodeId::new(3)));
+    }
+
+    #[test]
+    fn partner_update_rewrites_matching_generation_only() {
+        let (mut nodes, ring, mut engine) = rig4();
+        let item = ItemId::new(0);
+        nodes[2].am.allocate_page(item.page()).unwrap();
+        nodes[2].am.install(item, ItemState::SharedCk2, 5, Some(NodeId::new(0)));
+        nodes[2].am.slot_mut(item).unwrap().ckpt_gen = 7;
+
+        // A stale-generation update is ignored.
+        let mut ctx = Ctx::new(&ring, 0);
+        engine.handle(
+            &mut nodes[2],
+            Msg::PartnerUpdate {
+                item,
+                new_partner: NodeId::new(3),
+                ckpt_gen: 6,
+                reply_to: NodeId::new(0),
+            },
+            &mut ctx,
+        );
+        assert_eq!(nodes[2].am.slot(item).unwrap().partner, Some(NodeId::new(0)));
+
+        // The current generation takes effect.
+        let mut ctx = Ctx::new(&ring, 1);
+        engine.handle(
+            &mut nodes[2],
+            Msg::PartnerUpdate {
+                item,
+                new_partner: NodeId::new(3),
+                ckpt_gen: 7,
+                reply_to: NodeId::new(0),
+            },
+            &mut ctx,
+        );
+        let (out, _) = ctx.finish();
+        assert_eq!(nodes[2].am.slot(item).unwrap().partner, Some(NodeId::new(3)));
+        assert!(matches!(out[0].msg, Msg::PartnerUpdateAck { .. }));
+    }
+
+    #[test]
+    fn begin_create_on_clean_node_completes_immediately() {
+        let (mut nodes, ring, mut engine) = rig4();
+        let mut ctx = Ctx::new(&ring, 0);
+        engine.begin_create(&mut nodes[0], 1, &mut ctx);
+        let (out, effects) = ctx.finish();
+        assert!(out.is_empty());
+        assert_eq!(effects, vec![Effect::CreateDone]);
+        assert!(engine.node_idle(NodeId::new(0)));
+    }
+
+    #[test]
+    fn reset_node_clears_transactions() {
+        let (mut nodes, ring, mut engine) = rig4();
+        let mut ctx = Ctx::new(&ring, 0);
+        let _ = engine.access(&mut nodes[0], read(0), &mut ctx);
+        assert!(!engine.node_idle(NodeId::new(0)));
+        assert!(engine.node_has_pending_access(NodeId::new(0)));
+        engine.reset_node(NodeId::new(0));
+        assert!(engine.node_idle(NodeId::new(0)));
+    }
+}

@@ -1,0 +1,239 @@
+//! Machine-wide protocol invariants.
+//!
+//! These checks formalise the guarantees the paper states for the ECP —
+//! "at any time, every item has exactly either two Shared-CK copies or two
+//! Inv-CK copies in two distinct memories", single ownership, coherent
+//! values — and are executed by the test suite (and optionally after every
+//! checkpoint) against a quiescent machine.
+
+use std::collections::HashMap;
+
+use ftcoma_mem::{ItemId, ItemState, NodeId};
+use ftcoma_net::LogicalRing;
+use ftcoma_protocol::{home_of, NodeState};
+
+/// Which invariants apply right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckScope {
+    /// Pre-Commit copies are legal (between create and commit).
+    pub allow_precommit: bool,
+    /// Home pointers must exactly match owner locations (only meaningful
+    /// when no transaction is in flight).
+    pub check_homes: bool,
+}
+
+impl Default for CheckScope {
+    fn default() -> Self {
+        Self { allow_precommit: false, check_homes: true }
+    }
+}
+
+/// Checks all invariants over a quiescent machine; returns the list of
+/// violations (empty = consistent).
+pub fn check(nodes: &[NodeState], ring: &LogicalRing, scope: CheckScope) -> Vec<String> {
+    let mut problems = Vec::new();
+
+    // Gather every copy of every item.
+    let mut copies: HashMap<ItemId, Vec<(NodeId, ItemState, u64, Option<NodeId>, u64)>> =
+        HashMap::new();
+    for ns in nodes {
+        if !ns.alive {
+            continue;
+        }
+        for (item, slot) in ns.am.iter_present() {
+            copies
+                .entry(item)
+                .or_default()
+                .push((ns.id, slot.state, slot.value, slot.partner, slot.ckpt_gen));
+        }
+    }
+
+    for (item, cs) in &copies {
+        let owners: Vec<_> = cs.iter().filter(|(_, st, ..)| st.is_owner()).collect();
+        let currents: Vec<_> = cs.iter().filter(|(_, st, ..)| st.is_current()).collect();
+        let exclusives: Vec<_> =
+            cs.iter().filter(|(_, st, ..)| *st == ItemState::Exclusive).collect();
+        let cks: Vec<_> = cs.iter().filter(|(_, st, ..)| st.is_committed_recovery()).collect();
+        let pres: Vec<_> = cs
+            .iter()
+            .filter(|(_, st, ..)| matches!(st, ItemState::PreCommit1 | ItemState::PreCommit2))
+            .collect();
+
+        if owners.len() > 1 {
+            problems.push(format!("{item}: {} owner copies ({owners:?})", owners.len()));
+        }
+        if !currents.is_empty() && owners.is_empty() {
+            problems.push(format!("{item}: current copies without an owner ({currents:?})"));
+        }
+        if exclusives.len() == 1 && currents.len() > 1 {
+            problems.push(format!("{item}: exclusive copy coexists with other current copies"));
+        }
+
+        // Current copies must agree on the value with their owner.
+        if let Some(&&(_, _, owner_value, _, _)) = owners.first() {
+            for &&(node, st, value, _, _) in &currents {
+                if value != owner_value {
+                    problems.push(format!(
+                        "{item}: {st} copy at {node} has value {value}, owner has {owner_value}"
+                    ));
+                }
+            }
+        }
+
+        // Committed recovery copies come in pairs: one replica-1 and one
+        // replica-2, same kind, same generation, same value, mutual
+        // partner pointers, distinct nodes.
+        match cks.len() {
+            0 => {}
+            2 => {
+                let a = cks[0];
+                let b = cks[1];
+                if a.0 == b.0 {
+                    problems.push(format!("{item}: both recovery copies on {}", a.0));
+                }
+                let idx: Vec<_> = cks.iter().map(|c| c.1.replica_index()).collect();
+                if !(idx.contains(&Some(1)) && idx.contains(&Some(2))) {
+                    problems.push(format!("{item}: recovery replicas not 1+2 ({:?})", idx));
+                }
+                let same_kind = a.1.is_readable() == b.1.is_readable();
+                if !same_kind {
+                    problems.push(format!(
+                        "{item}: mixed Shared-CK/Inv-CK pair ({} at {}, {} at {})",
+                        a.1, a.0, b.1, b.0
+                    ));
+                }
+                if a.4 != b.4 {
+                    problems.push(format!("{item}: recovery pair generations differ"));
+                }
+                if a.2 != b.2 {
+                    problems.push(format!("{item}: recovery pair values differ ({} vs {})", a.2, b.2));
+                }
+                if a.3 != Some(b.0) || b.3 != Some(a.0) {
+                    problems.push(format!(
+                        "{item}: partner pointers not mutual ({:?}/{:?} for {}/{})",
+                        a.3, b.3, a.0, b.0
+                    ));
+                }
+            }
+            n => problems.push(format!("{item}: {n} committed recovery copies")),
+        }
+
+        if !scope.allow_precommit && !pres.is_empty() {
+            problems.push(format!("{item}: Pre-Commit copies outside establishment ({pres:?})"));
+        }
+    }
+
+    if scope.check_homes {
+        for (item, cs) in &copies {
+            let owner = cs.iter().find(|(_, st, ..)| st.is_owner()).map(|&(n, ..)| n);
+            if let Some(owner) = owner {
+                let home = home_of(*item, ring);
+                let pointer = nodes[home.index()].home.owner(*item);
+                if pointer != Some(owner) {
+                    problems.push(format!(
+                        "{item}: home {home} points at {pointer:?}, owner is {owner}"
+                    ));
+                }
+            }
+        }
+    }
+
+    problems
+}
+
+/// Convenience: panics with a readable report if any invariant is violated.
+///
+/// # Panics
+///
+/// Panics when [`check`] returns violations.
+pub fn assert_consistent(nodes: &[NodeState], ring: &LogicalRing, scope: CheckScope) {
+    let problems = check(nodes, ring, scope);
+    assert!(
+        problems.is_empty(),
+        "protocol invariants violated:\n  {}",
+        problems.join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn install(ns: &mut NodeState, idx: u64, st: ItemState, value: u64, partner: Option<NodeId>) {
+        let item = ItemId::new(idx);
+        if !ns.am.has_page(item.page()) {
+            ns.am.allocate_page(item.page()).unwrap();
+        }
+        ns.am.install(item, st, value, partner);
+    }
+
+    fn two_nodes() -> (Vec<NodeState>, LogicalRing) {
+        (vec![NodeState::ksr1(NodeId::new(0)), NodeState::ksr1(NodeId::new(1))], LogicalRing::new(2))
+    }
+
+    #[test]
+    fn consistent_pair_passes() {
+        let (mut nodes, ring) = two_nodes();
+        install(&mut nodes[0], 0, ItemState::SharedCk1, 5, Some(NodeId::new(1)));
+        install(&mut nodes[1], 0, ItemState::SharedCk2, 5, Some(NodeId::new(0)));
+        nodes[0].home.set_owner(ItemId::new(0), NodeId::new(0));
+        nodes[0].dir.create(ItemId::new(0), vec![]);
+        assert!(check(&nodes, &ring, CheckScope::default()).is_empty());
+    }
+
+    #[test]
+    fn detects_single_recovery_copy() {
+        let (mut nodes, ring) = two_nodes();
+        install(&mut nodes[0], 0, ItemState::InvCk1, 5, Some(NodeId::new(1)));
+        let problems = check(&nodes, &ring, CheckScope::default());
+        assert!(problems.iter().any(|p| p.contains("1 committed recovery copies")), "{problems:?}");
+    }
+
+    #[test]
+    fn detects_double_owner() {
+        let (mut nodes, ring) = two_nodes();
+        install(&mut nodes[0], 2, ItemState::Exclusive, 1, None);
+        install(&mut nodes[1], 2, ItemState::MasterShared, 1, None);
+        let problems = check(&nodes, &ring, CheckScope { check_homes: false, ..Default::default() });
+        assert!(problems.iter().any(|p| p.contains("owner copies")), "{problems:?}");
+    }
+
+    #[test]
+    fn detects_value_divergence() {
+        let (mut nodes, ring) = two_nodes();
+        install(&mut nodes[0], 4, ItemState::MasterShared, 7, None);
+        install(&mut nodes[1], 4, ItemState::Shared, 8, None);
+        nodes[0].home.set_owner(ItemId::new(4), NodeId::new(0));
+        let problems = check(&nodes, &ring, CheckScope::default());
+        assert!(problems.iter().any(|p| p.contains("value")), "{problems:?}");
+    }
+
+    #[test]
+    fn detects_stale_home_pointer() {
+        let (mut nodes, ring) = two_nodes();
+        install(&mut nodes[1], 1, ItemState::Exclusive, 1, None);
+        nodes[1].home.set_owner(ItemId::new(1), NodeId::new(0)); // wrong
+        let problems = check(&nodes, &ring, CheckScope::default());
+        assert!(problems.iter().any(|p| p.contains("home")), "{problems:?}");
+    }
+
+    #[test]
+    fn precommit_allowed_only_in_scope() {
+        let (mut nodes, ring) = two_nodes();
+        install(&mut nodes[0], 3, ItemState::PreCommit1, 2, Some(NodeId::new(1)));
+        install(&mut nodes[1], 3, ItemState::PreCommit2, 2, Some(NodeId::new(0)));
+        nodes[1].home.set_owner(ItemId::new(3), NodeId::new(0));
+        let strict = check(&nodes, &ring, CheckScope { check_homes: false, allow_precommit: false });
+        assert!(!strict.is_empty());
+        let relaxed = check(&nodes, &ring, CheckScope { check_homes: false, allow_precommit: true });
+        assert!(relaxed.is_empty(), "{relaxed:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invariants violated")]
+    fn assert_consistent_panics_on_violation() {
+        let (mut nodes, ring) = two_nodes();
+        install(&mut nodes[0], 0, ItemState::InvCk1, 5, Some(NodeId::new(1)));
+        assert_consistent(&nodes, &ring, CheckScope::default());
+    }
+}

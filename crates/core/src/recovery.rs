@@ -1,0 +1,301 @@
+//! Rollback and post-failure reconfiguration.
+//!
+//! After a failure is detected, "each node scans its local memory and
+//! invalidates all current item copies (in state Shared, Exclusive or
+//! Master-Shared) as well as Pre-Commit copies. … Inv-CK copies are
+//! restored to Shared-CK. … No action is required for Shared-CK copies."
+//! For a *permanent* failure, "each Shared-CK copy has to check whether its
+//! replica is still alive or not. If not, a new Shared-CK copy has to be
+//! created on a safe node" — see [`promote_and_collect_orphans`], whose
+//! output feeds [`crate::Engine::begin_reconfig`].
+//!
+//! The paper does not detail how the localization pointers of a failed home
+//! are rebuilt; [`rebuild_homes`] implements the natural mechanism (owners
+//! re-register with the possibly-migrated home) as a
+//! reproduction-completing extension (DESIGN.md §3).
+
+use ftcoma_mem::addr::ITEMS_PER_PAGE;
+use ftcoma_mem::{ItemId, ItemState, NodeId};
+use ftcoma_net::LogicalRing;
+use ftcoma_protocol::{home_of, MemTiming, NodeState};
+use ftcoma_sim::Cycles;
+
+/// Outcome of one node's rollback scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RollbackStats {
+    /// Current copies (Shared / Master-Shared / Exclusive) invalidated.
+    pub current_invalidated: u64,
+    /// Pre-Commit copies of an unfinished establishment invalidated.
+    pub precommit_invalidated: u64,
+    /// `Inv-CK` copies restored to `Shared-CK`.
+    pub restored: u64,
+    /// Simulated cycles the scan took.
+    pub duration: Cycles,
+}
+
+/// Rolls one live node back to the last committed recovery point.
+///
+/// Besides the AM scan this clears the cache and every piece of protocol
+/// metadata (home pointers, directory entries, reservations) — the caller
+/// must rebuild the localization pointers afterwards with
+/// [`rebuild_homes`].
+pub fn rollback_node(ns: &mut NodeState, t: &MemTiming) -> RollbackStats {
+    let mut stats = RollbackStats::default();
+    ns.cache.invalidate_all();
+
+    let items: Vec<_> = ns.am.iter_present().map(|(i, s)| (i, s.state)).collect();
+    for (item, state) in items {
+        match state {
+            ItemState::Shared | ItemState::MasterShared | ItemState::Exclusive => {
+                ns.am.clear_slot(item);
+                stats.current_invalidated += 1;
+            }
+            ItemState::PreCommit1 | ItemState::PreCommit2 => {
+                ns.am.clear_slot(item);
+                stats.precommit_invalidated += 1;
+            }
+            ItemState::InvCk1 => {
+                ns.am.set_state(item, ItemState::SharedCk1);
+                stats.restored += 1;
+            }
+            ItemState::InvCk2 => {
+                ns.am.set_state(item, ItemState::SharedCk2);
+                stats.restored += 1;
+            }
+            ItemState::SharedCk1 | ItemState::SharedCk2 => {}
+            ItemState::Invalid => unreachable!("iter_present yields present copies"),
+        }
+    }
+
+    ns.home.clear();
+    ns.dir.clear();
+    ns.reserved.clear();
+    ns.pending_fill.clear();
+
+    stats.duration = t.commit_scan(ns.am.allocated_pages() as u64, ITEMS_PER_PAGE);
+    stats
+}
+
+/// Erases a permanently failed node: its memory contents are lost and it
+/// leaves the protocol.
+pub fn wipe_dead_node(ns: &mut NodeState) {
+    ns.alive = false;
+    ns.cache.invalidate_all();
+    let pages: Vec<_> = ns.am.pages().collect();
+    for page in pages {
+        let items: Vec<_> = page.items().collect();
+        for item in items {
+            if ns.am.state(item).is_present() {
+                // Bypass the injection guard: the copies are *lost*, which
+                // is the point of the failure model.
+                ns.am.slot_mut(item).map(|s| *s = Default::default());
+            }
+        }
+        ns.am.evict_page(page);
+    }
+    ns.home.clear();
+    ns.dir.clear();
+    ns.reserved.clear();
+    ns.pending_fill.clear();
+}
+
+/// After all live nodes rolled back: promotes `Shared-CK2` copies whose
+/// primary died to `Shared-CK1`, and returns the items on this node whose
+/// recovery sibling lived on `dead` — each needs a fresh `Shared-CK2`
+/// replica (fed to [`crate::Engine::begin_reconfig`]).
+pub fn promote_and_collect_orphans(ns: &mut NodeState, dead: NodeId) -> Vec<ItemId> {
+    let orphans: Vec<ItemId> = ns
+        .am
+        .items_where(|s| s.state.is_committed_recovery() && s.partner == Some(dead));
+    for &item in &orphans {
+        let slot = ns.am.slot_mut(item).expect("orphan present");
+        debug_assert!(matches!(slot.state, ItemState::SharedCk1 | ItemState::SharedCk2));
+        slot.state = ItemState::SharedCk1; // survivor becomes the primary
+        slot.partner = None;
+    }
+    orphans
+}
+
+/// Repairs recovery pairs damaged by in-flight injections at failure time.
+///
+/// A recovery copy that was mid-move when the failure struck can exist
+/// twice after the rollback: the origin had not yet cleared its slot while
+/// the destination had already installed the copy (both hold the same
+/// committed value, so either is valid). This global pass — part of the
+/// stop-the-world recovery, like the scans — keeps exactly one copy per
+/// replica index (highest generation, then lowest node id, for
+/// determinism), drops the leftovers, and re-points the partners at each
+/// other. Returns how many duplicate copies were dropped.
+pub fn dedup_recovery_copies(nodes: &mut [NodeState]) -> u64 {
+    use std::collections::HashMap;
+
+    // item -> (replica index -> candidate copies as (gen, node)).
+    let mut seen: HashMap<ItemId, [Vec<(u64, usize)>; 2]> = HashMap::new();
+    for (idx, ns) in nodes.iter().enumerate() {
+        if !ns.alive {
+            continue;
+        }
+        for (item, slot) in ns.am.iter_present() {
+            if let Some(r) = slot.state.replica_index() {
+                if slot.state.is_committed_recovery() {
+                    seen.entry(item).or_default()[usize::from(r) - 1]
+                        .push((slot.ckpt_gen, idx));
+                }
+            }
+        }
+    }
+
+    let mut dropped = 0;
+    for (item, mut by_replica) in seen {
+        let keep: Vec<Option<usize>> = by_replica
+            .iter_mut()
+            .map(|cands| {
+                cands.sort_by_key(|&(gen, node)| (std::cmp::Reverse(gen), node));
+                cands.first().map(|&(_, node)| node)
+            })
+            .collect();
+        for (r, cands) in by_replica.iter().enumerate() {
+            for &(_, node) in cands.iter().skip(1) {
+                nodes[node].cache.invalidate_item(item);
+                nodes[node].am.clear_slot(item);
+                dropped += 1;
+                let _ = r;
+            }
+        }
+        // Re-point the surviving pair at each other.
+        if let (Some(a), Some(b)) = (keep[0], keep[1]) {
+            let b_id = nodes[b].id;
+            let a_id = nodes[a].id;
+            nodes[a].am.slot_mut(item).expect("survivor present").partner = Some(b_id);
+            nodes[b].am.slot_mut(item).expect("survivor present").partner = Some(a_id);
+        }
+    }
+    dropped
+}
+
+/// Rebuilds every localization pointer from the *current owners* (any
+/// owner-state copy), used when home responsibility moves while the
+/// machine is quiescent — e.g. when a repaired node rejoins the ring and
+/// takes its statically-assigned home range back from its successor.
+pub fn rebuild_homes_from_owners(nodes: &mut [NodeState], ring: &LogicalRing) {
+    let mut registrations: Vec<(ItemId, NodeId)> = Vec::new();
+    for ns in nodes.iter_mut() {
+        ns.home.clear();
+    }
+    for ns in nodes.iter() {
+        if !ns.alive {
+            continue;
+        }
+        for (item, slot) in ns.am.iter_present() {
+            if slot.state.is_owner() {
+                registrations.push((item, ns.id));
+            }
+        }
+    }
+    for (item, owner) in registrations {
+        let home = home_of(item, ring);
+        nodes[home.index()].home.set_owner(item, owner);
+    }
+}
+
+/// Rebuilds every localization pointer from the surviving `Shared-CK1`
+/// copies: each owner re-registers with the item's (possibly migrated)
+/// home, and owner directory entries are re-created empty (all plain
+/// `Shared` copies were invalidated by the rollback).
+pub fn rebuild_homes(nodes: &mut [NodeState], ring: &LogicalRing) {
+    let mut registrations: Vec<(ItemId, NodeId)> = Vec::new();
+    for ns in nodes.iter_mut() {
+        if !ns.alive {
+            continue;
+        }
+        let owned = ns.am.items_where(|s| s.state == ItemState::SharedCk1);
+        for &item in &owned {
+            ns.dir.create(item, Vec::new());
+            registrations.push((item, ns.id));
+        }
+    }
+    for (item, owner) in registrations {
+        let home = home_of(item, ring);
+        nodes[home.index()].home.set_owner(item, owner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcoma_mem::ItemId;
+
+    fn install(ns: &mut NodeState, idx: u64, st: ItemState, partner: Option<NodeId>) {
+        let item = ItemId::new(idx);
+        if !ns.am.has_page(item.page()) {
+            ns.am.allocate_page(item.page()).unwrap();
+        }
+        ns.am.install(item, st, idx, partner);
+    }
+
+    #[test]
+    fn rollback_restores_recovery_point() {
+        let mut ns = NodeState::ksr1(NodeId::new(0));
+        install(&mut ns, 0, ItemState::Exclusive, None);
+        install(&mut ns, 1, ItemState::Shared, None);
+        install(&mut ns, 2, ItemState::MasterShared, None);
+        install(&mut ns, 3, ItemState::InvCk1, Some(NodeId::new(1)));
+        install(&mut ns, 4, ItemState::InvCk2, Some(NodeId::new(1)));
+        install(&mut ns, 5, ItemState::SharedCk2, Some(NodeId::new(1)));
+        install(&mut ns, 6, ItemState::PreCommit1, None);
+        ns.home.set_owner(ItemId::new(0), NodeId::new(0));
+        ns.dir.create(ItemId::new(0), vec![]);
+
+        let stats = rollback_node(&mut ns, &MemTiming::ksr1());
+        assert_eq!(stats.current_invalidated, 3);
+        assert_eq!(stats.precommit_invalidated, 1);
+        assert_eq!(stats.restored, 2);
+        assert_eq!(ns.am.state(ItemId::new(3)), ItemState::SharedCk1);
+        assert_eq!(ns.am.state(ItemId::new(4)), ItemState::SharedCk2);
+        assert_eq!(ns.am.state(ItemId::new(5)), ItemState::SharedCk2);
+        assert_eq!(ns.am.state(ItemId::new(0)), ItemState::Invalid);
+        assert!(ns.home.is_empty());
+        assert!(ns.dir.is_empty());
+        assert!(stats.duration > 0);
+    }
+
+    #[test]
+    fn promotion_turns_survivor_into_primary() {
+        let dead = NodeId::new(7);
+        let mut ns = NodeState::ksr1(NodeId::new(0));
+        install(&mut ns, 0, ItemState::SharedCk2, Some(dead)); // primary died
+        install(&mut ns, 1, ItemState::SharedCk1, Some(dead)); // secondary died
+        install(&mut ns, 2, ItemState::SharedCk1, Some(NodeId::new(2))); // intact
+
+        let orphans = promote_and_collect_orphans(&mut ns, dead);
+        assert_eq!(orphans.len(), 2);
+        assert_eq!(ns.am.state(ItemId::new(0)), ItemState::SharedCk1);
+        assert_eq!(ns.am.state(ItemId::new(1)), ItemState::SharedCk1);
+        assert_eq!(ns.am.slot(ItemId::new(0)).unwrap().partner, None);
+        assert_eq!(ns.am.slot(ItemId::new(2)).unwrap().partner, Some(NodeId::new(2)));
+    }
+
+    #[test]
+    fn rebuild_homes_registers_primaries() {
+        let ring = LogicalRing::new(2);
+        let mut nodes = vec![NodeState::ksr1(NodeId::new(0)), NodeState::ksr1(NodeId::new(1))];
+        // Item 1 is homed on node 1; its primary recovery copy lives on 0.
+        install(&mut nodes[0], 1, ItemState::SharedCk1, Some(NodeId::new(1)));
+        install(&mut nodes[1], 1, ItemState::SharedCk2, Some(NodeId::new(0)));
+        rebuild_homes(&mut nodes, &ring);
+        assert_eq!(nodes[1].home.owner(ItemId::new(1)), Some(NodeId::new(0)));
+        assert!(nodes[0].dir.owns(ItemId::new(1)));
+        assert!(!nodes[1].dir.owns(ItemId::new(1)));
+    }
+
+    #[test]
+    fn wipe_dead_node_clears_everything() {
+        let mut ns = NodeState::ksr1(NodeId::new(0));
+        install(&mut ns, 0, ItemState::MasterShared, None);
+        install(&mut ns, 1, ItemState::SharedCk1, Some(NodeId::new(1)));
+        wipe_dead_node(&mut ns);
+        assert!(!ns.alive);
+        assert_eq!(ns.am.allocated_pages(), 0);
+        assert_eq!(ns.am.iter_present().count(), 0);
+    }
+}

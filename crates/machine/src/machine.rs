@@ -1,0 +1,846 @@
+//! The machine: nodes + engine + mesh + checkpoint coordinator + failures,
+//! advanced by one deterministic event loop.
+
+use std::collections::HashMap;
+
+use ftcoma_core::{
+    ckpt, invariants, recovery, AccessOutcome, AccessReq, Ctx, Effect, Engine, HitSource,
+};
+use ftcoma_mem::{ItemId, ItemState, NodeId};
+use ftcoma_net::{Fabric, LogicalRing};
+use ftcoma_protocol::msg::{InjectCause, Msg};
+use ftcoma_protocol::NodeState;
+use ftcoma_sim::{Cycles, EventQueue};
+use ftcoma_workloads::{MemRef, NodeStream, RefStream, StreamSnapshot};
+
+use crate::config::{FailureKind, MachineConfig};
+use crate::metrics::RunMetrics;
+use crate::tracelog::{TraceEvent, TraceLog};
+
+#[derive(Debug)]
+enum Event {
+    /// Processor of `node` issues its buffered reference (valid only for
+    /// the matching epoch).
+    Proc { node: NodeId, epoch: u64 },
+    /// Network delivery.
+    Deliver { to: NodeId, msg: Msg },
+    /// Stalled access of `node` completed.
+    Resume { node: NodeId, epoch: u64 },
+    /// Periodic recovery-point establishment.
+    CkptTimer,
+    /// Injected failure.
+    Failure { node: NodeId, kind: FailureKind },
+    /// A replacement node rejoins in place of a permanently failed one.
+    Repair { node: NodeId },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    /// Will issue at its scheduled `Proc` event.
+    Ready,
+    /// Blocked on a coherence transaction.
+    Stalled,
+    /// Stopped for a checkpoint or recovery.
+    Paused,
+    /// Waiting at a global barrier.
+    AtBarrier,
+    /// Completed its reference quota.
+    Done,
+    /// Permanently failed.
+    Dead,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    /// Waiting for in-flight transactions to finish before `create`.
+    Draining,
+    /// Create phase of a recovery point establishment in progress.
+    Create,
+    /// Post-failure reconfiguration in progress.
+    Recovering,
+}
+
+/// The simulated ft-coma machine. See the crate docs for an example.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    nodes: Vec<NodeState>,
+    engine: Engine,
+    mesh: Fabric,
+    ring: LogicalRing,
+    queue: EventQueue<Event>,
+
+    streams: Vec<NodeStream>,
+    snapshots: Vec<StreamSnapshot>,
+    /// Stream indices each node executes (grows when adopting a dead
+    /// node's work).
+    assigned: Vec<Vec<usize>>,
+    rr: Vec<usize>,
+    pending_ref: Vec<Option<(usize, MemRef)>>,
+    proc: Vec<ProcState>,
+    epochs: Vec<u64>,
+    stall_start: Vec<Cycles>,
+    refs_since_barrier: Vec<u64>,
+
+    phase: Phase,
+    gen: u64,
+    deliver_pending: usize,
+    ckpt_start: Cycles,
+    create_done: usize,
+    reconfig_done: usize,
+    reconfig_expected: usize,
+    recovery_start: Cycles,
+    recovery_scan_end: Cycles,
+    timer_in_queue: bool,
+    pending_repair: Option<NodeId>,
+
+    committed_values: HashMap<ItemId, u64>,
+    trace: TraceLog,
+    metrics: RunMetrics,
+    /// Metrics snapshot taken when warmup completed.
+    baseline: Option<(RunMetrics, Cycles)>,
+    finished: bool,
+}
+
+impl Machine {
+    /// Builds a machine from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid
+    /// ([`MachineConfig::validate`]).
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate();
+        let n = cfg.nodes as usize;
+        let nodes: Vec<NodeState> = (0..cfg.nodes)
+            .map(|i| NodeState::new(NodeId::new(i), cfg.am, cfg.cache))
+            .collect();
+        let streams: Vec<NodeStream> = (0..cfg.nodes)
+            .map(|i| NodeStream::new(&cfg.workload, i, cfg.nodes, cfg.seed))
+            .collect();
+        let snapshots = streams.iter().map(NodeStream::snapshot).collect();
+        let mesh = Fabric::new(cfg.fabric(), n);
+        let engine = Engine::new(cfg.ft, cfg.timing, n);
+        let mut machine = Self {
+            nodes,
+            engine,
+            mesh,
+            ring: LogicalRing::new(n),
+            queue: EventQueue::new(),
+            streams,
+            snapshots,
+            assigned: (0..n).map(|i| vec![i]).collect(),
+            rr: vec![0; n],
+            pending_ref: vec![None; n],
+            proc: vec![ProcState::Ready; n],
+            epochs: vec![0; n],
+            stall_start: vec![0; n],
+            refs_since_barrier: vec![0; n],
+            phase: Phase::Running,
+            gen: 0,
+            deliver_pending: 0,
+            ckpt_start: 0,
+            create_done: 0,
+            reconfig_done: 0,
+            reconfig_expected: 0,
+            recovery_start: 0,
+            recovery_scan_end: 0,
+            timer_in_queue: false,
+            pending_repair: None,
+            committed_values: HashMap::new(),
+            trace: TraceLog::new(cfg.trace_capacity),
+            metrics: RunMetrics { nodes: n as u64, ..RunMetrics::default() },
+            baseline: None,
+            finished: false,
+            cfg,
+        };
+        for i in 0..n {
+            machine.prepare_and_schedule(NodeId::new(i as u16), 0, true);
+        }
+        if let Some(period) = machine.cfg.ft.ckpt_period_cycles() {
+            machine.queue.schedule(period, Event::CkptTimer);
+            machine.timer_in_queue = true;
+        }
+        machine
+    }
+
+    /// Schedules a node failure at an absolute simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fault tolerance is disabled (the baseline machine cannot
+    /// recover) or the node index is out of range.
+    pub fn schedule_failure(&mut self, at: Cycles, node: NodeId, kind: FailureKind) {
+        assert!(
+            self.cfg.ft.mode.is_enabled(),
+            "failures require the ECP; the standard protocol cannot recover"
+        );
+        assert!(node.index() < self.nodes.len(), "no such node");
+        self.queue.schedule(at, Event::Failure { node, kind });
+    }
+
+    /// Schedules the repair of a permanently failed node: a fresh
+    /// replacement (empty memory) rejoins the ring at `at`, takes its
+    /// static home range back and resumes the node's share of the work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fault tolerance is disabled or the node index is out of
+    /// range. Repairing a node that is still alive at `at` is a no-op.
+    pub fn schedule_repair(&mut self, at: Cycles, node: NodeId) {
+        assert!(self.cfg.ft.mode.is_enabled(), "repair requires the ECP machine");
+        assert!(node.index() < self.nodes.len(), "no such node");
+        self.queue.schedule(at, Event::Repair { node });
+    }
+
+    /// Runs the machine to completion and returns the metrics.
+    pub fn run(&mut self) -> RunMetrics {
+        assert!(!self.finished, "machine already ran");
+        while let Some((_, ev)) = self.queue.pop() {
+            self.dispatch(ev);
+            if self.all_done() && self.deliver_pending == 0 && self.phase == Phase::Running {
+                break;
+            }
+        }
+        self.finished = true;
+        self.metrics.total_cycles = self.queue.now();
+        self.metrics.pages_allocated =
+            self.live_nodes().map(|n| n.am.allocated_pages() as u64).sum();
+        self.metrics.pages_peak =
+            self.live_nodes().map(|n| n.am.peak_allocated_pages() as u64).sum();
+        self.metrics.net_messages = self.mesh.stats().messages;
+        self.metrics.net_contention_cycles = self.mesh.stats().contention_cycles;
+        if let Some((base, base_cycles)) = self.baseline.take() {
+            self.metrics = self.metrics.delta_since(&base);
+            self.metrics.total_cycles = self.queue.now() - base_cycles;
+        }
+        self.metrics.clone()
+    }
+
+    /// The metrics collected so far (complete after [`Machine::run`]).
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The retained protocol trace (empty unless
+    /// [`MachineConfig::trace_capacity`] was set).
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.trace.events().cloned().collect()
+    }
+
+    /// The paper's four-irreplaceable-pages capacity check (§4.1) for this
+    /// configuration: necessary (not sufficient) for injections to always
+    /// find space. Violations make `run` likely to abort with an
+    /// AM-capacity panic.
+    pub fn capacity_report(&self) -> ftcoma_core::capacity::CapacityReport {
+        ftcoma_core::capacity::check(
+            &self.cfg.am,
+            self.cfg.nodes,
+            ftcoma_core::capacity::workload_pages(
+                self.cfg.workload.shared_pages,
+                self.cfg.workload.private_pages_per_node,
+                self.cfg.nodes,
+            ),
+        )
+    }
+
+    /// The per-node states (read-only, for tests and tools).
+    pub fn nodes(&self) -> &[NodeState] {
+        &self.nodes
+    }
+
+    /// The logical ring (liveness view).
+    pub fn ring(&self) -> &LogicalRing {
+        &self.ring
+    }
+
+    /// Checks all protocol invariants on the (quiescent) machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable report if an invariant is violated.
+    pub fn assert_invariants(&self) {
+        let scope = invariants::CheckScope {
+            allow_precommit: self.phase == Phase::Create,
+            check_homes: self.deliver_pending == 0,
+        };
+        invariants::assert_consistent(&self.nodes, &self.ring, scope);
+    }
+
+    /// Verifies that the memory image matches the last committed recovery
+    /// point (meaningful right after a recovery, before computation
+    /// resumes; requires `verify` in the configuration).
+    pub fn verify_against_oracle(&self) -> Result<(), Vec<String>> {
+        assert!(self.cfg.verify, "oracle tracking disabled in this configuration");
+        let mut problems = Vec::new();
+        let mut seen: HashMap<ItemId, Vec<u64>> = HashMap::new();
+        for ns in self.live_nodes() {
+            for (item, slot) in ns.am.iter_present() {
+                if slot.state.is_committed_recovery() {
+                    seen.entry(item).or_default().push(slot.value);
+                }
+            }
+        }
+        for (&item, &value) in &self.committed_values {
+            match seen.get(&item) {
+                Some(vals) if vals.len() == 2 && vals.iter().all(|&v| v == value) => {}
+                other => problems.push(format!(
+                    "{item}: expected 2 recovery copies of value {value}, found {other:?}"
+                )),
+            }
+        }
+        for item in seen.keys() {
+            if !self.committed_values.contains_key(item) {
+                problems.push(format!("{item}: recovery copies for an uncommitted item"));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn live_nodes(&self) -> impl Iterator<Item = &NodeState> {
+        self.nodes.iter().filter(|n| n.alive)
+    }
+
+    fn all_done(&self) -> bool {
+        self.proc.iter().all(|&p| matches!(p, ProcState::Done | ProcState::Dead))
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Proc { node, epoch } => self.on_proc(node, epoch),
+            Event::Deliver { to, msg } => self.on_deliver(to, msg),
+            Event::Resume { node, epoch } => self.on_resume(node, epoch),
+            Event::CkptTimer => self.on_ckpt_timer(),
+            Event::Failure { node, kind } => self.on_failure(node, kind),
+            Event::Repair { node } => self.on_repair_request(node),
+        }
+        if self.cfg.workload.barrier_interval_refs.is_some() && self.phase == Phase::Running {
+            self.try_release_barrier();
+        }
+        // Phase progress checks after every event.
+        if self.phase == Phase::Draining {
+            self.try_begin_create();
+        }
+        if self.phase == Phase::Create
+            && self.create_done == self.ring.alive_count()
+            && self.deliver_pending == 0
+        {
+            self.do_commit();
+        }
+        if self.phase == Phase::Recovering
+            && self.reconfig_done == self.reconfig_expected
+            && self.deliver_pending == 0
+        {
+            self.finish_recovery();
+        }
+    }
+
+    /// Releases the global barrier once every eligible node has arrived.
+    fn try_release_barrier(&mut self) {
+        let eligible = self
+            .proc
+            .iter()
+            .filter(|p| !matches!(p, ProcState::Done | ProcState::Dead))
+            .count();
+        let waiting = self.proc.iter().filter(|&&p| p == ProcState::AtBarrier).count();
+        if eligible == 0 || waiting < eligible {
+            return;
+        }
+        for i in 0..self.nodes.len() {
+            if self.proc[i] == ProcState::AtBarrier {
+                self.proc[i] = ProcState::Paused;
+                let id = self.nodes[i].id;
+                self.resume_paused(id, 1);
+            }
+        }
+    }
+
+    /// Picks the next reference for `node` from its assigned streams
+    /// (round-robin), or `None` when its quota is complete.
+    fn next_ref_for(&mut self, node: NodeId) -> Option<(usize, MemRef)> {
+        let i = node.index();
+        let k = self.assigned[i].len();
+        for step in 0..k {
+            let si = self.assigned[i][(self.rr[i] + step) % k];
+            let quota = self.cfg.warmup_refs_per_node + self.cfg.refs_per_node;
+            if self.streams[si].refs_emitted() < quota {
+                self.rr[i] = (self.rr[i] + step + 1) % k;
+                let r = self.streams[si].next_ref();
+                return Some((si, r));
+            }
+        }
+        None
+    }
+
+    /// Makes `node` Ready with a buffered reference and schedules its issue.
+    /// `include_pre` adds the reference's compute gap to the issue time
+    /// (used for freshly generated references).
+    fn prepare_and_schedule(&mut self, node: NodeId, at_delay: Cycles, include_pre: bool) {
+        let i = node.index();
+        if self.pending_ref[i].is_none() {
+            match self.next_ref_for(node) {
+                Some((si, r)) => self.pending_ref[i] = Some((si, r)),
+                None => {
+                    self.proc[i] = ProcState::Done;
+                    return;
+                }
+            }
+        }
+        let pre = if include_pre {
+            Cycles::from(self.pending_ref[i].as_ref().expect("just filled").1.pre_cycles)
+        } else {
+            0
+        };
+        self.proc[i] = ProcState::Ready;
+        self.epochs[i] += 1;
+        let epoch = self.epochs[i];
+        self.queue.schedule(self.queue.now() + at_delay + pre, Event::Proc { node, epoch });
+    }
+
+    fn on_proc(&mut self, node: NodeId, epoch: u64) {
+        let i = node.index();
+        if epoch != self.epochs[i] || self.proc[i] != ProcState::Ready {
+            return; // stale event from before a pause/rollback
+        }
+        debug_assert_eq!(self.phase, Phase::Running, "ready processors only run in Running");
+
+        // Global barrier: SPLASH-style phase synchronisation.
+        if let Some(interval) = self.cfg.workload.barrier_interval_refs {
+            if self.refs_since_barrier[i] >= interval {
+                self.refs_since_barrier[i] = 0;
+                self.proc[i] = ProcState::AtBarrier;
+                self.try_release_barrier();
+                return;
+            }
+        }
+        let (si, r) = self.pending_ref[i].take().expect("ready node has a buffered reference");
+
+        self.metrics.refs += 1;
+        self.refs_since_barrier[i] += 1;
+        self.metrics.instructions += 1 + u64::from(r.pre_cycles);
+        if self.baseline.is_none()
+            && self.cfg.warmup_refs_per_node > 0
+            && self.metrics.refs >= self.cfg.warmup_refs_per_node * self.nodes.len() as u64
+        {
+            let mut snap = self.metrics.clone();
+            snap.total_cycles = 0;
+            snap.net_messages = self.mesh.stats().messages;
+            snap.net_contention_cycles = self.mesh.stats().contention_cycles;
+            self.baseline = Some((snap, self.queue.now()));
+        }
+        if r.is_write {
+            self.metrics.writes += 1;
+        } else {
+            self.metrics.reads += 1;
+        }
+
+        let write_value = ((si as u64) << 48) | self.streams[si].refs_emitted();
+        let req = AccessReq { addr: r.addr, is_write: r.is_write, write_value };
+        let mut ctx = Ctx::new(&self.ring, self.queue.now());
+        let outcome = self.engine.access(&mut self.nodes[i], req, &mut ctx);
+        let (out, effects) = ctx.finish();
+        self.apply_outgoing(node, out);
+        self.apply_effects(node, effects);
+
+        match outcome {
+            AccessOutcome::Complete { latency, source } => {
+                match source {
+                    HitSource::Cache if !r.is_write => self.metrics.cache_read_hits += 1,
+                    HitSource::LocalAmCk => self.metrics.shared_ck_reads += 1,
+                    _ => {}
+                }
+                self.metrics.access_latency.record(latency);
+                self.prepare_and_schedule(node, latency, true);
+            }
+            AccessOutcome::Stalled => {
+                if r.is_write {
+                    self.metrics.write_misses += 1;
+                } else {
+                    self.metrics.read_misses += 1;
+                }
+                self.stall_start[i] = self.queue.now();
+                self.proc[i] = ProcState::Stalled;
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, to: NodeId, msg: Msg) {
+        self.deliver_pending -= 1;
+        if !self.nodes[to.index()].alive {
+            return; // fail-silent node swallows the message
+        }
+        if self.trace.enabled() {
+            self.trace.push(TraceEvent::Delivery {
+                at: self.queue.now(),
+                to,
+                kind: msg.kind(),
+                item: msg.item(),
+            });
+        }
+        let mut ctx = Ctx::new(&self.ring, self.queue.now());
+        self.engine.handle(&mut self.nodes[to.index()], msg, &mut ctx);
+        let (out, effects) = ctx.finish();
+        self.apply_outgoing(to, out);
+        self.apply_effects(to, effects);
+    }
+
+    fn on_resume(&mut self, node: NodeId, epoch: u64) {
+        let i = node.index();
+        if epoch != self.epochs[i] || self.proc[i] != ProcState::Stalled {
+            return;
+        }
+        self.metrics.access_latency.record(self.queue.now() - self.stall_start[i]);
+        if self.phase == Phase::Running {
+            self.prepare_and_schedule(node, 0, true);
+        } else {
+            self.proc[i] = ProcState::Paused;
+        }
+    }
+
+    fn on_ckpt_timer(&mut self) {
+        self.timer_in_queue = false;
+        if self.all_done() {
+            return;
+        }
+        if self.phase != Phase::Running {
+            // Recovery in progress: try again a period later.
+            self.schedule_timer(self.period());
+            return;
+        }
+        self.phase = Phase::Draining;
+        self.ckpt_start = self.queue.now();
+        // Pause every processor that has not yet issued; stalled ones
+        // finish their transaction first ("each node first terminates all
+        // pending requests").
+        for i in 0..self.nodes.len() {
+            if self.proc[i] == ProcState::Ready {
+                self.proc[i] = ProcState::Paused;
+                self.epochs[i] += 1; // invalidates the scheduled Proc event
+            }
+        }
+        self.try_begin_create();
+    }
+
+    fn try_begin_create(&mut self) {
+        let quiesced = self.deliver_pending == 0
+            && self.proc.iter().all(|&p| {
+                matches!(
+                    p,
+                    ProcState::Paused | ProcState::AtBarrier | ProcState::Done | ProcState::Dead
+                )
+            });
+        if !quiesced {
+            return;
+        }
+        if let Some(node) = self.pending_repair.take() {
+            self.do_repair(node);
+            return;
+        }
+        self.phase = Phase::Create;
+        self.create_done = 0;
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].alive {
+                continue;
+            }
+            let mut ctx = Ctx::new(&self.ring, self.queue.now());
+            self.engine.begin_create(&mut self.nodes[i], self.gen + 1, &mut ctx);
+            let (out, effects) = ctx.finish();
+            let id = self.nodes[i].id;
+            self.apply_outgoing(id, out);
+            self.apply_effects(id, effects);
+        }
+        // An entirely clean machine commits immediately.
+        if self.create_done == self.ring.alive_count() && self.deliver_pending == 0 {
+            self.do_commit();
+        }
+    }
+
+    fn do_commit(&mut self) {
+        debug_assert_eq!(self.phase, Phase::Create);
+        let commit_start = self.queue.now();
+        self.metrics.t_create += commit_start - self.ckpt_start;
+        self.gen += 1;
+        self.metrics.checkpoints += 1;
+        self.trace.push(TraceEvent::CheckpointCommitted { at: commit_start, gen: self.gen });
+
+        let mut max_dur = 0;
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].alive {
+                continue;
+            }
+            let stats = ckpt::commit_node(&mut self.nodes[i], &self.cfg.ft, self.engine.timing());
+            max_dur = max_dur.max(stats.duration);
+            if self.proc[i] == ProcState::Paused {
+                let node = self.nodes[i].id;
+                self.resume_paused(node, stats.duration);
+            }
+        }
+        self.metrics.t_commit += max_dur;
+
+        // The recovery point includes the processor (stream) state.
+        self.snapshots = self.streams.iter().map(NodeStream::snapshot).collect();
+        if self.cfg.verify {
+            self.rebuild_oracle();
+        }
+
+        self.phase = Phase::Running;
+        let period = self.period();
+        let next = (self.ckpt_start + period).max(commit_start + 1);
+        self.schedule_timer(next - self.queue.now());
+    }
+
+    fn resume_paused(&mut self, node: NodeId, delay: Cycles) {
+        debug_assert_eq!(self.proc[node.index()], ProcState::Paused);
+        self.prepare_and_schedule(node, delay, self.pending_ref[node.index()].is_none());
+    }
+
+    fn period(&self) -> Cycles {
+        self.cfg.ft.ckpt_period_cycles().expect("timer only runs with FT enabled")
+    }
+
+    fn schedule_timer(&mut self, delay: Cycles) {
+        debug_assert!(!self.timer_in_queue, "one checkpoint timer at a time");
+        self.queue.schedule(self.queue.now() + delay, Event::CkptTimer);
+        self.timer_in_queue = true;
+    }
+
+    fn on_repair_request(&mut self, node: NodeId) {
+        if self.nodes[node.index()].alive {
+            return; // nothing to repair
+        }
+        if self.phase != Phase::Running || self.pending_repair.is_some() {
+            // Let the current checkpoint/recovery finish first.
+            self.queue.schedule_in(10_000, Event::Repair { node });
+            return;
+        }
+        // Drain in-flight transactions (home responsibility is about to
+        // move), then perform the rejoin at quiescence.
+        self.phase = Phase::Draining;
+        self.pending_repair = Some(node);
+        for i in 0..self.nodes.len() {
+            if self.proc[i] == ProcState::Ready {
+                self.proc[i] = ProcState::Paused;
+                self.epochs[i] += 1;
+            }
+        }
+        self.try_begin_create();
+    }
+
+    /// Performs the rejoin at quiescence: fresh node, ring membership,
+    /// home-range migration back, and reclaiming its share of the work.
+    fn do_repair(&mut self, node: NodeId) {
+        let i = node.index();
+        self.ring.mark_alive(node);
+        self.nodes[i] = NodeState::new(node, self.cfg.am, self.cfg.cache);
+        self.engine.reset_node(node);
+        self.proc[i] = ProcState::Paused;
+        self.pending_ref[i] = None;
+
+        // The statically assigned home range returns to the repaired node.
+        recovery::rebuild_homes_from_owners(&mut self.nodes, &self.ring);
+
+        // Reclaim the node's own stream from whoever adopted it.
+        for other in 0..self.nodes.len() {
+            if other != i {
+                self.assigned[other].retain(|&s| s != i);
+            }
+        }
+        if !self.assigned[i].contains(&i) {
+            self.assigned[i].push(i);
+        }
+        self.metrics.repairs += 1;
+        self.trace.push(TraceEvent::Repaired { at: self.queue.now(), node });
+
+        self.phase = Phase::Running;
+        for k in 0..self.nodes.len() {
+            if self.proc[k] == ProcState::Paused || self.proc[k] == ProcState::Done {
+                // Done nodes may have new work (the repaired node); Paused
+                // ones simply resume.
+                let id = self.nodes[k].id;
+                self.proc[k] = ProcState::Paused;
+                self.resume_paused(id, 1);
+            }
+        }
+    }
+
+    fn on_failure(&mut self, node: NodeId, kind: FailureKind) {
+        assert_ne!(self.phase, Phase::Recovering, "failure during recovery not modelled");
+        if !self.nodes[node.index()].alive {
+            return;
+        }
+        self.metrics.failures += 1;
+        self.recovery_start = self.queue.now();
+        self.trace.push(TraceEvent::Failure {
+            at: self.queue.now(),
+            node,
+            permanent: kind == FailureKind::Permanent,
+        });
+
+        // 1. Every in-flight message and scheduled processor issue is moot.
+        self.queue
+            .retain(|e| matches!(e, Event::CkptTimer | Event::Failure { .. } | Event::Repair { .. }));
+        self.deliver_pending = 0;
+        for i in 0..self.nodes.len() {
+            self.epochs[i] += 1;
+            self.pending_ref[i] = None;
+        }
+
+        // 2. The failed node.
+        let permanent = kind == FailureKind::Permanent;
+        if permanent {
+            self.ring.mark_dead(node);
+            recovery::wipe_dead_node(&mut self.nodes[node.index()]);
+            self.proc[node.index()] = ProcState::Dead;
+            // Its work is adopted by the ring successor.
+            let heir = self.ring.successor(node).expect("a live node remains");
+            let work = std::mem::take(&mut self.assigned[node.index()]);
+            self.assigned[heir.index()].extend(work);
+        }
+
+        // 3. Global rollback on every live node.
+        let mut max_scan = 0;
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].alive {
+                continue;
+            }
+            let stats = recovery::rollback_node(&mut self.nodes[i], self.engine.timing());
+            max_scan = max_scan.max(stats.duration);
+            let id = self.nodes[i].id;
+            self.engine.reset_node(id);
+            if self.proc[i] != ProcState::Dead {
+                self.proc[i] = ProcState::Paused;
+            }
+        }
+        self.recovery_scan_end = self.recovery_start + max_scan;
+
+        for c in &mut self.refs_since_barrier {
+            *c = 0;
+        }
+
+        // 4. Recovery copies that were mid-injection exist twice (origin
+        //    and destination); keep one of each and mend partner pointers.
+        recovery::dedup_recovery_copies(&mut self.nodes);
+
+        // 5. Processor state (streams) rewinds to the recovery point.
+        for (stream, snap) in self.streams.iter_mut().zip(&self.snapshots) {
+            stream.restore(snap);
+        }
+
+        // 5. Reconfiguration: re-replicate orphaned recovery copies, then
+        //    rebuild the localization pointers from the surviving primaries.
+        let mut orphan_lists: Vec<(NodeId, Vec<ItemId>)> = Vec::new();
+        if permanent {
+            for i in 0..self.nodes.len() {
+                if !self.nodes[i].alive {
+                    continue;
+                }
+                let orphans = recovery::promote_and_collect_orphans(&mut self.nodes[i], node);
+                if !orphans.is_empty() {
+                    orphan_lists.push((self.nodes[i].id, orphans));
+                }
+            }
+        }
+        recovery::rebuild_homes(&mut self.nodes, &self.ring);
+
+        self.phase = Phase::Recovering;
+        self.reconfig_done = 0;
+        self.reconfig_expected = orphan_lists.len();
+        for (id, orphans) in orphan_lists {
+            let mut ctx = Ctx::new(&self.ring, self.queue.now());
+            self.engine.begin_reconfig(&mut self.nodes[id.index()], orphans, &mut ctx);
+            let (out, effects) = ctx.finish();
+            self.apply_outgoing(id, out);
+            self.apply_effects(id, effects);
+        }
+        if self.reconfig_expected == 0 && self.deliver_pending == 0 {
+            self.finish_recovery();
+        }
+    }
+
+    fn finish_recovery(&mut self) {
+        debug_assert_eq!(self.phase, Phase::Recovering);
+        let end = self.queue.now().max(self.recovery_scan_end);
+        self.metrics.t_recovery += end - self.recovery_start;
+
+        if self.cfg.verify {
+            self.verify_against_oracle()
+                .unwrap_or_else(|p| panic!("recovery verification failed:\n  {}", p.join("\n  ")));
+        }
+
+        self.trace.push(TraceEvent::Recovered { at: end });
+        self.phase = Phase::Running;
+        let delay = end - self.queue.now();
+        for i in 0..self.nodes.len() {
+            if self.proc[i] == ProcState::Paused {
+                let id = self.nodes[i].id;
+                self.resume_paused(id, delay);
+            }
+        }
+        if self.cfg.ft.ckpt_period_cycles().is_some() && !self.timer_in_queue && !self.all_done() {
+            self.schedule_timer(delay + self.period());
+        }
+    }
+
+    fn rebuild_oracle(&mut self) {
+        self.committed_values.clear();
+        for ns in self.nodes.iter().filter(|n| n.alive) {
+            for (item, slot) in ns.am.iter_present() {
+                if slot.state == ItemState::SharedCk1 {
+                    self.committed_values.insert(item, slot.value);
+                }
+            }
+        }
+    }
+
+    fn apply_outgoing(&mut self, from: NodeId, out: Vec<ftcoma_protocol::msg::Outgoing>) {
+        for o in out {
+            let depart = self.queue.now() + o.delay;
+            let arrival =
+                self.mesh.send(depart, from, o.to, o.msg.class(), o.msg.payload_bytes());
+            self.queue.schedule(arrival, Event::Deliver { to: o.to, msg: o.msg });
+            self.deliver_pending += 1;
+        }
+    }
+
+    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect>) {
+        for e in effects {
+            match e {
+                Effect::Resume { latency } => {
+                    let epoch = self.epochs[node.index()];
+                    self.queue
+                        .schedule(self.queue.now() + latency, Event::Resume { node, epoch });
+                }
+                Effect::CreateDone => self.create_done += 1,
+                Effect::ReconfigDone => self.reconfig_done += 1,
+                Effect::InjectionStarted { cause } => match cause {
+                    InjectCause::Replacement => self.metrics.injections_replacement += 1,
+                    InjectCause::ReadOnInvCk => self.metrics.injections_on_read += 1,
+                    InjectCause::WriteOnInvCk => self.metrics.injections_write_inv_ck += 1,
+                    InjectCause::WriteOnSharedCk => {
+                        self.metrics.injections_write_shared_ck += 1;
+                    }
+                    _ => {}
+                },
+                Effect::ReplicationBytes { bytes } => self.metrics.replication_bytes += bytes,
+                Effect::ItemCheckpointed { reused_existing } => {
+                    self.metrics.items_checkpointed += 1;
+                    if reused_existing {
+                        self.metrics.reused_replicas += 1;
+                    }
+                }
+                Effect::FatalNoSpace { item } => panic!(
+                    "AM capacity exhausted: no node could host a copy of {item}; \
+                     enlarge the AMs or shrink the working set (the paper reserves \
+                     four irreplaceable pages per page to rule this out)"
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Run metrics: everything the paper's figures report.
+
+use ftcoma_sim::stats::Histogram;
+use ftcoma_sim::Cycles;
+
+/// Aggregated measurements of one machine run.
+///
+/// The execution-time decomposition follows §4.2.3 of the paper:
+/// `T_ft = T_standard + T_create + T_commit + T_pollution`, where the first
+/// three terms are measured directly ([`RunMetrics::total_cycles`],
+/// [`RunMetrics::t_create`], [`RunMetrics::t_commit`]) and `T_pollution` is
+/// computed by the harness from a paired standard-protocol run with the
+/// same seed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Total simulated execution time.
+    pub total_cycles: Cycles,
+    /// Instructions executed (memory references + compute gaps, including
+    /// any re-execution after rollbacks).
+    pub instructions: u64,
+    /// Memory references completed.
+    pub refs: u64,
+    /// Loads issued / load misses (stalled loads).
+    pub reads: u64,
+    /// Load misses requiring a coherence transaction.
+    pub read_misses: u64,
+    /// Stores issued.
+    pub writes: u64,
+    /// Store misses/upgrades requiring a coherence transaction.
+    pub write_misses: u64,
+    /// Loads served by the processor cache.
+    pub cache_read_hits: u64,
+    /// Loads served by a local `Shared-CK` recovery copy.
+    pub shared_ck_reads: u64,
+
+    /// Recovery points committed.
+    pub checkpoints: u64,
+    /// Total cycles spent in create phases (global stall windows).
+    pub t_create: Cycles,
+    /// Total cycles spent in commit phases (worst node per checkpoint).
+    pub t_commit: Cycles,
+    /// Total cycles spent recovering from failures.
+    pub t_recovery: Cycles,
+    /// Failures injected.
+    pub failures: u64,
+    /// Permanently failed nodes repaired and re-integrated.
+    pub repairs: u64,
+
+    /// Items secured per create phase, totalled.
+    pub items_checkpointed: u64,
+    /// Items secured by re-labelling an existing replica (no transfer).
+    pub reused_replicas: u64,
+    /// Bytes of recovery data physically transferred during create phases.
+    pub replication_bytes: u64,
+
+    /// Runtime injections by trigger.
+    pub injections_replacement: u64,
+    /// Injections caused by read faults on `Inv-CK` copies.
+    pub injections_on_read: u64,
+    /// Injections caused by write faults on `Inv-CK` copies.
+    pub injections_write_inv_ck: u64,
+    /// Injections caused by write faults on `Shared-CK` copies.
+    pub injections_write_shared_ck: u64,
+
+    /// Sum over nodes of pages allocated at the end of the run (Fig. 7's
+    /// memory-overhead numerator).
+    pub pages_allocated: u64,
+    /// Sum over nodes of the peak page allocation.
+    pub pages_peak: u64,
+
+    /// Network messages sent.
+    pub net_messages: u64,
+    /// Cycles messages spent waiting for busy links.
+    pub net_contention_cycles: Cycles,
+
+    /// Number of nodes in the run (for per-node normalisation).
+    pub nodes: u64,
+
+    /// Distribution of memory-access completion latencies (cycles), from
+    /// 1-cycle cache hits to stalled coherence transactions.
+    pub access_latency: Histogram,
+}
+
+impl RunMetrics {
+    /// Counters accumulated since `base` (used to discard warmup): every
+    /// monotone counter is subtracted; `nodes` and the page-allocation
+    /// gauges keep their current values.
+    pub fn delta_since(&self, base: &RunMetrics) -> RunMetrics {
+        RunMetrics {
+            total_cycles: self.total_cycles - base.total_cycles,
+            instructions: self.instructions - base.instructions,
+            refs: self.refs - base.refs,
+            reads: self.reads - base.reads,
+            read_misses: self.read_misses - base.read_misses,
+            writes: self.writes - base.writes,
+            write_misses: self.write_misses - base.write_misses,
+            cache_read_hits: self.cache_read_hits - base.cache_read_hits,
+            shared_ck_reads: self.shared_ck_reads - base.shared_ck_reads,
+            checkpoints: self.checkpoints - base.checkpoints,
+            t_create: self.t_create - base.t_create,
+            t_commit: self.t_commit - base.t_commit,
+            t_recovery: self.t_recovery - base.t_recovery,
+            failures: self.failures - base.failures,
+            repairs: self.repairs - base.repairs,
+            items_checkpointed: self.items_checkpointed - base.items_checkpointed,
+            reused_replicas: self.reused_replicas - base.reused_replicas,
+            replication_bytes: self.replication_bytes - base.replication_bytes,
+            injections_replacement: self.injections_replacement - base.injections_replacement,
+            injections_on_read: self.injections_on_read - base.injections_on_read,
+            injections_write_inv_ck: self.injections_write_inv_ck - base.injections_write_inv_ck,
+            injections_write_shared_ck: self.injections_write_shared_ck
+                - base.injections_write_shared_ck,
+            pages_allocated: self.pages_allocated,
+            pages_peak: self.pages_peak,
+            net_messages: self.net_messages - base.net_messages,
+            net_contention_cycles: self.net_contention_cycles - base.net_contention_cycles,
+            nodes: self.nodes,
+            access_latency: self.access_latency.delta_since(&base.access_latency),
+        }
+    }
+
+    /// Injections triggered by processor writes on recovery copies.
+    pub fn injections_on_write(&self) -> u64 {
+        self.injections_write_inv_ck + self.injections_write_shared_ck
+    }
+
+    /// All runtime injections.
+    pub fn injections_total(&self) -> u64 {
+        self.injections_replacement + self.injections_on_read + self.injections_on_write()
+    }
+
+    /// Events per 10 000 memory references (the paper's unit).
+    pub fn per_10k_refs(&self, events: u64) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            events as f64 * 10_000.0 / self.refs as f64
+        }
+    }
+
+    /// Per-node average of `events` per 10 000 references.
+    pub fn per_node_per_10k_refs(&self, events: u64) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            // refs are machine-wide; per-node refs = refs / nodes, so the
+            // per-node event rate equals the machine-wide rate.
+            self.per_10k_refs(events)
+        }
+    }
+
+    /// Read miss rate (misses / loads).
+    pub fn read_miss_rate(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_misses as f64 / self.reads as f64
+        }
+    }
+
+    /// Write miss rate (transactions / stores).
+    pub fn write_miss_rate(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.write_misses as f64 / self.writes as f64
+        }
+    }
+
+    /// Mean per-node replication throughput during create phases, in bytes
+    /// per simulated second, counting only physically transferred bytes.
+    pub fn replication_throughput_bps(&self, clock_hz: f64) -> f64 {
+        if self.t_create == 0 || self.nodes == 0 {
+            0.0
+        } else {
+            let secs = self.t_create as f64 / clock_hz;
+            self.replication_bytes as f64 / secs / self.nodes as f64
+        }
+    }
+
+    /// Like [`RunMetrics::replication_throughput_bps`] but counting every
+    /// checkpointed item (including re-labelled replicas that moved no
+    /// data) — the paper's "effective" throughput that rises to ~30 MB/s
+    /// for Barnes.
+    pub fn effective_replication_throughput_bps(&self, clock_hz: f64) -> f64 {
+        if self.t_create == 0 || self.nodes == 0 {
+            0.0
+        } else {
+            let secs = self.t_create as f64 / clock_hz;
+            let bytes = self.items_checkpointed as f64 * 128.0;
+            bytes / secs / self.nodes as f64
+        }
+    }
+
+    /// Aggregate (machine-wide) replication throughput in bytes/second.
+    pub fn aggregate_replication_throughput_bps(&self, clock_hz: f64) -> f64 {
+        self.replication_throughput_bps(clock_hz) * self.nodes as f64
+    }
+
+    /// Fraction of checkpointed items that reused an existing replica.
+    pub fn replica_reuse_fraction(&self) -> f64 {
+        if self.items_checkpointed == 0 {
+            0.0
+        } else {
+            self.reused_replicas as f64 / self.items_checkpointed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty_runs() {
+        let m = RunMetrics::default();
+        assert_eq!(m.read_miss_rate(), 0.0);
+        assert_eq!(m.per_10k_refs(5), 0.0);
+        assert_eq!(m.replication_throughput_bps(20e6), 0.0);
+    }
+
+    #[test]
+    fn injection_totals() {
+        let m = RunMetrics {
+            injections_replacement: 1,
+            injections_on_read: 2,
+            injections_write_inv_ck: 3,
+            injections_write_shared_ck: 4,
+            ..Default::default()
+        };
+        assert_eq!(m.injections_on_write(), 7);
+        assert_eq!(m.injections_total(), 10);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let m = RunMetrics {
+            t_create: 20_000_000, // 1 simulated second at 20 MHz
+            replication_bytes: 40_000_000,
+            items_checkpointed: 312_500 * 2, // 2x the transferred items
+            nodes: 2,
+            ..Default::default()
+        };
+        assert!((m.replication_throughput_bps(20e6) - 20_000_000.0).abs() < 1.0);
+        assert!((m.aggregate_replication_throughput_bps(20e6) - 40_000_000.0).abs() < 1.0);
+        assert!((m.effective_replication_throughput_bps(20e6) - 40_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn reuse_fraction() {
+        let m = RunMetrics { items_checkpointed: 100, reused_replicas: 52, ..Default::default() };
+        assert!((m.replica_reuse_fraction() - 0.52).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! Latency probes reproducing Table 2 of the paper.
+//!
+//! These run hand-placed micro-scenarios on the raw components (no
+//! workload): one item, one requester, an owner at a chosen mesh distance.
+//! With the default timing parameters the results are exactly the paper's:
+//! 1 / 18 / 116 / 124 cycles.
+
+use ftcoma_core::{AccessOutcome, AccessReq, Ctx, Effect, Engine, FtConfig};
+use ftcoma_mem::{ItemId, ItemState, NodeId};
+use ftcoma_net::{LogicalRing, Mesh, MeshGeometry, NetConfig};
+use ftcoma_protocol::msg::Msg;
+use ftcoma_protocol::{MemTiming, NodeState};
+use ftcoma_sim::{Cycles, EventQueue};
+
+/// Measured read-miss latencies, one per Table 2 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2Latencies {
+    /// Fill from cache.
+    pub cache: Cycles,
+    /// Fill from the local AM.
+    pub local_am: Cycles,
+    /// Fill from a remote AM one hop away.
+    pub remote_1hop: Cycles,
+    /// Fill from a remote AM two hops away.
+    pub remote_2hop: Cycles,
+}
+
+/// Runs one read of `item` at node 0 and returns its completion latency.
+/// The scenario (owner placement, caches) is prepared by `setup`.
+fn measure_read(item: ItemId, setup: impl FnOnce(&mut [NodeState])) -> Cycles {
+    const N: usize = 16;
+    let mut nodes: Vec<NodeState> = (0..N as u16).map(|i| NodeState::ksr1(NodeId::new(i))).collect();
+    setup(&mut nodes);
+    let ring = LogicalRing::new(N);
+    let mut mesh = Mesh::new(MeshGeometry::for_nodes(N), NetConfig::default());
+    let mut engine = Engine::new(FtConfig::disabled(), MemTiming::ksr1(), N);
+    let mut queue: EventQueue<(NodeId, Msg)> = EventQueue::new();
+
+    let requester = NodeId::new(0);
+    let req = AccessReq { addr: item.base_addr(), is_write: false, write_value: 0 };
+    let mut ctx = Ctx::new(&ring, 0);
+    let outcome = engine.access(&mut nodes[0], req, &mut ctx);
+    let (out, effects) = ctx.finish();
+    for o in out {
+        let arrival = mesh.send(o.delay, requester, o.to, o.msg.class(), o.msg.payload_bytes());
+        queue.schedule(arrival, (o.to, o.msg));
+    }
+    if let AccessOutcome::Complete { latency, .. } = outcome {
+        return latency;
+    }
+    debug_assert!(effects.is_empty());
+
+    // Drive the transaction to completion.
+    while let Some((now, (to, msg))) = queue.pop() {
+        let mut ctx = Ctx::new(&ring, now);
+        engine.handle(&mut nodes[to.index()], msg, &mut ctx);
+        let (out, effects) = ctx.finish();
+        for o in out {
+            let arrival = mesh.send(now + o.delay, to, o.to, o.msg.class(), o.msg.payload_bytes());
+            queue.schedule(arrival, (o.to, o.msg));
+        }
+        for e in effects {
+            if let Effect::Resume { latency } = e {
+                return now + latency;
+            }
+        }
+    }
+    unreachable!("read transaction never completed");
+}
+
+/// Places the item's master copy (and home pointer) on `owner`.
+fn place_master(nodes: &mut [NodeState], item: ItemId, owner: NodeId) {
+    let ns = &mut nodes[owner.index()];
+    ns.am.allocate_page(item.page()).expect("empty AM");
+    ns.am.install(item, ItemState::MasterShared, 42, None);
+    ns.dir.create(item, Vec::new());
+    // `home_of(item)` for a full ring is `item.index() % nodes`; callers
+    // pick item indices so the home *is* the owner (as in the paper's
+    // measurement, which counts no extra localization hop).
+    let home = (item.index() % nodes.len() as u64) as usize;
+    nodes[home].home.set_owner(item, owner);
+}
+
+/// Measures all four Table 2 rows.
+pub fn read_miss_latencies() -> Table2Latencies {
+    // Cache hit: item resident in node 0's cache.
+    let item0 = ItemId::new(0);
+    let cache = measure_read(item0, |nodes| {
+        place_master(nodes, item0, NodeId::new(0));
+        nodes[0].cache.fill(item0.base_addr().line(), false);
+    });
+
+    // Local AM: readable copy in node 0's AM, cache cold.
+    let local_am = measure_read(item0, |nodes| {
+        place_master(nodes, item0, NodeId::new(0));
+    });
+
+    // Remote, 1 hop: owner = home = node 1 at (1,0); requester at (0,0).
+    let item1 = ItemId::new(1);
+    let remote_1hop = measure_read(item1, |nodes| {
+        place_master(nodes, item1, NodeId::new(1));
+    });
+
+    // Remote, 2 hops: owner = home = node 2 at (2,0).
+    let item2 = ItemId::new(2);
+    let remote_2hop = measure_read(item2, |nodes| {
+        place_master(nodes, item2, NodeId::new(2));
+    });
+
+    Table2Latencies { cache, local_am, remote_1hop, remote_2hop }
+}
+
+/// Outcome of the deterministic replacement-injection scenario
+/// (Table 1's first two rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplacementDemo {
+    /// Replacement injections observed.
+    pub replacement_injections: u64,
+    /// Total latency of the access that triggered the eviction.
+    pub access_latency: Cycles,
+    /// Where the displaced master copy ended up.
+    pub new_host: NodeId,
+}
+
+/// Forces a page replacement: node 0's single-way AM set holds a page with
+/// a master copy when the processor touches another page of the same set.
+/// The master must be *injected* into another AM before the page can be
+/// replaced — the paper's replacement rows of Table 1.
+pub fn force_replacement_injection() -> ReplacementDemo {
+    use ftcoma_mem::{AmGeometry, CacheGeometry, PageId};
+
+    const N: usize = 4;
+    // 2 page frames, 1 way => 2 sets: pages 0 and 2 collide in set 0.
+    let tiny = AmGeometry { capacity_bytes: 2 * 16 * 1024, ways: 1 };
+    let mut nodes: Vec<NodeState> = (0..N as u16)
+        .map(|i| NodeState::new(NodeId::new(i), tiny, CacheGeometry::ksr1()))
+        .collect();
+
+    let victim_item = PageId::new(0).items().next().expect("page has items");
+    place_master(&mut nodes, victim_item, NodeId::new(0));
+    let wanted = PageId::new(2).items().next().expect("page has items");
+    // `wanted`'s home must know it exists somewhere, else this is a plain
+    // first touch; owner at node 1 (set 0 of node 1 is empty... its page 2
+    // collides with nothing there).
+    place_master(&mut nodes, wanted, NodeId::new(1));
+
+    let ring = LogicalRing::new(N);
+    let mut mesh = Mesh::new(MeshGeometry::for_nodes(N), NetConfig::default());
+    let mut engine = Engine::new(FtConfig::disabled(), MemTiming::ksr1(), N);
+    let mut queue: EventQueue<(NodeId, Msg)> = EventQueue::new();
+
+    let requester = NodeId::new(0);
+    let req = AccessReq { addr: wanted.base_addr(), is_write: false, write_value: 0 };
+    let mut injections = 0u64;
+    let mut ctx = Ctx::new(&ring, 0);
+    let outcome = engine.access(&mut nodes[0], req, &mut ctx);
+    assert_eq!(outcome, AccessOutcome::Stalled, "page conflict must stall");
+    let (out, effects) = ctx.finish();
+    for e in &effects {
+        if matches!(e, Effect::InjectionStarted { .. }) {
+            injections += 1;
+        }
+    }
+    for o in out {
+        let arrival = mesh.send(o.delay, requester, o.to, o.msg.class(), o.msg.payload_bytes());
+        queue.schedule(arrival, (o.to, o.msg));
+    }
+
+    let mut latency = 0;
+    while let Some((now, (to, msg))) = queue.pop() {
+        let mut ctx = Ctx::new(&ring, now);
+        engine.handle(&mut nodes[to.index()], msg, &mut ctx);
+        let (out, effects) = ctx.finish();
+        for o in out {
+            let arrival = mesh.send(now + o.delay, to, o.to, o.msg.class(), o.msg.payload_bytes());
+            queue.schedule(arrival, (o.to, o.msg));
+        }
+        for e in effects {
+            match e {
+                Effect::InjectionStarted { .. } => injections += 1,
+                Effect::Resume { latency: l } => latency = now + l,
+                _ => {}
+            }
+        }
+    }
+
+    let new_host = nodes
+        .iter()
+        .find(|n| n.am.state(victim_item).is_owner())
+        .map(|n| n.id)
+        .expect("displaced master survives somewhere");
+    assert_ne!(new_host, NodeId::new(0), "master must have left the evicting node");
+    ReplacementDemo { replacement_injections: injections, access_latency: latency, new_host }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replacement_injection_is_forced() {
+        let demo = force_replacement_injection();
+        assert_eq!(demo.replacement_injections, 1);
+        assert!(demo.access_latency > 116, "eviction must lengthen the miss");
+    }
+
+    #[test]
+    fn reproduces_table2_exactly() {
+        let t = read_miss_latencies();
+        assert_eq!(t.cache, 1, "fill from cache");
+        assert_eq!(t.local_am, 18, "fill from local AM");
+        assert_eq!(t.remote_1hop, 116, "fill from remote AM, 1 hop");
+        assert_eq!(t.remote_2hop, 124, "fill from remote AM, 2 hops");
+    }
+}

@@ -1,0 +1,205 @@
+//! Protocol event tracing.
+//!
+//! When enabled ([`crate::MachineConfig::trace_capacity`] > 0), the machine
+//! records the last N protocol-level events in a bounded ring buffer —
+//! message deliveries, checkpoint phases, failures and repairs — for
+//! post-mortem inspection. Tracing never affects simulated timing.
+//!
+//! # Example
+//!
+//! ```
+//! use ftcoma_machine::{Machine, MachineConfig};
+//! use ftcoma_machine::tracelog::TraceEvent;
+//! use ftcoma_core::FtConfig;
+//! use ftcoma_workloads::presets;
+//!
+//! let mut m = Machine::new(MachineConfig {
+//!     nodes: 4,
+//!     refs_per_node: 20_000,
+//!     workload: presets::water(),
+//!     ft: FtConfig::enabled(400.0),
+//!     trace_capacity: 200_000,
+//!     ..MachineConfig::default()
+//! });
+//! m.run();
+//! let ckpts = m
+//!     .trace()
+//!     .iter()
+//!     .filter(|e| matches!(e, TraceEvent::CheckpointCommitted { .. }))
+//!     .count();
+//! assert!(ckpts > 0);
+//! ```
+
+use std::collections::VecDeque;
+
+use ftcoma_mem::{ItemId, NodeId};
+use ftcoma_sim::Cycles;
+
+/// One traced protocol event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A coherence message was delivered.
+    Delivery {
+        /// Delivery time.
+        at: Cycles,
+        /// Receiving node.
+        to: NodeId,
+        /// Message kind (see `Msg::kind`).
+        kind: &'static str,
+        /// Item concerned.
+        item: ItemId,
+    },
+    /// A recovery point committed.
+    CheckpointCommitted {
+        /// Commit time.
+        at: Cycles,
+        /// Generation number.
+        gen: u64,
+    },
+    /// A failure was injected.
+    Failure {
+        /// Failure time.
+        at: Cycles,
+        /// Failed node.
+        node: NodeId,
+        /// Whether the node is gone for good.
+        permanent: bool,
+    },
+    /// Recovery (rollback + any reconfiguration) finished.
+    Recovered {
+        /// Completion time.
+        at: Cycles,
+    },
+    /// A replacement node rejoined.
+    Repaired {
+        /// Rejoin time.
+        at: Cycles,
+        /// The node.
+        node: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// Event timestamp.
+    pub fn at(&self) -> Cycles {
+        match self {
+            TraceEvent::Delivery { at, .. }
+            | TraceEvent::CheckpointCommitted { at, .. }
+            | TraceEvent::Failure { at, .. }
+            | TraceEvent::Recovered { at }
+            | TraceEvent::Repaired { at, .. } => *at,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceEvent::Delivery { at, to, kind, item } => {
+                write!(f, "{at:>12} {to}  <- {kind} {item}")
+            }
+            TraceEvent::CheckpointCommitted { at, gen } => {
+                write!(f, "{at:>12} recovery point {gen} committed")
+            }
+            TraceEvent::Failure { at, node, permanent } => {
+                write!(f, "{at:>12} {node} failed ({})", if *permanent { "permanent" } else { "transient" })
+            }
+            TraceEvent::Recovered { at } => write!(f, "{at:>12} recovery complete"),
+            TraceEvent::Repaired { at, node } => write!(f, "{at:>12} {node} repaired"),
+        }
+    }
+}
+
+/// Bounded ring buffer of [`TraceEvent`]s (oldest evicted first).
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    cap: usize,
+    events: VecDeque<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Creates a log holding up to `cap` events (`0` disables tracing).
+    pub fn new(cap: usize) -> Self {
+        Self { cap, events: VecDeque::with_capacity(cap.min(4096)) }
+    }
+
+    /// Is tracing enabled?
+    pub fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+        }
+        self.events.push_back(e);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the retained events, one per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(out, "{e}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: Cycles) -> TraceEvent {
+        TraceEvent::Recovered { at }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut log = TraceLog::new(3);
+        for t in 0..5 {
+            log.push(ev(t));
+        }
+        let times: Vec<_> = log.events().map(TraceEvent::at).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::new(0);
+        log.push(ev(1));
+        assert!(log.is_empty());
+        assert!(!log.enabled());
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut log = TraceLog::new(8);
+        log.push(TraceEvent::Failure { at: 5, node: NodeId::new(2), permanent: true });
+        log.push(TraceEvent::CheckpointCommitted { at: 9, gen: 3 });
+        let text = log.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("n2 failed (permanent)"));
+        assert!(text.contains("recovery point 3 committed"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Addresses and identifiers of the shared address space.
+//!
+//! The machine shares a single flat byte address space. Fixed geometry
+//! (from the paper's KSR1-like configuration):
+//!
+//! * coherence/transfer unit: **item** = 128 bytes;
+//! * cache line = 64 bytes (two lines per item);
+//! * AM allocation unit: **page** = 16 KB = 128 items.
+//!
+//! Crucially for a COMA, none of these identifiers denotes a physical
+//! location: an item lives wherever the attraction memories currently hold
+//! copies of it.
+
+/// Bytes per cache line.
+pub const LINE_BYTES: u64 = 64;
+/// Bytes per coherence item (the inter-node transfer unit).
+pub const ITEM_BYTES: u64 = 128;
+/// Bytes per AM page (the AM allocation unit).
+pub const PAGE_BYTES: u64 = 16 * 1024;
+/// Cache lines per item.
+pub const LINES_PER_ITEM: u64 = ITEM_BYTES / LINE_BYTES;
+/// Items per AM page.
+pub const ITEMS_PER_PAGE: u64 = PAGE_BYTES / ITEM_BYTES;
+
+/// A byte address in the shared address space.
+///
+/// # Example
+///
+/// ```
+/// use ftcoma_mem::Addr;
+///
+/// let a = Addr::new(16 * 1024 + 300);
+/// assert_eq!(a.page().index(), 1);
+/// assert_eq!(a.item().index(), 130);   // 128 items/page
+/// assert_eq!(a.line().index(), 260);   // 2 lines/item
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Wraps a raw byte address.
+    pub fn new(bytes: u64) -> Self {
+        Self(bytes)
+    }
+
+    /// The raw byte address.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The item containing this address.
+    pub fn item(self) -> ItemId {
+        ItemId(self.0 / ITEM_BYTES)
+    }
+
+    /// The cache line containing this address.
+    pub fn line(self) -> LineId {
+        LineId(self.0 / LINE_BYTES)
+    }
+
+    /// The AM page containing this address.
+    pub fn page(self) -> PageId {
+        PageId(self.0 / PAGE_BYTES)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A 128-byte coherence item of the shared address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ItemId(u64);
+
+impl ItemId {
+    /// Item with the given global index.
+    pub fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Global item index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The page this item belongs to.
+    pub fn page(self) -> PageId {
+        PageId(self.0 / ITEMS_PER_PAGE)
+    }
+
+    /// The item's slot position within its page (0..128).
+    pub fn slot_in_page(self) -> usize {
+        (self.0 % ITEMS_PER_PAGE) as usize
+    }
+
+    /// First byte address of the item.
+    pub fn base_addr(self) -> Addr {
+        Addr(self.0 * ITEM_BYTES)
+    }
+
+    /// The cache lines covering this item.
+    pub fn lines(self) -> impl Iterator<Item = LineId> {
+        let first = self.0 * LINES_PER_ITEM;
+        (first..first + LINES_PER_ITEM).map(LineId)
+    }
+}
+
+impl std::fmt::Display for ItemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item#{}", self.0)
+    }
+}
+
+/// A 64-byte cache line of the shared address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineId(u64);
+
+impl LineId {
+    /// Line with the given global index.
+    pub fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Global line index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The item containing this line.
+    pub fn item(self) -> ItemId {
+        ItemId(self.0 / LINES_PER_ITEM)
+    }
+
+    /// First byte address of the line.
+    pub fn base_addr(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+}
+
+impl std::fmt::Display for LineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line#{}", self.0)
+    }
+}
+
+/// A 16 KB page of the shared address space (the AM allocation unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(u64);
+
+impl PageId {
+    /// Page with the given global index.
+    pub fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Global page index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The items contained in this page.
+    pub fn items(self) -> impl Iterator<Item = ItemId> {
+        let first = self.0 * ITEMS_PER_PAGE;
+        (first..first + ITEMS_PER_PAGE).map(ItemId)
+    }
+
+    /// First byte address of the page.
+    pub fn base_addr(self) -> Addr {
+        Addr(self.0 * PAGE_BYTES)
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// Identifies a node (processor + cache + AM + network interface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Node with the given index.
+    pub fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// Node index in `0..machine size`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants_consistent() {
+        assert_eq!(LINES_PER_ITEM, 2);
+        assert_eq!(ITEMS_PER_PAGE, 128);
+        assert_eq!(ITEM_BYTES % LINE_BYTES, 0);
+        assert_eq!(PAGE_BYTES % ITEM_BYTES, 0);
+    }
+
+    #[test]
+    fn addr_decomposition() {
+        let a = Addr::new(PAGE_BYTES * 3 + ITEM_BYTES * 5 + LINE_BYTES + 1);
+        assert_eq!(a.page().index(), 3);
+        assert_eq!(a.item().index(), 3 * ITEMS_PER_PAGE + 5);
+        assert_eq!(a.item().slot_in_page(), 5);
+        assert_eq!(a.line().item(), a.item());
+    }
+
+    #[test]
+    fn item_lines_cover_item() {
+        let it = ItemId::new(77);
+        let lines: Vec<_> = it.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            assert_eq!(l.item(), it);
+        }
+    }
+
+    #[test]
+    fn page_items_round_trip() {
+        let p = PageId::new(9);
+        let items: Vec<_> = p.items().collect();
+        assert_eq!(items.len(), ITEMS_PER_PAGE as usize);
+        for (slot, it) in items.iter().enumerate() {
+            assert_eq!(it.page(), p);
+            assert_eq!(it.slot_in_page(), slot);
+        }
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert_eq!(format!("{}", NodeId::new(4)), "n4");
+        assert_eq!(format!("{}", ItemId::new(1)), "item#1");
+        assert_eq!(format!("{}", PageId::new(2)), "page#2");
+        assert_eq!(format!("{}", Addr::new(255)), "0xff");
+    }
+}

@@ -1,0 +1,454 @@
+//! Sectored processor data cache.
+//!
+//! Paper configuration (KSR1-like): 256 KB, 8-way set-associative, sectored
+//! with 2 KB sectors and 64-byte lines. A *sector* is the tag/allocation
+//! unit; its 32 lines are filled individually on demand. The cache is
+//! write-back, write-allocate and inclusive in the local attraction memory:
+//! a line may only be dirty while the local AM holds the enclosing item in
+//! `Exclusive` state, and AM-level invalidations invalidate the matching
+//! cache lines.
+//!
+//! Line payloads are not stored: the simulator keeps item values in the AM
+//! (updated at write time), so cache state only drives *timing* (hit/miss
+//! latencies, write-back charges).
+
+use crate::addr::LineId;
+
+/// State of one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LineState {
+    /// Line not present.
+    #[default]
+    Invalid,
+    /// Present, identical to the AM copy.
+    Clean,
+    /// Present and modified relative to the last AM write-back.
+    Dirty,
+}
+
+/// Cache geometry parameters.
+///
+/// # Example
+///
+/// ```
+/// use ftcoma_mem::CacheGeometry;
+///
+/// let g = CacheGeometry::ksr1();
+/// assert_eq!(g.sectors(), 128);
+/// assert_eq!(g.sets(), 16);
+/// assert_eq!(g.lines_per_sector(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Sector (tag allocation unit) size in bytes.
+    pub sector_bytes: u64,
+    /// Associativity, in sectors per set.
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// The paper's configuration: 256 KB, 2 KB sectors, 8-way.
+    pub fn ksr1() -> Self {
+        Self { capacity_bytes: 256 * 1024, sector_bytes: 2 * 1024, ways: 8 }
+    }
+
+    /// Total number of sector frames.
+    pub fn sectors(&self) -> usize {
+        (self.capacity_bytes / self.sector_bytes) as usize
+    }
+
+    /// Number of associative sets.
+    pub fn sets(&self) -> usize {
+        self.sectors() / self.ways
+    }
+
+    /// Cache lines per sector.
+    pub fn lines_per_sector(&self) -> usize {
+        (self.sector_bytes / crate::addr::LINE_BYTES) as usize
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not divisible into an integral number of
+    /// sets of `ways` sectors, or sectors into lines.
+    pub fn validate(&self) {
+        assert!(self.ways > 0, "cache must have at least one way");
+        assert!(
+            self.capacity_bytes % self.sector_bytes == 0,
+            "capacity not a multiple of sector size"
+        );
+        assert!(
+            self.sectors() % self.ways == 0,
+            "sector count not divisible by associativity"
+        );
+        assert!(
+            self.sector_bytes % crate::addr::LINE_BYTES == 0,
+            "sector not a multiple of the line size"
+        );
+    }
+}
+
+impl Default for CacheGeometry {
+    fn default() -> Self {
+        Self::ksr1()
+    }
+}
+
+#[derive(Debug)]
+struct Sector {
+    /// Global sector index (`line.index() / lines_per_sector`).
+    id: u64,
+    lines: Vec<LineState>,
+    lru: u64,
+}
+
+/// Result of filling a line into the cache.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FillOutcome {
+    /// Number of dirty lines written back because a sector was evicted to
+    /// make room. The caller charges write-back time for them.
+    pub writebacks: u32,
+    /// Whether a sector had to be evicted.
+    pub evicted_sector: bool,
+}
+
+/// The sectored, write-back processor data cache.
+///
+/// # Example
+///
+/// ```
+/// use ftcoma_mem::{Cache, LineState};
+/// use ftcoma_mem::addr::LineId;
+///
+/// let mut c = Cache::ksr1();
+/// let l = LineId::new(42);
+/// assert_eq!(c.line_state(l), LineState::Invalid);
+/// c.fill(l, false);
+/// assert_eq!(c.line_state(l), LineState::Clean);
+/// assert!(c.mark_dirty(l));
+/// assert_eq!(c.line_state(l), LineState::Dirty);
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    geo: CacheGeometry,
+    sets: Vec<Vec<Option<Sector>>>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see
+    /// [`CacheGeometry::validate`]).
+    pub fn new(geo: CacheGeometry) -> Self {
+        geo.validate();
+        let sets = (0..geo.sets()).map(|_| (0..geo.ways).map(|_| None).collect()).collect();
+        Self { geo, sets, tick: 0 }
+    }
+
+    /// Creates an empty cache with the paper's geometry.
+    pub fn ksr1() -> Self {
+        Self::new(CacheGeometry::ksr1())
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geo
+    }
+
+    fn sector_id(&self, line: LineId) -> u64 {
+        line.index() / self.geo.lines_per_sector() as u64
+    }
+
+    fn set_index(&self, sector_id: u64) -> usize {
+        (sector_id % self.geo.sets() as u64) as usize
+    }
+
+    fn line_in_sector(&self, line: LineId) -> usize {
+        (line.index() % self.geo.lines_per_sector() as u64) as usize
+    }
+
+    fn find_sector(&self, sector_id: u64) -> Option<(usize, usize)> {
+        let set = self.set_index(sector_id);
+        self.sets[set]
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| s.id == sector_id))
+            .map(|way| (set, way))
+    }
+
+    /// Current state of `line`.
+    pub fn line_state(&self, line: LineId) -> LineState {
+        match self.find_sector(self.sector_id(line)) {
+            Some((set, way)) => {
+                let idx = self.line_in_sector(line);
+                self.sets[set][way].as_ref().expect("found sector").lines[idx]
+            }
+            None => LineState::Invalid,
+        }
+    }
+
+    /// Is `line` present (clean or dirty)? Updates LRU on hit.
+    pub fn probe(&mut self, line: LineId) -> bool {
+        let sid = self.sector_id(line);
+        if let Some((set, way)) = self.find_sector(sid) {
+            let idx = self.line_in_sector(line);
+            let sector = self.sets[set][way].as_mut().expect("found sector");
+            if sector.lines[idx] != LineState::Invalid {
+                self.tick += 1;
+                sector.lru = self.tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Brings `line` into the cache (allocating its sector if needed),
+    /// leaving it `Dirty` if `dirty`, else `Clean`.
+    ///
+    /// Returns write-back information if a sector eviction was required.
+    pub fn fill(&mut self, line: LineId, dirty: bool) -> FillOutcome {
+        let sid = self.sector_id(line);
+        let idx = self.line_in_sector(line);
+        self.tick += 1;
+        let tick = self.tick;
+        let mut outcome = FillOutcome::default();
+
+        let (set, way) = match self.find_sector(sid) {
+            Some(pos) => pos,
+            None => {
+                let set = self.set_index(sid);
+                // Free way, or evict the LRU sector.
+                let way = match self.sets[set].iter().position(Option::is_none) {
+                    Some(w) => w,
+                    None => {
+                        let (w, victim) = self.sets[set]
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, s)| s.as_ref().expect("full set").lru)
+                            .map(|(w, s)| (w, s.as_ref().expect("full set")))
+                            .expect("non-empty set");
+                        outcome.evicted_sector = true;
+                        outcome.writebacks =
+                            victim.lines.iter().filter(|&&l| l == LineState::Dirty).count() as u32;
+                        w
+                    }
+                };
+                self.sets[set][way] = Some(Sector {
+                    id: sid,
+                    lines: vec![LineState::Invalid; self.geo.lines_per_sector()],
+                    lru: tick,
+                });
+                (set, way)
+            }
+        };
+
+        let sector = self.sets[set][way].as_mut().expect("just ensured");
+        sector.lru = tick;
+        sector.lines[idx] = if dirty { LineState::Dirty } else { LineState::Clean };
+        outcome
+    }
+
+    /// Marks a present line dirty. Returns `false` if the line is absent.
+    pub fn mark_dirty(&mut self, line: LineId) -> bool {
+        let sid = self.sector_id(line);
+        if let Some((set, way)) = self.find_sector(sid) {
+            let idx = self.line_in_sector(line);
+            let sector = self.sets[set][way].as_mut().expect("found sector");
+            if sector.lines[idx] != LineState::Invalid {
+                self.tick += 1;
+                sector.lru = self.tick;
+                sector.lines[idx] = LineState::Dirty;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates every line of `item` (both 64 B lines of the 128 B item);
+    /// returns how many of them were dirty.
+    ///
+    /// Used when the AM loses the item (remote write, injection, rollback).
+    pub fn invalidate_item(&mut self, item: crate::addr::ItemId) -> u32 {
+        let mut dirty = 0;
+        for line in item.lines() {
+            let sid = self.sector_id(line);
+            if let Some((set, way)) = self.find_sector(sid) {
+                let idx = self.line_in_sector(line);
+                let sector = self.sets[set][way].as_mut().expect("found sector");
+                if sector.lines[idx] == LineState::Dirty {
+                    dirty += 1;
+                }
+                sector.lines[idx] = LineState::Invalid;
+            }
+        }
+        dirty
+    }
+
+    /// Cleans (write-back without invalidation) every dirty line of `item`;
+    /// returns how many lines were cleaned.
+    ///
+    /// Used by the checkpoint `create` phase: "cached modified data, flushed
+    /// to memory when a recovery point is established, remain in the cache
+    /// and can still be read by processors".
+    pub fn flush_item(&mut self, item: crate::addr::ItemId) -> u32 {
+        let mut cleaned = 0;
+        for line in item.lines() {
+            let sid = self.sector_id(line);
+            if let Some((set, way)) = self.find_sector(sid) {
+                let idx = self.line_in_sector(line);
+                let sector = self.sets[set][way].as_mut().expect("found sector");
+                if sector.lines[idx] == LineState::Dirty {
+                    sector.lines[idx] = LineState::Clean;
+                    cleaned += 1;
+                }
+            }
+        }
+        cleaned
+    }
+
+    /// Invalidates the whole cache (rollback); returns the number of lines
+    /// that were present.
+    pub fn invalidate_all(&mut self) -> u64 {
+        let mut present = 0;
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                if let Some(sector) = way.take() {
+                    present +=
+                        sector.lines.iter().filter(|&&l| l != LineState::Invalid).count() as u64;
+                }
+            }
+        }
+        present
+    }
+
+    /// Number of resident (non-invalid) lines, for assertions and stats.
+    pub fn resident_lines(&self) -> u64 {
+        self.sets
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|s| s.lines.iter().filter(|&&l| l != LineState::Invalid).count() as u64)
+            .sum()
+    }
+
+    /// Number of dirty lines.
+    pub fn dirty_lines(&self) -> u64 {
+        self.sets
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|s| s.lines.iter().filter(|&&l| l == LineState::Dirty).count() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::ItemId;
+
+    #[test]
+    fn fill_probe_round_trip() {
+        let mut c = Cache::ksr1();
+        let l = LineId::new(1234);
+        assert!(!c.probe(l));
+        c.fill(l, false);
+        assert!(c.probe(l));
+        assert_eq!(c.line_state(l), LineState::Clean);
+    }
+
+    #[test]
+    fn mark_dirty_requires_presence() {
+        let mut c = Cache::ksr1();
+        let l = LineId::new(5);
+        assert!(!c.mark_dirty(l));
+        c.fill(l, false);
+        assert!(c.mark_dirty(l));
+        assert_eq!(c.dirty_lines(), 1);
+    }
+
+    #[test]
+    fn sector_sharing_between_lines() {
+        let mut c = Cache::ksr1();
+        // Lines 0 and 1 share sector 0; filling both should not evict.
+        c.fill(LineId::new(0), false);
+        let out = c.fill(LineId::new(1), true);
+        assert!(!out.evicted_sector);
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn eviction_reports_dirty_writebacks() {
+        let geo = CacheGeometry { capacity_bytes: 2 * 1024 * 2, sector_bytes: 2 * 1024, ways: 1 };
+        // 2 sectors, 1 way => 2 sets. Sectors 0 and 2 map to set 0.
+        let mut c = Cache::new(geo);
+        let lines_per_sector = geo.lines_per_sector() as u64;
+        c.fill(LineId::new(0), true); // sector 0
+        c.fill(LineId::new(1), true); // sector 0
+        let out = c.fill(LineId::new(2 * lines_per_sector), false); // sector 2, same set
+        assert!(out.evicted_sector);
+        assert_eq!(out.writebacks, 2);
+        assert!(!c.probe(LineId::new(0)));
+    }
+
+    #[test]
+    fn lru_prefers_older_sector() {
+        let geo = CacheGeometry { capacity_bytes: 4 * 2048, sector_bytes: 2048, ways: 2 };
+        // 4 sectors, 2 ways => 2 sets. Sectors 0, 2, 4 map to set 0.
+        let mut c = Cache::new(geo);
+        let lps = geo.lines_per_sector() as u64;
+        c.fill(LineId::new(0), false); // sector 0
+        c.fill(LineId::new(2 * lps), false); // sector 2
+        c.probe(LineId::new(0)); // touch sector 0 => sector 2 is LRU
+        c.fill(LineId::new(4 * lps), false); // evicts sector 2
+        assert!(c.probe(LineId::new(0)));
+        assert!(!c.probe(LineId::new(2 * lps)));
+    }
+
+    #[test]
+    fn invalidate_item_clears_both_lines() {
+        let mut c = Cache::ksr1();
+        let item = ItemId::new(10);
+        for l in item.lines() {
+            c.fill(l, true);
+        }
+        assert_eq!(c.invalidate_item(item), 2);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn flush_item_keeps_lines_resident() {
+        let mut c = Cache::ksr1();
+        let item = ItemId::new(11);
+        for l in item.lines() {
+            c.fill(l, true);
+        }
+        assert_eq!(c.flush_item(item), 2);
+        assert_eq!(c.dirty_lines(), 0);
+        assert_eq!(c.resident_lines(), 2);
+        // Idempotent.
+        assert_eq!(c.flush_item(item), 0);
+    }
+
+    #[test]
+    fn invalidate_all_counts_resident() {
+        let mut c = Cache::ksr1();
+        for i in 0..10 {
+            c.fill(LineId::new(i * 100), i % 2 == 0);
+        }
+        assert_eq!(c.invalidate_all(), 10);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let c = Cache::ksr1();
+        assert_eq!(c.geometry().ways, 8);
+    }
+}

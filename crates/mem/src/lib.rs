@@ -1,0 +1,35 @@
+//! Memory-hierarchy models for the ft-coma simulator.
+//!
+//! A ft-coma node (following the KSR1 parameters used in the paper) contains:
+//!
+//! * a **sectored processor data cache** — 256 KB, 8-way set-associative on
+//!   2 KB sectors, 64-byte lines ([`cache::Cache`]);
+//! * an **attraction memory** (AM) — the node's entire local memory organised
+//!   as a huge cache of the shared address space: 8 MB, 16-way
+//!   set-associative with 16 KB page allocation, each page subdivided into
+//!   128 items of 128 bytes ([`am::AttractionMemory`]).
+//!
+//! Coherence is maintained on an *item* (128 B) basis; the item is also the
+//! inter-node transfer unit. Items carry one of the coherence states in
+//! [`state::ItemState`], which includes both the four standard COMA-F states
+//! and the six additional stable states the Extended Coherence Protocol
+//! introduces for recovery data.
+//!
+//! Item payloads are modelled as a single `u64` *version value* rather than
+//! 128 bytes of data: all timing behaviour depends only on the modelled
+//! transfer sizes (see `ftcoma-net`), while version values let the test suite
+//! prove that rollback restores exactly the memory image of the last
+//! committed recovery point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod am;
+pub mod cache;
+pub mod state;
+
+pub use addr::{Addr, ItemId, LineId, NodeId, PageId};
+pub use am::{AmGeometry, AttractionMemory, InjectionAccept, ItemSlot};
+pub use cache::{Cache, CacheGeometry, LineState};
+pub use state::ItemState;

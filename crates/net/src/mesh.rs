@@ -1,0 +1,490 @@
+//! 2-D mesh with XY routing, two sub-networks and per-link contention.
+
+use std::collections::HashMap;
+
+use ftcoma_mem::NodeId;
+use ftcoma_sim::Cycles;
+
+/// Which physical sub-network a message travels on.
+///
+/// The simulated machine uses two independent sub-networks so replies can
+/// never be blocked behind requests (the classic protocol-deadlock
+/// avoidance the paper inherits from the KSR1/DASH generation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetClass {
+    /// Requests and forwarded requests.
+    Request,
+    /// Replies, data transfers and acknowledgements.
+    Reply,
+}
+
+/// How link occupancy is modelled under contention.
+///
+/// Zero-load latency is identical for both models; they differ only in how
+/// long a message holds the links of its path when traffic collides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwitchingModel {
+    /// Virtual cut-through approximation: each link is held only for the
+    /// message's own serialization time; a blocked worm is assumed to be
+    /// buffered at the blocking router. Cheapest and the default.
+    #[default]
+    VirtualCutThrough,
+    /// Wormhole switching: a worm whose header stalls downstream keeps
+    /// *holding every upstream link it spans* until its tail drains —
+    /// head-of-line blocking propagates backwards, exactly like the
+    /// paper's "worm-hole routed synchronous mesh".
+    Wormhole,
+}
+
+/// Timing parameters of the network and its interfaces.
+///
+/// Defaults are calibrated against Table 2 of the paper: with the memory
+/// timings of `ftcoma-machine`, a remote read miss costs 116 cycles at one
+/// hop and 124 at two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Flit width in bytes (32-bit flits in the paper).
+    pub flit_bytes: u64,
+    /// Per-hop router latency in cycles (covers fall-through plus switching).
+    pub router_delay: Cycles,
+    /// Network-interface overhead charged once per message at injection.
+    pub ni_overhead: Cycles,
+    /// Minimum message length in flits (header-only control messages).
+    pub header_flits: u64,
+    /// Latency of a message a node sends to itself (no network traversal).
+    pub local_delay: Cycles,
+    /// Link-occupancy model under contention.
+    pub switching: SwitchingModel,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            flit_bytes: 4,
+            router_delay: 4,
+            ni_overhead: 8,
+            header_flits: 4,
+            local_delay: 1,
+            switching: SwitchingModel::default(),
+        }
+    }
+}
+
+impl NetConfig {
+    /// The default configuration with true wormhole link holding.
+    pub fn wormhole() -> Self {
+        Self { switching: SwitchingModel::Wormhole, ..Self::default() }
+    }
+}
+
+impl NetConfig {
+    /// Length in flits of a message carrying `payload_bytes` of data.
+    ///
+    /// The header is pipelined with the payload, so a message occupies the
+    /// wire for `max(header, payload)` flit times; control messages are
+    /// header-only.
+    pub fn flits(&self, payload_bytes: u64) -> u64 {
+        self.header_flits.max(payload_bytes.div_ceil(self.flit_bytes))
+    }
+
+    /// Zero-load latency of a message over `hops` hops.
+    pub fn zero_load_latency(&self, hops: u64, payload_bytes: u64) -> Cycles {
+        if hops == 0 {
+            self.local_delay
+        } else {
+            self.ni_overhead + hops * self.router_delay + self.flits(payload_bytes)
+        }
+    }
+}
+
+/// Shape of the mesh and the node → coordinate mapping.
+///
+/// # Example
+///
+/// ```
+/// use ftcoma_net::MeshGeometry;
+/// use ftcoma_mem::NodeId;
+///
+/// let g = MeshGeometry::for_nodes(16); // 4x4, as in the paper
+/// assert_eq!((g.cols(), g.rows()), (4, 4));
+/// assert_eq!(g.hops(NodeId::new(0), NodeId::new(5)), 2); // (0,0) -> (1,1)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshGeometry {
+    cols: usize,
+    rows: usize,
+    nodes: usize,
+}
+
+impl MeshGeometry {
+    /// A `cols × rows` mesh fully populated with `cols * rows` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
+        Self { cols, rows, nodes: cols * rows }
+    }
+
+    /// The most-square mesh holding exactly `n` nodes.
+    ///
+    /// All machine sizes evaluated in the paper factor into near-square
+    /// rectangles (9 = 3×3, 16 = 4×4, 30 = 5×6, 42 = 6×7, 56 = 7×8). For
+    /// sizes with no balanced factorisation (e.g. primes), the smallest
+    /// near-square grid with at least `n` positions is used and trailing
+    /// positions are left empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn for_nodes(n: usize) -> Self {
+        assert!(n > 0, "at least one node required");
+        let mut best: Option<(usize, usize)> = None;
+        for c in 1..=n {
+            if n % c == 0 {
+                let r = n / c;
+                // Prefer the factorisation with the smallest aspect skew.
+                let skew = c.abs_diff(r);
+                if best.is_none_or(|(bc, br)| skew < bc.abs_diff(br)) {
+                    best = Some((c, r));
+                }
+            }
+        }
+        let (c, r) = best.expect("n has at least the trivial factorisation");
+        // Reject degenerate 1×n strips for non-tiny n: use a near-square
+        // grid with empty positions instead.
+        if c.min(r) == 1 && n > 3 {
+            let side = (n as f64).sqrt().ceil() as usize;
+            let rows = n.div_ceil(side);
+            Self { cols: side, rows, nodes: n }
+        } else {
+            Self { cols: c.max(r), rows: c.min(r), nodes: n }
+        }
+    }
+
+    /// Mesh width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Mesh height.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Coordinates of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index is out of range.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        let i = node.index();
+        assert!(i < self.nodes, "node {node} outside mesh of {} nodes", self.nodes);
+        (i % self.cols, i / self.cols)
+    }
+
+    /// Manhattan distance between two nodes (XY routing path length).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u64 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// The XY-routing path from `a` to `b` as a list of directed unit links
+    /// `((x, y), (x', y'))`: first all X movement, then all Y movement.
+    pub fn path(&self, a: NodeId, b: NodeId) -> Vec<((usize, usize), (usize, usize))> {
+        let (mut x, mut y) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let mut links = Vec::with_capacity(self.hops(a, b) as usize);
+        while x != bx {
+            let nx = if bx > x { x + 1 } else { x - 1 };
+            links.push(((x, y), (nx, y)));
+            x = nx;
+        }
+        while y != by {
+            let ny = if by > y { y + 1 } else { y - 1 };
+            links.push(((x, y), (x, ny)));
+            y = ny;
+        }
+        links
+    }
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages sent (including node-local ones).
+    pub messages: u64,
+    /// Total payload bytes carried.
+    pub payload_bytes: u64,
+    /// Total cycles messages spent queued waiting for busy links.
+    pub contention_cycles: Cycles,
+    /// Total link-occupancy cycles (utilisation numerator).
+    pub link_busy_cycles: Cycles,
+}
+
+type Link = ((usize, usize), (usize, usize));
+
+/// The mesh network: computes message arrival times under contention.
+///
+/// # Example
+///
+/// ```
+/// use ftcoma_net::{Mesh, MeshGeometry, NetClass, NetConfig};
+/// use ftcoma_mem::NodeId;
+///
+/// let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+/// // 1-hop header-only message at zero load: 8 + 4 + 4 = 16 cycles.
+/// let arrival = mesh.send(0, NodeId::new(0), NodeId::new(1), NetClass::Request, 0);
+/// assert_eq!(arrival, 16);
+/// ```
+#[derive(Debug)]
+pub struct Mesh {
+    geo: MeshGeometry,
+    cfg: NetConfig,
+    /// Next-free time of each directed link, per sub-network.
+    link_free: HashMap<(Link, NetClass), Cycles>,
+    stats: NetStats,
+}
+
+impl Mesh {
+    /// Creates an idle mesh.
+    pub fn new(geo: MeshGeometry, cfg: NetConfig) -> Self {
+        Self { geo, cfg, link_free: HashMap::new(), stats: NetStats::default() }
+    }
+
+    /// The mesh geometry.
+    pub fn geometry(&self) -> &MeshGeometry {
+        &self.geo
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Sends a message at time `now`; returns its arrival time at `to`.
+    ///
+    /// The message reserves every link of its XY path for its serialization
+    /// time on the given sub-network; waiting for busy links is accounted in
+    /// [`NetStats::contention_cycles`]. Node-local messages bypass the
+    /// network entirely and arrive after `local_delay`.
+    pub fn send(
+        &mut self,
+        now: Cycles,
+        from: NodeId,
+        to: NodeId,
+        class: NetClass,
+        payload_bytes: u64,
+    ) -> Cycles {
+        self.stats.messages += 1;
+        self.stats.payload_bytes += payload_bytes;
+        if from == to {
+            return now + self.cfg.local_delay;
+        }
+        let flits = self.cfg.flits(payload_bytes);
+        let path = self.geo.path(from, to);
+        // Forward pass: when does the header claim each link?
+        let mut starts = Vec::with_capacity(path.len());
+        let mut head = now + self.cfg.ni_overhead;
+        for &link in &path {
+            let free = self.link_free.get(&(link, class)).copied().unwrap_or(0);
+            let start = head.max(free);
+            self.stats.contention_cycles += start - head;
+            starts.push(start);
+            head = start + self.cfg.router_delay;
+        }
+        let arrival = head + flits;
+        match self.cfg.switching {
+            SwitchingModel::VirtualCutThrough => {
+                // Each link is held for the serialization time only.
+                for (&link, &start) in path.iter().zip(&starts) {
+                    self.link_free.insert((link, class), start + flits);
+                    self.stats.link_busy_cycles += flits;
+                }
+            }
+            SwitchingModel::Wormhole => {
+                // Backward pass: a stalled header keeps the worm stretched
+                // over its upstream links; link i is released only when the
+                // tail clears it, which cannot precede the downstream
+                // claim. The tail clears the last link `flits` after its
+                // claim.
+                let mut release = *starts.last().expect("non-empty path") + flits;
+                for (i, &link) in path.iter().enumerate().rev() {
+                    if i < path.len() - 1 {
+                        // Held from our claim until the tail drains into
+                        // the next link (which it can enter only once that
+                        // link was claimed).
+                        release = (starts[i + 1] + flits).max(starts[i] + flits);
+                    }
+                    self.link_free.insert((link, class), release);
+                    self.stats.link_busy_cycles += release - starts[i];
+                }
+            }
+        }
+        arrival
+    }
+
+    /// Arrival time a message *would* have at zero load (no reservation).
+    pub fn probe_latency(&self, from: NodeId, to: NodeId, payload_bytes: u64) -> Cycles {
+        self.cfg.zero_load_latency(self.geo.hops(from, to), payload_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn geometry_for_paper_sizes() {
+        for (nodes, dims) in [(9, (3, 3)), (16, (4, 4)), (30, (6, 5)), (42, (7, 6)), (56, (8, 7))]
+        {
+            let g = MeshGeometry::for_nodes(nodes);
+            assert_eq!((g.cols(), g.rows()), dims, "for {nodes} nodes");
+        }
+    }
+
+    #[test]
+    fn geometry_prime_fallback() {
+        let g = MeshGeometry::for_nodes(13);
+        assert!(g.cols() * g.rows() >= 13);
+        assert!(g.cols().abs_diff(g.rows()) <= 1);
+        // All 13 nodes must have valid coordinates.
+        for i in 0..13 {
+            let _ = g.coords(n(i));
+        }
+    }
+
+    #[test]
+    fn path_length_matches_hops() {
+        let g = MeshGeometry::for_nodes(16);
+        for a in 0..16u16 {
+            for b in 0..16u16 {
+                assert_eq!(g.path(n(a), n(b)).len() as u64, g.hops(n(a), n(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_load_latency_formula() {
+        let cfg = NetConfig::default();
+        // 1 hop, header-only: 8 + 4 + 4.
+        assert_eq!(cfg.zero_load_latency(1, 0), 16);
+        // 2 hops, 128-byte item: 8 + 8 + 32.
+        assert_eq!(cfg.zero_load_latency(2, 128), 48);
+        // Each extra hop adds exactly router_delay.
+        assert_eq!(cfg.zero_load_latency(3, 128) - cfg.zero_load_latency(2, 128), 4);
+    }
+
+    #[test]
+    fn send_matches_zero_load_when_idle() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        let t = mesh.send(100, n(0), n(2), NetClass::Reply, 128);
+        assert_eq!(t, 100 + mesh.probe_latency(n(0), n(2), 128));
+        assert_eq!(mesh.stats().contention_cycles, 0);
+    }
+
+    #[test]
+    fn contention_serializes_on_shared_link() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        // Two 128-byte messages over the same link at the same instant.
+        let t1 = mesh.send(0, n(0), n(1), NetClass::Reply, 128);
+        let t2 = mesh.send(0, n(0), n(1), NetClass::Reply, 128);
+        assert_eq!(t1, 44); // 8 + 4 + 32
+        // Second message waits 32 flit-cycles for the link.
+        assert_eq!(t2, t1 + 32);
+        assert_eq!(mesh.stats().contention_cycles, 32);
+    }
+
+    #[test]
+    fn subnetworks_do_not_interfere() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        let t1 = mesh.send(0, n(0), n(1), NetClass::Request, 128);
+        let t2 = mesh.send(0, n(0), n(1), NetClass::Reply, 128);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn local_messages_bypass_network() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        assert_eq!(mesh.send(10, n(3), n(3), NetClass::Request, 128), 11);
+        assert_eq!(mesh.stats().link_busy_cycles, 0);
+    }
+
+    #[test]
+    fn flit_count_has_header_floor() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.flits(0), 4);
+        assert_eq!(cfg.flits(3), 4);
+        assert_eq!(cfg.flits(128), 32);
+        assert_eq!(cfg.flits(129), 33);
+    }
+
+    #[test]
+    fn wormhole_zero_load_latency_matches_vct() {
+        for (a, b, bytes) in [(0u16, 3u16, 0u64), (0, 15, 128), (5, 6, 128)] {
+            // Fresh meshes: at zero load the models are identical.
+            let mut vct = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+            let mut wh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::wormhole());
+            assert_eq!(
+                vct.send(0, n(a), n(b), NetClass::Reply, bytes),
+                wh.send(0, n(a), n(b), NetClass::Reply, bytes),
+            );
+        }
+    }
+
+    #[test]
+    fn wormhole_holds_upstream_links_when_blocked() {
+        // Saturate link (2,0)->(3,0); then send a long worm 0->3 whose head
+        // blocks there. Under wormhole switching the worm keeps holding
+        // (0,0)->(1,0), delaying an unrelated 0->1 message; under VCT the
+        // blocked worm releases its upstream links.
+        let setup = |cfg: NetConfig| {
+            let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), cfg);
+            mesh.send(0, n(2), n(3), NetClass::Reply, 1024); // busy last link
+            mesh.send(0, n(0), n(3), NetClass::Reply, 1024); // the blocked worm
+            mesh.send(1, n(0), n(1), NetClass::Reply, 0) // the bystander
+        };
+        let vct = setup(NetConfig::default());
+        let wh = setup(NetConfig::wormhole());
+        assert!(
+            wh > vct,
+            "wormhole HOL blocking must delay the bystander ({wh} vs {vct})"
+        );
+    }
+
+    #[test]
+    fn wormhole_busy_accounting_exceeds_serialization_under_blocking() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::wormhole());
+        mesh.send(0, n(2), n(3), NetClass::Reply, 2048);
+        mesh.send(0, n(0), n(3), NetClass::Reply, 2048);
+        // 2048B = 512 flits; two messages over 1 and 3 links respectively
+        // would occupy 4 * 512 link-cycles without blocking; the stalled
+        // worm holds its upstream links longer.
+        assert!(mesh.stats().link_busy_cycles > 4 * 512);
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_contend() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        let t1 = mesh.send(0, n(0), n(1), NetClass::Reply, 128);
+        let t2 = mesh.send(0, n(14), n(15), NetClass::Reply, 128);
+        assert_eq!(t1, t2);
+        assert_eq!(mesh.stats().contention_cycles, 0);
+    }
+}

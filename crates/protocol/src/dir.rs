@@ -1,0 +1,165 @@
+//! Owner-side sharing directory.
+//!
+//! "As opposed to the COMA-F, the directory entry of an item is maintained
+//! on the node which is the current owner of the item." The entry is the
+//! item's sharing list; it travels with ownership (inside
+//! [`crate::msg::ItemPayload`]) when the owner copy moves.
+//!
+//! Sharing lists may contain stale entries: a node that silently dropped
+//! its `Shared` copy (replacement, injection victim) stays listed until the
+//! next invalidation round, which it acknowledges trivially. This mirrors
+//! the real protocol and is harmless.
+
+use std::collections::HashMap;
+
+use ftcoma_mem::{ItemId, NodeId};
+
+/// Sharing lists for the items this node currently owns.
+///
+/// # Example
+///
+/// ```
+/// use ftcoma_protocol::OwnerDirectory;
+/// use ftcoma_mem::{ItemId, NodeId};
+///
+/// let mut dir = OwnerDirectory::new();
+/// let item = ItemId::new(3);
+/// dir.create(item, vec![]);
+/// dir.add_sharer(item, NodeId::new(2));
+/// dir.add_sharer(item, NodeId::new(2)); // idempotent
+/// assert_eq!(dir.sharers(item), &[NodeId::new(2)]);
+/// let moved = dir.take(item);
+/// assert_eq!(moved, vec![NodeId::new(2)]);
+/// assert!(!dir.owns(item));
+/// ```
+#[derive(Debug, Default)]
+pub struct OwnerDirectory {
+    entries: HashMap<ItemId, Vec<NodeId>>,
+}
+
+impl OwnerDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Does this node hold the directory entry (i.e. own) `item`?
+    pub fn owns(&self, item: ItemId) -> bool {
+        self.entries.contains_key(&item)
+    }
+
+    /// Installs the entry for a newly owned item with the given sharers.
+    pub fn create(&mut self, item: ItemId, sharers: Vec<NodeId>) {
+        self.entries.insert(item, sharers);
+    }
+
+    /// The sharing list of an owned item (empty slice if not owned).
+    pub fn sharers(&self, item: ItemId) -> &[NodeId] {
+        self.entries.get(&item).map_or(&[], Vec::as_slice)
+    }
+
+    /// Adds a sharer (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item is not owned here.
+    pub fn add_sharer(&mut self, item: ItemId, node: NodeId) {
+        let sharers = self.entries.get_mut(&item).expect("adding sharer to unowned item");
+        if !sharers.contains(&node) {
+            sharers.push(node);
+        }
+    }
+
+    /// Removes a sharer if present.
+    pub fn remove_sharer(&mut self, item: ItemId, node: NodeId) {
+        if let Some(sharers) = self.entries.get_mut(&item) {
+            sharers.retain(|&n| n != node);
+        }
+    }
+
+    /// Removes and returns the entry — ownership is leaving this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item is not owned here.
+    pub fn take(&mut self, item: ItemId) -> Vec<NodeId> {
+        self.entries.remove(&item).expect("taking unowned entry")
+    }
+
+    /// Drops the entry if present (invalidation of the owner copy).
+    pub fn drop_entry(&mut self, item: ItemId) {
+        self.entries.remove(&item);
+    }
+
+    /// Number of owned items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the directory empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over owned items (unordered).
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Clears everything (rollback).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item() -> ItemId {
+        ItemId::new(12)
+    }
+
+    #[test]
+    fn create_take_round_trip() {
+        let mut d = OwnerDirectory::new();
+        d.create(item(), vec![NodeId::new(1), NodeId::new(2)]);
+        assert!(d.owns(item()));
+        assert_eq!(d.take(item()), vec![NodeId::new(1), NodeId::new(2)]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn remove_sharer_tolerates_absent() {
+        let mut d = OwnerDirectory::new();
+        d.remove_sharer(item(), NodeId::new(1)); // no entry at all: no-op
+        d.create(item(), vec![NodeId::new(1)]);
+        d.remove_sharer(item(), NodeId::new(9)); // not in list: no-op
+        d.remove_sharer(item(), NodeId::new(1));
+        assert!(d.sharers(item()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unowned")]
+    fn add_sharer_requires_ownership() {
+        let mut d = OwnerDirectory::new();
+        d.add_sharer(item(), NodeId::new(1));
+    }
+
+    #[test]
+    fn sharers_of_unowned_is_empty() {
+        let d = OwnerDirectory::new();
+        assert!(d.sharers(item()).is_empty());
+    }
+
+    #[test]
+    fn clear_drops_all() {
+        let mut d = OwnerDirectory::new();
+        d.create(item(), vec![]);
+        d.create(ItemId::new(13), vec![NodeId::new(3)]);
+        assert_eq!(d.len(), 2);
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.items().count(), 0);
+    }
+}

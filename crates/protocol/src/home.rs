@@ -1,0 +1,206 @@
+//! Localization pointers and per-item transaction serialization.
+//!
+//! Each node holds the *localization pointers* of the items it is home for:
+//! a map from item to current owner. Transactions (and owner-copy
+//! injections) are serialized per item with a busy bit and a FIFO of
+//! waiting requests, the standard way to keep a flat COMA directory
+//! protocol race-free.
+
+use std::collections::{HashMap, VecDeque};
+
+use ftcoma_mem::{ItemId, NodeId};
+
+/// A request waiting for an item's busy bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuedReq {
+    /// A read miss from the given node.
+    Read(NodeId),
+    /// A write miss / upgrade from the given node.
+    Write(NodeId),
+    /// An owner-copy injection lock requested by the given node.
+    InjectLock(NodeId),
+}
+
+impl QueuedReq {
+    /// The node that issued the request.
+    pub fn requester(self) -> NodeId {
+        match self {
+            QueuedReq::Read(n) | QueuedReq::Write(n) | QueuedReq::InjectLock(n) => n,
+        }
+    }
+}
+
+/// The home-side state for the items a node is home for.
+///
+/// # Example
+///
+/// ```
+/// use ftcoma_protocol::{HomeTable, QueuedReq};
+/// use ftcoma_mem::{ItemId, NodeId};
+///
+/// let mut home = HomeTable::new();
+/// let item = ItemId::new(1);
+/// assert!(home.try_acquire(item));       // transaction starts
+/// assert!(!home.try_acquire(item));      // second one must wait
+/// home.enqueue(item, QueuedReq::Read(NodeId::new(3)));
+/// let next = home.release(item);         // first ends; queued one pops
+/// assert_eq!(next, Some(QueuedReq::Read(NodeId::new(3))));
+/// assert!(home.is_busy(item));           // still busy for the popped one
+/// assert_eq!(home.release(item), None);  // now idle
+/// assert!(!home.is_busy(item));
+/// ```
+#[derive(Debug, Default)]
+pub struct HomeTable {
+    owner: HashMap<ItemId, NodeId>,
+    busy: HashMap<ItemId, VecDeque<QueuedReq>>,
+}
+
+impl HomeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current owner of `item`, if the item exists machine-wide.
+    pub fn owner(&self, item: ItemId) -> Option<NodeId> {
+        self.owner.get(&item).copied()
+    }
+
+    /// Records `node` as the owner of `item`.
+    pub fn set_owner(&mut self, item: ItemId, node: NodeId) {
+        self.owner.insert(item, node);
+    }
+
+    /// Forgets `item` entirely (rollback of an item that did not exist at
+    /// the recovery point).
+    pub fn remove(&mut self, item: ItemId) {
+        self.owner.remove(&item);
+        self.busy.remove(&item);
+    }
+
+    /// Is a transaction in flight for `item`?
+    pub fn is_busy(&self, item: ItemId) -> bool {
+        self.busy.contains_key(&item)
+    }
+
+    /// Attempts to start a transaction: returns `true` and marks the item
+    /// busy if it was idle.
+    pub fn try_acquire(&mut self, item: ItemId) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.busy.entry(item) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(VecDeque::new());
+                true
+            }
+        }
+    }
+
+    /// Queues a request behind the current transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item is not busy — the caller should have acquired it
+    /// instead.
+    pub fn enqueue(&mut self, item: ItemId, req: QueuedReq) {
+        self.busy.get_mut(&item).expect("enqueue on idle item").push_back(req);
+    }
+
+    /// Ends the current transaction. If requests are queued, pops the next
+    /// one (the item *stays busy* for it); otherwise clears the busy bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item is not busy.
+    pub fn release(&mut self, item: ItemId) -> Option<QueuedReq> {
+        let q = self.busy.get_mut(&item).expect("release on idle item");
+        match q.pop_front() {
+            Some(req) => Some(req),
+            None => {
+                self.busy.remove(&item);
+                None
+            }
+        }
+    }
+
+    /// Number of items with known owners.
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+
+    /// Iterates over `(item, owner)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, NodeId)> + '_ {
+        self.owner.iter().map(|(&i, &n)| (i, n))
+    }
+
+    /// Number of items currently busy (diagnostics).
+    pub fn busy_count(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Drops every pointer and busy bit (rollback rebuild).
+    pub fn clear(&mut self) {
+        self.owner.clear();
+        self.busy.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item() -> ItemId {
+        ItemId::new(9)
+    }
+
+    #[test]
+    fn owner_round_trip() {
+        let mut h = HomeTable::new();
+        assert_eq!(h.owner(item()), None);
+        h.set_owner(item(), NodeId::new(4));
+        assert_eq!(h.owner(item()), Some(NodeId::new(4)));
+        h.remove(item());
+        assert_eq!(h.owner(item()), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn queue_is_fifo() {
+        let mut h = HomeTable::new();
+        assert!(h.try_acquire(item()));
+        h.enqueue(item(), QueuedReq::Write(NodeId::new(1)));
+        h.enqueue(item(), QueuedReq::Read(NodeId::new(2)));
+        assert_eq!(h.release(item()), Some(QueuedReq::Write(NodeId::new(1))));
+        assert_eq!(h.release(item()), Some(QueuedReq::Read(NodeId::new(2))));
+        assert_eq!(h.release(item()), None);
+        assert!(!h.is_busy(item()));
+    }
+
+    #[test]
+    #[should_panic(expected = "idle item")]
+    fn release_requires_busy() {
+        let mut h = HomeTable::new();
+        h.release(item());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut h = HomeTable::new();
+        h.set_owner(item(), NodeId::new(0));
+        h.try_acquire(item());
+        h.clear();
+        assert!(h.is_empty());
+        assert!(!h.is_busy(item()));
+        assert_eq!(h.busy_count(), 0);
+    }
+
+    #[test]
+    fn requester_accessor() {
+        assert_eq!(QueuedReq::InjectLock(NodeId::new(5)).requester(), NodeId::new(5));
+    }
+}

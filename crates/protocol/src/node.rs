@@ -1,0 +1,113 @@
+//! Per-node protocol state.
+
+use std::collections::HashSet;
+
+use ftcoma_mem::{AmGeometry, AttractionMemory, Cache, CacheGeometry, ItemId, NodeId, PageId};
+
+use crate::dir::OwnerDirectory;
+use crate::home::HomeTable;
+
+/// Everything one node owns: memory hierarchy, localization pointers for
+/// the items it is home for, the directory entries of the items it owns,
+/// and transient bookkeeping that protects in-flight transfers.
+///
+/// This is a passive, compound structure in the C spirit: the protocol
+/// engines in `ftcoma-core` operate on its public fields.
+#[derive(Debug)]
+pub struct NodeState {
+    /// This node's identity.
+    pub id: NodeId,
+    /// The attraction memory.
+    pub am: AttractionMemory,
+    /// The processor data cache (inclusive in the AM).
+    pub cache: Cache,
+    /// Localization pointers + busy bits for items homed here.
+    pub home: HomeTable,
+    /// Sharing lists for items owned here.
+    pub dir: OwnerDirectory,
+    /// Is the node alive (fail-silent nodes simply stop participating)?
+    pub alive: bool,
+    /// Slots reserved for an accepted injection whose data is in flight;
+    /// such slots must not be re-accepted or evicted.
+    pub reserved: HashSet<ItemId>,
+    /// Items whose data reply is in flight towards this node (pending
+    /// misses); their slots must not be stolen by an injection.
+    pub pending_fill: HashSet<ItemId>,
+}
+
+impl NodeState {
+    /// Creates an empty, alive node.
+    pub fn new(id: NodeId, am_geo: AmGeometry, cache_geo: CacheGeometry) -> Self {
+        Self {
+            id,
+            am: AttractionMemory::new(am_geo),
+            cache: Cache::new(cache_geo),
+            home: HomeTable::new(),
+            dir: OwnerDirectory::new(),
+            alive: true,
+            reserved: HashSet::new(),
+            pending_fill: HashSet::new(),
+        }
+    }
+
+    /// Creates a node with the paper's KSR1-like geometry.
+    pub fn ksr1(id: NodeId) -> Self {
+        Self::new(id, AmGeometry::ksr1(), CacheGeometry::ksr1())
+    }
+
+    /// May `page` be evicted right now? Pages containing reserved slots or
+    /// slots awaiting a data fill must stay.
+    pub fn can_evict_page(&self, page: PageId) -> bool {
+        !self.reserved.iter().any(|i| i.page() == page)
+            && !self.pending_fill.iter().any(|i| i.page() == page)
+    }
+
+    /// Is this item's slot blocked against injection acceptance?
+    pub fn slot_blocked(&self, item: ItemId) -> bool {
+        self.reserved.contains(&item) || self.pending_fill.contains(&item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> NodeState {
+        NodeState::new(
+            NodeId::new(0),
+            AmGeometry { capacity_bytes: 4 * ftcoma_mem::addr::PAGE_BYTES, ways: 2 },
+            CacheGeometry { capacity_bytes: 4 * 2048, sector_bytes: 2048, ways: 2 },
+        )
+    }
+
+    #[test]
+    fn fresh_node_is_alive_and_empty() {
+        let n = tiny();
+        assert!(n.alive);
+        assert_eq!(n.am.allocated_pages(), 0);
+        assert!(n.home.is_empty());
+        assert!(n.dir.is_empty());
+    }
+
+    #[test]
+    fn eviction_guard_respects_reservations() {
+        let mut n = tiny();
+        let item = ItemId::new(5);
+        assert!(n.can_evict_page(item.page()));
+        n.reserved.insert(item);
+        assert!(!n.can_evict_page(item.page()));
+        assert!(n.slot_blocked(item));
+        n.reserved.clear();
+        n.pending_fill.insert(item);
+        assert!(!n.can_evict_page(item.page()));
+        assert!(n.slot_blocked(item));
+    }
+
+    #[test]
+    fn ksr1_constructor_uses_paper_geometry() {
+        let n = NodeState::ksr1(NodeId::new(3));
+        assert_eq!(n.am.geometry().frames(), 512);
+        assert_eq!(n.cache.geometry().sectors(), 128);
+        assert_eq!(n.id, NodeId::new(3));
+    }
+}

@@ -1,0 +1,150 @@
+//! Node-local memory access latencies.
+//!
+//! Together with the network parameters in `ftcoma-net`, these defaults
+//! reproduce Table 2 of the paper exactly:
+//!
+//! | read miss serviced by | cycles |
+//! |---|---|
+//! | cache                 | 1 |
+//! | local AM              | 18 |
+//! | remote AM, 1 hop      | 116 |
+//! | remote AM, 2 hops     | 124 |
+//!
+//! Remote read-miss breakdown (see DESIGN.md §3): 18 (local AM miss
+//! detection) + 8+4h+4 (request message) + 20 (remote AM access and
+//! transfer to the NI) + 8+4h+32 (item reply) + 18 (install and cache
+//! fill) = 108 + 8h.
+
+use ftcoma_sim::Cycles;
+
+/// Local memory-timing parameters of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemTiming {
+    /// Cache hit latency.
+    pub cache_hit: Cycles,
+    /// Cache miss serviced by the local AM (probe + fill, total).
+    pub local_am: Cycles,
+    /// Local AM probe that *misses* (latency before the request leaves).
+    pub miss_detect: Cycles,
+    /// Remote AM access plus transfer of an item to the network controller.
+    pub remote_am_access: Cycles,
+    /// Installing an arriving item into the AM and filling the cache.
+    pub install: Cycles,
+    /// Delay before the injection acknowledgement leaves the accepting
+    /// node ("the injection acknowledgment is sent 5 cycles after the
+    /// reception of the item"; copying to memory overlaps with it).
+    pub inject_ack_delay: Cycles,
+    /// Commit-phase cost to test whether a page is allocated.
+    pub commit_page_test: Cycles,
+    /// Commit-phase cost to test (and possibly rewrite) one item state.
+    pub commit_item_test: Cycles,
+    /// Cost of writing one dirty cache line back to the local AM.
+    pub writeback: Cycles,
+    /// Independent AM controllers per node (the KSR1 has four); local
+    /// whole-AM scans are parallelised across them.
+    pub am_controllers: u32,
+}
+
+impl MemTiming {
+    /// The paper's KSR1-like defaults.
+    pub fn ksr1() -> Self {
+        Self {
+            cache_hit: 1,
+            local_am: 18,
+            miss_detect: 18,
+            remote_am_access: 20,
+            install: 18,
+            inject_ack_delay: 5,
+            commit_page_test: 1,
+            commit_item_test: 1,
+            writeback: 18,
+            am_controllers: 4,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `am_controllers` is zero.
+    pub fn validate(&self) {
+        assert!(self.am_controllers > 0, "need at least one AM controller");
+    }
+
+    /// Commit-phase scan cost for `pages` allocated pages of `items_per_page`
+    /// items, divided across the AM controllers.
+    pub fn commit_scan(&self, pages: u64, items_per_page: u64) -> Cycles {
+        let serial = pages * (self.commit_page_test + items_per_page * self.commit_item_test);
+        serial.div_ceil(u64::from(self.am_controllers))
+    }
+}
+
+impl MemTiming {
+    /// Software-implemented coherence, as in a recoverable distributed
+    /// shared virtual memory on a network of workstations (the paper's
+    /// concluding application: "we have already implemented a recoverable
+    /// DSVM based on the ECP on the Intel Paragon … and on a network of
+    /// workstations"). Every protocol action runs a software handler, so
+    /// the node-local costs are 1–2 orders of magnitude above the
+    /// hardware-controller figures.
+    pub fn software_dsm() -> Self {
+        Self {
+            cache_hit: 1,
+            local_am: 40,
+            miss_detect: 250,      // page-fault entry + handler dispatch
+            remote_am_access: 600, // handler + copy to the NI
+            install: 400,          // copy + page-table update
+            inject_ack_delay: 80,
+            commit_page_test: 4,
+            commit_item_test: 4,
+            writeback: 40,
+            am_controllers: 1,     // one CPU does everything
+        }
+    }
+}
+
+impl Default for MemTiming {
+    fn default() -> Self {
+        Self::ksr1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ksr1_defaults() {
+        let t = MemTiming::ksr1();
+        t.validate();
+        assert_eq!(t.cache_hit, 1);
+        assert_eq!(t.local_am, 18);
+        assert_eq!(t.inject_ack_delay, 5);
+    }
+
+    #[test]
+    fn commit_scan_parallelised_over_controllers() {
+        let t = MemTiming::ksr1();
+        // 10 pages * (1 + 128) = 1290 cycles serial, / 4 controllers.
+        assert_eq!(t.commit_scan(10, 128), 323);
+        assert_eq!(t.commit_scan(0, 128), 0);
+    }
+
+    #[test]
+    fn software_dsm_is_much_slower() {
+        let hw = MemTiming::ksr1();
+        let sw = MemTiming::software_dsm();
+        sw.validate();
+        assert!(sw.miss_detect > 10 * hw.miss_detect);
+        assert!(sw.remote_am_access > 10 * hw.remote_am_access);
+        assert_eq!(sw.am_controllers, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "controller")]
+    fn zero_controllers_rejected() {
+        let mut t = MemTiming::ksr1();
+        t.am_controllers = 0;
+        t.validate();
+    }
+}

@@ -1,0 +1,219 @@
+//! Time-ordered event calendar with deterministic tie-breaking.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Cycles;
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Cycles,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event calendar.
+///
+/// Events are delivered in non-decreasing timestamp order; events scheduled
+/// for the same cycle are delivered in the order they were scheduled (FIFO).
+/// This determinism is what makes paired standard/ECP simulations with the
+/// same seed directly comparable, as the paper's methodology requires.
+///
+/// The queue tracks the current simulation time: [`EventQueue::now`] is the
+/// timestamp of the most recently popped event.
+///
+/// # Example
+///
+/// ```
+/// use ftcoma_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(3, 'x');
+/// q.schedule_in(1, 'y'); // at now (0) + 1
+/// assert_eq!(q.pop(), Some((1, 'y')));
+/// assert_eq!(q.now(), 1);
+/// assert_eq!(q.pop(), Some((3, 'x')));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Cycles,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, now: 0 }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (`at < self.now()`): delivering events
+    /// out of order would silently corrupt the simulation.
+    pub fn schedule(&mut self, at: Cycles, event: E) {
+        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Schedules `event` `delay` cycles after the current time.
+    pub fn schedule_in(&mut self, delay: Cycles, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the next event, advancing the clock to its
+    /// timestamp. Returns `None` when the calendar is empty.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        Some((e.at, e.event))
+    }
+
+    /// Timestamp of the next pending event, if any, without popping it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Drops every pending event, leaving the clock unchanged.
+    ///
+    /// Used when a global rollback discards all in-flight protocol activity.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Drops pending events that do not satisfy `keep`, leaving the clock
+    /// unchanged. Relative order of surviving events is preserved.
+    pub fn retain(&mut self, mut keep: impl FnMut(&E) -> bool) {
+        let old = std::mem::take(&mut self.heap);
+        self.heap = old
+            .into_iter()
+            .filter(|Reverse(e)| keep(&e.event))
+            .collect();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 'c');
+        q.schedule(10, 'a');
+        q.schedule(20, 'b');
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(10, 'a'), (20, 'b'), (30, 'c')]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(5, ());
+        q.schedule(5, ());
+        q.schedule(9, ());
+        let mut last = 0;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(5, ());
+    }
+
+    #[test]
+    fn retain_filters_and_preserves_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(i % 3, i);
+        }
+        q.retain(|&i| i % 2 == 0);
+        let mut seen = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            seen.push(i);
+        }
+        assert_eq!(seen.len(), 5);
+        assert!(seen.iter().all(|i| i % 2 == 0));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(1, ());
+        q.schedule(2, ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(42, ());
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.pop(), Some((42, ())));
+        assert_eq!(q.peek_time(), None);
+    }
+}

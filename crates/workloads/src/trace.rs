@@ -1,0 +1,221 @@
+//! Reference-trace recording and replay.
+//!
+//! The paper drives its simulator with traces produced by Abstract
+//! Execution. This module provides the equivalent interface for users who
+//! have real traces: record any [`RefStream`] to a compact line-oriented
+//! text format, and replay a trace file as a [`RefStream`] — including the
+//! snapshot/restore support backward error recovery needs (a replayed
+//! trace rewinds by position).
+//!
+//! Format: one reference per line, `pre_cycles kind addr shared`, where
+//! `kind` is `R`/`W` and `shared` is `s`/`p`. Lines starting with `#` are
+//! comments.
+//!
+//! # Example
+//!
+//! ```
+//! use ftcoma_workloads::trace::{parse_trace, write_trace, TraceStream};
+//! use ftcoma_workloads::{presets, NodeStream, RefStream};
+//!
+//! let mut gen = NodeStream::new(&presets::water(), 0, 4, 1);
+//! let refs: Vec<_> = (0..100).map(|_| gen.next_ref()).collect();
+//! let text = write_trace(&refs);
+//! let parsed = parse_trace(&text).unwrap();
+//! let mut replay = TraceStream::new(parsed);
+//! assert_eq!(replay.next_ref(), refs[0]);
+//! ```
+
+use ftcoma_mem::Addr;
+
+use crate::stream::{MemRef, RefStream, StreamSnapshot};
+
+/// Serialises references to the trace text format.
+pub fn write_trace(refs: &[MemRef]) -> String {
+    let mut out = String::with_capacity(refs.len() * 16);
+    out.push_str("# ft-coma reference trace v1: pre_cycles kind addr shared\n");
+    for r in refs {
+        out.push_str(&format!(
+            "{} {} {:#x} {}\n",
+            r.pre_cycles,
+            if r.is_write { 'W' } else { 'R' },
+            r.addr.raw(),
+            if r.shared { 's' } else { 'p' },
+        ));
+    }
+    out
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parses the trace text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] for the first malformed line.
+pub fn parse_trace(text: &str) -> Result<Vec<MemRef>, ParseTraceError> {
+    let mut refs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |reason: &str| ParseTraceError { line: i + 1, reason: reason.to_string() };
+        let mut parts = line.split_whitespace();
+        let pre = parts
+            .next()
+            .ok_or_else(|| err("missing pre_cycles"))?
+            .parse::<u32>()
+            .map_err(|_| err("bad pre_cycles"))?;
+        let kind = parts.next().ok_or_else(|| err("missing kind"))?;
+        let is_write = match kind {
+            "R" | "r" => false,
+            "W" | "w" => true,
+            _ => return Err(err("kind must be R or W")),
+        };
+        let addr_s = parts.next().ok_or_else(|| err("missing addr"))?;
+        let addr = if let Some(hex) = addr_s.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).map_err(|_| err("bad hex addr"))?
+        } else {
+            addr_s.parse::<u64>().map_err(|_| err("bad addr"))?
+        };
+        let shared = match parts.next().ok_or_else(|| err("missing shared flag"))? {
+            "s" => true,
+            "p" => false,
+            _ => return Err(err("shared flag must be s or p")),
+        };
+        if parts.next().is_some() {
+            return Err(err("trailing fields"));
+        }
+        refs.push(MemRef { pre_cycles: pre, is_write, addr: Addr::new(addr), shared });
+    }
+    Ok(refs)
+}
+
+/// Replays a recorded trace as a [`RefStream`], looping when exhausted
+/// (so a short trace can drive an arbitrarily long run).
+#[derive(Debug, Clone)]
+pub struct TraceStream {
+    refs: Vec<MemRef>,
+    pos: usize,
+    emitted: u64,
+}
+
+impl TraceStream {
+    /// Wraps a parsed trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn new(refs: Vec<MemRef>) -> Self {
+        assert!(!refs.is_empty(), "trace must contain at least one reference");
+        Self { refs, pos: 0, emitted: 0 }
+    }
+
+    /// Number of recorded references before the trace loops.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Always false (enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl RefStream for TraceStream {
+    fn next_ref(&mut self) -> MemRef {
+        let r = self.refs[self.pos];
+        self.pos = (self.pos + 1) % self.refs.len();
+        self.emitted += 1;
+        r
+    }
+
+    fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot::for_position(self.pos as u64, self.emitted)
+    }
+
+    fn restore(&mut self, snap: &StreamSnapshot) {
+        let (pos, emitted) = snap.position();
+        self.pos = pos as usize % self.refs.len();
+        self.emitted = emitted;
+    }
+
+    fn refs_emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::NodeStream;
+
+    fn sample(n: usize) -> Vec<MemRef> {
+        let mut s = NodeStream::new(&presets::mp3d(), 1, 4, 9);
+        (0..n).map(|_| s.next_ref()).collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let refs = sample(500);
+        let text = write_trace(&refs);
+        assert_eq!(parse_trace(&text).unwrap(), refs);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let parsed = parse_trace("# header\n\n3 W 0x80 s\n  \n0 R 64 p\n").unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed[0].is_write && parsed[0].shared);
+        assert_eq!(parsed[0].addr.raw(), 0x80);
+        assert!(!parsed[1].is_write && !parsed[1].shared);
+        assert_eq!(parsed[1].addr.raw(), 64);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_trace("0 R 0x40 p\n5 X 0x40 p\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("kind"));
+        let err = parse_trace("0 R 0x40 p extra\n").unwrap_err();
+        assert!(err.reason.contains("trailing"));
+    }
+
+    #[test]
+    fn replay_loops_and_rewinds() {
+        let refs = sample(10);
+        let mut t = TraceStream::new(refs.clone());
+        for _ in 0..25 {
+            t.next_ref();
+        }
+        assert_eq!(t.refs_emitted(), 25);
+        let snap = t.snapshot();
+        let a: Vec<_> = (0..15).map(|_| t.next_ref()).collect();
+        t.restore(&snap);
+        let b: Vec<_> = (0..15).map(|_| t.next_ref()).collect();
+        assert_eq!(a, b);
+        assert_eq!(a[0], refs[25 % 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_trace_rejected() {
+        let _ = TraceStream::new(Vec::new());
+    }
+}

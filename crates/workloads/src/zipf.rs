@@ -1,0 +1,121 @@
+//! Zipf-distributed sampling over a finite population.
+//!
+//! Memory-access locality in the generators is modelled with a Zipf law:
+//! rank `k` (1-based) is drawn with probability proportional to
+//! `1 / k^theta`. A precomputed CDF table makes sampling an `O(log n)`
+//! binary search, cheap enough for the simulator's hot loop.
+
+use ftcoma_sim::DetRng;
+
+/// A sampler for Zipf-distributed ranks over `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use ftcoma_workloads::zipf::Zipf;
+/// use ftcoma_sim::DetRng;
+///
+/// let z = Zipf::new(100, 0.8);
+/// let mut rng = DetRng::seeded(1);
+/// let k = z.sample(&mut rng);
+/// assert!(k < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `theta`.
+    ///
+    /// `theta == 0` degenerates to the uniform distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "population must be non-empty");
+        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: the population is non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..len()`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite probabilities")) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_in_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = DetRng::seeded(7);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn low_ranks_are_hotter() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = DetRng::seeded(11);
+        let mut counts = [0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "rank 0 ({}) vs rank 50 ({})", counts[0], counts[50]);
+        assert!(counts[0] > counts[99] * 10);
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = DetRng::seeded(13);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn singleton_population() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = DetRng::seeded(17);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: simulate the same workload on the standard COMA-F machine
+//! and on the fault-tolerant (ECP) machine, and decompose the overhead.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ftcoma_core::FtConfig;
+use ftcoma_machine::{Machine, MachineConfig};
+use ftcoma_workloads::presets;
+
+fn main() {
+    // A 16-node (4x4 mesh) machine running the synthetic Mp3d workload —
+    // the paper's worst case for checkpointing overhead.
+    let base = MachineConfig {
+        nodes: 16,
+        refs_per_node: 60_000,
+        warmup_refs_per_node: 30_000,
+        workload: presets::mp3d(),
+        ..MachineConfig::default()
+    };
+
+    // Baseline: the standard coherence protocol.
+    let std_run = Machine::new(MachineConfig { ft: FtConfig::disabled(), ..base.clone() }).run();
+
+    // ECP: 100 recovery points per simulated second.
+    let mut ft_machine = Machine::new(MachineConfig { ft: FtConfig::enabled(100.0), ..base });
+    let ft_run = ft_machine.run();
+    ft_machine.assert_invariants();
+
+    let t_std = std_run.total_cycles as f64;
+    let t_ft = ft_run.total_cycles as f64;
+    let pollution = t_ft - t_std - ft_run.t_create as f64 - ft_run.t_commit as f64;
+
+    println!("workload            : Mp3d (16 nodes, 100 recovery points/s)");
+    println!("standard execution  : {:>12} cycles", std_run.total_cycles);
+    println!("fault-tolerant      : {:>12} cycles", ft_run.total_cycles);
+    println!("overhead            : {:>11.1} %", (t_ft / t_std - 1.0) * 100.0);
+    println!("  T_create          : {:>11.1} %", ft_run.t_create as f64 / t_std * 100.0);
+    println!("  T_commit          : {:>11.1} %", ft_run.t_commit as f64 / t_std * 100.0);
+    println!("  T_pollution       : {:>11.1} %", pollution / t_std * 100.0);
+    println!("recovery points     : {:>12}", ft_run.checkpoints);
+    println!(
+        "replication         : {:>11.1} MB/s per node during establishment",
+        ft_run.replication_throughput_bps(20e6) / 1e6
+    );
+    println!(
+        "injections          : {:>11.1} per 10k references",
+        ft_run.per_10k_refs(ft_run.injections_total())
+    );
+    println!("protocol invariants : OK (exactly two recovery copies per item)");
+}

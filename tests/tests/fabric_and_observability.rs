@@ -1,0 +1,95 @@
+//! Cross-cutting tests for the alternative fabrics (wormhole switching,
+//! shared bus) and the observability features (trace log, latency
+//! histogram, capacity report).
+
+use ftcoma_core::FtConfig;
+use ftcoma_machine::tracelog::TraceEvent;
+use ftcoma_machine::{FailureKind, Machine, MachineConfig};
+use ftcoma_mem::NodeId;
+use ftcoma_net::{BusConfig, NetConfig};
+use ftcoma_workloads::presets;
+
+fn base() -> MachineConfig {
+    MachineConfig {
+        nodes: 9,
+        refs_per_node: 10_000,
+        workload: presets::mp3d(),
+        ft: FtConfig::enabled(400.0),
+        verify: true,
+        ..MachineConfig::default()
+    }
+}
+
+#[test]
+fn wormhole_switching_preserves_correctness() {
+    let mut m = Machine::new(MachineConfig { net: NetConfig::wormhole(), ..base() });
+    m.schedule_failure(20_000, NodeId::new(3), FailureKind::Transient);
+    let run = m.run();
+    assert_eq!(run.failures, 1);
+    m.assert_invariants();
+}
+
+#[test]
+fn bus_fabric_preserves_correctness_under_failure() {
+    let mut m = Machine::new(MachineConfig { bus: Some(BusConfig::default()), ..base() });
+    m.schedule_failure(30_000, NodeId::new(5), FailureKind::Permanent);
+    let run = m.run();
+    assert_eq!(run.failures, 1);
+    m.assert_invariants();
+}
+
+#[test]
+fn single_medium_bus_works_too() {
+    let bus = BusConfig { split_classes: false, ..BusConfig::default() };
+    let mut m = Machine::new(MachineConfig { bus: Some(bus), ..base() });
+    m.run();
+    m.assert_invariants();
+}
+
+#[test]
+fn trace_orders_failure_before_recovery() {
+    let mut m = Machine::new(MachineConfig { trace_capacity: 1_000_000, ..base() });
+    m.schedule_failure(25_000, NodeId::new(2), FailureKind::Transient);
+    m.run();
+    let trace = m.trace();
+    let failure_pos = trace
+        .iter()
+        .position(|e| matches!(e, TraceEvent::Failure { .. }))
+        .expect("failure traced");
+    let recovered_pos = trace
+        .iter()
+        .position(|e| matches!(e, TraceEvent::Recovered { .. }))
+        .expect("recovery traced");
+    assert!(failure_pos < recovered_pos);
+    // Timestamps are monotone.
+    let times: Vec<_> = trace.iter().map(TraceEvent::at).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn trace_disabled_by_default() {
+    let mut m = Machine::new(base());
+    m.run();
+    assert!(m.trace().is_empty());
+}
+
+#[test]
+fn latency_histogram_covers_hits_and_misses() {
+    let mut m = Machine::new(base());
+    let run = m.run();
+    assert_eq!(
+        run.access_latency.count(),
+        run.refs,
+        "every reference must be accounted in the latency histogram"
+    );
+    assert!(run.access_latency.quantile(0.1) <= 2.0, "cache hits dominate the low end");
+    assert!(run.access_latency.max() >= 116, "remote misses reach Table-2 latencies");
+}
+
+#[test]
+fn capacity_report_printable() {
+    let m = Machine::new(base());
+    let report = m.capacity_report();
+    let text = format!("{report}");
+    assert!(text.contains("guarantee holds"), "{text}");
+}

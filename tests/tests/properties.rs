@@ -1,0 +1,225 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! full machine.
+
+use proptest::prelude::*;
+
+use ftcoma_core::FtConfig;
+use ftcoma_machine::{FailureKind, Machine, MachineConfig};
+use ftcoma_mem::addr::LineId;
+use ftcoma_mem::{AmGeometry, AttractionMemory, Cache, CacheGeometry, ItemId, ItemState, NodeId, PageId};
+use ftcoma_workloads::{presets, NodeStream, RefStream};
+
+// ---------------------------------------------------------------------------
+// Cache vs a reference model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Fill(u64, bool),
+    MarkDirty(u64),
+    InvalidateItem(u64),
+    FlushItem(u64),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u64..2_000, any::<bool>()).prop_map(|(l, d)| CacheOp::Fill(l, d)),
+        (0u64..2_000).prop_map(CacheOp::MarkDirty),
+        (0u64..1_000).prop_map(CacheOp::InvalidateItem),
+        (0u64..1_000).prop_map(CacheOp::FlushItem),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache agrees with a simple map-based model on presence and
+    /// dirtiness (modulo capacity evictions, which only remove entries).
+    #[test]
+    fn cache_behaves_like_model(ops in proptest::collection::vec(cache_op(), 1..300)) {
+        use std::collections::HashMap;
+        let mut cache = Cache::new(CacheGeometry {
+            capacity_bytes: 16 * 2048,
+            sector_bytes: 2048,
+            ways: 4,
+        });
+        let mut model: HashMap<u64, bool> = HashMap::new(); // line -> dirty
+        for op in ops {
+            match op {
+                CacheOp::Fill(l, d) => {
+                    cache.fill(LineId::new(l), d);
+                    model.insert(l, d);
+                }
+                CacheOp::MarkDirty(l) => {
+                    if cache.mark_dirty(LineId::new(l)) {
+                        model.insert(l, true);
+                    }
+                }
+                CacheOp::InvalidateItem(i) => {
+                    cache.invalidate_item(ItemId::new(i));
+                    for line in ItemId::new(i).lines() {
+                        model.remove(&line.index());
+                    }
+                }
+                CacheOp::FlushItem(i) => {
+                    cache.flush_item(ItemId::new(i));
+                    for line in ItemId::new(i).lines() {
+                        if let Some(d) = model.get_mut(&line.index()) {
+                            *d = false;
+                        }
+                    }
+                }
+            }
+            // The cache may hold FEWER lines than the model (evictions),
+            // never more, and dirtiness must match where present.
+            prop_assert!(cache.resident_lines() <= model.len() as u64);
+            prop_assert!(cache.dirty_lines() <= model.values().filter(|&&d| d).count() as u64);
+        }
+        // Every line the cache still holds must agree with the model.
+        for (&l, &dirty) in &model {
+            match cache.line_state(LineId::new(l)) {
+                ftcoma_mem::LineState::Invalid => {}
+                ftcoma_mem::LineState::Clean => prop_assert!(!dirty, "line {l} should be dirty"),
+                ftcoma_mem::LineState::Dirty => prop_assert!(dirty, "line {l} should be clean"),
+            }
+        }
+    }
+
+    /// AM page allocation never loses pages silently and the acceptance
+    /// test never proposes sacrificing a page holding protected copies.
+    #[test]
+    fn am_acceptance_never_sacrifices_protected_pages(
+        pages in proptest::collection::vec(0u64..64, 1..40),
+        protect in proptest::collection::vec(any::<bool>(), 40),
+    ) {
+        let mut am = AttractionMemory::new(AmGeometry {
+            capacity_bytes: 8 * 16 * 1024, // 8 frames
+            ways: 2,
+        });
+        for (k, &p) in pages.iter().enumerate() {
+            let page = PageId::new(p);
+            if am.allocate_page(page).is_ok() && protect[k % protect.len()] {
+                let item = page.items().next().unwrap();
+                am.install(item, ItemState::MasterShared, 0, None);
+            }
+        }
+        for probe in 0..64u64 {
+            let item = PageId::new(probe).items().next().unwrap();
+            if let ftcoma_mem::InjectionAccept::ReplacePage(victim) = am.injection_acceptance(item) {
+                let droppable = victim
+                    .items()
+                    .all(|i| !am.state(i).requires_injection());
+                prop_assert!(droppable, "acceptance offered protected page {victim}");
+            }
+        }
+    }
+
+    /// Workload streams replay exactly from any snapshot point.
+    #[test]
+    fn stream_replay_is_exact(
+        preset in 0usize..4,
+        node in 0u16..8,
+        advance in 0usize..2_000,
+        seed in any::<u64>(),
+    ) {
+        let cfg = presets::all()[preset].clone();
+        let mut s = NodeStream::new(&cfg, node, 8, seed);
+        for _ in 0..advance {
+            s.next_ref();
+        }
+        let snap = s.snapshot();
+        let a: Vec<_> = (0..200).map(|_| s.next_ref()).collect();
+        s.restore(&snap);
+        let b: Vec<_> = (0..200).map(|_| s.next_ref()).collect();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-machine properties (smaller case counts: these are full runs)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any small machine, any workload, any frequency, any seed: the run
+    /// completes and every protocol invariant holds afterwards.
+    #[test]
+    fn machine_invariants_hold_for_random_configs(
+        preset in 0usize..4,
+        nodes in 4u16..10,
+        freq_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let freq = [400.0, 150.0, 60.0][freq_idx];
+        let cfg = MachineConfig {
+            nodes,
+            refs_per_node: 4_000,
+            workload: presets::all()[preset].clone(),
+            ft: FtConfig::enabled(freq),
+            seed,
+            verify: true,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg);
+        let run = m.run();
+        prop_assert!(run.total_cycles > 0);
+        m.assert_invariants();
+    }
+
+    /// A transient failure at a random time never corrupts the machine.
+    #[test]
+    fn random_failure_times_recover_cleanly(
+        at in 5_000u64..120_000,
+        victim in 0u16..9,
+        seed in any::<u64>(),
+    ) {
+        let cfg = MachineConfig {
+            nodes: 9,
+            refs_per_node: 8_000,
+            workload: presets::mp3d(),
+            ft: FtConfig::enabled(400.0),
+            seed,
+            verify: true,
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::new(cfg);
+        m.schedule_failure(at, NodeId::new(victim), FailureKind::Transient);
+        let _ = m.run();
+        m.assert_invariants();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn identical_seeds_give_identical_runs() {
+    let cfg = || MachineConfig {
+        nodes: 9,
+        refs_per_node: 10_000,
+        workload: presets::cholesky(),
+        ft: FtConfig::enabled(200.0),
+        seed: 1234,
+        ..MachineConfig::default()
+    };
+    let a = Machine::new(cfg()).run();
+    let b = Machine::new(cfg()).run();
+    assert_eq!(a, b, "simulation must be a pure function of its configuration");
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let cfg = |seed| MachineConfig {
+        nodes: 9,
+        refs_per_node: 10_000,
+        workload: presets::cholesky(),
+        ft: FtConfig::enabled(200.0),
+        seed,
+        ..MachineConfig::default()
+    };
+    let a = Machine::new(cfg(1)).run();
+    let b = Machine::new(cfg(2)).run();
+    assert_ne!(a.total_cycles, b.total_cycles);
+}

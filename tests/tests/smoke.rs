@@ -1,0 +1,79 @@
+use ftcoma_core::FtConfig;
+use ftcoma_machine::{FailureKind, Machine, MachineConfig};
+use ftcoma_mem::NodeId;
+use ftcoma_workloads::presets;
+
+#[test]
+fn smoke_all_workloads_both_modes() {
+    for wl in presets::all() {
+        for ft in [FtConfig::disabled(), FtConfig::enabled(400.0)] {
+            let cfg = MachineConfig {
+                nodes: 9,
+                refs_per_node: 6_000,
+                workload: wl.clone(),
+                ft,
+                verify: true,
+                ..MachineConfig::default()
+            };
+            let mut m = Machine::new(cfg);
+            let metrics = m.run();
+            assert!(metrics.total_cycles > 0, "{}", wl.name);
+            m.assert_invariants();
+        }
+    }
+}
+
+#[test]
+fn smoke_transient_failure() {
+    let cfg = MachineConfig {
+        nodes: 9,
+        refs_per_node: 6_000,
+        workload: presets::mp3d(),
+        ft: FtConfig::enabled(400.0),
+        verify: true,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg);
+    m.schedule_failure(15_000, NodeId::new(3), FailureKind::Transient);
+    let metrics = m.run();
+    assert_eq!(metrics.failures, 1);
+    m.assert_invariants();
+}
+
+#[test]
+fn smoke_permanent_failure() {
+    let cfg = MachineConfig {
+        nodes: 9,
+        refs_per_node: 6_000,
+        workload: presets::water(),
+        ft: FtConfig::enabled(400.0),
+        verify: true,
+        ..MachineConfig::default()
+    };
+    let mut m = Machine::new(cfg);
+    m.schedule_failure(15_000, NodeId::new(3), FailureKind::Permanent);
+    let metrics = m.run();
+    assert_eq!(metrics.failures, 1);
+    assert!(metrics.t_recovery > 0);
+    m.assert_invariants();
+}
+
+#[test]
+fn micro_workloads_run_in_both_modes() {
+    for wl in ftcoma_workloads::presets::micros() {
+        for ft in [FtConfig::disabled(), FtConfig::enabled(400.0)] {
+            let cfg = MachineConfig {
+                nodes: 9,
+                refs_per_node: 4_000,
+                workload: wl.clone(),
+                ft,
+                verify: true,
+                ..MachineConfig::default()
+            };
+            let mut m = Machine::new(cfg);
+            let metrics = m.run();
+            assert!(metrics.total_cycles > 0, "{}", wl.name);
+            m.assert_invariants();
+        }
+    }
+}

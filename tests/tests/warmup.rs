@@ -1,0 +1,12 @@
+#[test]
+fn warmup_baseline_applies() {
+    use ftcoma_machine::{Machine, MachineConfig};
+    let cfg = MachineConfig {
+        nodes: 4,
+        refs_per_node: 2_000,
+        warmup_refs_per_node: 1_000,
+        ..MachineConfig::default()
+    };
+    let m = Machine::new(cfg).run();
+    assert!(m.refs <= 4 * 2_100, "refs {} includes warmup", m.refs);
+}
