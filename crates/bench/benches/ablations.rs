@@ -27,7 +27,10 @@ fn main() {
         let mut ft_cfg = FtConfig::enabled(100.0);
         ft_cfg.reuse_shared_replica = reuse;
         let ft = run_one(&wl, 16, ft_cfg, refs, warmup);
-        let pair = Pair { std: std.clone(), ft };
+        let pair = Pair {
+            std: std.clone(),
+            ft,
+        };
         let d = pair.decomposition();
         println!(
             "reuse={:<5}  T_create={:>7}  transferred bytes={:>9}  reused={:>4.0}%",
@@ -48,7 +51,10 @@ fn main() {
         let mut ft_cfg = FtConfig::enabled(100.0);
         ft_cfg.optimized_commit_scan = optimized;
         let ft = run_one(&wl, 16, ft_cfg, refs, warmup);
-        let pair = Pair { std: std.clone(), ft };
+        let pair = Pair {
+            std: std.clone(),
+            ft,
+        };
         let d = pair.decomposition();
         println!(
             "optimized={:<5}  T_commit={:>7}  total overhead={:>7}",
@@ -65,7 +71,10 @@ fn main() {
         let mut ft_cfg = FtConfig::enabled(400.0);
         ft_cfg.commit_strategy = strategy;
         let ft = run_one(&wl, 16, ft_cfg, refs, warmup);
-        let pair = Pair { std: std.clone(), ft };
+        let pair = Pair {
+            std: std.clone(),
+            ft,
+        };
         let d = pair.decomposition();
         println!(
             "{:<20?}  T_commit={:>7}  total overhead={:>7}",
@@ -86,7 +95,10 @@ fn main() {
             warmup_refs_per_node: warmup,
             workload: presets::mp3d(),
             ft: FtConfig::enabled(400.0),
-            net: NetConfig { switching, ..NetConfig::default() },
+            net: NetConfig {
+                switching,
+                ..NetConfig::default()
+            },
             ..MachineConfig::default()
         };
         let m = Machine::new(cfg).run();
@@ -99,7 +111,10 @@ fn main() {
         "Ablation 5: interconnect — shared snooping bus vs 2-D mesh",
         "§5 — 'the ECP can also be implemented with snooping coherence protocols';\n         the bus saturates with node count, which is why the paper targets meshes",
     );
-    println!("{:>7}  {:>14}  {:>14}  {:>8}", "nodes", "mesh cycles", "bus cycles", "bus/mesh");
+    println!(
+        "{:>7}  {:>14}  {:>14}  {:>8}",
+        "nodes", "mesh cycles", "bus cycles", "bus/mesh"
+    );
     for nodes in [4u16, 9, 16] {
         let mk = |bus| MachineConfig {
             nodes,

@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks of the simulator's hot paths: cache and AM
-//! probes, mesh message accounting, workload generation, and a small
-//! end-to-end machine run per protocol mode.
+//! Micro-benchmarks of the simulator's hot paths: cache and AM probes,
+//! mesh message accounting, workload generation, and a small end-to-end
+//! machine run per protocol mode.
+//!
+//! Formerly a criterion harness; the workspace is dependency-free, so this
+//! is now a plain `harness = false` bench with a minimal timing loop
+//! (median of repeated batches, like criterion's default but simpler).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use ftcoma_core::FtConfig;
 use ftcoma_machine::{Machine, MachineConfig};
@@ -13,27 +17,40 @@ use ftcoma_net::{Mesh, MeshGeometry, NetClass, NetConfig};
 use ftcoma_sim::DetRng;
 use ftcoma_workloads::{presets, NodeStream, RefStream};
 
-fn bench_cache(c: &mut Criterion) {
+/// Times `iters` calls of `f` per batch over `batches` batches and prints
+/// the median per-call time.
+fn bench(name: &str, batches: usize, iters: u64, mut f: impl FnMut()) {
+    let mut per_call: Vec<f64> = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_call.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_call.sort_by(|a, b| a.total_cmp(b));
+    let median = per_call[per_call.len() / 2];
+    println!("{name:<28} {median:>12.1} ns/iter  (median of {batches} x {iters})");
+}
+
+fn bench_cache() {
     let mut cache = Cache::ksr1();
     for i in 0..512u64 {
         cache.fill(LineId::new(i * 3), i % 2 == 0);
     }
     let mut i = 0u64;
-    c.bench_function("cache_probe", |b| {
-        b.iter(|| {
-            i = (i + 1) % 512;
-            black_box(cache.probe(LineId::new(i * 3)))
-        })
+    bench("cache_probe", 15, 100_000, || {
+        i = (i + 1) % 512;
+        black_box(cache.probe(LineId::new(i * 3)));
     });
-    c.bench_function("cache_fill", |b| {
-        b.iter(|| {
-            i += 7;
-            black_box(cache.fill(LineId::new(i % 40_000), false))
-        })
+    let mut i = 0u64;
+    bench("cache_fill", 15, 100_000, || {
+        i += 7;
+        black_box(cache.fill(LineId::new(i % 40_000), false));
     });
 }
 
-fn bench_am(c: &mut Criterion) {
+fn bench_am() {
     let mut am = AttractionMemory::ksr1();
     for p in 0..64u64 {
         am.allocate_page(ftcoma_mem::PageId::new(p)).unwrap();
@@ -42,58 +59,60 @@ fn bench_am(c: &mut Criterion) {
         am.install(ItemId::new(i * 2), ItemState::Shared, i, None);
     }
     let mut i = 0u64;
-    c.bench_function("am_state_lookup", |b| {
-        b.iter(|| {
-            i = (i + 1) % 4096;
-            black_box(am.state(ItemId::new(i * 2)))
-        })
+    bench("am_state_lookup", 15, 100_000, || {
+        i = (i + 1) % 4096;
+        black_box(am.state(ItemId::new(i * 2)));
     });
-    c.bench_function("am_injection_acceptance", |b| {
-        b.iter(|| {
-            i = (i + 1) % 8192;
-            black_box(am.injection_acceptance(ItemId::new(i)))
-        })
+    let mut i = 0u64;
+    bench("am_injection_acceptance", 15, 100_000, || {
+        i = (i + 1) % 8192;
+        black_box(am.injection_acceptance(ItemId::new(i)));
     });
 }
 
-fn bench_mesh(c: &mut Criterion) {
+fn bench_mesh() {
     let mut mesh = Mesh::new(MeshGeometry::for_nodes(56), NetConfig::default());
     let mut t = 0u64;
-    c.bench_function("mesh_send_item", |b| {
-        b.iter(|| {
-            t += 10;
-            black_box(mesh.send(t, NodeId::new(3), NodeId::new(52), NetClass::Reply, 128))
-        })
+    bench("mesh_send_item", 15, 100_000, || {
+        t += 10;
+        black_box(mesh.send(t, NodeId::new(3), NodeId::new(52), NetClass::Reply, 128));
     });
 }
 
-fn bench_workload(c: &mut Criterion) {
+fn bench_workload() {
     let mut stream = NodeStream::new(&presets::mp3d(), 0, 16, 1);
-    c.bench_function("workload_next_ref", |b| b.iter(|| black_box(stream.next_ref())));
+    bench("workload_next_ref", 15, 100_000, || {
+        black_box(stream.next_ref());
+    });
     let mut rng = DetRng::seeded(1);
-    c.bench_function("rng_next", |b| b.iter(|| black_box(rng.next_u64())));
+    bench("rng_next", 15, 1_000_000, || {
+        black_box(rng.next_u64());
+    });
 }
 
-fn bench_machine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("machine");
-    group.sample_size(10);
-    for (name, ft) in [("standard", FtConfig::disabled()), ("ecp_400rps", FtConfig::enabled(400.0))]
-    {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let cfg = MachineConfig {
-                    nodes: 9,
-                    refs_per_node: 5_000,
-                    workload: presets::water(),
-                    ft,
-                    ..MachineConfig::default()
-                };
-                black_box(Machine::new(cfg).run())
-            })
+fn bench_machine() {
+    for (name, ft) in [
+        ("standard", FtConfig::disabled()),
+        ("ecp_400rps", FtConfig::enabled(400.0)),
+    ] {
+        bench(&format!("machine/{name}"), 10, 1, || {
+            let cfg = MachineConfig {
+                nodes: 9,
+                refs_per_node: 5_000,
+                workload: presets::water(),
+                ft,
+                ..MachineConfig::default()
+            };
+            black_box(Machine::new(cfg).run());
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_am, bench_mesh, bench_workload, bench_machine);
-criterion_main!(benches);
+fn main() {
+    println!("== criterion_micro: simulator hot paths ==");
+    bench_cache();
+    bench_am();
+    bench_mesh();
+    bench_workload();
+    bench_machine();
+}

@@ -13,7 +13,9 @@
 //!   with frequency and are 88–98 % on Shared-CK1 copies; reads roughly
 //!   frequency-independent).
 
-use ftcoma_bench::{banner, mbps, pct, run_pair, Pair, NODES, PAPER_FREQS};
+use ftcoma_bench::{
+    banner, mbps, pair_json, pct, run_pair, write_bench_json, Pair, NODES, PAPER_FREQS,
+};
 use ftcoma_workloads::presets;
 
 fn main() {
@@ -23,6 +25,17 @@ fn main() {
             eprintln!("running {} at {freq} rp/s ...", wl.name);
             sweep.push((wl.name.clone(), freq, run_pair(&wl, NODES, freq)));
         }
+    }
+
+    // Structured export (set FTCOMA_BENCH_JSON to a directory to enable).
+    let rows = sweep
+        .iter()
+        .map(|(name, freq, pair)| pair_json(&format!("{name}@{freq}"), pair))
+        .collect();
+    match write_bench_json("fig3_6_frequency_sweep", rows) {
+        Ok(Some(path)) => eprintln!("wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("bench JSON export failed: {e}"),
     }
 
     banner(

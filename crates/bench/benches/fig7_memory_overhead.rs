@@ -24,7 +24,10 @@ fn main() {
             "{:<10} {:>12} {:>12} {:>8.2}x",
             wl.name, pair.std.pages_allocated, pair.ft.pages_allocated, ratio
         );
-        assert!(ratio >= 1.0, "ECP cannot allocate fewer pages than the baseline");
+        assert!(
+            ratio >= 1.0,
+            "ECP cannot allocate fewer pages than the baseline"
+        );
     }
     println!("\nshared pages are already replicated by normal COMA operation, so");
     println!("recovery copies often land in pages the standard protocol allocates");

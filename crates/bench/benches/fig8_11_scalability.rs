@@ -44,7 +44,9 @@ fn main() {
         "Fig 9: aggregate replication throughput vs processors",
         "§4.2.5, Fig. 9 — paper: near-linear growth (211 MB/s @9 -> 1.1 GB/s @56)",
     );
-    print_per_size(&results, |p| mbps(p.ft.aggregate_replication_throughput_bps(20e6)));
+    print_per_size(&results, |p| {
+        mbps(p.ft.aggregate_replication_throughput_bps(20e6))
+    });
 
     banner(
         "Fig 10: pollution effect vs number of processors",

@@ -20,7 +20,10 @@ use ftcoma_machine::{probe, Machine, MachineConfig};
 use ftcoma_workloads::presets;
 
 fn main() {
-    banner("Table 1: new injections introduced by the ECP", "§4.1, Table 1");
+    banner(
+        "Table 1: new injections introduced by the ECP",
+        "§4.1, Table 1",
+    );
 
     // Access-triggered causes: a normal Mp3d run.
     let cfg = MachineConfig {
@@ -36,7 +39,10 @@ fn main() {
     // Replacement-triggered cause: deterministic page-set conflict.
     let demo = probe::force_replacement_injection();
 
-    println!("{:<16} {:<18} {:<26} {:>10}", "cause", "local copy state", "action", "observed");
+    println!(
+        "{:<16} {:<18} {:<26} {:>10}",
+        "cause", "local copy state", "action", "observed"
+    );
     println!(
         "{:<16} {:<18} {:<26} {:>10}",
         "replacement", "master / CK copy", "injection", demo.replacement_injections
@@ -54,9 +60,18 @@ fn main() {
         "write access", "Shared-CK", "injection + write miss", m.injections_write_shared_ck
     );
 
-    assert!(m.injections_on_read > 0, "read-on-InvCk injections must occur");
-    assert!(m.injections_write_shared_ck > 0, "write-on-SharedCk injections must occur");
-    assert_eq!(demo.replacement_injections, 1, "forced replacement injects exactly once");
+    assert!(
+        m.injections_on_read > 0,
+        "read-on-InvCk injections must occur"
+    );
+    assert!(
+        m.injections_write_shared_ck > 0,
+        "write-on-SharedCk injections must occur"
+    );
+    assert_eq!(
+        demo.replacement_injections, 1,
+        "forced replacement injects exactly once"
+    );
     println!(
         "\nreplacement demo: master displaced to {}, faulting access took {} cycles",
         demo.new_host, demo.access_latency

@@ -10,11 +10,23 @@ use ftcoma_machine::probe;
 fn main() {
     banner("Table 2: read miss latency times", "§4.2.2, Table 2");
     let t = probe::read_miss_latencies();
-    println!("{:<34} {:>8} {:>8}", "read miss serviced by", "paper", "measured");
+    println!(
+        "{:<34} {:>8} {:>8}",
+        "read miss serviced by", "paper", "measured"
+    );
     println!("{:<34} {:>8} {:>8}", "fill from cache", 1, t.cache);
     println!("{:<34} {:>8} {:>8}", "fill from local AM", 18, t.local_am);
-    println!("{:<34} {:>8} {:>8}", "fill from remote AM (1 hop)", 116, t.remote_1hop);
-    println!("{:<34} {:>8} {:>8}", "fill from remote AM (2 hops)", 124, t.remote_2hop);
-    assert_eq!((t.cache, t.local_am, t.remote_1hop, t.remote_2hop), (1, 18, 116, 124));
+    println!(
+        "{:<34} {:>8} {:>8}",
+        "fill from remote AM (1 hop)", 116, t.remote_1hop
+    );
+    println!(
+        "{:<34} {:>8} {:>8}",
+        "fill from remote AM (2 hops)", 124, t.remote_2hop
+    );
+    assert_eq!(
+        (t.cache, t.local_am, t.remote_1hop, t.remote_2hop),
+        (1, 18, 116, 124)
+    );
     println!("\nexact match: yes");
 }

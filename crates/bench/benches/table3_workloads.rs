@@ -14,12 +14,27 @@ struct Row {
 }
 
 fn main() {
-    banner("Table 3: simulated application characteristics", "§4.2.2, Table 3");
+    banner(
+        "Table 3: simulated application characteristics",
+        "§4.2.2, Table 3",
+    );
     let rows = [
-        Row { name: "Barnes", paper: [18.4, 10.7, 4.2, 0.1] },
-        Row { name: "Cholesky", paper: [23.3, 6.2, 18.8, 3.3] },
-        Row { name: "Mp3d", paper: [16.3, 9.7, 13.1, 8.3] },
-        Row { name: "Water", paper: [23.7, 6.9, 4.3, 0.5] },
+        Row {
+            name: "Barnes",
+            paper: [18.4, 10.7, 4.2, 0.1],
+        },
+        Row {
+            name: "Cholesky",
+            paper: [23.3, 6.2, 18.8, 3.3],
+        },
+        Row {
+            name: "Mp3d",
+            paper: [16.3, 9.7, 13.1, 8.3],
+        },
+        Row {
+            name: "Water",
+            paper: [23.7, 6.9, 4.3, 0.5],
+        },
     ];
     println!(
         "{:<10} {:>7} {:>7}   {:>7} {:>7}   {:>7} {:>7}   {:>7} {:>7}",
@@ -58,8 +73,16 @@ fn main() {
             row.paper[3],
             f(swr),
         );
-        assert!((f(rd) - row.paper[0]).abs() < 1.5, "{} read mix off", row.name);
-        assert!((f(wr) - row.paper[1]).abs() < 1.5, "{} write mix off", row.name);
+        assert!(
+            (f(rd) - row.paper[0]).abs() < 1.5,
+            "{} read mix off",
+            row.name
+        );
+        assert!(
+            (f(wr) - row.paper[1]).abs() < 1.5,
+            "{} write mix off",
+            row.name
+        );
     }
     println!("\ninstruction counts are scaled (see DESIGN.md §4); mixes match Table 3.");
     println!("relative working sets preserved: Mp3d = 9 x Barnes shared pages.");

@@ -10,9 +10,11 @@
 //! — see DESIGN.md §4); the *shapes* are the reproduction target and
 //! EXPERIMENTS.md records both sides.
 
+use std::path::{Path, PathBuf};
+
 use ftcoma_core::FtConfig;
-use ftcoma_machine::{Machine, MachineConfig, RunMetrics};
-use ftcoma_sim::Clock;
+use ftcoma_machine::{export, Machine, MachineConfig, RunMetrics};
+use ftcoma_sim::{Clock, Json};
 use ftcoma_workloads::SplashConfig;
 
 /// The recovery-point frequencies of Fig. 3 (per simulated second).
@@ -107,6 +109,62 @@ impl Pair {
     }
 }
 
+/// One labeled pair as a JSON row: the Fig. 3 decomposition plus both
+/// runs flattened through the metrics registry (the same series names the
+/// CLI's JSON export uses).
+pub fn pair_json(label: &str, pair: &Pair) -> Json {
+    let d = pair.decomposition();
+    Json::obj([
+        ("label", Json::from(label)),
+        (
+            "decomposition",
+            Json::obj([
+                ("total_overhead", Json::from(d.total_overhead)),
+                ("create", Json::from(d.create)),
+                ("commit", Json::from(d.commit)),
+                ("pollution", Json::from(d.pollution)),
+            ]),
+        ),
+        ("std", export::registry_from(&pair.std).to_json()),
+        ("ft", export::registry_from(&pair.ft).to_json()),
+    ])
+}
+
+/// Assembles a versioned bench document from labeled rows.
+pub fn bench_doc(id: &str, rows: Vec<Json>) -> Json {
+    Json::obj([
+        ("schema_version", Json::from(export::SCHEMA_VERSION)),
+        ("bench", Json::from(id)),
+        ("rows", Json::arr(rows)),
+    ])
+}
+
+/// Writes `BENCH_<id>.json` into `dir` and returns its path.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the write.
+pub fn write_bench_json_to(dir: &Path, id: &str, rows: Vec<Json>) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{id}.json"));
+    let mut text = bench_doc(id, rows).to_string_pretty();
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Env-gated bench export: when `FTCOMA_BENCH_JSON` names a directory,
+/// writes `BENCH_<id>.json` there and returns the path; otherwise a no-op.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the write.
+pub fn write_bench_json(id: &str, rows: Vec<Json>) -> std::io::Result<Option<PathBuf>> {
+    match std::env::var_os("FTCOMA_BENCH_JSON") {
+        None => Ok(None),
+        Some(dir) => write_bench_json_to(Path::new(&dir), id, rows).map(Some),
+    }
+}
+
 /// Prints a benchmark banner.
 pub fn banner(id: &str, paper: &str) {
     println!("\n=== {id} ===");
@@ -146,5 +204,38 @@ mod tests {
         let recomposed = d.create + d.commit + d.pollution;
         assert!((recomposed - d.total_overhead).abs() < 1e-9);
         assert!(pair.ft.checkpoints > 0);
+    }
+
+    #[test]
+    fn bench_json_round_trips() {
+        let pair = run_pair(&presets::water(), 4, 400.0);
+        let doc = bench_doc("unit_test", vec![pair_json("water@400", &pair)]);
+        let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(
+            parsed.get("schema_version").and_then(|v| v.as_u64()),
+            Some(export::SCHEMA_VERSION)
+        );
+        assert_eq!(
+            parsed.get("bench").and_then(|v| v.as_str()),
+            Some("unit_test")
+        );
+        let row = &parsed.get("rows").unwrap().as_array().unwrap()[0];
+        assert_eq!(row.get("label").and_then(|v| v.as_str()), Some("water@400"));
+        assert!(row
+            .get("decomposition")
+            .and_then(|d| d.get("create"))
+            .is_some());
+        // The registry series include per-node breakdowns.
+        let ft = row.get("ft").unwrap().as_array().unwrap();
+        assert!(ft.iter().any(|s| {
+            s.get("name").and_then(|v| v.as_str()) == Some("refs_total")
+                && s.get("labels").and_then(|l| l.get("node")).is_some()
+        }));
+        let dir = std::env::temp_dir();
+        let path =
+            write_bench_json_to(&dir, "unit_test", vec![pair_json("water@400", &pair)]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(Json::parse(&text).is_ok());
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -31,9 +31,13 @@ impl Parsed {
     /// and stray positional arguments.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, ArgError> {
         let mut it = args.into_iter();
-        let command = it.next().ok_or_else(|| ArgError("missing subcommand".into()))?;
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand".into()))?;
         if command.starts_with('-') {
-            return Err(ArgError(format!("expected a subcommand, got flag {command}")));
+            return Err(ArgError(format!(
+                "expected a subcommand, got flag {command}"
+            )));
         }
         let mut flags = HashMap::new();
         while let Some(a) = it.next() {
@@ -43,10 +47,11 @@ impl Parsed {
             if key.is_empty() {
                 return Err(ArgError("empty flag name".into()));
             }
-            let value = if matches!(key, "no-ft" | "verify" | "wormhole") {
+            let value = if matches!(key, "no-ft" | "verify" | "wormhole" | "json") {
                 "true".to_string() // boolean flags take no value
             } else {
-                it.next().ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?
+                it.next()
+                    .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?
             };
             if flags.insert(key.to_string(), value).is_some() {
                 return Err(ArgError(format!("flag --{key} given twice")));
@@ -57,7 +62,10 @@ impl Parsed {
 
     /// String flag with a default.
     pub fn str_or(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Integer flag with a default.
@@ -68,7 +76,9 @@ impl Parsed {
     pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ArgError(format!("--{key}: bad integer {v}"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: bad integer {v}"))),
         }
     }
 
@@ -80,7 +90,9 @@ impl Parsed {
     pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ArgError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ArgError(format!("--{key}: bad number {v}"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: bad number {v}"))),
         }
     }
 
@@ -99,7 +111,11 @@ impl Parsed {
             None => Ok(default.to_vec()),
             Some(v) => v
                 .split(',')
-                .map(|x| x.trim().parse().map_err(|_| ArgError(format!("--{key}: bad number {x}"))))
+                .map(|x| {
+                    x.trim()
+                        .parse()
+                        .map_err(|_| ArgError(format!("--{key}: bad number {x}")))
+                })
                 .collect(),
         }
     }
@@ -108,7 +124,10 @@ impl Parsed {
     pub fn assert_only(&self, known: &[&str]) -> Result<(), ArgError> {
         for k in self.flags.keys() {
             if !known.contains(&k.as_str()) {
-                return Err(ArgError(format!("unknown flag --{k} for `{}`", self.command)));
+                return Err(ArgError(format!(
+                    "unknown flag --{k} for `{}`",
+                    self.command
+                )));
             }
         }
         Ok(())
@@ -146,7 +165,10 @@ mod tests {
     #[test]
     fn float_lists() {
         let a = p("sweep --freqs 400,100,5").unwrap();
-        assert_eq!(a.f64_list_or("freqs", &[1.0]).unwrap(), vec![400.0, 100.0, 5.0]);
+        assert_eq!(
+            a.f64_list_or("freqs", &[1.0]).unwrap(),
+            vec![400.0, 100.0, 5.0]
+        );
         let b = p("sweep").unwrap();
         assert_eq!(b.f64_list_or("freqs", &[1.0]).unwrap(), vec![1.0]);
     }

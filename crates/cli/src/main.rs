@@ -15,8 +15,9 @@ use std::process::ExitCode;
 
 use args::{ArgError, Parsed};
 use ftcoma_core::FtConfig;
-use ftcoma_machine::{probe, FailureKind, Machine, MachineConfig, RunMetrics};
+use ftcoma_machine::{export, probe, FailureKind, Machine, MachineConfig, RunMetrics};
 use ftcoma_mem::NodeId;
+use ftcoma_sim::Clock;
 use ftcoma_workloads::{presets, SplashConfig};
 
 fn main() -> ExitCode {
@@ -57,12 +58,22 @@ ftcoma — fault-tolerant COMA simulator (Morin et al., ISCA 1996)
 USAGE
   ftcoma run      --workload W [--nodes N] [--refs R] [--warmup U]
                   [--freq RP_PER_S | --no-ft] [--seed S] [--verify]
+                  [--json] [--metrics-out FILE] [--trace-out FILE]
+                  [--trace-jsonl FILE] [--trace-capacity N]
   ftcoma compare  --workload W [--nodes N] [--refs R] [--warmup U] [--freq F]
   ftcoma sweep    --workload W [--nodes N] [--freqs F1,F2,...]
   ftcoma failure  --workload W --kind transient|permanent [--node K]
                   [--at CYCLES] [--repair-at CYCLES]
   ftcoma latency
   ftcoma help
+
+OBSERVABILITY (run and failure)
+  --json              print the run metrics as versioned JSON on stdout
+  --metrics-out FILE  also write that JSON document to FILE
+  --trace-out FILE    write a Chrome trace-event file (Perfetto-viewable)
+  --trace-jsonl FILE  write the protocol trace as JSON Lines
+  --trace-capacity N  retain the last N trace events (default 1000000
+                      when a trace output is requested, else 0)
 
 WORKLOADS
   barnes, cholesky, mp3d, water (paper's Table 3), plus micro-benchmarks
@@ -71,8 +82,10 @@ WORKLOADS
 
 fn workload(p: &Parsed) -> Result<SplashConfig, ArgError> {
     let name = p.str_or("workload", "water");
-    let all: Vec<SplashConfig> =
-        presets::all().into_iter().chain(presets::micros()).collect();
+    let all: Vec<SplashConfig> = presets::all()
+        .into_iter()
+        .chain(presets::micros())
+        .collect();
     all.into_iter()
         .find(|w| w.name.eq_ignore_ascii_case(&name))
         .ok_or_else(|| ArgError(format!("unknown workload `{name}`")))
@@ -89,6 +102,11 @@ fn machine_config(p: &Parsed) -> Result<MachineConfig, ArgError> {
     } else {
         Default::default()
     };
+    let default_trace_capacity = if p.has("trace-out") || p.has("trace-jsonl") {
+        1_000_000
+    } else {
+        0
+    };
     Ok(MachineConfig {
         nodes: p.u64_or("nodes", 16)? as u16,
         refs_per_node: p.u64_or("refs", 60_000)?,
@@ -98,8 +116,47 @@ fn machine_config(p: &Parsed) -> Result<MachineConfig, ArgError> {
         net,
         seed: p.u64_or("seed", 0xF7C0_3A11)?,
         verify: p.has("verify"),
+        trace_capacity: p.u64_or("trace-capacity", default_trace_capacity)? as usize,
         ..MachineConfig::default()
     })
+}
+
+/// Handles the structured-output flags shared by `run` and `failure`.
+/// Returns `true` when `--json` consumed stdout (suppress the text report).
+fn export_outputs(p: &Parsed, machine: &Machine, metrics: &RunMetrics) -> Result<bool, ArgError> {
+    let write = |path: &str, contents: &str| {
+        std::fs::write(path, contents).map_err(|e| ArgError(format!("cannot write {path}: {e}")))
+    };
+    let wants_doc = p.has("json") || p.has("metrics-out");
+    let doc = if wants_doc {
+        Some(export::metrics_json(metrics, &machine.link_report()))
+    } else {
+        None
+    };
+    if let Some(doc) = &doc {
+        if p.has("metrics-out") {
+            let mut text = doc.to_string_pretty();
+            text.push('\n');
+            write(&p.str_or("metrics-out", ""), &text)?;
+        }
+    }
+    if p.has("trace-out") {
+        let trace = export::chrome_trace(&machine.trace(), Clock::ksr1().hz());
+        let mut text = trace.to_string_compact();
+        text.push('\n');
+        write(&p.str_or("trace-out", ""), &text)?;
+    }
+    if p.has("trace-jsonl") {
+        write(
+            &p.str_or("trace-jsonl", ""),
+            &export::trace_jsonl(&machine.trace()),
+        )?;
+    }
+    if p.has("json") {
+        println!("{}", doc.expect("built above").to_string_pretty());
+        return Ok(true);
+    }
+    Ok(false)
 }
 
 fn ftcoma_net_config_wormhole() -> ftcoma_net::NetConfig {
@@ -131,54 +188,88 @@ fn print_metrics(m: &RunMetrics) {
         println!("T_recovery       {:>14}", m.t_recovery);
     }
     println!("pages allocated  {:>14}", m.pages_allocated);
+    let s = m.access_latency.summary();
     println!(
-        "access latency   mean {:.1}cy, p50<={:.0}, p99<={:.0}, max {}",
-        m.access_latency.mean(),
-        m.access_latency.quantile(0.5),
-        m.access_latency.quantile(0.99),
-        m.access_latency.max(),
+        "access latency   mean {:.1}cy, p50<={:.0}, p90<={:.0}, p99<={:.0}, max {}",
+        s.mean, s.p50, s.p90, s.p99, s.max,
     );
 }
 
-const RUN_FLAGS: &[&str] =
-    &["workload", "nodes", "refs", "warmup", "freq", "no-ft", "seed", "verify", "wormhole"];
+const RUN_FLAGS: &[&str] = &[
+    "workload",
+    "nodes",
+    "refs",
+    "warmup",
+    "freq",
+    "no-ft",
+    "seed",
+    "verify",
+    "wormhole",
+    "json",
+    "metrics-out",
+    "trace-out",
+    "trace-jsonl",
+    "trace-capacity",
+];
 
 fn cmd_run(p: &Parsed) -> Result<(), ArgError> {
     p.assert_only(RUN_FLAGS)?;
     let cfg = machine_config(p)?;
-    println!(
-        "running {} on {} nodes ({})",
-        cfg.workload.name,
-        cfg.nodes,
-        if cfg.ft.mode.is_enabled() {
-            format!("ECP, {} rp/s", cfg.ft.ckpt_rate_hz)
-        } else {
-            "standard protocol".into()
-        }
-    );
+    let quiet = p.has("json"); // keep stdout pure JSON
+    if !quiet {
+        println!(
+            "running {} on {} nodes ({})",
+            cfg.workload.name,
+            cfg.nodes,
+            if cfg.ft.mode.is_enabled() {
+                format!("ECP, {} rp/s", cfg.ft.ckpt_rate_hz)
+            } else {
+                "standard protocol".into()
+            }
+        );
+    }
     let machine = Machine::new(cfg);
-    println!("capacity check: {}", machine.capacity_report());
+    if !quiet {
+        println!("capacity check: {}", machine.capacity_report());
+    }
     let mut machine = machine;
     let metrics = machine.run();
     machine.assert_invariants();
-    print_metrics(&metrics);
+    if !export_outputs(p, &machine, &metrics)? {
+        print_metrics(&metrics);
+    }
     Ok(())
 }
 
 fn cmd_compare(p: &Parsed) -> Result<(), ArgError> {
     p.assert_only(RUN_FLAGS)?;
     let ft_cfg = machine_config(p)?;
-    let std_cfg = MachineConfig { ft: FtConfig::disabled(), ..ft_cfg.clone() };
+    let std_cfg = MachineConfig {
+        ft: FtConfig::disabled(),
+        ..ft_cfg.clone()
+    };
     let std_m = Machine::new(std_cfg).run();
     let ft_m = Machine::new(ft_cfg.clone()).run();
     let t_std = std_m.total_cycles as f64;
     let poll = ft_m.total_cycles as f64 - t_std - ft_m.t_create as f64 - ft_m.t_commit as f64;
-    println!("{} on {} nodes at {} rp/s:", ft_cfg.workload.name, ft_cfg.nodes, ft_cfg.ft.ckpt_rate_hz);
+    println!(
+        "{} on {} nodes at {} rp/s:",
+        ft_cfg.workload.name, ft_cfg.nodes, ft_cfg.ft.ckpt_rate_hz
+    );
     println!("standard    {:>12} cycles", std_m.total_cycles);
     println!("ECP         {:>12} cycles", ft_m.total_cycles);
-    println!("overhead    {:>11.1}%", (ft_m.total_cycles as f64 / t_std - 1.0) * 100.0);
-    println!("  create    {:>11.1}%", ft_m.t_create as f64 / t_std * 100.0);
-    println!("  commit    {:>11.1}%", ft_m.t_commit as f64 / t_std * 100.0);
+    println!(
+        "overhead    {:>11.1}%",
+        (ft_m.total_cycles as f64 / t_std - 1.0) * 100.0
+    );
+    println!(
+        "  create    {:>11.1}%",
+        ft_m.t_create as f64 / t_std * 100.0
+    );
+    println!(
+        "  commit    {:>11.1}%",
+        ft_m.t_commit as f64 / t_std * 100.0
+    );
     println!("  pollution {:>11.1}%", poll / t_std * 100.0);
     Ok(())
 }
@@ -186,11 +277,20 @@ fn cmd_compare(p: &Parsed) -> Result<(), ArgError> {
 fn cmd_sweep(p: &Parsed) -> Result<(), ArgError> {
     p.assert_only(&["workload", "nodes", "freqs", "refs", "warmup", "seed"])?;
     let freqs = p.f64_list_or("freqs", &[400.0, 200.0, 100.0, 50.0])?;
-    println!("{:>8}  {:>9}  {:>8}  {:>8}  {:>9}", "rp/s", "overhead", "create", "commit", "pollution");
+    println!(
+        "{:>8}  {:>9}  {:>8}  {:>8}  {:>9}",
+        "rp/s", "overhead", "create", "commit", "pollution"
+    );
     for f in freqs {
         let base = machine_config(p)?;
-        let ft_cfg = MachineConfig { ft: FtConfig::enabled(f), ..base.clone() };
-        let std_cfg = MachineConfig { ft: FtConfig::disabled(), ..base };
+        let ft_cfg = MachineConfig {
+            ft: FtConfig::enabled(f),
+            ..base.clone()
+        };
+        let std_cfg = MachineConfig {
+            ft: FtConfig::disabled(),
+            ..base
+        };
         let std_m = Machine::new(std_cfg).run();
         let ft_m = Machine::new(ft_cfg).run();
         let t_std = std_m.total_cycles as f64;
@@ -209,14 +309,32 @@ fn cmd_sweep(p: &Parsed) -> Result<(), ArgError> {
 
 fn cmd_failure(p: &Parsed) -> Result<(), ArgError> {
     p.assert_only(&[
-        "workload", "nodes", "refs", "warmup", "freq", "seed", "kind", "node", "at", "repair-at",
+        "workload",
+        "nodes",
+        "refs",
+        "warmup",
+        "freq",
+        "seed",
+        "kind",
+        "node",
+        "at",
+        "repair-at",
+        "json",
+        "metrics-out",
+        "trace-out",
+        "trace-jsonl",
+        "trace-capacity",
     ])?;
     let mut cfg = machine_config(p)?;
     cfg.verify = true;
     let kind = match p.str_or("kind", "transient").as_str() {
         "transient" => FailureKind::Transient,
         "permanent" => FailureKind::Permanent,
-        other => return Err(ArgError(format!("--kind must be transient|permanent, got {other}"))),
+        other => {
+            return Err(ArgError(format!(
+                "--kind must be transient|permanent, got {other}"
+            )))
+        }
     };
     let node = NodeId::new(p.u64_or("node", 1)? as u16);
     let at = p.u64_or("at", 20_000)?;
@@ -229,8 +347,10 @@ fn cmd_failure(p: &Parsed) -> Result<(), ArgError> {
     }
     let metrics = machine.run();
     machine.assert_invariants();
-    println!("{kind:?} failure of {node} at cycle {at}: recovered and verified");
-    print_metrics(&metrics);
+    if !export_outputs(p, &machine, &metrics)? {
+        println!("{kind:?} failure of {node} at cycle {at}: recovered and verified");
+        print_metrics(&metrics);
+    }
     Ok(())
 }
 

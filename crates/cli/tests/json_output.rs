@@ -1,0 +1,160 @@
+//! End-to-end tests of the `ftcoma` binary's structured output: spawn the
+//! real executable, parse what it writes, assert the schema.
+
+use std::process::Command;
+
+use ftcoma_sim::Json;
+
+fn ftcoma(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ftcoma"))
+        .args(args)
+        .output()
+        .expect("spawn ftcoma")
+}
+
+const RUN_ARGS: &[&str] = &[
+    "run",
+    "--workload",
+    "water",
+    "--nodes",
+    "4",
+    "--refs",
+    "20000",
+    "--warmup",
+    "0",
+    "--freq",
+    "400",
+    "--seed",
+    "42",
+];
+
+#[test]
+fn run_json_emits_versioned_schema_on_stdout() {
+    let mut args = RUN_ARGS.to_vec();
+    args.push("--json");
+    let out = ftcoma(&args);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::str::from_utf8(&out.stdout).expect("utf-8 stdout");
+    let doc = Json::parse(text).expect("stdout is one valid JSON document");
+
+    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+    let machine = doc.get("machine").expect("machine section");
+    for key in [
+        "nodes",
+        "total_cycles",
+        "refs",
+        "read_miss_rate",
+        "checkpoints",
+        "t_create",
+        "t_commit",
+        "injections",
+        "net",
+    ] {
+        assert!(machine.get(key).is_some(), "missing machine.{key}");
+    }
+    assert_eq!(machine.get("nodes").and_then(|v| v.as_u64()), Some(4));
+
+    let per_node = doc.get("per_node").unwrap().as_array().unwrap();
+    assert_eq!(per_node.len(), 4);
+    let refs: u64 = per_node
+        .iter()
+        .map(|n| n.get("refs").and_then(|v| v.as_u64()).unwrap())
+        .sum();
+    assert_eq!(Some(refs), machine.get("refs").and_then(|v| v.as_u64()));
+
+    let per_link = doc.get("per_link").unwrap().as_array().unwrap();
+    assert!(!per_link.is_empty(), "mesh runs must report per-link rows");
+    for row in per_link {
+        for key in [
+            "from",
+            "to",
+            "class",
+            "messages",
+            "busy_cycles",
+            "utilization",
+        ] {
+            assert!(row.get(key).is_some(), "missing per_link.{key}");
+        }
+    }
+
+    let lat = doc.get("access_latency").unwrap();
+    for key in ["count", "mean", "p50", "p90", "p99", "max"] {
+        assert!(lat.get(key).is_some(), "missing access_latency.{key}");
+    }
+}
+
+#[test]
+fn metrics_and_trace_files_are_valid_json() {
+    let dir = std::env::temp_dir();
+    let tag = std::process::id();
+    let metrics = dir.join(format!("ftcoma_test_m_{tag}.json"));
+    let trace = dir.join(format!("ftcoma_test_t_{tag}.json"));
+    let jsonl = dir.join(format!("ftcoma_test_t_{tag}.jsonl"));
+
+    let mut args: Vec<String> = RUN_ARGS.iter().map(|s| s.to_string()).collect();
+    for (flag, path) in [
+        ("--metrics-out", &metrics),
+        ("--trace-out", &trace),
+        ("--trace-jsonl", &jsonl),
+    ] {
+        args.push(flag.to_string());
+        args.push(path.to_string_lossy().into_owned());
+    }
+    let out = ftcoma(&args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let m = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert_eq!(m.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+
+    let t = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let events = t.get("traceEvents").unwrap().as_array().unwrap();
+    assert!(!events.is_empty(), "trace must contain events");
+    for e in events {
+        assert!(
+            e.get("ph").is_some() && e.get("pid").is_some(),
+            "bad trace row: {e:?}"
+        );
+        if e.get("ph").and_then(|v| v.as_str()) != Some("M") {
+            assert!(e.get("ts").is_some(), "non-metadata rows need a timestamp");
+        }
+    }
+    // At least one per-node complete span (a commit scan) made it in.
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X")));
+
+    let lines: Vec<String> = std::fs::read_to_string(&jsonl)
+        .unwrap()
+        .lines()
+        .map(String::from)
+        .collect();
+    assert!(lines.len() > 1, "JSONL needs a header and events");
+    for line in &lines {
+        Json::parse(line).expect("every JSONL line parses");
+    }
+    assert_eq!(
+        Json::parse(&lines[0])
+            .unwrap()
+            .get("schema_version")
+            .and_then(|v| v.as_u64()),
+        Some(1)
+    );
+
+    for p in [metrics, trace, jsonl] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn json_rejects_unknown_subcommand_flags() {
+    let out = ftcoma(&["latency", "--json"]);
+    assert!(!out.status.success(), "latency does not take --json");
+}

@@ -46,7 +46,11 @@ impl std::fmt::Display for CapacityReport {
             self.worst_set_demand,
             self.frames_per_set,
             self.worst_utilization * 100.0,
-            if self.fits { "guarantee holds" } else { "guarantee VIOLATED" },
+            if self.fits {
+                "guarantee holds"
+            } else {
+                "guarantee VIOLATED"
+            },
         )
     }
 }
@@ -56,7 +60,11 @@ impl std::fmt::Display for CapacityReport {
 ///
 /// `pages` is the set of pages the application can touch (shared region +
 /// every node's private region); duplicates are tolerated.
-pub fn check(am: &AmGeometry, nodes: u16, pages: impl IntoIterator<Item = PageId>) -> CapacityReport {
+pub fn check(
+    am: &AmGeometry,
+    nodes: u16,
+    pages: impl IntoIterator<Item = PageId>,
+) -> CapacityReport {
     let sets = am.sets();
     let mut per_set = vec![0u64; sets];
     let mut seen = std::collections::HashSet::new();
@@ -66,8 +74,11 @@ pub fn check(am: &AmGeometry, nodes: u16, pages: impl IntoIterator<Item = PageId
         }
     }
     let frames_per_set = am.ways as u64 * u64::from(nodes);
-    let (worst_set, &worst_set_demand) =
-        per_set.iter().enumerate().max_by_key(|&(_, &d)| d).unwrap_or((0, &0));
+    let (worst_set, &worst_set_demand) = per_set
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| d)
+        .unwrap_or((0, &0));
     CapacityReport {
         fits: worst_set_demand <= frames_per_set,
         frames_per_set,
@@ -108,8 +119,11 @@ mod tests {
     fn under_associative_am_fails_per_set() {
         // 2 frames of 1 way each => 2 sets; 8 pages over 2 sets on 4 nodes:
         // demand 4 pages * 4 copies = 16 > 4 frames per set.
-        let tiny = AmGeometry { capacity_bytes: 2 * 16 * 1024, ways: 1 };
-        let report = check(&tiny, 4, workload_pages(8, 0_u64.max(1), 4));
+        let tiny = AmGeometry {
+            capacity_bytes: 2 * 16 * 1024,
+            ways: 1,
+        };
+        let report = check(&tiny, 4, workload_pages(8, 1, 4));
         assert!(!report.fits);
         assert!(report.worst_set_demand > report.frames_per_set);
     }

@@ -86,8 +86,15 @@ impl FtConfig {
     ///
     /// Panics if `rate_hz` is not strictly positive and finite.
     pub fn enabled(rate_hz: f64) -> Self {
-        assert!(rate_hz.is_finite() && rate_hz > 0.0, "checkpoint rate must be positive");
-        Self { mode: FtMode::Enabled, ckpt_rate_hz: rate_hz, ..Self::disabled() }
+        assert!(
+            rate_hz.is_finite() && rate_hz > 0.0,
+            "checkpoint rate must be positive"
+        );
+        Self {
+            mode: FtMode::Enabled,
+            ckpt_rate_hz: rate_hz,
+            ..Self::disabled()
+        }
     }
 
     /// Cycles between recovery-point establishments, if enabled.

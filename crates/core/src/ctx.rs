@@ -65,7 +65,12 @@ pub struct Ctx<'a> {
 impl<'a> Ctx<'a> {
     /// Creates a context for one handler invocation.
     pub fn new(ring: &'a LogicalRing, now: Cycles) -> Self {
-        Self { ring, now, out: Vec::new(), effects: Vec::new() }
+        Self {
+            ring,
+            now,
+            out: Vec::new(),
+            effects: Vec::new(),
+        }
     }
 
     /// Queues `msg` for `to`, leaving the node immediately.
@@ -107,8 +112,19 @@ mod tests {
     fn ctx_collects_messages_and_effects() {
         let ring = LogicalRing::new(2);
         let mut ctx = Ctx::new(&ring, 5);
-        ctx.send(NodeId::new(1), Msg::TxnDone { item: ItemId::new(3) });
-        ctx.send_after(NodeId::new(0), Msg::InvalAck { item: ItemId::new(3) }, 7);
+        ctx.send(
+            NodeId::new(1),
+            Msg::TxnDone {
+                item: ItemId::new(3),
+            },
+        );
+        ctx.send_after(
+            NodeId::new(0),
+            Msg::InvalAck {
+                item: ItemId::new(3),
+            },
+            7,
+        );
         ctx.effect(Effect::Resume { latency: 18 });
         assert_eq!(ctx.queued_messages().len(), 2);
         assert_eq!(ctx.queued_effects().len(), 1);

@@ -86,6 +86,7 @@ enum AfterInject {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)] // the stages are all waits, by design
 enum InjStage {
     /// Waiting for the home's serialization lock.
     WaitLock,
@@ -200,7 +201,11 @@ impl Engine {
     /// Creates an engine for `nodes` nodes.
     pub fn new(cfg: FtConfig, timing: MemTiming, nodes: usize) -> Self {
         timing.validate();
-        Self { cfg, timing, per_node: (0..nodes).map(|_| NodeEngine::default()).collect() }
+        Self {
+            cfg,
+            timing,
+            per_node: (0..nodes).map(|_| NodeEngine::default()).collect(),
+        }
     }
 
     /// The fault-tolerance configuration.
@@ -245,8 +250,10 @@ impl Engine {
     pub fn begin_create(&mut self, ns: &mut NodeState, gen: u64, ctx: &mut Ctx) {
         let eng = &mut self.per_node[ns.id.index()];
         debug_assert!(eng.is_idle(), "create phase must start quiescent");
-        let queue: VecDeque<ItemId> =
-            ns.am.items_where(|s| s.state.is_modified_since_ckpt()).into();
+        let queue: VecDeque<ItemId> = ns
+            .am
+            .items_where(|s| s.state.is_modified_since_ckpt())
+            .into();
         // Flush dirty cache lines of the items about to be checkpointed so
         // the AM holds the current data ("cached modified data, flushed to
         // memory when a recovery point is established, remain in the cache").
@@ -270,7 +277,9 @@ impl Engine {
     pub fn begin_reconfig(&mut self, ns: &mut NodeState, orphans: Vec<ItemId>, ctx: &mut Ctx) {
         let eng = &mut self.per_node[ns.id.index()];
         debug_assert!(eng.is_idle(), "reconfiguration must start quiescent");
-        eng.reconfig = Some(ReconfigTask { queue: orphans.into() });
+        eng.reconfig = Some(ReconfigTask {
+            queue: orphans.into(),
+        });
         reconfig_next(eng, ns, &self.timing, ctx);
     }
 }
@@ -306,7 +315,10 @@ fn access_impl(
 
     // Loads served by the cache.
     if !req.is_write && ns.cache.probe(line) {
-        return AccessOutcome::Complete { latency: t.cache_hit, source: HitSource::Cache };
+        return AccessOutcome::Complete {
+            latency: t.cache_hit,
+            source: HitSource::Cache,
+        };
     }
 
     let st = ns.am.state(item);
@@ -317,11 +329,17 @@ fn access_impl(
         ns.am.touch(item.page());
         if ns.cache.probe(line) {
             ns.cache.mark_dirty(line);
-            return AccessOutcome::Complete { latency: t.cache_hit, source: HitSource::Cache };
+            return AccessOutcome::Complete {
+                latency: t.cache_hit,
+                source: HitSource::Cache,
+            };
         }
         let fill = ns.cache.fill(line, true);
         let latency = t.local_am + Cycles::from(fill.writebacks) * t.writeback;
-        return AccessOutcome::Complete { latency, source: HitSource::LocalAm };
+        return AccessOutcome::Complete {
+            latency,
+            source: HitSource::LocalAm,
+        };
     }
 
     if !req.is_write && st.is_readable() {
@@ -339,19 +357,33 @@ fn access_impl(
     }
 
     // Anything further is a coherence transaction.
-    eng.pending =
-        Some(PendingAccess { item, addr: req.addr, is_write: req.is_write, write_value: req.write_value });
+    eng.pending = Some(PendingAccess {
+        item,
+        addr: req.addr,
+        is_write: req.is_write,
+        write_value: req.write_value,
+    });
 
     match st {
         // Recovery copies block the slot: inject them first (Table 1).
         ItemState::InvCk1 | ItemState::InvCk2 => {
-            let cause =
-                if req.is_write { InjectCause::WriteOnInvCk } else { InjectCause::ReadOnInvCk };
+            let cause = if req.is_write {
+                InjectCause::WriteOnInvCk
+            } else {
+                InjectCause::ReadOnInvCk
+            };
             start_injection(eng, ns, item, cause, AfterInject::Miss, ctx);
             AccessOutcome::Stalled
         }
         ItemState::SharedCk1 | ItemState::SharedCk2 if req.is_write => {
-            start_injection(eng, ns, item, InjectCause::WriteOnSharedCk, AfterInject::Miss, ctx);
+            start_injection(
+                eng,
+                ns,
+                item,
+                InjectCause::WriteOnSharedCk,
+                AfterInject::Miss,
+                ctx,
+            );
             AccessOutcome::Stalled
         }
         // Upgrade: we hold a readable copy but need exclusivity.
@@ -360,7 +392,10 @@ fn access_impl(
             ns.pending_fill.insert(item);
             ctx.send_after(
                 home_of(item, ctx.ring),
-                Msg::WriteReq { item, requester: ns.id },
+                Msg::WriteReq {
+                    item,
+                    requester: ns.id,
+                },
                 t.miss_detect,
             );
             AccessOutcome::Stalled
@@ -376,7 +411,10 @@ fn access_impl(
 /// Allocates the pending access's page (evicting if necessary), then issues
 /// the miss to the home.
 fn ensure_page_then_miss(eng: &mut NodeEngine, ns: &mut NodeState, t: &MemTiming, ctx: &mut Ctx) {
-    let pending = eng.pending.as_ref().expect("miss path requires a pending access");
+    let pending = eng
+        .pending
+        .as_ref()
+        .expect("miss path requires a pending access");
     let page = pending.item.page();
     if ns.am.has_page(page) {
         issue_miss(eng, ns, t.miss_detect, ctx);
@@ -405,7 +443,10 @@ fn ensure_page_then_miss(eng: &mut NodeEngine, ns: &mut NodeState, t: &MemTiming
 
 /// Sends the pending access's Read/Write request to the home node.
 fn issue_miss(eng: &mut NodeEngine, ns: &mut NodeState, delay: Cycles, ctx: &mut Ctx) {
-    let pending = eng.pending.as_ref().expect("issue_miss without pending access");
+    let pending = eng
+        .pending
+        .as_ref()
+        .expect("issue_miss without pending access");
     let item = pending.item;
     if ns.reserved.contains(&item) {
         // An injected copy of this item is arriving; re-dispatch once it
@@ -418,9 +459,15 @@ fn issue_miss(eng: &mut NodeEngine, ns: &mut NodeState, delay: Cycles, ctx: &mut
     ns.am.touch(item.page());
     let home = home_of(item, ctx.ring);
     let msg = if pending.is_write {
-        Msg::WriteReq { item, requester: ns.id }
+        Msg::WriteReq {
+            item,
+            requester: ns.id,
+        }
     } else {
-        Msg::ReadReq { item, requester: ns.id }
+        Msg::ReadReq {
+            item,
+            requester: ns.id,
+        }
     };
     ctx.send_after(home, msg, delay);
 }
@@ -476,7 +523,11 @@ fn handle_impl(
         Msg::DataShared { item, value } => {
             finalize_read(eng, ns, t, item, value, ItemState::Shared, ctx);
         }
-        Msg::DataExclusive { item, value, acks_expected } => {
+        Msg::DataExclusive {
+            item,
+            value,
+            acks_expected,
+        } => {
             let entry = eng.write_collect.entry(item).or_insert(WriteCollect {
                 needed: None,
                 got: 0,
@@ -531,17 +582,37 @@ fn handle_impl(
 
         // ---- injection ring ----
         Msg::InjectLockGrant { item } => on_inject_lock_grant(eng, ns, t, item, ctx),
-        Msg::InjectReq { item, origin, state, cause, hops } => {
+        Msg::InjectReq {
+            item,
+            origin,
+            state,
+            cause,
+            hops,
+        } => {
             on_inject_req(ns, t, item, origin, state, cause, hops, ctx);
         }
         Msg::InjectAccept { item, host, cause } => {
             on_inject_accept(eng, ns, t, cfg, item, host, cause, ctx);
         }
-        Msg::InjectData { item, origin, payload, cause } => {
+        Msg::InjectData {
+            item,
+            origin,
+            payload,
+            cause,
+        } => {
             on_inject_data(eng, ns, t, item, origin, payload, cause, ctx);
         }
-        Msg::InjectDone { item, host, cause: _ } => on_inject_done(eng, ns, t, cfg, item, host, ctx),
-        Msg::PartnerUpdate { item, new_partner, ckpt_gen, reply_to } => {
+        Msg::InjectDone {
+            item,
+            host,
+            cause: _,
+        } => on_inject_done(eng, ns, t, cfg, item, host, ctx),
+        Msg::PartnerUpdate {
+            item,
+            new_partner,
+            ckpt_gen,
+            reply_to,
+        } => {
             if let Some(slot) = ns.am.slot_mut(item) {
                 if slot.state.is_ck() && slot.ckpt_gen == ckpt_gen {
                     slot.partner = Some(new_partner);
@@ -550,14 +621,23 @@ fn handle_impl(
             ctx.send(reply_to, Msg::PartnerUpdateAck { item });
         }
         Msg::PartnerUpdateAck { item } => {
-            let task = eng.injections.get(&item).expect("partner ack without injection task");
+            let task = eng
+                .injections
+                .get(&item)
+                .expect("partner ack without injection task");
             debug_assert_eq!(task.stage, InjStage::WaitPartnerAck);
-            let moved = task.moved_state.expect("moved state recorded at InjectDone");
+            let moved = task
+                .moved_state
+                .expect("moved state recorded at InjectDone");
             finish_move_with(eng, ns, t, item, moved, ctx);
         }
 
         // ---- create phase ----
-        Msg::PreCommitMark { item, origin, ckpt_gen } => {
+        Msg::PreCommitMark {
+            item,
+            origin,
+            ckpt_gen,
+        } => {
             let accepted = ns.am.state(item) == ItemState::Shared;
             if accepted {
                 let slot = ns.am.slot_mut(item).expect("shared copy present");
@@ -575,7 +655,9 @@ fn handle_impl(
                 let slot = ns.am.slot_mut(item).expect("pre-commit1 copy present");
                 debug_assert_eq!(slot.state, ItemState::PreCommit1);
                 debug_assert_eq!(slot.ckpt_gen, gen);
-                ctx.effect(Effect::ItemCheckpointed { reused_existing: true });
+                ctx.effect(Effect::ItemCheckpointed {
+                    reused_existing: true,
+                });
                 create_next(eng, ns, t, cfg, ctx);
             } else {
                 // The shared copy vanished in the meantime: fall back to a
@@ -604,7 +686,13 @@ fn home_dispatch_read(
         None => {
             // First touch machine-wide: grant a fresh master copy.
             ns.home.set_owner(item, requester);
-            ctx.send(requester, Msg::InitGrant { item, state: ItemState::MasterShared });
+            ctx.send(
+                requester,
+                Msg::InitGrant {
+                    item,
+                    state: ItemState::MasterShared,
+                },
+            );
         }
         Some(o) if o == ns.id => owner_read_fwd(eng, ns, t, item, requester, ctx),
         Some(o) => ctx.send(o, Msg::ReadFwd { item, requester }),
@@ -622,14 +710,26 @@ fn home_dispatch_write(
     match ns.home.owner(item) {
         None => {
             ns.home.set_owner(item, requester);
-            ctx.send(requester, Msg::InitGrant { item, state: ItemState::Exclusive });
+            ctx.send(
+                requester,
+                Msg::InitGrant {
+                    item,
+                    state: ItemState::Exclusive,
+                },
+            );
         }
         Some(o) if o == ns.id => owner_write_fwd(eng, ns, t, item, requester, ctx),
         Some(o) => ctx.send(o, Msg::WriteFwd { item, requester }),
     }
 }
 
-fn home_release(eng: &mut NodeEngine, ns: &mut NodeState, t: &MemTiming, item: ItemId, ctx: &mut Ctx) {
+fn home_release(
+    eng: &mut NodeEngine,
+    ns: &mut NodeState,
+    t: &MemTiming,
+    item: ItemId,
+    ctx: &mut Ctx,
+) {
     match ns.home.release(item) {
         None => {}
         Some(QueuedReq::Read(r)) => home_dispatch_read(eng, ns, t, item, r, ctx),
@@ -695,23 +795,46 @@ fn owner_write_fwd(
             ns.cache.invalidate_item(item);
             ns.am.clear_slot(item);
             ns.dir.drop_entry(item);
-            ctx.send_after(requester, Msg::DataExclusive { item, value, acks_expected: 0 }, delay);
+            ctx.send_after(
+                requester,
+                Msg::DataExclusive {
+                    item,
+                    value,
+                    acks_expected: 0,
+                },
+                delay,
+            );
         }
         ItemState::MasterShared => {
-            let sharers = if ns.dir.owns(item) { ns.dir.take(item) } else { Vec::new() };
+            let sharers = if ns.dir.owns(item) {
+                ns.dir.take(item)
+            } else {
+                Vec::new()
+            };
             let targets: Vec<NodeId> = sharers
                 .into_iter()
                 .filter(|&s| s != requester && ctx.ring.is_alive(s))
                 .collect();
             for &s in &targets {
-                ctx.send(s, Msg::Inval { item, ack_to: requester });
+                ctx.send(
+                    s,
+                    Msg::Inval {
+                        item,
+                        ack_to: requester,
+                    },
+                );
             }
             let n = targets.len() as u32;
             if requester == ns.id {
                 // In-place upgrade: keep the copy, collect the acks.
                 eng.write_collect.insert(
                     item,
-                    WriteCollect { needed: Some(n), got: 0, data_value: None, upgrade_in_place: true },
+                    WriteCollect {
+                        needed: Some(n),
+                        got: 0,
+                        data_value: None,
+                        upgrade_in_place: true,
+                    },
                 );
                 ns.dir.create(item, Vec::new());
                 try_finalize_write(eng, ns, t, item, ctx);
@@ -720,7 +843,11 @@ fn owner_write_fwd(
                 ns.am.clear_slot(item);
                 ctx.send_after(
                     requester,
-                    Msg::DataExclusive { item, value, acks_expected: n },
+                    Msg::DataExclusive {
+                        item,
+                        value,
+                        acks_expected: n,
+                    },
                     delay,
                 );
             }
@@ -730,24 +857,52 @@ fn owner_write_fwd(
             // freeze into Inv-CK, everything else is invalidated, and the
             // requester becomes the exclusive owner (ECP core transition).
             debug_assert_ne!(requester, ns.id, "local write on Shared-CK injects first");
-            let sharers = if ns.dir.owns(item) { ns.dir.take(item) } else { Vec::new() };
+            let sharers = if ns.dir.owns(item) {
+                ns.dir.take(item)
+            } else {
+                Vec::new()
+            };
             let targets: Vec<NodeId> = sharers
                 .into_iter()
                 .filter(|&s| s != requester && ctx.ring.is_alive(s))
                 .collect();
             for &s in &targets {
-                ctx.send(s, Msg::Inval { item, ack_to: requester });
+                ctx.send(
+                    s,
+                    Msg::Inval {
+                        item,
+                        ack_to: requester,
+                    },
+                );
             }
             let mut n = targets.len() as u32;
-            let partner =
-                ns.am.slot(item).expect("owner copy present").partner.expect("CK copy has partner");
+            let partner = ns
+                .am
+                .slot(item)
+                .expect("owner copy present")
+                .partner
+                .expect("CK copy has partner");
             if ctx.ring.is_alive(partner) {
-                ctx.send(partner, Msg::InvalCk { item, ack_to: requester });
+                ctx.send(
+                    partner,
+                    Msg::InvalCk {
+                        item,
+                        ack_to: requester,
+                    },
+                );
                 n += 1;
             }
             ns.cache.invalidate_item(item);
             ns.am.set_state(item, ItemState::InvCk1);
-            ctx.send_after(requester, Msg::DataExclusive { item, value, acks_expected: n }, delay);
+            ctx.send_after(
+                requester,
+                Msg::DataExclusive {
+                    item,
+                    value,
+                    acks_expected: n,
+                },
+                delay,
+            );
         }
         other => unreachable!("write forwarded to owner in state {other}"),
     }
@@ -766,7 +921,10 @@ fn finalize_read(
     state: ItemState,
     ctx: &mut Ctx,
 ) {
-    let pending = eng.pending.take().expect("data reply without pending access");
+    let pending = eng
+        .pending
+        .take()
+        .expect("data reply without pending access");
     debug_assert_eq!(pending.item, item);
     debug_assert!(!pending.is_write);
     ns.pending_fill.remove(&item);
@@ -814,7 +972,10 @@ fn try_finalize_write(
         return;
     }
     let collect = eng.write_collect.remove(&item).expect("checked above");
-    let pending = eng.pending.take().expect("write completion without pending access");
+    let pending = eng
+        .pending
+        .take()
+        .expect("write completion without pending access");
     debug_assert_eq!(pending.item, item);
     debug_assert!(pending.is_write);
     ns.pending_fill.remove(&item);
@@ -823,12 +984,19 @@ fn try_finalize_write(
         ns.am.set_state(item, ItemState::Exclusive);
         ns.am.slot_mut(item).expect("upgraded copy present").value = pending.write_value;
     } else {
-        ns.am.install(item, ItemState::Exclusive, pending.write_value, None);
+        ns.am
+            .install(item, ItemState::Exclusive, pending.write_value, None);
         ns.dir.create(item, Vec::new());
     }
     ns.am.touch(item.page());
     let fill = ns.cache.fill(pending.addr.line(), true);
-    ctx.send(home_of(item, ctx.ring), Msg::OwnerUpdate { item, new_owner: ns.id });
+    ctx.send(
+        home_of(item, ctx.ring),
+        Msg::OwnerUpdate {
+            item,
+            new_owner: ns.id,
+        },
+    );
     let latency = t.install + Cycles::from(fill.writebacks) * t.writeback;
     ctx.effect(Effect::Resume { latency });
 }
@@ -849,13 +1017,28 @@ fn start_injection(
 ) {
     debug_assert!(cause.is_move());
     debug_assert!(ns.am.state(item).requires_injection());
-    debug_assert!(!eng.injections.contains_key(&item), "double injection of {item}");
+    debug_assert!(
+        !eng.injections.contains_key(&item),
+        "double injection of {item}"
+    );
     ctx.effect(Effect::InjectionStarted { cause });
     eng.injections.insert(
         item,
-        InjectionTask { cause, then, stage: InjStage::WaitLock, host: None, moved_state: None },
+        InjectionTask {
+            cause,
+            then,
+            stage: InjStage::WaitLock,
+            host: None,
+            moved_state: None,
+        },
     );
-    ctx.send(home_of(item, ctx.ring), Msg::InjectLock { item, origin: ns.id });
+    ctx.send(
+        home_of(item, ctx.ring),
+        Msg::InjectLock {
+            item,
+            origin: ns.id,
+        },
+    );
 }
 
 /// Starts a checkpoint/reconfiguration replication (a *copy*) of `item`.
@@ -879,12 +1062,27 @@ fn start_replication_walk(
     };
     eng.injections.insert(
         item,
-        InjectionTask { cause, then, stage: InjStage::WaitAccept, host: None, moved_state: None },
+        InjectionTask {
+            cause,
+            then,
+            stage: InjStage::WaitAccept,
+            host: None,
+            moved_state: None,
+        },
     );
-    let first = ctx.ring.successor(ns.id).expect("replication needs another live node");
+    let first = ctx
+        .ring
+        .successor(ns.id)
+        .expect("replication needs another live node");
     ctx.send_after(
         first,
-        Msg::InjectReq { item, origin: ns.id, state: dest_state, cause, hops: 0 },
+        Msg::InjectReq {
+            item,
+            origin: ns.id,
+            state: dest_state,
+            cause,
+            hops: 0,
+        },
         extra_delay,
     );
 }
@@ -896,7 +1094,10 @@ fn on_inject_lock_grant(
     item: ItemId,
     ctx: &mut Ctx,
 ) {
-    let task = eng.injections.get_mut(&item).expect("grant without injection task");
+    let task = eng
+        .injections
+        .get_mut(&item)
+        .expect("grant without injection task");
     debug_assert_eq!(task.stage, InjStage::WaitLock);
     let st = ns.am.state(item);
     if !st.requires_injection() {
@@ -909,8 +1110,20 @@ fn on_inject_lock_grant(
         return;
     }
     task.stage = InjStage::WaitAccept;
-    let first = ctx.ring.successor(ns.id).expect("injection needs another live node");
-    ctx.send(first, Msg::InjectReq { item, origin: ns.id, state: st, cause: task.cause, hops: 0 });
+    let first = ctx
+        .ring
+        .successor(ns.id)
+        .expect("injection needs another live node");
+    ctx.send(
+        first,
+        Msg::InjectReq {
+            item,
+            origin: ns.id,
+            state: st,
+            cause: task.cause,
+            hops: 0,
+        },
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -949,13 +1162,21 @@ fn on_inject_req(
                     let next = ctx.ring.successor(ns.id).expect("walk on live ring");
                     ctx.send(
                         next,
-                        Msg::InjectReq { item, origin, state, cause, hops: hops.saturating_add(1) },
+                        Msg::InjectReq {
+                            item,
+                            origin,
+                            state,
+                            cause,
+                            hops: hops.saturating_add(1),
+                        },
                     );
                     return;
                 }
             }
             if matches!(acceptance, A::NewPage | A::ReplacePage(_)) {
-                ns.am.allocate_page(item.page()).expect("free frame checked by acceptance");
+                ns.am
+                    .allocate_page(item.page())
+                    .expect("free frame checked by acceptance");
             }
             if acceptance == A::ReplaceShared {
                 // Drop our plain shared copy to make room.
@@ -963,13 +1184,26 @@ fn on_inject_req(
                 ns.am.clear_slot(item);
             }
             ns.reserved.insert(item);
-            ctx.send(origin, Msg::InjectAccept { item, host: ns.id, cause });
+            ctx.send(
+                origin,
+                Msg::InjectAccept {
+                    item,
+                    host: ns.id,
+                    cause,
+                },
+            );
         }
         A::Reject => {
             let next = ctx.ring.successor(ns.id).expect("walk on live ring");
             ctx.send(
                 next,
-                Msg::InjectReq { item, origin, state, cause, hops: hops.saturating_add(1) },
+                Msg::InjectReq {
+                    item,
+                    origin,
+                    state,
+                    cause,
+                    hops: hops.saturating_add(1),
+                },
             );
         }
     }
@@ -986,7 +1220,10 @@ fn on_inject_accept(
     cause: InjectCause,
     ctx: &mut Ctx,
 ) {
-    let task = eng.injections.get_mut(&item).expect("accept without injection task");
+    let task = eng
+        .injections
+        .get_mut(&item)
+        .expect("accept without injection task");
     debug_assert_eq!(task.stage, InjStage::WaitAccept);
     task.stage = InjStage::WaitDone;
     task.host = Some(host);
@@ -1016,7 +1253,12 @@ fn on_inject_accept(
     };
     ctx.send_after(
         host,
-        Msg::InjectData { item, origin: ns.id, payload, cause },
+        Msg::InjectData {
+            item,
+            origin: ns.id,
+            payload,
+            cause,
+        },
         t.remote_am_access,
     );
     // The AM controller can search the next victim while this item's data
@@ -1039,9 +1281,13 @@ fn on_inject_data(
     cause: InjectCause,
     ctx: &mut Ctx,
 ) {
-    debug_assert!(ns.reserved.contains(&item), "inject data without reservation");
+    debug_assert!(
+        ns.reserved.contains(&item),
+        "inject data without reservation"
+    );
     ns.reserved.remove(&item);
-    ns.am.install(item, payload.state, payload.value, payload.partner);
+    ns.am
+        .install(item, payload.state, payload.value, payload.partner);
     ns.am.slot_mut(item).expect("just installed").ckpt_gen = payload.ckpt_gen;
     ns.am.touch(item.page());
     if payload.state.is_owner() || !payload.sharers.is_empty() {
@@ -1049,7 +1295,15 @@ fn on_inject_data(
     }
     // "The injection acknowledgment is sent 5 cycles after the reception of
     // the item" — copying into memory overlaps with the acknowledged path.
-    ctx.send_after(origin, Msg::InjectDone { item, host: ns.id, cause }, t.inject_ack_delay);
+    ctx.send_after(
+        origin,
+        Msg::InjectDone {
+            item,
+            host: ns.id,
+            cause,
+        },
+        t.inject_ack_delay,
+    );
 
     // A local access was parked waiting for this copy to land: replay it.
     if eng.wait_install && eng.pending.as_ref().is_some_and(|p| p.item == item) {
@@ -1079,7 +1333,10 @@ fn on_inject_done(
     ctx: &mut Ctx,
 ) {
     let (cause, stage, task_host) = {
-        let task = eng.injections.get(&item).expect("done without injection task");
+        let task = eng
+            .injections
+            .get(&item)
+            .expect("done without injection task");
         (task.cause, task.stage, task.host)
     };
     debug_assert_eq!(stage, InjStage::WaitDone);
@@ -1109,15 +1366,23 @@ fn on_inject_done(
         finish_move_with(eng, ns, t, item, slot.state, ctx);
     } else {
         // Replication copy: remember where the new sibling lives.
-        ns.am.slot_mut(item).expect("replicated original present").partner = Some(host);
+        ns.am
+            .slot_mut(item)
+            .expect("replicated original present")
+            .partner = Some(host);
         let then = {
             let task = eng.injections.remove(&item).expect("still present");
             task.then
         };
         match then {
             AfterInject::CreateNext => {
-                ctx.effect(Effect::ItemCheckpointed { reused_existing: false });
-                let task = eng.create.as_mut().expect("create replication without task");
+                ctx.effect(Effect::ItemCheckpointed {
+                    reused_existing: false,
+                });
+                let task = eng
+                    .create
+                    .as_mut()
+                    .expect("create replication without task");
                 task.outstanding -= 1;
                 // Keep one replication in flight (the accept hook already
                 // pipelines the successor); restart the queue only when the
@@ -1140,11 +1405,20 @@ fn finish_move_with(
     moved_state: ItemState,
     ctx: &mut Ctx,
 ) {
-    let task = eng.injections.remove(&item).expect("finishing unknown injection");
+    let task = eng
+        .injections
+        .remove(&item)
+        .expect("finishing unknown injection");
     let host = task.host.expect("move completed without host");
     let home = home_of(item, ctx.ring);
     if moved_state.is_owner() {
-        ctx.send(home, Msg::OwnerUpdate { item, new_owner: host });
+        ctx.send(
+            home,
+            Msg::OwnerUpdate {
+                item,
+                new_owner: host,
+            },
+        );
     } else {
         ctx.send(home, Msg::InjectLockRelease { item });
     }
@@ -1183,9 +1457,15 @@ fn start_evict(
     ctx: &mut Ctx,
 ) {
     debug_assert!(eng.evict.is_none(), "one eviction at a time");
-    let to_inject: VecDeque<ItemId> =
-        victim.items().filter(|&i| ns.am.state(i).requires_injection()).collect();
-    eng.evict = Some(EvictTask { victim, to_inject, then_alloc });
+    let to_inject: VecDeque<ItemId> = victim
+        .items()
+        .filter(|&i| ns.am.state(i).requires_injection())
+        .collect();
+    eng.evict = Some(EvictTask {
+        victim,
+        to_inject,
+        then_alloc,
+    });
     evict_next(eng, ns, t, ctx);
 }
 
@@ -1193,7 +1473,12 @@ fn evict_next(eng: &mut NodeEngine, ns: &mut NodeState, t: &MemTiming, ctx: &mut
     // Skip items whose copies left by other means while we worked; inject
     // the next one that still needs it.
     loop {
-        let next = eng.evict.as_mut().expect("evict continuation without task").to_inject.pop_front();
+        let next = eng
+            .evict
+            .as_mut()
+            .expect("evict continuation without task")
+            .to_inject
+            .pop_front();
         match next {
             Some(item) if ns.am.state(item).requires_injection() => {
                 start_injection(
@@ -1215,7 +1500,9 @@ fn evict_next(eng: &mut NodeEngine, ns: &mut NodeState, t: &MemTiming, ctx: &mut
     for (item, _slot) in ns.am.evict_page(task.victim) {
         ns.cache.invalidate_item(item);
     }
-    ns.am.allocate_page(task.then_alloc).expect("eviction freed a frame in the right set");
+    ns.am
+        .allocate_page(task.then_alloc)
+        .expect("eviction freed a frame in the right set");
     issue_miss(eng, ns, t.miss_detect, ctx);
 }
 
@@ -1230,7 +1517,10 @@ fn create_next(
     cfg: &FtConfig,
     ctx: &mut Ctx,
 ) {
-    let task = eng.create.as_mut().expect("create continuation without task");
+    let task = eng
+        .create
+        .as_mut()
+        .expect("create continuation without task");
     let gen = task.gen;
     let delay = std::mem::take(&mut task.pending_delay);
     let item = match task.queue.pop_front() {
@@ -1241,7 +1531,10 @@ fn create_next(
         }
     };
     let st = ns.am.state(item);
-    debug_assert!(st.is_modified_since_ckpt(), "create queue item in state {st}");
+    debug_assert!(
+        st.is_modified_since_ckpt(),
+        "create queue item in state {st}"
+    );
     {
         let slot = ns.am.slot_mut(item).expect("modified item present");
         slot.state = ItemState::PreCommit1;
@@ -1250,12 +1543,28 @@ fn create_next(
     }
     if st == ItemState::MasterShared && cfg.reuse_shared_replica {
         // Re-label an existing replica instead of transferring the data.
-        let sharer = ns.dir.sharers(item).iter().copied().find(|&s| ctx.ring.is_alive(s));
+        let sharer = ns
+            .dir
+            .sharers(item)
+            .iter()
+            .copied()
+            .find(|&s| ctx.ring.is_alive(s));
         if let Some(s) = sharer {
-            eng.create.as_mut().expect("still present").marks_outstanding += 1;
+            eng.create
+                .as_mut()
+                .expect("still present")
+                .marks_outstanding += 1;
             ns.dir.remove_sharer(item, s);
             ns.am.slot_mut(item).expect("pre-commit1 present").partner = Some(s);
-            ctx.send_after(s, Msg::PreCommitMark { item, origin: ns.id, ckpt_gen: gen }, delay);
+            ctx.send_after(
+                s,
+                Msg::PreCommitMark {
+                    item,
+                    origin: ns.id,
+                    ckpt_gen: gen,
+                },
+                delay,
+            );
             return;
         }
     }
@@ -1265,7 +1574,10 @@ fn create_next(
 
 /// Declares the create phase done once nothing is queued or in flight.
 fn try_finish_create(eng: &mut NodeEngine, ctx: &mut Ctx) {
-    let task = eng.create.as_ref().expect("create continuation without task");
+    let task = eng
+        .create
+        .as_ref()
+        .expect("create continuation without task");
     if task.queue.is_empty() && task.outstanding == 0 && task.marks_outstanding == 0 {
         eng.create = None;
         ctx.effect(Effect::CreateDone);
@@ -1277,7 +1589,10 @@ fn try_finish_create(eng: &mut NodeEngine, ctx: &mut Ctx) {
 // ---------------------------------------------------------------------------
 
 fn reconfig_next(eng: &mut NodeEngine, ns: &mut NodeState, _t: &MemTiming, ctx: &mut Ctx) {
-    let task = eng.reconfig.as_mut().expect("reconfig continuation without task");
+    let task = eng
+        .reconfig
+        .as_mut()
+        .expect("reconfig continuation without task");
     let item = match task.queue.pop_front() {
         Some(i) => i,
         None => {
@@ -1303,11 +1618,19 @@ mod tests {
     }
 
     fn read(addr: u64) -> AccessReq {
-        AccessReq { addr: Addr::new(addr), is_write: false, write_value: 0 }
+        AccessReq {
+            addr: Addr::new(addr),
+            is_write: false,
+            write_value: 0,
+        }
     }
 
     fn write(addr: u64, v: u64) -> AccessReq {
-        AccessReq { addr: Addr::new(addr), is_write: true, write_value: v }
+        AccessReq {
+            addr: Addr::new(addr),
+            is_write: true,
+            write_value: v,
+        }
     }
 
     #[test]
@@ -1321,7 +1644,9 @@ mod tests {
         // Item 1 is homed on node 1; the miss-detect latency precedes it.
         assert_eq!(out[0].to, NodeId::new(1));
         assert_eq!(out[0].delay, MemTiming::ksr1().miss_detect);
-        assert!(matches!(out[0].msg, Msg::ReadReq { requester, .. } if requester == NodeId::new(0)));
+        assert!(
+            matches!(out[0].msg, Msg::ReadReq { requester, .. } if requester == NodeId::new(0))
+        );
         // The page was allocated eagerly and the slot is fill-pending.
         assert!(nodes[0].am.has_page(ItemId::new(1).page()));
         assert!(nodes[0].pending_fill.contains(&ItemId::new(1)));
@@ -1331,24 +1656,37 @@ mod tests {
     fn exclusive_write_is_a_local_hit() {
         let (mut nodes, ring, mut engine) = rig4();
         nodes[0].am.allocate_page(ItemId::new(0).page()).unwrap();
-        nodes[0].am.install(ItemId::new(0), ItemState::Exclusive, 1, None);
+        nodes[0]
+            .am
+            .install(ItemId::new(0), ItemState::Exclusive, 1, None);
         let mut ctx = Ctx::new(&ring, 0);
         let outcome = engine.access(&mut nodes[0], write(0, 9), &mut ctx);
         assert!(matches!(outcome, AccessOutcome::Complete { .. }));
         assert_eq!(nodes[0].am.slot(ItemId::new(0)).unwrap().value, 9);
-        assert!(ctx.queued_messages().is_empty(), "no coherence traffic for a hit");
+        assert!(
+            ctx.queued_messages().is_empty(),
+            "no coherence traffic for a hit"
+        );
     }
 
     #[test]
     fn shared_ck_read_hit_reports_ck_source() {
         let (mut nodes, ring, mut engine) = rig4();
         nodes[1].am.allocate_page(ItemId::new(0).page()).unwrap();
-        nodes[1].am.install(ItemId::new(0), ItemState::SharedCk2, 5, Some(NodeId::new(2)));
+        nodes[1].am.install(
+            ItemId::new(0),
+            ItemState::SharedCk2,
+            5,
+            Some(NodeId::new(2)),
+        );
         let mut ctx = Ctx::new(&ring, 0);
         let outcome = engine.access(&mut nodes[1], read(0), &mut ctx);
         assert!(matches!(
             outcome,
-            AccessOutcome::Complete { source: HitSource::LocalAmCk, .. }
+            AccessOutcome::Complete {
+                source: HitSource::LocalAmCk,
+                ..
+            }
         ));
     }
 
@@ -1359,8 +1697,14 @@ mod tests {
         nodes[0].am.allocate_page(item.page()).unwrap();
         nodes[0].reserved.insert(item);
         let mut ctx = Ctx::new(&ring, 0);
-        assert_eq!(engine.access(&mut nodes[0], read(0), &mut ctx), AccessOutcome::Stalled);
-        assert!(ctx.queued_messages().is_empty(), "must not race the incoming copy");
+        assert_eq!(
+            engine.access(&mut nodes[0], read(0), &mut ctx),
+            AccessOutcome::Stalled
+        );
+        assert!(
+            ctx.queued_messages().is_empty(),
+            "must not race the incoming copy"
+        );
 
         // The injected copy lands: a readable Shared-CK copy, so the parked
         // access resumes locally.
@@ -1432,7 +1776,9 @@ mod tests {
             &mut ctx,
         );
         let (_, effects) = ctx.finish();
-        assert!(effects.iter().any(|e| matches!(e, Effect::FatalNoSpace { .. })));
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::FatalNoSpace { .. })));
     }
 
     #[test]
@@ -1471,7 +1817,10 @@ mod tests {
         let mut ctx = Ctx::new(&ring, 0);
         engine.handle(
             &mut nodes[1],
-            Msg::ReadReq { item, requester: NodeId::new(0) },
+            Msg::ReadReq {
+                item,
+                requester: NodeId::new(0),
+            },
             &mut ctx,
         );
         let (out, _) = ctx.finish();
@@ -1481,7 +1830,10 @@ mod tests {
         let mut ctx = Ctx::new(&ring, 1);
         engine.handle(
             &mut nodes[1],
-            Msg::WriteReq { item, requester: NodeId::new(3) },
+            Msg::WriteReq {
+                item,
+                requester: NodeId::new(3),
+            },
             &mut ctx,
         );
         let (out, _) = ctx.finish();
@@ -1492,7 +1844,9 @@ mod tests {
         engine.handle(&mut nodes[1], Msg::TxnDone { item }, &mut ctx);
         let (out, _) = ctx.finish();
         assert_eq!(out.len(), 1);
-        assert!(matches!(out[0].msg, Msg::WriteFwd { requester, .. } if requester == NodeId::new(3)));
+        assert!(
+            matches!(out[0].msg, Msg::WriteFwd { requester, .. } if requester == NodeId::new(3))
+        );
     }
 
     #[test]
@@ -1500,7 +1854,9 @@ mod tests {
         let (mut nodes, ring, mut engine) = rig4();
         let item = ItemId::new(0);
         nodes[2].am.allocate_page(item.page()).unwrap();
-        nodes[2].am.install(item, ItemState::SharedCk2, 5, Some(NodeId::new(0)));
+        nodes[2]
+            .am
+            .install(item, ItemState::SharedCk2, 5, Some(NodeId::new(0)));
         nodes[2].am.slot_mut(item).unwrap().ckpt_gen = 7;
 
         // A stale-generation update is ignored.
@@ -1515,7 +1871,10 @@ mod tests {
             },
             &mut ctx,
         );
-        assert_eq!(nodes[2].am.slot(item).unwrap().partner, Some(NodeId::new(0)));
+        assert_eq!(
+            nodes[2].am.slot(item).unwrap().partner,
+            Some(NodeId::new(0))
+        );
 
         // The current generation takes effect.
         let mut ctx = Ctx::new(&ring, 1);
@@ -1530,7 +1889,10 @@ mod tests {
             &mut ctx,
         );
         let (out, _) = ctx.finish();
-        assert_eq!(nodes[2].am.slot(item).unwrap().partner, Some(NodeId::new(3)));
+        assert_eq!(
+            nodes[2].am.slot(item).unwrap().partner,
+            Some(NodeId::new(3))
+        );
         assert!(matches!(out[0].msg, Msg::PartnerUpdateAck { .. }));
     }
 

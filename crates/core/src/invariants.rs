@@ -24,7 +24,10 @@ pub struct CheckScope {
 
 impl Default for CheckScope {
     fn default() -> Self {
-        Self { allow_precommit: false, check_homes: true }
+        Self {
+            allow_precommit: false,
+            check_homes: true,
+        }
     }
 }
 
@@ -33,40 +36,55 @@ impl Default for CheckScope {
 pub fn check(nodes: &[NodeState], ring: &LogicalRing, scope: CheckScope) -> Vec<String> {
     let mut problems = Vec::new();
 
-    // Gather every copy of every item.
-    let mut copies: HashMap<ItemId, Vec<(NodeId, ItemState, u64, Option<NodeId>, u64)>> =
-        HashMap::new();
+    // Gather every copy of every item: (node, state, value, partner, gen).
+    type Copy = (NodeId, ItemState, u64, Option<NodeId>, u64);
+    let mut copies: HashMap<ItemId, Vec<Copy>> = HashMap::new();
     for ns in nodes {
         if !ns.alive {
             continue;
         }
         for (item, slot) in ns.am.iter_present() {
-            copies
-                .entry(item)
-                .or_default()
-                .push((ns.id, slot.state, slot.value, slot.partner, slot.ckpt_gen));
+            copies.entry(item).or_default().push((
+                ns.id,
+                slot.state,
+                slot.value,
+                slot.partner,
+                slot.ckpt_gen,
+            ));
         }
     }
 
     for (item, cs) in &copies {
         let owners: Vec<_> = cs.iter().filter(|(_, st, ..)| st.is_owner()).collect();
         let currents: Vec<_> = cs.iter().filter(|(_, st, ..)| st.is_current()).collect();
-        let exclusives: Vec<_> =
-            cs.iter().filter(|(_, st, ..)| *st == ItemState::Exclusive).collect();
-        let cks: Vec<_> = cs.iter().filter(|(_, st, ..)| st.is_committed_recovery()).collect();
+        let exclusives: Vec<_> = cs
+            .iter()
+            .filter(|(_, st, ..)| *st == ItemState::Exclusive)
+            .collect();
+        let cks: Vec<_> = cs
+            .iter()
+            .filter(|(_, st, ..)| st.is_committed_recovery())
+            .collect();
         let pres: Vec<_> = cs
             .iter()
             .filter(|(_, st, ..)| matches!(st, ItemState::PreCommit1 | ItemState::PreCommit2))
             .collect();
 
         if owners.len() > 1 {
-            problems.push(format!("{item}: {} owner copies ({owners:?})", owners.len()));
+            problems.push(format!(
+                "{item}: {} owner copies ({owners:?})",
+                owners.len()
+            ));
         }
         if !currents.is_empty() && owners.is_empty() {
-            problems.push(format!("{item}: current copies without an owner ({currents:?})"));
+            problems.push(format!(
+                "{item}: current copies without an owner ({currents:?})"
+            ));
         }
         if exclusives.len() == 1 && currents.len() > 1 {
-            problems.push(format!("{item}: exclusive copy coexists with other current copies"));
+            problems.push(format!(
+                "{item}: exclusive copy coexists with other current copies"
+            ));
         }
 
         // Current copies must agree on the value with their owner.
@@ -106,7 +124,10 @@ pub fn check(nodes: &[NodeState], ring: &LogicalRing, scope: CheckScope) -> Vec<
                     problems.push(format!("{item}: recovery pair generations differ"));
                 }
                 if a.2 != b.2 {
-                    problems.push(format!("{item}: recovery pair values differ ({} vs {})", a.2, b.2));
+                    problems.push(format!(
+                        "{item}: recovery pair values differ ({} vs {})",
+                        a.2, b.2
+                    ));
                 }
                 if a.3 != Some(b.0) || b.3 != Some(a.0) {
                     problems.push(format!(
@@ -119,13 +140,18 @@ pub fn check(nodes: &[NodeState], ring: &LogicalRing, scope: CheckScope) -> Vec<
         }
 
         if !scope.allow_precommit && !pres.is_empty() {
-            problems.push(format!("{item}: Pre-Commit copies outside establishment ({pres:?})"));
+            problems.push(format!(
+                "{item}: Pre-Commit copies outside establishment ({pres:?})"
+            ));
         }
     }
 
     if scope.check_homes {
         for (item, cs) in &copies {
-            let owner = cs.iter().find(|(_, st, ..)| st.is_owner()).map(|&(n, ..)| n);
+            let owner = cs
+                .iter()
+                .find(|(_, st, ..)| st.is_owner())
+                .map(|&(n, ..)| n);
             if let Some(owner) = owner {
                 let home = home_of(*item, ring);
                 let pointer = nodes[home.index()].home.owner(*item);
@@ -168,14 +194,32 @@ mod tests {
     }
 
     fn two_nodes() -> (Vec<NodeState>, LogicalRing) {
-        (vec![NodeState::ksr1(NodeId::new(0)), NodeState::ksr1(NodeId::new(1))], LogicalRing::new(2))
+        (
+            vec![
+                NodeState::ksr1(NodeId::new(0)),
+                NodeState::ksr1(NodeId::new(1)),
+            ],
+            LogicalRing::new(2),
+        )
     }
 
     #[test]
     fn consistent_pair_passes() {
         let (mut nodes, ring) = two_nodes();
-        install(&mut nodes[0], 0, ItemState::SharedCk1, 5, Some(NodeId::new(1)));
-        install(&mut nodes[1], 0, ItemState::SharedCk2, 5, Some(NodeId::new(0)));
+        install(
+            &mut nodes[0],
+            0,
+            ItemState::SharedCk1,
+            5,
+            Some(NodeId::new(1)),
+        );
+        install(
+            &mut nodes[1],
+            0,
+            ItemState::SharedCk2,
+            5,
+            Some(NodeId::new(0)),
+        );
         nodes[0].home.set_owner(ItemId::new(0), NodeId::new(0));
         nodes[0].dir.create(ItemId::new(0), vec![]);
         assert!(check(&nodes, &ring, CheckScope::default()).is_empty());
@@ -186,7 +230,12 @@ mod tests {
         let (mut nodes, ring) = two_nodes();
         install(&mut nodes[0], 0, ItemState::InvCk1, 5, Some(NodeId::new(1)));
         let problems = check(&nodes, &ring, CheckScope::default());
-        assert!(problems.iter().any(|p| p.contains("1 committed recovery copies")), "{problems:?}");
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("1 committed recovery copies")),
+            "{problems:?}"
+        );
     }
 
     #[test]
@@ -194,8 +243,18 @@ mod tests {
         let (mut nodes, ring) = two_nodes();
         install(&mut nodes[0], 2, ItemState::Exclusive, 1, None);
         install(&mut nodes[1], 2, ItemState::MasterShared, 1, None);
-        let problems = check(&nodes, &ring, CheckScope { check_homes: false, ..Default::default() });
-        assert!(problems.iter().any(|p| p.contains("owner copies")), "{problems:?}");
+        let problems = check(
+            &nodes,
+            &ring,
+            CheckScope {
+                check_homes: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("owner copies")),
+            "{problems:?}"
+        );
     }
 
     #[test]
@@ -220,12 +279,38 @@ mod tests {
     #[test]
     fn precommit_allowed_only_in_scope() {
         let (mut nodes, ring) = two_nodes();
-        install(&mut nodes[0], 3, ItemState::PreCommit1, 2, Some(NodeId::new(1)));
-        install(&mut nodes[1], 3, ItemState::PreCommit2, 2, Some(NodeId::new(0)));
+        install(
+            &mut nodes[0],
+            3,
+            ItemState::PreCommit1,
+            2,
+            Some(NodeId::new(1)),
+        );
+        install(
+            &mut nodes[1],
+            3,
+            ItemState::PreCommit2,
+            2,
+            Some(NodeId::new(0)),
+        );
         nodes[1].home.set_owner(ItemId::new(3), NodeId::new(0));
-        let strict = check(&nodes, &ring, CheckScope { check_homes: false, allow_precommit: false });
+        let strict = check(
+            &nodes,
+            &ring,
+            CheckScope {
+                check_homes: false,
+                allow_precommit: false,
+            },
+        );
         assert!(!strict.is_empty());
-        let relaxed = check(&nodes, &ring, CheckScope { check_homes: false, allow_precommit: true });
+        let relaxed = check(
+            &nodes,
+            &ring,
+            CheckScope {
+                check_homes: false,
+                allow_precommit: true,
+            },
+        );
         assert!(relaxed.is_empty(), "{relaxed:?}");
     }
 

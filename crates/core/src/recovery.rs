@@ -88,7 +88,9 @@ pub fn wipe_dead_node(ns: &mut NodeState) {
             if ns.am.state(item).is_present() {
                 // Bypass the injection guard: the copies are *lost*, which
                 // is the point of the failure model.
-                ns.am.slot_mut(item).map(|s| *s = Default::default());
+                if let Some(s) = ns.am.slot_mut(item) {
+                    *s = Default::default();
+                }
             }
         }
         ns.am.evict_page(page);
@@ -109,7 +111,10 @@ pub fn promote_and_collect_orphans(ns: &mut NodeState, dead: NodeId) -> Vec<Item
         .items_where(|s| s.state.is_committed_recovery() && s.partner == Some(dead));
     for &item in &orphans {
         let slot = ns.am.slot_mut(item).expect("orphan present");
-        debug_assert!(matches!(slot.state, ItemState::SharedCk1 | ItemState::SharedCk2));
+        debug_assert!(matches!(
+            slot.state,
+            ItemState::SharedCk1 | ItemState::SharedCk2
+        ));
         slot.state = ItemState::SharedCk1; // survivor becomes the primary
         slot.partner = None;
     }
@@ -138,8 +143,7 @@ pub fn dedup_recovery_copies(nodes: &mut [NodeState]) -> u64 {
         for (item, slot) in ns.am.iter_present() {
             if let Some(r) = slot.state.replica_index() {
                 if slot.state.is_committed_recovery() {
-                    seen.entry(item).or_default()[usize::from(r) - 1]
-                        .push((slot.ckpt_gen, idx));
+                    seen.entry(item).or_default()[usize::from(r) - 1].push((slot.ckpt_gen, idx));
                 }
             }
         }
@@ -166,8 +170,16 @@ pub fn dedup_recovery_copies(nodes: &mut [NodeState]) -> u64 {
         if let (Some(a), Some(b)) = (keep[0], keep[1]) {
             let b_id = nodes[b].id;
             let a_id = nodes[a].id;
-            nodes[a].am.slot_mut(item).expect("survivor present").partner = Some(b_id);
-            nodes[b].am.slot_mut(item).expect("survivor present").partner = Some(a_id);
+            nodes[a]
+                .am
+                .slot_mut(item)
+                .expect("survivor present")
+                .partner = Some(b_id);
+            nodes[b]
+                .am
+                .slot_mut(item)
+                .expect("survivor present")
+                .partner = Some(a_id);
         }
     }
     dropped
@@ -272,13 +284,19 @@ mod tests {
         assert_eq!(ns.am.state(ItemId::new(0)), ItemState::SharedCk1);
         assert_eq!(ns.am.state(ItemId::new(1)), ItemState::SharedCk1);
         assert_eq!(ns.am.slot(ItemId::new(0)).unwrap().partner, None);
-        assert_eq!(ns.am.slot(ItemId::new(2)).unwrap().partner, Some(NodeId::new(2)));
+        assert_eq!(
+            ns.am.slot(ItemId::new(2)).unwrap().partner,
+            Some(NodeId::new(2))
+        );
     }
 
     #[test]
     fn rebuild_homes_registers_primaries() {
         let ring = LogicalRing::new(2);
-        let mut nodes = vec![NodeState::ksr1(NodeId::new(0)), NodeState::ksr1(NodeId::new(1))];
+        let mut nodes = vec![
+            NodeState::ksr1(NodeId::new(0)),
+            NodeState::ksr1(NodeId::new(1)),
+        ];
         // Item 1 is homed on node 1; its primary recovery copy lives on 0.
         install(&mut nodes[0], 1, ItemState::SharedCk1, Some(NodeId::new(1)));
         install(&mut nodes[1], 1, ItemState::SharedCk2, Some(NodeId::new(0)));

@@ -124,6 +124,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "two nodes")]
     fn rejects_single_node() {
-        MachineConfig { nodes: 1, ..Default::default() }.validate();
+        MachineConfig {
+            nodes: 1,
+            ..Default::default()
+        }
+        .validate();
     }
 }

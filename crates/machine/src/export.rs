@@ -1,0 +1,589 @@
+//! Structured exporters: run metrics as versioned JSON, protocol traces as
+//! JSONL and as Chrome trace-event files.
+//!
+//! Every export carries [`SCHEMA_VERSION`] so downstream tooling can detect
+//! incompatible changes. The JSON model is the order-stable
+//! [`Json`](ftcoma_sim::Json) tree, so exports are byte-for-byte
+//! deterministic for a given run.
+//!
+//! # Example
+//!
+//! ```
+//! use ftcoma_machine::{export, Machine, MachineConfig};
+//! use ftcoma_core::FtConfig;
+//! use ftcoma_workloads::presets;
+//!
+//! let mut m = Machine::new(MachineConfig {
+//!     nodes: 4,
+//!     refs_per_node: 5_000,
+//!     workload: presets::water(),
+//!     ft: FtConfig::enabled(400.0),
+//!     trace_capacity: 100_000,
+//!     ..MachineConfig::default()
+//! });
+//! let metrics = m.run();
+//! let doc = export::metrics_json(&metrics, &m.link_report());
+//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+//! let trace = export::chrome_trace(&m.trace(), 20_000_000.0);
+//! assert!(!trace.get("traceEvents").unwrap().as_array().unwrap().is_empty());
+//! ```
+
+use ftcoma_net::LinkReport;
+use ftcoma_sim::json::Json;
+use ftcoma_sim::registry::MetricsRegistry;
+use ftcoma_sim::Cycles;
+
+use crate::metrics::{NodeMetrics, RunMetrics};
+use crate::tracelog::TraceEvent;
+
+/// Version of the exported JSON schemas. Bump on any breaking change to
+/// the key set or meaning of [`metrics_json`], [`trace_jsonl`] or the
+/// bench harness documents built from [`registry_from`].
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Serializes a full run as one versioned JSON document with machine-wide,
+/// per-node and per-link sections.
+///
+/// `links` comes from [`Machine::link_report`](crate::Machine::link_report)
+/// (pass `&[]` when only aggregate network stats are wanted — e.g. for bus
+/// fabrics, which have no per-link breakdown).
+pub fn metrics_json(m: &RunMetrics, links: &[LinkReport]) -> Json {
+    Json::obj([
+        ("schema_version", Json::from(SCHEMA_VERSION)),
+        ("machine", machine_section(m)),
+        ("access_latency", latency_section(m)),
+        (
+            "per_node",
+            Json::arr(m.per_node.iter().enumerate().map(|(i, n)| node_row(i, n))),
+        ),
+        (
+            "per_link",
+            Json::arr(links.iter().map(|l| link_row(l, m.total_cycles))),
+        ),
+    ])
+}
+
+fn machine_section(m: &RunMetrics) -> Json {
+    Json::obj([
+        ("nodes", Json::from(m.nodes)),
+        ("total_cycles", Json::from(m.total_cycles)),
+        ("instructions", Json::from(m.instructions)),
+        ("refs", Json::from(m.refs)),
+        ("reads", Json::from(m.reads)),
+        ("read_misses", Json::from(m.read_misses)),
+        ("writes", Json::from(m.writes)),
+        ("write_misses", Json::from(m.write_misses)),
+        ("cache_read_hits", Json::from(m.cache_read_hits)),
+        ("shared_ck_reads", Json::from(m.shared_ck_reads)),
+        ("read_miss_rate", Json::from(m.read_miss_rate())),
+        ("write_miss_rate", Json::from(m.write_miss_rate())),
+        ("checkpoints", Json::from(m.checkpoints)),
+        ("t_create", Json::from(m.t_create)),
+        ("t_commit", Json::from(m.t_commit)),
+        ("t_recovery", Json::from(m.t_recovery)),
+        ("failures", Json::from(m.failures)),
+        ("repairs", Json::from(m.repairs)),
+        ("items_checkpointed", Json::from(m.items_checkpointed)),
+        ("reused_replicas", Json::from(m.reused_replicas)),
+        ("replication_bytes", Json::from(m.replication_bytes)),
+        (
+            "injections",
+            Json::obj([
+                ("replacement", Json::from(m.injections_replacement)),
+                ("on_read", Json::from(m.injections_on_read)),
+                ("write_inv_ck", Json::from(m.injections_write_inv_ck)),
+                ("write_shared_ck", Json::from(m.injections_write_shared_ck)),
+                ("total", Json::from(m.injections_total())),
+            ]),
+        ),
+        ("pages_allocated", Json::from(m.pages_allocated)),
+        ("pages_peak", Json::from(m.pages_peak)),
+        (
+            "net",
+            Json::obj([
+                ("messages", Json::from(m.net_messages)),
+                ("contention_cycles", Json::from(m.net_contention_cycles)),
+            ]),
+        ),
+    ])
+}
+
+fn latency_section(m: &RunMetrics) -> Json {
+    let mut doc = m.access_latency.summary().to_json();
+    if let Json::Obj(pairs) = &mut doc {
+        pairs.push((
+            "buckets".to_string(),
+            Json::arr(
+                m.access_latency
+                    .nonzero_buckets()
+                    .into_iter()
+                    .map(|(ub, n)| Json::arr([Json::from(ub), Json::from(n)])),
+            ),
+        ));
+    }
+    doc
+}
+
+fn node_row(i: usize, n: &NodeMetrics) -> Json {
+    Json::obj([
+        ("node", Json::from(i)),
+        ("refs", Json::from(n.refs)),
+        ("read_misses", Json::from(n.read_misses)),
+        ("write_misses", Json::from(n.write_misses)),
+        ("injections", Json::from(n.injections)),
+        ("items_checkpointed", Json::from(n.items_checkpointed)),
+        ("replication_bytes", Json::from(n.replication_bytes)),
+        ("ckpt_stall_cycles", Json::from(n.ckpt_stall_cycles)),
+        ("rollback_cycles", Json::from(n.rollback_cycles)),
+        ("pages_allocated", Json::from(n.pages_allocated)),
+        ("pages_peak", Json::from(n.pages_peak)),
+    ])
+}
+
+fn link_row(l: &LinkReport, total_cycles: Cycles) -> Json {
+    Json::obj([
+        (
+            "from",
+            Json::arr([Json::from(l.from.0), Json::from(l.from.1)]),
+        ),
+        ("to", Json::arr([Json::from(l.to.0), Json::from(l.to.1)])),
+        ("class", Json::from(l.class.name())),
+        ("messages", Json::from(l.stats.messages)),
+        ("busy_cycles", Json::from(l.stats.busy_cycles)),
+        ("contention_cycles", Json::from(l.stats.contention_cycles)),
+        ("utilization", Json::from(l.utilization(total_cycles))),
+    ])
+}
+
+/// Flattens a run into labeled counter/gauge series — the uniform
+/// representation the bench harness stores alongside its decomposition
+/// documents.
+pub fn registry_from(m: &RunMetrics) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    reg.counter_add("refs_total", &[], m.refs);
+    reg.counter_add("instructions_total", &[], m.instructions);
+    reg.counter_add("read_misses_total", &[], m.read_misses);
+    reg.counter_add("write_misses_total", &[], m.write_misses);
+    reg.counter_add("checkpoints_total", &[], m.checkpoints);
+    reg.counter_add("failures_total", &[], m.failures);
+    reg.counter_add("repairs_total", &[], m.repairs);
+    reg.counter_add("items_checkpointed_total", &[], m.items_checkpointed);
+    reg.counter_add("replication_bytes_total", &[], m.replication_bytes);
+    reg.counter_add("net_messages_total", &[], m.net_messages);
+    for (cause, v) in [
+        ("replacement", m.injections_replacement),
+        ("on_read", m.injections_on_read),
+        ("write_inv_ck", m.injections_write_inv_ck),
+        ("write_shared_ck", m.injections_write_shared_ck),
+    ] {
+        reg.counter_add("injections_total", &[("cause", cause)], v);
+    }
+    reg.gauge_set("read_miss_rate", &[], m.read_miss_rate());
+    reg.gauge_set("write_miss_rate", &[], m.write_miss_rate());
+    reg.gauge_set("pages_allocated", &[], m.pages_allocated as f64);
+    reg.gauge_set("pages_peak", &[], m.pages_peak as f64);
+    let s = m.access_latency.summary();
+    reg.gauge_set("access_latency_p50", &[], s.p50);
+    reg.gauge_set("access_latency_p90", &[], s.p90);
+    reg.gauge_set("access_latency_p99", &[], s.p99);
+    for (i, n) in m.per_node.iter().enumerate() {
+        let id = i.to_string();
+        let labels: &[(&str, &str)] = &[("node", id.as_str())];
+        reg.counter_add("refs_total", labels, n.refs);
+        reg.counter_add("read_misses_total", labels, n.read_misses);
+        reg.counter_add("write_misses_total", labels, n.write_misses);
+        reg.counter_add("node_injections_total", labels, n.injections);
+        reg.counter_add("ckpt_stall_cycles_total", labels, n.ckpt_stall_cycles);
+        reg.counter_add("rollback_cycles_total", labels, n.rollback_cycles);
+        reg.gauge_set("pages_allocated", labels, n.pages_allocated as f64);
+    }
+    reg
+}
+
+/// One trace event as a flat JSON object (`type` + `at` + variant fields).
+pub fn trace_event_json(e: &TraceEvent) -> Json {
+    let mut pairs = vec![
+        ("type".to_string(), Json::from(e.kind_tag())),
+        ("at".to_string(), Json::from(e.at())),
+    ];
+    match e {
+        TraceEvent::Delivery { to, kind, item, .. } => {
+            pairs.push(("to".to_string(), Json::from(to.index())));
+            pairs.push(("kind".to_string(), Json::from(*kind)));
+            pairs.push(("item".to_string(), Json::from(item.index())));
+        }
+        TraceEvent::CheckpointBegun { gen, .. } | TraceEvent::CheckpointCommitted { gen, .. } => {
+            pairs.push(("gen".to_string(), Json::from(*gen)));
+        }
+        TraceEvent::NodeCommit { node, dur, .. } | TraceEvent::NodeRollback { node, dur, .. } => {
+            pairs.push(("node".to_string(), Json::from(node.index())));
+            pairs.push(("dur".to_string(), Json::from(*dur)));
+        }
+        TraceEvent::Failure {
+            node, permanent, ..
+        } => {
+            pairs.push(("node".to_string(), Json::from(node.index())));
+            pairs.push(("permanent".to_string(), Json::from(*permanent)));
+        }
+        TraceEvent::Recovered { .. } => {}
+        TraceEvent::Repaired { node, .. } => {
+            pairs.push(("node".to_string(), Json::from(node.index())));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+/// Renders a trace as JSON Lines: a `meta` header line carrying
+/// [`SCHEMA_VERSION`], then one compact object per event.
+pub fn trace_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    let header = Json::obj([
+        ("type", Json::from("meta")),
+        ("schema_version", Json::from(SCHEMA_VERSION)),
+        ("events", Json::from(events.len())),
+    ]);
+    out.push_str(&header.to_string_compact());
+    out.push('\n');
+    for e in events {
+        out.push_str(&trace_event_json(e).to_string_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// Converts a trace into the Chrome trace-event format (the JSON object
+/// form, `{"traceEvents": [...]}`), viewable in Perfetto or
+/// `chrome://tracing`.
+///
+/// Track layout: one process (`pid` 0) with `tid` 0 as the machine-wide
+/// coordinator track and `tid` *n*+1 as node *n*'s track. Timestamps are
+/// microseconds of simulated time (`cycles / clock_hz * 1e6`). Create and
+/// recovery phases become complete (`"X"`) spans by pairing their begin /
+/// end events; per-node commit and rollback scans become `"X"` spans on
+/// the node tracks; deliveries, failures and repairs are instants (`"i"`).
+pub fn chrome_trace(events: &[TraceEvent], clock_hz: f64) -> Json {
+    let us = |c: Cycles| c as f64 * 1e6 / clock_hz;
+    let mut rows: Vec<Json> = Vec::new();
+    let mut tids_seen: Vec<u64> = Vec::new();
+    let note_tid = |t: u64, v: &mut Vec<u64>| {
+        if !v.contains(&t) {
+            v.push(t);
+        }
+    };
+    let complete = |name: &str, ts: f64, dur: f64, tid: u64, args: Json| {
+        Json::obj([
+            ("name", Json::from(name)),
+            ("ph", Json::from("X")),
+            ("ts", Json::from(ts)),
+            ("dur", Json::from(dur)),
+            ("pid", Json::from(0u64)),
+            ("tid", Json::from(tid)),
+            ("args", args),
+        ])
+    };
+    let instant = |name: &str, ts: f64, tid: u64, args: Json| {
+        Json::obj([
+            ("name", Json::from(name)),
+            ("ph", Json::from("i")),
+            ("ts", Json::from(ts)),
+            ("s", Json::from("t")),
+            ("pid", Json::from(0u64)),
+            ("tid", Json::from(tid)),
+            ("args", args),
+        ])
+    };
+
+    // Open create/recovery spans are closed by their matching end events;
+    // a begin whose end fell outside the ring buffer degrades to nothing,
+    // an end without a begin degrades to an instant.
+    let mut open_create: Option<(f64, u64)> = None;
+    let mut open_recovery: Option<f64> = None;
+    for e in events {
+        match e {
+            TraceEvent::Delivery { at, to, kind, item } => {
+                let tid = to.index() as u64 + 1;
+                note_tid(tid, &mut tids_seen);
+                rows.push(instant(
+                    kind,
+                    us(*at),
+                    tid,
+                    Json::obj([("item", Json::from(item.index()))]),
+                ));
+            }
+            TraceEvent::CheckpointBegun { at, gen } => {
+                open_create = Some((us(*at), *gen));
+            }
+            TraceEvent::CheckpointCommitted { at, gen } => {
+                note_tid(0, &mut tids_seen);
+                let args = Json::obj([("gen", Json::from(*gen))]);
+                match open_create.take() {
+                    Some((ts, g)) if g == *gen => {
+                        rows.push(complete("checkpoint create", ts, us(*at) - ts, 0, args));
+                    }
+                    _ => rows.push(instant("checkpoint committed", us(*at), 0, args)),
+                }
+            }
+            TraceEvent::NodeCommit { at, node, dur } => {
+                let tid = node.index() as u64 + 1;
+                note_tid(tid, &mut tids_seen);
+                rows.push(complete(
+                    "commit scan",
+                    us(*at),
+                    us(*dur),
+                    tid,
+                    Json::Obj(Vec::new()),
+                ));
+            }
+            TraceEvent::NodeRollback { at, node, dur } => {
+                let tid = node.index() as u64 + 1;
+                note_tid(tid, &mut tids_seen);
+                rows.push(complete(
+                    "rollback scan",
+                    us(*at),
+                    us(*dur),
+                    tid,
+                    Json::Obj(Vec::new()),
+                ));
+            }
+            TraceEvent::Failure {
+                at,
+                node,
+                permanent,
+            } => {
+                note_tid(0, &mut tids_seen);
+                open_recovery = Some(us(*at));
+                rows.push(instant(
+                    "failure",
+                    us(*at),
+                    0,
+                    Json::obj([
+                        ("node", Json::from(node.index())),
+                        ("permanent", Json::from(*permanent)),
+                    ]),
+                ));
+            }
+            TraceEvent::Recovered { at } => {
+                note_tid(0, &mut tids_seen);
+                match open_recovery.take() {
+                    Some(ts) => rows.push(complete(
+                        "recovery",
+                        ts,
+                        us(*at) - ts,
+                        0,
+                        Json::Obj(Vec::new()),
+                    )),
+                    None => rows.push(instant("recovered", us(*at), 0, Json::Obj(Vec::new()))),
+                }
+            }
+            TraceEvent::Repaired { at, node } => {
+                let tid = node.index() as u64 + 1;
+                note_tid(tid, &mut tids_seen);
+                rows.push(instant("repaired", us(*at), tid, Json::Obj(Vec::new())));
+            }
+        }
+    }
+
+    // Metadata rows name the tracks; emitted first so viewers label
+    // every track before its first event.
+    tids_seen.sort_unstable();
+    let mut all: Vec<Json> = Vec::with_capacity(rows.len() + tids_seen.len() + 1);
+    all.push(Json::obj([
+        ("name", Json::from("process_name")),
+        ("ph", Json::from("M")),
+        ("pid", Json::from(0u64)),
+        ("args", Json::obj([("name", Json::from("ftcoma"))])),
+    ]));
+    for tid in tids_seen {
+        let label = if tid == 0 {
+            "machine".to_string()
+        } else {
+            format!("node {}", tid - 1)
+        };
+        all.push(Json::obj([
+            ("name", Json::from("thread_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(0u64)),
+            ("tid", Json::from(tid)),
+            ("args", Json::obj([("name", Json::from(label))])),
+        ]));
+    }
+    all.extend(rows);
+    Json::obj([
+        ("traceEvents", Json::arr(all)),
+        ("displayTimeUnit", Json::from("ms")),
+        (
+            "otherData",
+            Json::obj([("schema_version", Json::from(SCHEMA_VERSION))]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcoma_mem::{ItemId, NodeId};
+
+    fn sample_metrics() -> RunMetrics {
+        let mut m = RunMetrics {
+            total_cycles: 10_000,
+            refs: 5_000,
+            reads: 3_000,
+            read_misses: 300,
+            writes: 2_000,
+            write_misses: 100,
+            checkpoints: 4,
+            nodes: 2,
+            per_node: vec![
+                NodeMetrics {
+                    refs: 2_500,
+                    read_misses: 150,
+                    ..Default::default()
+                },
+                NodeMetrics {
+                    refs: 2_500,
+                    read_misses: 150,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        for v in [1, 10, 100, 1000] {
+            m.access_latency.record(v);
+        }
+        m
+    }
+
+    #[test]
+    fn metrics_json_has_versioned_sections() {
+        let doc = metrics_json(&sample_metrics(), &[]);
+        assert_eq!(
+            doc.get("schema_version").and_then(|v| v.as_u64()),
+            Some(SCHEMA_VERSION)
+        );
+        let machine = doc.get("machine").unwrap();
+        assert_eq!(machine.get("refs").and_then(|v| v.as_u64()), Some(5_000));
+        assert!(
+            machine
+                .get("read_miss_rate")
+                .and_then(|v| v.as_f64())
+                .unwrap()
+                > 0.0
+        );
+        assert_eq!(doc.get("per_node").unwrap().as_array().unwrap().len(), 2);
+        assert!(doc.get("per_link").unwrap().as_array().unwrap().is_empty());
+        let lat = doc.get("access_latency").unwrap();
+        for k in ["count", "mean", "p50", "p90", "p99", "max", "buckets"] {
+            assert!(lat.get(k).is_some(), "missing latency key {k}");
+        }
+        // Round-trips through the parser.
+        let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(
+            parsed.get("schema_version").and_then(|v| v.as_u64()),
+            Some(SCHEMA_VERSION)
+        );
+    }
+
+    #[test]
+    fn registry_covers_machine_and_node_series() {
+        let reg = registry_from(&sample_metrics());
+        assert_eq!(reg.counter("refs_total", &[]), Some(5_000));
+        assert_eq!(reg.counter("refs_total", &[("node", "1")]), Some(2_500));
+        assert!(reg.gauge("access_latency_p99", &[]).is_some());
+    }
+
+    #[test]
+    fn trace_jsonl_is_one_object_per_line() {
+        let events = vec![
+            TraceEvent::Delivery {
+                at: 5,
+                to: NodeId::new(1),
+                kind: "ReadReq",
+                item: ItemId::new(7),
+            },
+            TraceEvent::CheckpointCommitted { at: 9, gen: 1 },
+        ];
+        let text = trace_jsonl(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // meta header + 2 events
+        for line in &lines {
+            let obj = Json::parse(line).unwrap();
+            assert!(obj.get("type").is_some());
+        }
+        assert_eq!(
+            Json::parse(lines[0])
+                .unwrap()
+                .get("schema_version")
+                .and_then(|v| v.as_u64()),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(
+            Json::parse(lines[1])
+                .unwrap()
+                .get("to")
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_pairs_phase_spans() {
+        let events = vec![
+            TraceEvent::CheckpointBegun { at: 100, gen: 1 },
+            TraceEvent::NodeCommit {
+                at: 140,
+                node: NodeId::new(0),
+                dur: 20,
+            },
+            TraceEvent::CheckpointCommitted { at: 140, gen: 1 },
+            TraceEvent::Failure {
+                at: 500,
+                node: NodeId::new(1),
+                permanent: false,
+            },
+            TraceEvent::Recovered { at: 900 },
+        ];
+        let doc = chrome_trace(&events, 20_000_000.0);
+        let rows = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // Every row has the mandatory keys.
+        for r in rows {
+            assert!(r.get("ph").is_some() && r.get("pid").is_some());
+        }
+        let spans: Vec<_> = rows
+            .iter()
+            .filter(|r| r.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .collect();
+        let names: Vec<_> = spans
+            .iter()
+            .map(|r| r.get("name").and_then(|v| v.as_str()).unwrap())
+            .collect();
+        assert!(names.contains(&"checkpoint create"));
+        assert!(names.contains(&"commit scan"));
+        assert!(names.contains(&"recovery"));
+        // 100 cycles at 20 MHz = 5 µs.
+        let create = spans
+            .iter()
+            .find(|r| r.get("name").and_then(|v| v.as_str()) == Some("checkpoint create"))
+            .unwrap();
+        assert_eq!(create.get("ts").and_then(|v| v.as_f64()), Some(5.0));
+        assert_eq!(create.get("dur").and_then(|v| v.as_f64()), Some(2.0));
+        // Metadata names both tracks.
+        assert!(rows.iter().any(|r| {
+            r.get("ph").and_then(|v| v.as_str()) == Some("M")
+                && r.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str())
+                    == Some("node 0")
+        }));
+    }
+
+    #[test]
+    fn chrome_trace_unpaired_end_degrades_to_instant() {
+        let events = vec![TraceEvent::CheckpointCommitted { at: 200, gen: 3 }];
+        let doc = chrome_trace(&events, 20_000_000.0);
+        let rows = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(rows.iter().any(|r| {
+            r.get("ph").and_then(|v| v.as_str()) == Some("i")
+                && r.get("name").and_then(|v| v.as_str()) == Some("checkpoint committed")
+        }));
+    }
+}

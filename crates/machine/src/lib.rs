@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod export;
 pub mod machine;
 pub mod metrics;
 pub mod probe;
@@ -44,4 +45,4 @@ pub mod tracelog;
 
 pub use config::{FailureKind, MachineConfig};
 pub use machine::Machine;
-pub use metrics::RunMetrics;
+pub use metrics::{NodeMetrics, RunMetrics};

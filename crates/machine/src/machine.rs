@@ -14,7 +14,7 @@ use ftcoma_sim::{Cycles, EventQueue};
 use ftcoma_workloads::{MemRef, NodeStream, RefStream, StreamSnapshot};
 
 use crate::config::{FailureKind, MachineConfig};
-use crate::metrics::RunMetrics;
+use crate::metrics::{NodeMetrics, RunMetrics};
 use crate::tracelog::{TraceEvent, TraceLog};
 
 #[derive(Debug)]
@@ -150,7 +150,11 @@ impl Machine {
             pending_repair: None,
             committed_values: HashMap::new(),
             trace: TraceLog::new(cfg.trace_capacity),
-            metrics: RunMetrics { nodes: n as u64, ..RunMetrics::default() },
+            metrics: RunMetrics {
+                nodes: n as u64,
+                per_node: vec![NodeMetrics::default(); n],
+                ..RunMetrics::default()
+            },
             baseline: None,
             finished: false,
             cfg,
@@ -189,7 +193,10 @@ impl Machine {
     /// Panics if fault tolerance is disabled or the node index is out of
     /// range. Repairing a node that is still alive at `at` is a no-op.
     pub fn schedule_repair(&mut self, at: Cycles, node: NodeId) {
-        assert!(self.cfg.ft.mode.is_enabled(), "repair requires the ECP machine");
+        assert!(
+            self.cfg.ft.mode.is_enabled(),
+            "repair requires the ECP machine"
+        );
         assert!(node.index() < self.nodes.len(), "no such node");
         self.queue.schedule(at, Event::Repair { node });
     }
@@ -205,10 +212,22 @@ impl Machine {
         }
         self.finished = true;
         self.metrics.total_cycles = self.queue.now();
-        self.metrics.pages_allocated =
-            self.live_nodes().map(|n| n.am.allocated_pages() as u64).sum();
-        self.metrics.pages_peak =
-            self.live_nodes().map(|n| n.am.peak_allocated_pages() as u64).sum();
+        self.metrics.pages_allocated = self
+            .live_nodes()
+            .map(|n| n.am.allocated_pages() as u64)
+            .sum();
+        self.metrics.pages_peak = self
+            .live_nodes()
+            .map(|n| n.am.peak_allocated_pages() as u64)
+            .sum();
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].alive {
+                self.metrics.per_node[i].pages_allocated =
+                    self.nodes[i].am.allocated_pages() as u64;
+                self.metrics.per_node[i].pages_peak =
+                    self.nodes[i].am.peak_allocated_pages() as u64;
+            }
+        }
         self.metrics.net_messages = self.mesh.stats().messages;
         self.metrics.net_contention_cycles = self.mesh.stats().contention_cycles;
         if let Some((base, base_cycles)) = self.baseline.take() {
@@ -227,6 +246,11 @@ impl Machine {
     /// [`MachineConfig::trace_capacity`] was set).
     pub fn trace(&self) -> Vec<TraceEvent> {
         self.trace.events().cloned().collect()
+    }
+
+    /// Per-link interconnect traffic breakdown (empty for bus fabrics).
+    pub fn link_report(&self) -> Vec<ftcoma_net::LinkReport> {
+        self.mesh.link_report()
     }
 
     /// The paper's four-irreplaceable-pages capacity check (§4.1) for this
@@ -272,7 +296,10 @@ impl Machine {
     /// point (meaningful right after a recovery, before computation
     /// resumes; requires `verify` in the configuration).
     pub fn verify_against_oracle(&self) -> Result<(), Vec<String>> {
-        assert!(self.cfg.verify, "oracle tracking disabled in this configuration");
+        assert!(
+            self.cfg.verify,
+            "oracle tracking disabled in this configuration"
+        );
         let mut problems = Vec::new();
         let mut seen: HashMap<ItemId, Vec<u64>> = HashMap::new();
         for ns in self.live_nodes() {
@@ -309,7 +336,9 @@ impl Machine {
     }
 
     fn all_done(&self) -> bool {
-        self.proc.iter().all(|&p| matches!(p, ProcState::Done | ProcState::Dead))
+        self.proc
+            .iter()
+            .all(|&p| matches!(p, ProcState::Done | ProcState::Dead))
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -349,7 +378,11 @@ impl Machine {
             .iter()
             .filter(|p| !matches!(p, ProcState::Done | ProcState::Dead))
             .count();
-        let waiting = self.proc.iter().filter(|&&p| p == ProcState::AtBarrier).count();
+        let waiting = self
+            .proc
+            .iter()
+            .filter(|&&p| p == ProcState::AtBarrier)
+            .count();
         if eligible == 0 || waiting < eligible {
             return;
         }
@@ -394,14 +427,23 @@ impl Machine {
             }
         }
         let pre = if include_pre {
-            Cycles::from(self.pending_ref[i].as_ref().expect("just filled").1.pre_cycles)
+            Cycles::from(
+                self.pending_ref[i]
+                    .as_ref()
+                    .expect("just filled")
+                    .1
+                    .pre_cycles,
+            )
         } else {
             0
         };
         self.proc[i] = ProcState::Ready;
         self.epochs[i] += 1;
         let epoch = self.epochs[i];
-        self.queue.schedule(self.queue.now() + at_delay + pre, Event::Proc { node, epoch });
+        self.queue.schedule(
+            self.queue.now() + at_delay + pre,
+            Event::Proc { node, epoch },
+        );
     }
 
     fn on_proc(&mut self, node: NodeId, epoch: u64) {
@@ -409,7 +451,11 @@ impl Machine {
         if epoch != self.epochs[i] || self.proc[i] != ProcState::Ready {
             return; // stale event from before a pause/rollback
         }
-        debug_assert_eq!(self.phase, Phase::Running, "ready processors only run in Running");
+        debug_assert_eq!(
+            self.phase,
+            Phase::Running,
+            "ready processors only run in Running"
+        );
 
         // Global barrier: SPLASH-style phase synchronisation.
         if let Some(interval) = self.cfg.workload.barrier_interval_refs {
@@ -420,9 +466,12 @@ impl Machine {
                 return;
             }
         }
-        let (si, r) = self.pending_ref[i].take().expect("ready node has a buffered reference");
+        let (si, r) = self.pending_ref[i]
+            .take()
+            .expect("ready node has a buffered reference");
 
         self.metrics.refs += 1;
+        self.metrics.per_node[i].refs += 1;
         self.refs_since_barrier[i] += 1;
         self.metrics.instructions += 1 + u64::from(r.pre_cycles);
         if self.baseline.is_none()
@@ -442,7 +491,11 @@ impl Machine {
         }
 
         let write_value = ((si as u64) << 48) | self.streams[si].refs_emitted();
-        let req = AccessReq { addr: r.addr, is_write: r.is_write, write_value };
+        let req = AccessReq {
+            addr: r.addr,
+            is_write: r.is_write,
+            write_value,
+        };
         let mut ctx = Ctx::new(&self.ring, self.queue.now());
         let outcome = self.engine.access(&mut self.nodes[i], req, &mut ctx);
         let (out, effects) = ctx.finish();
@@ -462,8 +515,10 @@ impl Machine {
             AccessOutcome::Stalled => {
                 if r.is_write {
                     self.metrics.write_misses += 1;
+                    self.metrics.per_node[i].write_misses += 1;
                 } else {
                     self.metrics.read_misses += 1;
+                    self.metrics.per_node[i].read_misses += 1;
                 }
                 self.stall_start[i] = self.queue.now();
                 self.proc[i] = ProcState::Stalled;
@@ -485,7 +540,8 @@ impl Machine {
             });
         }
         let mut ctx = Ctx::new(&self.ring, self.queue.now());
-        self.engine.handle(&mut self.nodes[to.index()], msg, &mut ctx);
+        self.engine
+            .handle(&mut self.nodes[to.index()], msg, &mut ctx);
         let (out, effects) = ctx.finish();
         self.apply_outgoing(to, out);
         self.apply_effects(to, effects);
@@ -496,7 +552,9 @@ impl Machine {
         if epoch != self.epochs[i] || self.proc[i] != ProcState::Stalled {
             return;
         }
-        self.metrics.access_latency.record(self.queue.now() - self.stall_start[i]);
+        self.metrics
+            .access_latency
+            .record(self.queue.now() - self.stall_start[i]);
         if self.phase == Phase::Running {
             self.prepare_and_schedule(node, 0, true);
         } else {
@@ -545,12 +603,17 @@ impl Machine {
         }
         self.phase = Phase::Create;
         self.create_done = 0;
+        self.trace.push(TraceEvent::CheckpointBegun {
+            at: self.queue.now(),
+            gen: self.gen + 1,
+        });
         for i in 0..self.nodes.len() {
             if !self.nodes[i].alive {
                 continue;
             }
             let mut ctx = Ctx::new(&self.ring, self.queue.now());
-            self.engine.begin_create(&mut self.nodes[i], self.gen + 1, &mut ctx);
+            self.engine
+                .begin_create(&mut self.nodes[i], self.gen + 1, &mut ctx);
             let (out, effects) = ctx.finish();
             let id = self.nodes[i].id;
             self.apply_outgoing(id, out);
@@ -568,7 +631,10 @@ impl Machine {
         self.metrics.t_create += commit_start - self.ckpt_start;
         self.gen += 1;
         self.metrics.checkpoints += 1;
-        self.trace.push(TraceEvent::CheckpointCommitted { at: commit_start, gen: self.gen });
+        self.trace.push(TraceEvent::CheckpointCommitted {
+            at: commit_start,
+            gen: self.gen,
+        });
 
         let mut max_dur = 0;
         for i in 0..self.nodes.len() {
@@ -577,7 +643,18 @@ impl Machine {
             }
             let stats = ckpt::commit_node(&mut self.nodes[i], &self.cfg.ft, self.engine.timing());
             max_dur = max_dur.max(stats.duration);
+            if self.trace.enabled() {
+                self.trace.push(TraceEvent::NodeCommit {
+                    at: commit_start,
+                    node: self.nodes[i].id,
+                    dur: stats.duration,
+                });
+            }
             if self.proc[i] == ProcState::Paused {
+                // This processor was stopped from the establishment start
+                // until its own commit scan finished.
+                self.metrics.per_node[i].ckpt_stall_cycles +=
+                    (commit_start - self.ckpt_start) + stats.duration;
                 let node = self.nodes[i].id;
                 self.resume_paused(node, stats.duration);
             }
@@ -602,12 +679,16 @@ impl Machine {
     }
 
     fn period(&self) -> Cycles {
-        self.cfg.ft.ckpt_period_cycles().expect("timer only runs with FT enabled")
+        self.cfg
+            .ft
+            .ckpt_period_cycles()
+            .expect("timer only runs with FT enabled")
     }
 
     fn schedule_timer(&mut self, delay: Cycles) {
         debug_assert!(!self.timer_in_queue, "one checkpoint timer at a time");
-        self.queue.schedule(self.queue.now() + delay, Event::CkptTimer);
+        self.queue
+            .schedule(self.queue.now() + delay, Event::CkptTimer);
         self.timer_in_queue = true;
     }
 
@@ -656,7 +737,10 @@ impl Machine {
             self.assigned[i].push(i);
         }
         self.metrics.repairs += 1;
-        self.trace.push(TraceEvent::Repaired { at: self.queue.now(), node });
+        self.trace.push(TraceEvent::Repaired {
+            at: self.queue.now(),
+            node,
+        });
 
         self.phase = Phase::Running;
         for k in 0..self.nodes.len() {
@@ -671,7 +755,11 @@ impl Machine {
     }
 
     fn on_failure(&mut self, node: NodeId, kind: FailureKind) {
-        assert_ne!(self.phase, Phase::Recovering, "failure during recovery not modelled");
+        assert_ne!(
+            self.phase,
+            Phase::Recovering,
+            "failure during recovery not modelled"
+        );
         if !self.nodes[node.index()].alive {
             return;
         }
@@ -684,8 +772,12 @@ impl Machine {
         });
 
         // 1. Every in-flight message and scheduled processor issue is moot.
-        self.queue
-            .retain(|e| matches!(e, Event::CkptTimer | Event::Failure { .. } | Event::Repair { .. }));
+        self.queue.retain(|e| {
+            matches!(
+                e,
+                Event::CkptTimer | Event::Failure { .. } | Event::Repair { .. }
+            )
+        });
         self.deliver_pending = 0;
         for i in 0..self.nodes.len() {
             self.epochs[i] += 1;
@@ -713,6 +805,14 @@ impl Machine {
             let stats = recovery::rollback_node(&mut self.nodes[i], self.engine.timing());
             max_scan = max_scan.max(stats.duration);
             let id = self.nodes[i].id;
+            self.metrics.per_node[i].rollback_cycles += stats.duration;
+            if self.trace.enabled() {
+                self.trace.push(TraceEvent::NodeRollback {
+                    at: self.recovery_start,
+                    node: id,
+                    dur: stats.duration,
+                });
+            }
             self.engine.reset_node(id);
             if self.proc[i] != ProcState::Dead {
                 self.proc[i] = ProcState::Paused;
@@ -754,7 +854,8 @@ impl Machine {
         self.reconfig_expected = orphan_lists.len();
         for (id, orphans) in orphan_lists {
             let mut ctx = Ctx::new(&self.ring, self.queue.now());
-            self.engine.begin_reconfig(&mut self.nodes[id.index()], orphans, &mut ctx);
+            self.engine
+                .begin_reconfig(&mut self.nodes[id.index()], orphans, &mut ctx);
             let (out, effects) = ctx.finish();
             self.apply_outgoing(id, out);
             self.apply_effects(id, effects);
@@ -802,9 +903,16 @@ impl Machine {
     fn apply_outgoing(&mut self, from: NodeId, out: Vec<ftcoma_protocol::msg::Outgoing>) {
         for o in out {
             let depart = self.queue.now() + o.delay;
-            let arrival =
-                self.mesh.send(depart, from, o.to, o.msg.class(), o.msg.payload_bytes());
-            self.queue.schedule(arrival, Event::Deliver { to: o.to, msg: o.msg });
+            let arrival = self
+                .mesh
+                .send(depart, from, o.to, o.msg.class(), o.msg.payload_bytes());
+            self.queue.schedule(
+                arrival,
+                Event::Deliver {
+                    to: o.to,
+                    msg: o.msg,
+                },
+            );
             self.deliver_pending += 1;
         }
     }
@@ -819,18 +927,37 @@ impl Machine {
                 }
                 Effect::CreateDone => self.create_done += 1,
                 Effect::ReconfigDone => self.reconfig_done += 1,
-                Effect::InjectionStarted { cause } => match cause {
-                    InjectCause::Replacement => self.metrics.injections_replacement += 1,
-                    InjectCause::ReadOnInvCk => self.metrics.injections_on_read += 1,
-                    InjectCause::WriteOnInvCk => self.metrics.injections_write_inv_ck += 1,
-                    InjectCause::WriteOnSharedCk => {
-                        self.metrics.injections_write_shared_ck += 1;
+                Effect::InjectionStarted { cause } => {
+                    let counted = match cause {
+                        InjectCause::Replacement => {
+                            self.metrics.injections_replacement += 1;
+                            true
+                        }
+                        InjectCause::ReadOnInvCk => {
+                            self.metrics.injections_on_read += 1;
+                            true
+                        }
+                        InjectCause::WriteOnInvCk => {
+                            self.metrics.injections_write_inv_ck += 1;
+                            true
+                        }
+                        InjectCause::WriteOnSharedCk => {
+                            self.metrics.injections_write_shared_ck += 1;
+                            true
+                        }
+                        _ => false,
+                    };
+                    if counted {
+                        self.metrics.per_node[node.index()].injections += 1;
                     }
-                    _ => {}
-                },
-                Effect::ReplicationBytes { bytes } => self.metrics.replication_bytes += bytes,
+                }
+                Effect::ReplicationBytes { bytes } => {
+                    self.metrics.replication_bytes += bytes;
+                    self.metrics.per_node[node.index()].replication_bytes += bytes;
+                }
                 Effect::ItemCheckpointed { reused_existing } => {
                     self.metrics.items_checkpointed += 1;
+                    self.metrics.per_node[node.index()].items_checkpointed += 1;
                     if reused_existing {
                         self.metrics.reused_replicas += 1;
                     }

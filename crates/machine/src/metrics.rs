@@ -3,6 +3,63 @@
 use ftcoma_sim::stats::Histogram;
 use ftcoma_sim::Cycles;
 
+/// Per-node breakdown of one machine run.
+///
+/// One entry per node slot (dead nodes keep their entry so indices stay
+/// aligned with [`NodeId`](ftcoma_mem::NodeId) indices). Counters follow the
+/// node's processor and attraction memory; machine-global costs (create
+/// stalls, recovery) are charged to every node that stalled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Memory references issued by this node's processor.
+    pub refs: u64,
+    /// Load misses that stalled this processor.
+    pub read_misses: u64,
+    /// Store misses/upgrades that stalled this processor.
+    pub write_misses: u64,
+    /// Runtime injections this node originated (all causes).
+    pub injections: u64,
+    /// Items this node secured during create phases.
+    pub items_checkpointed: u64,
+    /// Recovery bytes this node physically sent during create phases.
+    pub replication_bytes: u64,
+    /// Cycles this node's processor was stopped for checkpoint
+    /// establishment (create stall + its own commit scan).
+    pub ckpt_stall_cycles: Cycles,
+    /// Cycles this node's processor was stopped rolling back after
+    /// failures (its own rollback scan).
+    pub rollback_cycles: Cycles,
+    /// Pages allocated in this node's attraction memory at the end of the
+    /// run (0 for dead nodes).
+    pub pages_allocated: u64,
+    /// Peak page allocation in this node's attraction memory.
+    pub pages_peak: u64,
+}
+
+impl NodeMetrics {
+    /// Counters accumulated since `base`; the page-allocation gauges keep
+    /// their current values.
+    pub fn delta_since(&self, base: &NodeMetrics) -> NodeMetrics {
+        NodeMetrics {
+            refs: self.refs - base.refs,
+            read_misses: self.read_misses - base.read_misses,
+            write_misses: self.write_misses - base.write_misses,
+            injections: self.injections - base.injections,
+            items_checkpointed: self.items_checkpointed - base.items_checkpointed,
+            replication_bytes: self.replication_bytes - base.replication_bytes,
+            ckpt_stall_cycles: self.ckpt_stall_cycles - base.ckpt_stall_cycles,
+            rollback_cycles: self.rollback_cycles - base.rollback_cycles,
+            pages_allocated: self.pages_allocated,
+            pages_peak: self.pages_peak,
+        }
+    }
+
+    /// Total misses (loads + stores).
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+}
+
 /// Aggregated measurements of one machine run.
 ///
 /// The execution-time decomposition follows §4.2.3 of the paper:
@@ -76,6 +133,10 @@ pub struct RunMetrics {
     /// Number of nodes in the run (for per-node normalisation).
     pub nodes: u64,
 
+    /// Per-node breakdown, indexed by node id (empty when the machine has
+    /// not run; one entry per node slot afterwards, dead nodes included).
+    pub per_node: Vec<NodeMetrics>,
+
     /// Distribution of memory-access completion latencies (cycles), from
     /// 1-cycle cache hits to stalled coherence transactions.
     pub access_latency: Histogram,
@@ -115,6 +176,15 @@ impl RunMetrics {
             net_messages: self.net_messages - base.net_messages,
             net_contention_cycles: self.net_contention_cycles - base.net_contention_cycles,
             nodes: self.nodes,
+            per_node: self
+                .per_node
+                .iter()
+                .enumerate()
+                .map(|(i, n)| match base.per_node.get(i) {
+                    Some(b) => n.delta_since(b),
+                    None => *n,
+                })
+                .collect(),
             access_latency: self.access_latency.delta_since(&base.access_latency),
         }
     }
@@ -138,14 +208,14 @@ impl RunMetrics {
         }
     }
 
-    /// Per-node average of `events` per 10 000 references.
+    /// Per-node average of `events` per 10 000 *machine-wide* references:
+    /// the machine-wide rate divided by the node count, i.e. each node's
+    /// share of the event rate.
     pub fn per_node_per_10k_refs(&self, events: u64) -> f64 {
         if self.nodes == 0 {
             0.0
         } else {
-            // refs are machine-wide; per-node refs = refs / nodes, so the
-            // per-node event rate equals the machine-wide rate.
-            self.per_10k_refs(events)
+            self.per_10k_refs(events) / self.nodes as f64
         }
     }
 
@@ -247,8 +317,62 @@ mod tests {
     }
 
     #[test]
+    fn per_node_rate_divides_by_nodes() {
+        let m = RunMetrics {
+            refs: 10_000,
+            nodes: 4,
+            ..Default::default()
+        };
+        // 8 events over 10k machine-wide refs = 8 per 10k refs, 2 per node.
+        assert!((m.per_10k_refs(8) - 8.0).abs() < 1e-12);
+        assert!((m.per_node_per_10k_refs(8) - 2.0).abs() < 1e-12);
+        let empty = RunMetrics::default();
+        assert_eq!(empty.per_node_per_10k_refs(8), 0.0);
+    }
+
+    #[test]
+    fn per_node_delta_subtracts_counters_keeps_gauges() {
+        let base = RunMetrics {
+            refs: 50,
+            per_node: vec![NodeMetrics {
+                refs: 50,
+                read_misses: 3,
+                ckpt_stall_cycles: 100,
+                pages_allocated: 7,
+                pages_peak: 9,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let now = RunMetrics {
+            refs: 120,
+            per_node: vec![NodeMetrics {
+                refs: 120,
+                read_misses: 10,
+                ckpt_stall_cycles: 250,
+                pages_allocated: 8,
+                pages_peak: 11,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let d = now.delta_since(&base);
+        assert_eq!(d.per_node[0].refs, 70);
+        assert_eq!(d.per_node[0].read_misses, 7);
+        assert_eq!(d.per_node[0].ckpt_stall_cycles, 150);
+        // Gauges keep their current values.
+        assert_eq!(d.per_node[0].pages_allocated, 8);
+        assert_eq!(d.per_node[0].pages_peak, 11);
+        assert_eq!(d.per_node[0].misses(), 7);
+    }
+
+    #[test]
     fn reuse_fraction() {
-        let m = RunMetrics { items_checkpointed: 100, reused_replicas: 52, ..Default::default() };
+        let m = RunMetrics {
+            items_checkpointed: 100,
+            reused_replicas: 52,
+            ..Default::default()
+        };
         assert!((m.replica_reuse_fraction() - 0.52).abs() < 1e-12);
     }
 }

@@ -29,7 +29,9 @@ pub struct Table2Latencies {
 /// The scenario (owner placement, caches) is prepared by `setup`.
 fn measure_read(item: ItemId, setup: impl FnOnce(&mut [NodeState])) -> Cycles {
     const N: usize = 16;
-    let mut nodes: Vec<NodeState> = (0..N as u16).map(|i| NodeState::ksr1(NodeId::new(i))).collect();
+    let mut nodes: Vec<NodeState> = (0..N as u16)
+        .map(|i| NodeState::ksr1(NodeId::new(i)))
+        .collect();
     setup(&mut nodes);
     let ring = LogicalRing::new(N);
     let mut mesh = Mesh::new(MeshGeometry::for_nodes(N), NetConfig::default());
@@ -37,12 +39,22 @@ fn measure_read(item: ItemId, setup: impl FnOnce(&mut [NodeState])) -> Cycles {
     let mut queue: EventQueue<(NodeId, Msg)> = EventQueue::new();
 
     let requester = NodeId::new(0);
-    let req = AccessReq { addr: item.base_addr(), is_write: false, write_value: 0 };
+    let req = AccessReq {
+        addr: item.base_addr(),
+        is_write: false,
+        write_value: 0,
+    };
     let mut ctx = Ctx::new(&ring, 0);
     let outcome = engine.access(&mut nodes[0], req, &mut ctx);
     let (out, effects) = ctx.finish();
     for o in out {
-        let arrival = mesh.send(o.delay, requester, o.to, o.msg.class(), o.msg.payload_bytes());
+        let arrival = mesh.send(
+            o.delay,
+            requester,
+            o.to,
+            o.msg.class(),
+            o.msg.payload_bytes(),
+        );
         queue.schedule(arrival, (o.to, o.msg));
     }
     if let AccessOutcome::Complete { latency, .. } = outcome {
@@ -56,7 +68,13 @@ fn measure_read(item: ItemId, setup: impl FnOnce(&mut [NodeState])) -> Cycles {
         engine.handle(&mut nodes[to.index()], msg, &mut ctx);
         let (out, effects) = ctx.finish();
         for o in out {
-            let arrival = mesh.send(now + o.delay, to, o.to, o.msg.class(), o.msg.payload_bytes());
+            let arrival = mesh.send(
+                now + o.delay,
+                to,
+                o.to,
+                o.msg.class(),
+                o.msg.payload_bytes(),
+            );
             queue.schedule(arrival, (o.to, o.msg));
         }
         for e in effects {
@@ -107,7 +125,12 @@ pub fn read_miss_latencies() -> Table2Latencies {
         place_master(nodes, item2, NodeId::new(2));
     });
 
-    Table2Latencies { cache, local_am, remote_1hop, remote_2hop }
+    Table2Latencies {
+        cache,
+        local_am,
+        remote_1hop,
+        remote_2hop,
+    }
 }
 
 /// Outcome of the deterministic replacement-injection scenario
@@ -131,7 +154,10 @@ pub fn force_replacement_injection() -> ReplacementDemo {
 
     const N: usize = 4;
     // 2 page frames, 1 way => 2 sets: pages 0 and 2 collide in set 0.
-    let tiny = AmGeometry { capacity_bytes: 2 * 16 * 1024, ways: 1 };
+    let tiny = AmGeometry {
+        capacity_bytes: 2 * 16 * 1024,
+        ways: 1,
+    };
     let mut nodes: Vec<NodeState> = (0..N as u16)
         .map(|i| NodeState::new(NodeId::new(i), tiny, CacheGeometry::ksr1()))
         .collect();
@@ -150,7 +176,11 @@ pub fn force_replacement_injection() -> ReplacementDemo {
     let mut queue: EventQueue<(NodeId, Msg)> = EventQueue::new();
 
     let requester = NodeId::new(0);
-    let req = AccessReq { addr: wanted.base_addr(), is_write: false, write_value: 0 };
+    let req = AccessReq {
+        addr: wanted.base_addr(),
+        is_write: false,
+        write_value: 0,
+    };
     let mut injections = 0u64;
     let mut ctx = Ctx::new(&ring, 0);
     let outcome = engine.access(&mut nodes[0], req, &mut ctx);
@@ -162,7 +192,13 @@ pub fn force_replacement_injection() -> ReplacementDemo {
         }
     }
     for o in out {
-        let arrival = mesh.send(o.delay, requester, o.to, o.msg.class(), o.msg.payload_bytes());
+        let arrival = mesh.send(
+            o.delay,
+            requester,
+            o.to,
+            o.msg.class(),
+            o.msg.payload_bytes(),
+        );
         queue.schedule(arrival, (o.to, o.msg));
     }
 
@@ -172,7 +208,13 @@ pub fn force_replacement_injection() -> ReplacementDemo {
         engine.handle(&mut nodes[to.index()], msg, &mut ctx);
         let (out, effects) = ctx.finish();
         for o in out {
-            let arrival = mesh.send(now + o.delay, to, o.to, o.msg.class(), o.msg.payload_bytes());
+            let arrival = mesh.send(
+                now + o.delay,
+                to,
+                o.to,
+                o.msg.class(),
+                o.msg.payload_bytes(),
+            );
             queue.schedule(arrival, (o.to, o.msg));
         }
         for e in effects {
@@ -189,8 +231,16 @@ pub fn force_replacement_injection() -> ReplacementDemo {
         .find(|n| n.am.state(victim_item).is_owner())
         .map(|n| n.id)
         .expect("displaced master survives somewhere");
-    assert_ne!(new_host, NodeId::new(0), "master must have left the evicting node");
-    ReplacementDemo { replacement_injections: injections, access_latency: latency, new_host }
+    assert_ne!(
+        new_host,
+        NodeId::new(0),
+        "master must have left the evicting node"
+    );
+    ReplacementDemo {
+        replacement_injections: injections,
+        access_latency: latency,
+        new_host,
+    }
 }
 
 #[cfg(test)]

@@ -49,12 +49,38 @@ pub enum TraceEvent {
         /// Item concerned.
         item: ItemId,
     },
+    /// A recovery-point establishment entered its create phase (all
+    /// processors quiesced; item securing begins).
+    CheckpointBegun {
+        /// Create-phase start time.
+        at: Cycles,
+        /// Generation number being established.
+        gen: u64,
+    },
     /// A recovery point committed.
     CheckpointCommitted {
         /// Commit time.
         at: Cycles,
         /// Generation number.
         gen: u64,
+    },
+    /// One node's commit scan during a recovery-point commit.
+    NodeCommit {
+        /// Commit start time (shared by all nodes of the checkpoint).
+        at: Cycles,
+        /// The node.
+        node: NodeId,
+        /// Scan duration in cycles.
+        dur: Cycles,
+    },
+    /// One node's rollback scan after a failure.
+    NodeRollback {
+        /// Rollback start time (the failure instant).
+        at: Cycles,
+        /// The node.
+        node: NodeId,
+        /// Scan duration in cycles.
+        dur: Cycles,
     },
     /// A failure was injected.
     Failure {
@@ -84,10 +110,27 @@ impl TraceEvent {
     pub fn at(&self) -> Cycles {
         match self {
             TraceEvent::Delivery { at, .. }
+            | TraceEvent::CheckpointBegun { at, .. }
             | TraceEvent::CheckpointCommitted { at, .. }
+            | TraceEvent::NodeCommit { at, .. }
+            | TraceEvent::NodeRollback { at, .. }
             | TraceEvent::Failure { at, .. }
             | TraceEvent::Recovered { at }
             | TraceEvent::Repaired { at, .. } => *at,
+        }
+    }
+
+    /// Stable lowercase kind tag, used by the structured exporters.
+    pub fn kind_tag(&self) -> &'static str {
+        match self {
+            TraceEvent::Delivery { .. } => "delivery",
+            TraceEvent::CheckpointBegun { .. } => "checkpoint_begun",
+            TraceEvent::CheckpointCommitted { .. } => "checkpoint_committed",
+            TraceEvent::NodeCommit { .. } => "node_commit",
+            TraceEvent::NodeRollback { .. } => "node_rollback",
+            TraceEvent::Failure { .. } => "failure",
+            TraceEvent::Recovered { .. } => "recovered",
+            TraceEvent::Repaired { .. } => "repaired",
         }
     }
 }
@@ -98,11 +141,28 @@ impl std::fmt::Display for TraceEvent {
             TraceEvent::Delivery { at, to, kind, item } => {
                 write!(f, "{at:>12} {to}  <- {kind} {item}")
             }
+            TraceEvent::CheckpointBegun { at, gen } => {
+                write!(f, "{at:>12} recovery point {gen} create phase begun")
+            }
             TraceEvent::CheckpointCommitted { at, gen } => {
                 write!(f, "{at:>12} recovery point {gen} committed")
             }
-            TraceEvent::Failure { at, node, permanent } => {
-                write!(f, "{at:>12} {node} failed ({})", if *permanent { "permanent" } else { "transient" })
+            TraceEvent::NodeCommit { at, node, dur } => {
+                write!(f, "{at:>12} {node} commit scan ({dur} cycles)")
+            }
+            TraceEvent::NodeRollback { at, node, dur } => {
+                write!(f, "{at:>12} {node} rollback scan ({dur} cycles)")
+            }
+            TraceEvent::Failure {
+                at,
+                node,
+                permanent,
+            } => {
+                write!(
+                    f,
+                    "{at:>12} {node} failed ({})",
+                    if *permanent { "permanent" } else { "transient" }
+                )
             }
             TraceEvent::Recovered { at } => write!(f, "{at:>12} recovery complete"),
             TraceEvent::Repaired { at, node } => write!(f, "{at:>12} {node} repaired"),
@@ -120,7 +180,10 @@ pub struct TraceLog {
 impl TraceLog {
     /// Creates a log holding up to `cap` events (`0` disables tracing).
     pub fn new(cap: usize) -> Self {
-        Self { cap, events: VecDeque::with_capacity(cap.min(4096)) }
+        Self {
+            cap,
+            events: VecDeque::with_capacity(cap.min(4096)),
+        }
     }
 
     /// Is tracing enabled?
@@ -185,6 +248,23 @@ mod tests {
     }
 
     #[test]
+    fn ring_buffer_wraps_exactly_at_capacity() {
+        let cap = 4;
+        let mut log = TraceLog::new(cap);
+        // Fill to exactly `cap`: nothing evicted yet.
+        for t in 0..cap as Cycles {
+            log.push(ev(t));
+        }
+        assert_eq!(log.len(), cap);
+        assert_eq!(log.events().next().map(TraceEvent::at), Some(0));
+        // The (cap+1)-th push evicts exactly the oldest event.
+        log.push(ev(cap as Cycles));
+        assert_eq!(log.len(), cap);
+        let times: Vec<_> = log.events().map(TraceEvent::at).collect();
+        assert_eq!(times, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
     fn disabled_log_records_nothing() {
         let mut log = TraceLog::new(0);
         log.push(ev(1));
@@ -195,7 +275,11 @@ mod tests {
     #[test]
     fn render_is_line_per_event() {
         let mut log = TraceLog::new(8);
-        log.push(TraceEvent::Failure { at: 5, node: NodeId::new(2), permanent: true });
+        log.push(TraceEvent::Failure {
+            at: 5,
+            node: NodeId::new(2),
+            permanent: true,
+        });
         log.push(TraceEvent::CheckpointCommitted { at: 9, gen: 3 });
         let text = log.render();
         assert_eq!(text.lines().count(), 2);

@@ -39,7 +39,10 @@ pub struct AmGeometry {
 impl AmGeometry {
     /// The paper's configuration: 8 MB, 16-way, 16 KB pages.
     pub fn ksr1() -> Self {
-        Self { capacity_bytes: 8 * 1024 * 1024, ways: 16 }
+        Self {
+            capacity_bytes: 8 * 1024 * 1024,
+            ways: 16,
+        }
     }
 
     /// Total number of page frames.
@@ -60,10 +63,13 @@ impl AmGeometry {
     pub fn validate(&self) {
         assert!(self.ways > 0, "AM must have at least one way");
         assert!(
-            self.capacity_bytes % PAGE_BYTES == 0,
+            self.capacity_bytes.is_multiple_of(PAGE_BYTES),
             "AM capacity not a multiple of the page size"
         );
-        assert!(self.frames() % self.ways == 0, "frame count not divisible by associativity");
+        assert!(
+            self.frames().is_multiple_of(self.ways),
+            "frame count not divisible by associativity"
+        );
     }
 }
 
@@ -96,7 +102,11 @@ struct PageFrame {
 
 impl PageFrame {
     fn new(page: PageId, lru: u64) -> Self {
-        Self { page, slots: vec![ItemSlot::default(); ITEMS_PER_PAGE as usize].into(), lru }
+        Self {
+            page,
+            slots: vec![ItemSlot::default(); ITEMS_PER_PAGE as usize].into(),
+            lru,
+        }
     }
 }
 
@@ -144,7 +154,11 @@ pub struct SetFull {
 
 impl std::fmt::Display for SetFull {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "AM set full allocating {}; LRU victim {}", self.page, self.victim)
+        write!(
+            f,
+            "AM set full allocating {}; LRU victim {}",
+            self.page, self.victim
+        )
     }
 }
 
@@ -184,7 +198,9 @@ impl AttractionMemory {
     /// Panics if the geometry is inconsistent.
     pub fn new(geo: AmGeometry) -> Self {
         geo.validate();
-        let sets = (0..geo.sets()).map(|_| (0..geo.ways).map(|_| None).collect()).collect();
+        let sets = (0..geo.sets())
+            .map(|_| (0..geo.ways).map(|_| None).collect())
+            .collect();
         Self {
             geo,
             sets,
@@ -300,15 +316,22 @@ impl AttractionMemory {
     /// The slot for `item`, if its page is allocated here.
     pub fn slot(&self, item: ItemId) -> Option<&ItemSlot> {
         let &(set, way) = self.index.get(&item.page())?;
-        Some(&self.sets[set][way].as_ref().expect("index consistent").slots[item.slot_in_page()])
+        Some(
+            &self.sets[set][way]
+                .as_ref()
+                .expect("index consistent")
+                .slots[item.slot_in_page()],
+        )
     }
 
     /// Mutable access to the slot for `item`, if its page is allocated here.
     pub fn slot_mut(&mut self, item: ItemId) -> Option<&mut ItemSlot> {
         let &(set, way) = self.index.get(&item.page())?;
         Some(
-            &mut self.sets[set][way].as_mut().expect("index consistent").slots
-                [item.slot_in_page()],
+            &mut self.sets[set][way]
+                .as_mut()
+                .expect("index consistent")
+                .slots[item.slot_in_page()],
         )
     }
 
@@ -323,8 +346,15 @@ impl AttractionMemory {
     ///
     /// Panics if the page is not allocated.
     pub fn install(&mut self, item: ItemId, state: ItemState, value: u64, partner: Option<NodeId>) {
-        let slot = self.slot_mut(item).expect("installing into unallocated page");
-        *slot = ItemSlot { state, value, partner, ckpt_gen: slot.ckpt_gen };
+        let slot = self
+            .slot_mut(item)
+            .expect("installing into unallocated page");
+        *slot = ItemSlot {
+            state,
+            value,
+            partner,
+            ckpt_gen: slot.ckpt_gen,
+        };
     }
 
     /// Sets the state of `item`'s present slot.
@@ -378,18 +408,27 @@ impl AttractionMemory {
     /// Iterates over all present copies (page-allocated, non-invalid slots).
     pub fn iter_present(&self) -> impl Iterator<Item = (ItemId, &ItemSlot)> {
         self.sets.iter().flatten().flatten().flat_map(|frame| {
-            frame.slots.iter().enumerate().filter(|(_, s)| s.state.is_present()).map(
-                move |(idx, s)| {
-                    (ItemId::new(frame.page.index() * ITEMS_PER_PAGE + idx as u64), s)
-                },
-            )
+            frame
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.state.is_present())
+                .map(move |(idx, s)| {
+                    (
+                        ItemId::new(frame.page.index() * ITEMS_PER_PAGE + idx as u64),
+                        s,
+                    )
+                })
         })
     }
 
     /// Items whose copies here satisfy `pred` (collected to decouple from
     /// borrows; used by the checkpoint scans).
     pub fn items_where(&self, mut pred: impl FnMut(&ItemSlot) -> bool) -> Vec<ItemId> {
-        self.iter_present().filter(|(_, s)| pred(s)).map(|(i, _)| i).collect()
+        self.iter_present()
+            .filter(|(_, s)| pred(s))
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Pages currently allocated (unordered).
@@ -399,7 +438,9 @@ impl AttractionMemory {
 
     /// Number of present copies in the given state.
     pub fn count_state(&self, state: ItemState) -> usize {
-        self.iter_present().filter(|(_, s)| s.state == state).count()
+        self.iter_present()
+            .filter(|(_, s)| s.state == state)
+            .count()
     }
 
     /// Eviction candidates for allocating `page`: every page currently in
@@ -407,8 +448,11 @@ impl AttractionMemory {
     /// pages that must not move (reserved slots, pending fills).
     pub fn eviction_candidates(&self, page: PageId) -> Vec<PageId> {
         let set = self.set_of(page);
-        let mut frames: Vec<(u64, PageId)> =
-            self.sets[set].iter().flatten().map(|f| (f.lru, f.page)).collect();
+        let mut frames: Vec<(u64, PageId)> = self.sets[set]
+            .iter()
+            .flatten()
+            .map(|f| (f.lru, f.page))
+            .collect();
         frames.sort_unstable();
         frames.into_iter().map(|(_, p)| p).collect()
     }
@@ -420,7 +464,10 @@ mod tests {
 
     fn tiny_geo() -> AmGeometry {
         // 4 frames, 2 ways => 2 sets.
-        AmGeometry { capacity_bytes: 4 * PAGE_BYTES, ways: 2 }
+        AmGeometry {
+            capacity_bytes: 4 * PAGE_BYTES,
+            ways: 2,
+        }
     }
 
     #[test]
@@ -469,7 +516,12 @@ mod tests {
         let mut am = AttractionMemory::new(tiny_geo());
         let page = PageId::new(0);
         am.allocate_page(page).unwrap();
-        am.install(page.items().next().unwrap(), ItemState::MasterShared, 0, None);
+        am.install(
+            page.items().next().unwrap(),
+            ItemState::MasterShared,
+            0,
+            None,
+        );
         let _ = am.evict_page(page);
     }
 
@@ -497,10 +549,18 @@ mod tests {
         // holds only droppable copies, so it is offered as a sacrifice.
         am.allocate_page(PageId::new(2)).unwrap();
         let blocked = PageId::new(4).items().next().unwrap();
-        assert_eq!(am.injection_acceptance(blocked), InjectionAccept::ReplacePage(PageId::new(2)));
+        assert_eq!(
+            am.injection_acceptance(blocked),
+            InjectionAccept::ReplacePage(PageId::new(2))
+        );
 
         // Once every page in the set holds an unreplaceable copy, reject.
-        am.install(PageId::new(2).items().next().unwrap(), ItemState::InvCk1, 0, None);
+        am.install(
+            PageId::new(2).items().next().unwrap(),
+            ItemState::InvCk1,
+            0,
+            None,
+        );
         assert_eq!(am.injection_acceptance(blocked), InjectionAccept::Reject);
     }
 

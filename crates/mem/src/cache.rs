@@ -51,7 +51,11 @@ pub struct CacheGeometry {
 impl CacheGeometry {
     /// The paper's configuration: 256 KB, 2 KB sectors, 8-way.
     pub fn ksr1() -> Self {
-        Self { capacity_bytes: 256 * 1024, sector_bytes: 2 * 1024, ways: 8 }
+        Self {
+            capacity_bytes: 256 * 1024,
+            sector_bytes: 2 * 1024,
+            ways: 8,
+        }
     }
 
     /// Total number of sector frames.
@@ -78,15 +82,15 @@ impl CacheGeometry {
     pub fn validate(&self) {
         assert!(self.ways > 0, "cache must have at least one way");
         assert!(
-            self.capacity_bytes % self.sector_bytes == 0,
+            self.capacity_bytes.is_multiple_of(self.sector_bytes),
             "capacity not a multiple of sector size"
         );
         assert!(
-            self.sectors() % self.ways == 0,
+            self.sectors().is_multiple_of(self.ways),
             "sector count not divisible by associativity"
         );
         assert!(
-            self.sector_bytes % crate::addr::LINE_BYTES == 0,
+            self.sector_bytes.is_multiple_of(crate::addr::LINE_BYTES),
             "sector not a multiple of the line size"
         );
     }
@@ -148,7 +152,9 @@ impl Cache {
     /// [`CacheGeometry::validate`]).
     pub fn new(geo: CacheGeometry) -> Self {
         geo.validate();
-        let sets = (0..geo.sets()).map(|_| (0..geo.ways).map(|_| None).collect()).collect();
+        let sets = (0..geo.sets())
+            .map(|_| (0..geo.ways).map(|_| None).collect())
+            .collect();
         Self { geo, sets, tick: 0 }
     }
 
@@ -234,8 +240,11 @@ impl Cache {
                             .map(|(w, s)| (w, s.as_ref().expect("full set")))
                             .expect("non-empty set");
                         outcome.evicted_sector = true;
-                        outcome.writebacks =
-                            victim.lines.iter().filter(|&&l| l == LineState::Dirty).count() as u32;
+                        outcome.writebacks = victim
+                            .lines
+                            .iter()
+                            .filter(|&&l| l == LineState::Dirty)
+                            .count() as u32;
                         w
                     }
                 };
@@ -250,7 +259,11 @@ impl Cache {
 
         let sector = self.sets[set][way].as_mut().expect("just ensured");
         sector.lru = tick;
-        sector.lines[idx] = if dirty { LineState::Dirty } else { LineState::Clean };
+        sector.lines[idx] = if dirty {
+            LineState::Dirty
+        } else {
+            LineState::Clean
+        };
         outcome
     }
 
@@ -319,8 +332,11 @@ impl Cache {
         for set in &mut self.sets {
             for way in set.iter_mut() {
                 if let Some(sector) = way.take() {
-                    present +=
-                        sector.lines.iter().filter(|&&l| l != LineState::Invalid).count() as u64;
+                    present += sector
+                        .lines
+                        .iter()
+                        .filter(|&&l| l != LineState::Invalid)
+                        .count() as u64;
                 }
             }
         }
@@ -385,7 +401,11 @@ mod tests {
 
     #[test]
     fn eviction_reports_dirty_writebacks() {
-        let geo = CacheGeometry { capacity_bytes: 2 * 1024 * 2, sector_bytes: 2 * 1024, ways: 1 };
+        let geo = CacheGeometry {
+            capacity_bytes: 2 * 1024 * 2,
+            sector_bytes: 2 * 1024,
+            ways: 1,
+        };
         // 2 sectors, 1 way => 2 sets. Sectors 0 and 2 map to set 0.
         let mut c = Cache::new(geo);
         let lines_per_sector = geo.lines_per_sector() as u64;
@@ -399,7 +419,11 @@ mod tests {
 
     #[test]
     fn lru_prefers_older_sector() {
-        let geo = CacheGeometry { capacity_bytes: 4 * 2048, sector_bytes: 2048, ways: 2 };
+        let geo = CacheGeometry {
+            capacity_bytes: 4 * 2048,
+            sector_bytes: 2048,
+            ways: 2,
+        };
         // 4 sectors, 2 ways => 2 sets. Sectors 0, 2, 4 map to set 0.
         let mut c = Cache::new(geo);
         let lps = geo.lines_per_sector() as u64;

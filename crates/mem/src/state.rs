@@ -243,7 +243,10 @@ mod tests {
 
     #[test]
     fn exactly_one_writable_state() {
-        let writable: Vec<_> = ItemState::ALL.into_iter().filter(|s| s.is_writable()).collect();
+        let writable: Vec<_> = ItemState::ALL
+            .into_iter()
+            .filter(|s| s.is_writable())
+            .collect();
         assert_eq!(writable, vec![ItemState::Exclusive]);
     }
 

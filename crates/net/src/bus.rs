@@ -51,7 +51,8 @@ impl Default for BusConfig {
 impl BusConfig {
     /// Message length in flits.
     pub fn flits(&self, payload_bytes: u64) -> u64 {
-        self.header_flits.max(payload_bytes.div_ceil(self.flit_bytes))
+        self.header_flits
+            .max(payload_bytes.div_ceil(self.flit_bytes))
     }
 
     /// Zero-load latency of a remote message.
@@ -84,7 +85,11 @@ pub struct Bus {
 impl Bus {
     /// Creates an idle bus.
     pub fn new(cfg: BusConfig) -> Self {
-        Self { cfg, free: [0; 2], stats: NetStats::default() }
+        Self {
+            cfg,
+            free: [0; 2],
+            stats: NetStats::default(),
+        }
     }
 
     /// The timing configuration.
@@ -167,7 +172,10 @@ mod tests {
         let b = bus.send(0, n(2), n(3), NetClass::Reply, 128);
         assert_eq!(a, b);
 
-        let mut single = Bus::new(BusConfig { split_classes: false, ..Default::default() });
+        let mut single = Bus::new(BusConfig {
+            split_classes: false,
+            ..Default::default()
+        });
         let a = single.send(0, n(0), n(1), NetClass::Request, 128);
         let b = single.send(0, n(2), n(3), NetClass::Reply, 128);
         assert!(b > a);

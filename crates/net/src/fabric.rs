@@ -4,7 +4,7 @@ use ftcoma_mem::NodeId;
 use ftcoma_sim::Cycles;
 
 use crate::bus::{Bus, BusConfig};
-use crate::mesh::{Mesh, MeshGeometry, NetClass, NetConfig, NetStats};
+use crate::mesh::{LinkReport, Mesh, MeshGeometry, NetClass, NetConfig, NetStats};
 
 /// Which interconnect to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +70,16 @@ impl Fabric {
         match self {
             Fabric::Mesh(m) => m.stats(),
             Fabric::Bus(b) => b.stats(),
+        }
+    }
+
+    /// Per-link traffic breakdown. A bus has no point-to-point links, so it
+    /// reports an empty list; callers should fall back to the aggregate
+    /// [`NetStats`].
+    pub fn link_report(&self) -> Vec<LinkReport> {
+        match self {
+            Fabric::Mesh(m) => m.link_report(),
+            Fabric::Bus(_) => Vec::new(),
         }
     }
 }

@@ -32,5 +32,7 @@ pub mod ring;
 
 pub use bus::{Bus, BusConfig};
 pub use fabric::{Fabric, FabricConfig};
-pub use mesh::{Mesh, MeshGeometry, NetClass, NetConfig, NetStats, SwitchingModel};
+pub use mesh::{
+    LinkReport, LinkStats, Mesh, MeshGeometry, NetClass, NetConfig, NetStats, SwitchingModel,
+};
 pub use ring::LogicalRing;

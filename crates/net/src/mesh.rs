@@ -10,12 +10,22 @@ use ftcoma_sim::Cycles;
 /// The simulated machine uses two independent sub-networks so replies can
 /// never be blocked behind requests (the classic protocol-deadlock
 /// avoidance the paper inherits from the KSR1/DASH generation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NetClass {
     /// Requests and forwarded requests.
     Request,
     /// Replies, data transfers and acknowledgements.
     Reply,
+}
+
+impl NetClass {
+    /// Stable lowercase name, used by the metrics exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetClass::Request => "request",
+            NetClass::Reply => "reply",
+        }
+    }
 }
 
 /// How link occupancy is modelled under contention.
@@ -73,7 +83,10 @@ impl Default for NetConfig {
 impl NetConfig {
     /// The default configuration with true wormhole link holding.
     pub fn wormhole() -> Self {
-        Self { switching: SwitchingModel::Wormhole, ..Self::default() }
+        Self {
+            switching: SwitchingModel::Wormhole,
+            ..Self::default()
+        }
     }
 }
 
@@ -84,7 +97,8 @@ impl NetConfig {
     /// wire for `max(header, payload)` flit times; control messages are
     /// header-only.
     pub fn flits(&self, payload_bytes: u64) -> u64 {
-        self.header_flits.max(payload_bytes.div_ceil(self.flit_bytes))
+        self.header_flits
+            .max(payload_bytes.div_ceil(self.flit_bytes))
     }
 
     /// Zero-load latency of a message over `hops` hops.
@@ -124,7 +138,11 @@ impl MeshGeometry {
     /// Panics if either dimension is zero.
     pub fn new(cols: usize, rows: usize) -> Self {
         assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
-        Self { cols, rows, nodes: cols * rows }
+        Self {
+            cols,
+            rows,
+            nodes: cols * rows,
+        }
     }
 
     /// The most-square mesh holding exactly `n` nodes.
@@ -142,7 +160,7 @@ impl MeshGeometry {
         assert!(n > 0, "at least one node required");
         let mut best: Option<(usize, usize)> = None;
         for c in 1..=n {
-            if n % c == 0 {
+            if n.is_multiple_of(c) {
                 let r = n / c;
                 // Prefer the factorisation with the smallest aspect skew.
                 let skew = c.abs_diff(r);
@@ -157,9 +175,17 @@ impl MeshGeometry {
         if c.min(r) == 1 && n > 3 {
             let side = (n as f64).sqrt().ceil() as usize;
             let rows = n.div_ceil(side);
-            Self { cols: side, rows, nodes: n }
+            Self {
+                cols: side,
+                rows,
+                nodes: n,
+            }
         } else {
-            Self { cols: c.max(r), rows: c.min(r), nodes: n }
+            Self {
+                cols: c.max(r),
+                rows: c.min(r),
+                nodes: n,
+            }
         }
     }
 
@@ -185,7 +211,11 @@ impl MeshGeometry {
     /// Panics if the node index is out of range.
     pub fn coords(&self, node: NodeId) -> (usize, usize) {
         let i = node.index();
-        assert!(i < self.nodes, "node {node} outside mesh of {} nodes", self.nodes);
+        assert!(
+            i < self.nodes,
+            "node {node} outside mesh of {} nodes",
+            self.nodes
+        );
         (i % self.cols, i / self.cols)
     }
 
@@ -231,6 +261,43 @@ pub struct NetStats {
 
 type Link = ((usize, usize), (usize, usize));
 
+/// Per-link accumulated statistics (one directed link on one sub-network).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages whose path crossed this link.
+    pub messages: u64,
+    /// Cycles this link was held by traversing messages.
+    pub busy_cycles: Cycles,
+    /// Cycles message headers waited for this link to free up.
+    pub contention_cycles: Cycles,
+}
+
+/// One row of [`Mesh::link_report`]: a directed link, its sub-network and
+/// its accumulated statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkReport {
+    /// Source router coordinates `(x, y)`.
+    pub from: (usize, usize),
+    /// Destination router coordinates `(x, y)`.
+    pub to: (usize, usize),
+    /// Which sub-network.
+    pub class: NetClass,
+    /// Accumulated statistics.
+    pub stats: LinkStats,
+}
+
+impl LinkReport {
+    /// Link utilization over an observation window of `total_cycles`
+    /// (busy / total, 0.0 for an empty window).
+    pub fn utilization(&self, total_cycles: Cycles) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.stats.busy_cycles as f64 / total_cycles as f64
+        }
+    }
+}
+
 /// The mesh network: computes message arrival times under contention.
 ///
 /// # Example
@@ -251,12 +318,20 @@ pub struct Mesh {
     /// Next-free time of each directed link, per sub-network.
     link_free: HashMap<(Link, NetClass), Cycles>,
     stats: NetStats,
+    /// Per-link breakdown of the aggregate statistics.
+    link_stats: HashMap<(Link, NetClass), LinkStats>,
 }
 
 impl Mesh {
     /// Creates an idle mesh.
     pub fn new(geo: MeshGeometry, cfg: NetConfig) -> Self {
-        Self { geo, cfg, link_free: HashMap::new(), stats: NetStats::default() }
+        Self {
+            geo,
+            cfg,
+            link_free: HashMap::new(),
+            stats: NetStats::default(),
+            link_stats: HashMap::new(),
+        }
     }
 
     /// The mesh geometry.
@@ -302,6 +377,9 @@ impl Mesh {
             let free = self.link_free.get(&(link, class)).copied().unwrap_or(0);
             let start = head.max(free);
             self.stats.contention_cycles += start - head;
+            let per = self.link_stats.entry((link, class)).or_default();
+            per.messages += 1;
+            per.contention_cycles += start - head;
             starts.push(start);
             head = start + self.cfg.router_delay;
         }
@@ -312,6 +390,10 @@ impl Mesh {
                 for (&link, &start) in path.iter().zip(&starts) {
                     self.link_free.insert((link, class), start + flits);
                     self.stats.link_busy_cycles += flits;
+                    self.link_stats
+                        .entry((link, class))
+                        .or_default()
+                        .busy_cycles += flits;
                 }
             }
             SwitchingModel::Wormhole => {
@@ -330,6 +412,10 @@ impl Mesh {
                     }
                     self.link_free.insert((link, class), release);
                     self.stats.link_busy_cycles += release - starts[i];
+                    self.link_stats
+                        .entry((link, class))
+                        .or_default()
+                        .busy_cycles += release - starts[i];
                 }
             }
         }
@@ -338,7 +424,26 @@ impl Mesh {
 
     /// Arrival time a message *would* have at zero load (no reservation).
     pub fn probe_latency(&self, from: NodeId, to: NodeId, payload_bytes: u64) -> Cycles {
-        self.cfg.zero_load_latency(self.geo.hops(from, to), payload_bytes)
+        self.cfg
+            .zero_load_latency(self.geo.hops(from, to), payload_bytes)
+    }
+
+    /// Per-link breakdown of the traffic seen so far, sorted by
+    /// `(from, to, class)` so the report order is deterministic. Links that
+    /// never carried a message are omitted.
+    pub fn link_report(&self) -> Vec<LinkReport> {
+        let mut rows: Vec<LinkReport> = self
+            .link_stats
+            .iter()
+            .map(|(&((from, to), class), &stats)| LinkReport {
+                from,
+                to,
+                class,
+                stats,
+            })
+            .collect();
+        rows.sort_by_key(|r| (r.from, r.to, r.class));
+        rows
     }
 }
 
@@ -352,8 +457,13 @@ mod tests {
 
     #[test]
     fn geometry_for_paper_sizes() {
-        for (nodes, dims) in [(9, (3, 3)), (16, (4, 4)), (30, (6, 5)), (42, (7, 6)), (56, (8, 7))]
-        {
+        for (nodes, dims) in [
+            (9, (3, 3)),
+            (16, (4, 4)),
+            (30, (6, 5)),
+            (42, (7, 6)),
+            (56, (8, 7)),
+        ] {
             let g = MeshGeometry::for_nodes(nodes);
             assert_eq!((g.cols(), g.rows()), dims, "for {nodes} nodes");
         }
@@ -388,7 +498,10 @@ mod tests {
         // 2 hops, 128-byte item: 8 + 8 + 32.
         assert_eq!(cfg.zero_load_latency(2, 128), 48);
         // Each extra hop adds exactly router_delay.
-        assert_eq!(cfg.zero_load_latency(3, 128) - cfg.zero_load_latency(2, 128), 4);
+        assert_eq!(
+            cfg.zero_load_latency(3, 128) - cfg.zero_load_latency(2, 128),
+            4
+        );
     }
 
     #[test]
@@ -406,7 +519,7 @@ mod tests {
         let t1 = mesh.send(0, n(0), n(1), NetClass::Reply, 128);
         let t2 = mesh.send(0, n(0), n(1), NetClass::Reply, 128);
         assert_eq!(t1, 44); // 8 + 4 + 32
-        // Second message waits 32 flit-cycles for the link.
+                            // Second message waits 32 flit-cycles for the link.
         assert_eq!(t2, t1 + 32);
         assert_eq!(mesh.stats().contention_cycles, 32);
     }
@@ -477,6 +590,32 @@ mod tests {
         // would occupy 4 * 512 link-cycles without blocking; the stalled
         // worm holds its upstream links longer.
         assert!(mesh.stats().link_busy_cycles > 4 * 512);
+    }
+
+    #[test]
+    fn link_report_matches_aggregate_stats() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        mesh.send(0, n(0), n(1), NetClass::Reply, 128);
+        mesh.send(0, n(0), n(1), NetClass::Reply, 128); // contends on (0,0)->(1,0)
+        mesh.send(0, n(0), n(1), NetClass::Request, 0);
+        mesh.send(5, n(3), n(3), NetClass::Request, 64); // local: no links
+
+        let report = mesh.link_report();
+        // One link on each sub-network, sorted Request before Reply.
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].from, (0, 0));
+        assert_eq!(report[0].to, (1, 0));
+        assert_eq!(report[0].class, NetClass::Request);
+        assert_eq!(report[1].class, NetClass::Reply);
+        assert_eq!(report[1].stats.messages, 2);
+
+        // Per-link rows sum back to the aggregate counters.
+        let busy: Cycles = report.iter().map(|r| r.stats.busy_cycles).sum();
+        let cont: Cycles = report.iter().map(|r| r.stats.contention_cycles).sum();
+        assert_eq!(busy, mesh.stats().link_busy_cycles);
+        assert_eq!(cont, mesh.stats().contention_cycles);
+        assert!(report[1].utilization(1000) > 0.0);
+        assert_eq!(report[1].utilization(0), 0.0);
     }
 
     #[test]

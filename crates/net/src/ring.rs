@@ -34,7 +34,9 @@ impl LogicalRing {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "ring requires at least one node");
-        Self { alive: vec![true; n] }
+        Self {
+            alive: vec![true; n],
+        }
     }
 
     /// Number of ring positions (alive or dead).

@@ -64,7 +64,10 @@ impl OwnerDirectory {
     ///
     /// Panics if the item is not owned here.
     pub fn add_sharer(&mut self, item: ItemId, node: NodeId) {
-        let sharers = self.entries.get_mut(&item).expect("adding sharer to unowned item");
+        let sharers = self
+            .entries
+            .get_mut(&item)
+            .expect("adding sharer to unowned item");
         if !sharers.contains(&node) {
             sharers.push(node);
         }

@@ -103,7 +103,10 @@ impl HomeTable {
     /// Panics if the item is not busy — the caller should have acquired it
     /// instead.
     pub fn enqueue(&mut self, item: ItemId, req: QueuedReq) {
-        self.busy.get_mut(&item).expect("enqueue on idle item").push_back(req);
+        self.busy
+            .get_mut(&item)
+            .expect("enqueue on idle item")
+            .push_back(req);
     }
 
     /// Ends the current transaction. If requests are queued, pops the next
@@ -201,6 +204,9 @@ mod tests {
 
     #[test]
     fn requester_accessor() {
-        assert_eq!(QueuedReq::InjectLock(NodeId::new(5)).requester(), NodeId::new(5));
+        assert_eq!(
+            QueuedReq::InjectLock(NodeId::new(5)).requester(),
+            NodeId::new(5)
+        );
     }
 }

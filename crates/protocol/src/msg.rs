@@ -33,7 +33,10 @@ impl InjectCause {
     /// Is this cause a *move* (the origin's copy disappears) rather than a
     /// *copy* (checkpoint replication, reconfiguration)?
     pub fn is_move(self) -> bool {
-        !matches!(self, InjectCause::CkptReplication | InjectCause::Reconfiguration)
+        !matches!(
+            self,
+            InjectCause::CkptReplication | InjectCause::Reconfiguration
+        )
     }
 
     /// Was the injection triggered by a processor read access?
@@ -43,7 +46,10 @@ impl InjectCause {
 
     /// Was the injection triggered by a processor write access?
     pub fn on_write(self) -> bool {
-        matches!(self, InjectCause::WriteOnInvCk | InjectCause::WriteOnSharedCk)
+        matches!(
+            self,
+            InjectCause::WriteOnInvCk | InjectCause::WriteOnSharedCk
+        )
     }
 }
 
@@ -402,21 +408,68 @@ mod tests {
 
     #[test]
     fn data_messages_carry_an_item() {
-        assert_eq!(Msg::DataShared { item: item(), value: 1 }.payload_bytes(), 128);
         assert_eq!(
-            Msg::DataExclusive { item: item(), value: 1, acks_expected: 0 }.payload_bytes(),
+            Msg::DataShared {
+                item: item(),
+                value: 1
+            }
+            .payload_bytes(),
             128
         );
-        assert_eq!(Msg::ReadReq { item: item(), requester: NodeId::new(0) }.payload_bytes(), 0);
-        assert_eq!(Msg::InitGrant { item: item(), state: ItemState::Exclusive }.payload_bytes(), 0);
+        assert_eq!(
+            Msg::DataExclusive {
+                item: item(),
+                value: 1,
+                acks_expected: 0
+            }
+            .payload_bytes(),
+            128
+        );
+        assert_eq!(
+            Msg::ReadReq {
+                item: item(),
+                requester: NodeId::new(0)
+            }
+            .payload_bytes(),
+            0
+        );
+        assert_eq!(
+            Msg::InitGrant {
+                item: item(),
+                state: ItemState::Exclusive
+            }
+            .payload_bytes(),
+            0
+        );
     }
 
     #[test]
     fn classes_separate_requests_from_replies() {
-        assert_eq!(Msg::ReadReq { item: item(), requester: NodeId::new(0) }.class(), NetClass::Request);
-        assert_eq!(Msg::DataShared { item: item(), value: 0 }.class(), NetClass::Reply);
+        assert_eq!(
+            Msg::ReadReq {
+                item: item(),
+                requester: NodeId::new(0)
+            }
+            .class(),
+            NetClass::Request
+        );
+        assert_eq!(
+            Msg::DataShared {
+                item: item(),
+                value: 0
+            }
+            .class(),
+            NetClass::Reply
+        );
         assert_eq!(Msg::InvalAck { item: item() }.class(), NetClass::Reply);
-        assert_eq!(Msg::Inval { item: item(), ack_to: NodeId::new(1) }.class(), NetClass::Request);
+        assert_eq!(
+            Msg::Inval {
+                item: item(),
+                ack_to: NodeId::new(1)
+            }
+            .class(),
+            NetClass::Request
+        );
     }
 
     #[test]
@@ -429,14 +482,21 @@ mod tests {
             sharers: vec![],
         };
         let msgs = vec![
-            Msg::ReadReq { item: item(), requester: NodeId::new(0) },
+            Msg::ReadReq {
+                item: item(),
+                requester: NodeId::new(0),
+            },
             Msg::InjectData {
                 item: item(),
                 origin: NodeId::new(0),
                 payload,
                 cause: InjectCause::Replacement,
             },
-            Msg::PreCommitMark { item: item(), origin: NodeId::new(1), ckpt_gen: 2 },
+            Msg::PreCommitMark {
+                item: item(),
+                origin: NodeId::new(1),
+                ckpt_gen: 2,
+            },
         ];
         for m in msgs {
             assert_eq!(m.item(), item());
@@ -445,7 +505,14 @@ mod tests {
 
     #[test]
     fn kind_names_are_stable() {
-        assert_eq!(Msg::ReadReq { item: item(), requester: NodeId::new(0) }.kind(), "ReadReq");
+        assert_eq!(
+            Msg::ReadReq {
+                item: item(),
+                requester: NodeId::new(0)
+            }
+            .kind(),
+            "ReadReq"
+        );
         assert_eq!(Msg::TxnDone { item: item() }.kind(), "TxnDone");
     }
 

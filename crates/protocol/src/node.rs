@@ -75,8 +75,15 @@ mod tests {
     fn tiny() -> NodeState {
         NodeState::new(
             NodeId::new(0),
-            AmGeometry { capacity_bytes: 4 * ftcoma_mem::addr::PAGE_BYTES, ways: 2 },
-            CacheGeometry { capacity_bytes: 4 * 2048, sector_bytes: 2048, ways: 2 },
+            AmGeometry {
+                capacity_bytes: 4 * ftcoma_mem::addr::PAGE_BYTES,
+                ways: 2,
+            },
+            CacheGeometry {
+                capacity_bytes: 4 * 2048,
+                sector_bytes: 2048,
+                ways: 2,
+            },
         )
     }
 

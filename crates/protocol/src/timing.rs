@@ -98,7 +98,7 @@ impl MemTiming {
             commit_page_test: 4,
             commit_item_test: 4,
             writeback: 40,
-            am_controllers: 1,     // one CPU does everything
+            am_controllers: 1, // one CPU does everything
         }
     }
 }

@@ -33,11 +33,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod queue;
+pub mod registry;
 pub mod rng;
 pub mod stats;
 
+pub use json::Json;
 pub use queue::EventQueue;
+pub use registry::MetricsRegistry;
 pub use rng::DetRng;
 
 /// Simulation time, measured in processor clock cycles.
@@ -71,7 +75,10 @@ impl Clock {
     ///
     /// Panics if `hz` is not strictly positive and finite.
     pub fn new(hz: f64) -> Self {
-        assert!(hz.is_finite() && hz > 0.0, "clock frequency must be positive");
+        assert!(
+            hz.is_finite() && hz > 0.0,
+            "clock frequency must be positive"
+        );
         Self { hz }
     }
 
@@ -102,7 +109,10 @@ impl Clock {
     ///
     /// Panics if `rate_hz` is not strictly positive and finite.
     pub fn period_for_rate_hz(&self, rate_hz: f64) -> Cycles {
-        assert!(rate_hz.is_finite() && rate_hz > 0.0, "rate must be positive");
+        assert!(
+            rate_hz.is_finite() && rate_hz > 0.0,
+            "rate must be positive"
+        );
         (self.hz / rate_hz).round() as Cycles
     }
 

@@ -61,7 +61,11 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time 0.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, now: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
     }
 
     /// Current simulation time: the timestamp of the last popped event.
@@ -86,7 +90,11 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is in the past (`at < self.now()`): delivering events
     /// out of order would silently corrupt the simulation.
     pub fn schedule(&mut self, at: Cycles, event: E) {
-        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { at, seq, event }));

@@ -1,0 +1,220 @@
+//! A lightweight metrics registry: named counter and gauge series with
+//! optional labels.
+//!
+//! The exporters in `ftcoma-machine` flatten the strongly-typed
+//! [`RunMetrics`](../../ftcoma_machine/metrics/struct.RunMetrics.html)
+//! into a registry so every series — machine-wide, per-node, per-link —
+//! travels through one uniform, order-stable representation on its way to
+//! JSON or text. Series are keyed by `(name, labels)` and iterate in
+//! lexicographic order, so exports are deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use ftcoma_sim::registry::MetricsRegistry;
+//!
+//! let mut reg = MetricsRegistry::new();
+//! reg.counter_add("refs", &[], 100);
+//! reg.counter_add("refs", &[("node", "3")], 25);
+//! reg.gauge_set("miss_rate", &[], 0.125);
+//! assert_eq!(reg.counter("refs", &[]), Some(100));
+//! assert_eq!(reg.counter("refs", &[("node", "3")]), Some(25));
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// A series key: metric name plus sorted `label=value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeriesKey {
+    /// Metric name, e.g. `"injections_total"`.
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    /// Builds a key, sorting the labels for a canonical form.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+impl std::fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.labels.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Counter and gauge series, keyed by name + labels.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, f64>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to a counter series, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        *self
+            .counters
+            .entry(SeriesKey::new(name, labels))
+            .or_insert(0) += v;
+    }
+
+    /// Increments a counter series by one.
+    pub fn counter_inc(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.counter_add(name, labels, 1);
+    }
+
+    /// Sets a gauge series to `v` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.gauges.insert(SeriesKey::new(name, labels), v);
+    }
+
+    /// Reads a counter series.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters.get(&SeriesKey::new(name, labels)).copied()
+    }
+
+    /// Reads a gauge series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&SeriesKey::new(name, labels)).copied()
+    }
+
+    /// All counter series in lexicographic key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&SeriesKey, u64)> {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All gauge series in lexicographic key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&SeriesKey, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Number of series (counters + gauges).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Serializes every series as a JSON array of
+    /// `{"name", "labels", "value"}` objects, counters first, each group in
+    /// key order.
+    pub fn to_json(&self) -> Json {
+        fn series(key: &SeriesKey, kind: &str, value: Json) -> Json {
+            Json::obj([
+                ("name", Json::from(key.name.as_str())),
+                ("kind", Json::from(kind)),
+                (
+                    "labels",
+                    Json::Obj(
+                        key.labels
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                            .collect(),
+                    ),
+                ),
+                ("value", value),
+            ])
+        }
+        Json::arr(
+            self.counters
+                .iter()
+                .map(|(k, &v)| series(k, "counter", Json::from(v)))
+                .chain(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| series(k, "gauge", Json::from(v))),
+                ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_inc("msgs", &[]);
+        reg.counter_add("msgs", &[], 2);
+        reg.counter_add("msgs", &[("node", "1")], 5);
+        assert_eq!(reg.counter("msgs", &[]), Some(3));
+        assert_eq!(reg.counter("msgs", &[("node", "1")]), Some(5));
+        assert_eq!(reg.counter("msgs", &[("node", "2")]), None);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("x", &[("b", "2"), ("a", "1")], 7);
+        assert_eq!(reg.counter("x", &[("a", "1"), ("b", "2")]), Some(7));
+        let key = SeriesKey::new("x", &[("b", "2"), ("a", "1")]);
+        assert_eq!(key.to_string(), "x{a=1,b=2}");
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("rate", &[], 0.5);
+        reg.gauge_set("rate", &[], 0.75);
+        assert_eq!(reg.gauge("rate", &[]), Some(0.75));
+    }
+
+    #[test]
+    fn json_export_is_ordered_and_typed() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_set("b_gauge", &[], 1.5);
+        reg.counter_add("a_counter", &[("node", "0")], 1);
+        let json = reg.to_json();
+        let items = json.as_array().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(
+            items[0].get("name").and_then(|v| v.as_str()),
+            Some("a_counter")
+        );
+        assert_eq!(
+            items[0].get("kind").and_then(|v| v.as_str()),
+            Some("counter")
+        );
+        assert_eq!(
+            items[0]
+                .get("labels")
+                .and_then(|l| l.get("node"))
+                .and_then(|v| v.as_str()),
+            Some("0")
+        );
+        assert_eq!(items[1].get("value").and_then(|v| v.as_f64()), Some(1.5));
+    }
+}

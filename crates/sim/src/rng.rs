@@ -46,7 +46,9 @@ impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
         // Avoid the all-zero degenerate state.
-        Self { state: seed ^ 0xD1B5_4A32_D192_ED03 }
+        Self {
+            state: seed ^ 0xD1B5_4A32_D192_ED03,
+        }
     }
 
     /// Derives an independent generator for stream `stream`.
@@ -131,22 +133,18 @@ impl DetRng {
     }
 }
 
-impl rand::RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        (DetRng::next_u64(self) >> 32) as u32
+impl DetRng {
+    /// Returns the next 32 random bits (the high half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
-    fn next_u64(&mut self) -> u64 {
-        DetRng::next_u64(self)
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
-            let bytes = DetRng::next_u64(self).to_le_bytes();
+            let bytes = self.next_u64().to_le_bytes();
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -144,7 +144,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds an observation.
@@ -378,7 +384,12 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Self { buckets: vec![0; 65], count: 0, sum: 0, max: 0 }
+        Self {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
     }
 
     fn bucket_of(v: u64) -> usize {
@@ -430,10 +441,52 @@ impl Histogram {
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                return if b == 0 { 0.0 } else { (1u128 << b) as f64 - 1.0 };
+                return if b == 0 {
+                    0.0
+                } else {
+                    (1u128 << b) as f64 - 1.0
+                };
             }
         }
         self.max as f64
+    }
+
+    /// Median (approximate, within 2x): `quantile(0.5)`.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (approximate, within 2x).
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (approximate, within 2x).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// The standard reporting summary: count, mean, p50/p90/p99, max.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+            max: self.max,
+        }
+    }
+
+    /// The non-empty log₂ buckets as `(upper_bound, count)` pairs, in
+    /// ascending order. Bucket 0 holds only zeros (upper bound 0).
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (if b == 0 { 0 } else { ((1u128 << b) - 1) as u64 }, n))
+            .collect()
     }
 
     /// Counters accumulated since `base` (for warmup windows).
@@ -456,6 +509,38 @@ impl Histogram {
             sum: self.sum - base.sum,
             max: self.max, // max is a high-water mark, kept as-is
         }
+    }
+}
+
+/// A [`Histogram`]'s reporting summary, convenient for export.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (bucket upper bound, within 2x).
+    pub p50: f64,
+    /// 90th percentile (bucket upper bound, within 2x).
+    pub p90: f64,
+    /// 99th percentile (bucket upper bound, within 2x).
+    pub p99: f64,
+    /// Exact largest recorded value.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Serializes as a JSON object with stable key order.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("mean", Json::from(self.mean)),
+            ("p50", Json::from(self.p50)),
+            ("p90", Json::from(self.p90)),
+            ("p99", Json::from(self.p99)),
+            ("max", Json::from(self.max)),
+        ])
     }
 }
 
@@ -495,6 +580,41 @@ mod histogram_tests {
         let h = Histogram::new();
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    /// Pins the percentile math on a known distribution: the integers
+    /// 1..=1000 land in log₂ buckets whose cumulative counts are exactly
+    /// computable, so p50/p90/p99 have known values (the containing
+    /// bucket's upper bound).
+    #[test]
+    fn percentiles_pinned_on_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Cumulative counts by bucket upper bound: ..255 -> 255, ..511 ->
+        // 511, ..1023 -> 1000. Targets: p50 -> 500th value (bucket 511),
+        // p90 -> 900th, p99 -> 990th (both bucket 1023).
+        assert_eq!(h.p50(), 511.0);
+        assert_eq!(h.p90(), 1023.0);
+        assert_eq!(h.p99(), 1023.0);
+        assert_eq!(h.max(), 1000);
+        let s = h.summary();
+        assert_eq!(
+            (s.count, s.p50, s.p90, s.p99, s.max),
+            (1000, 511.0, 1023.0, 1023.0, 1000)
+        );
+        assert!((s.mean - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonzero_buckets_report_upper_bounds() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(5);
+        h.record(6);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (7, 2)]);
     }
 
     #[test]

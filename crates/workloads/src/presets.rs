@@ -118,28 +118,57 @@ impl SplashConfig {
     /// fractions exceeding their totals), or regions are empty.
     pub fn validate(&self) {
         let in01 = |x: f64| (0.0..=1.0).contains(&x);
-        assert!(in01(self.read_frac) && in01(self.write_frac), "fractions must be in [0,1]");
+        assert!(
+            in01(self.read_frac) && in01(self.write_frac),
+            "fractions must be in [0,1]"
+        );
         assert!(
             self.shared_read_frac <= self.read_frac && self.shared_write_frac <= self.write_frac,
             "shared fractions cannot exceed totals"
         );
-        assert!(self.mem_frac() > 0.0 && self.mem_frac() < 1.0, "memory fraction must be in (0,1)");
+        assert!(
+            self.mem_frac() > 0.0 && self.mem_frac() < 1.0,
+            "memory fraction must be in (0,1)"
+        );
         assert!(self.shared_pages > 0, "shared region must be non-empty");
-        assert!(self.private_pages_per_node > 0, "private region must be non-empty");
-        assert!(in01(self.private_hot_prob), "hot probability must be in [0,1]");
-        assert!(self.write_window_items >= 1, "write window must be non-empty");
-        assert!(self.write_drift_period >= 1, "drift period must be positive");
-        if let SharingStyle::Migratory { burst: (lo, hi), object_items } = self.style {
+        assert!(
+            self.private_pages_per_node > 0,
+            "private region must be non-empty"
+        );
+        assert!(
+            in01(self.private_hot_prob),
+            "hot probability must be in [0,1]"
+        );
+        assert!(
+            self.write_window_items >= 1,
+            "write window must be non-empty"
+        );
+        assert!(
+            self.write_drift_period >= 1,
+            "drift period must be positive"
+        );
+        if let SharingStyle::Migratory {
+            burst: (lo, hi),
+            object_items,
+        } = self.style
+        {
             assert!(lo >= 1 && hi >= lo, "burst range must be non-empty");
             assert!(object_items >= 1);
         }
         if let SharingStyle::Blocked { panel_pages } = self.style {
-            assert!(u64::from(panel_pages) <= self.shared_pages, "panel larger than shared set");
+            assert!(
+                u64::from(panel_pages) <= self.shared_pages,
+                "panel larger than shared set"
+            );
         }
         if let SharingStyle::NeighborExchange { local_prob } = self.style {
             assert!(in01(local_prob));
         }
-        if let SharingStyle::HotSpot { hot_items, hot_prob } = self.style {
+        if let SharingStyle::HotSpot {
+            hot_items,
+            hot_prob,
+        } = self.style
+        {
             assert!(hot_items >= 1, "hot set must be non-empty");
             assert!(in01(hot_prob));
         }
@@ -223,7 +252,10 @@ pub fn mp3d() -> SplashConfig {
         private_hot_prob: 0.9,
         write_window_items: 6,
         write_drift_period: 256,
-        style: SharingStyle::Migratory { burst: (64, 192), object_items: 1 },
+        style: SharingStyle::Migratory {
+            burst: (64, 192),
+            object_items: 1,
+        },
         barrier_interval_refs: None,
     }
 }
@@ -280,7 +312,13 @@ pub fn micro_uniform() -> SplashConfig {
 
 /// Micro-benchmark: contention on a small global hot set.
 pub fn micro_hotspot() -> SplashConfig {
-    micro_base("hotspot", SharingStyle::HotSpot { hot_items: 32, hot_prob: 0.8 })
+    micro_base(
+        "hotspot",
+        SharingStyle::HotSpot {
+            hot_items: 32,
+            hot_prob: 0.8,
+        },
+    )
 }
 
 /// Micro-benchmark: producer/consumer pipeline around the ring.
@@ -312,7 +350,10 @@ mod tests {
     #[should_panic(expected = "hot set")]
     fn hotspot_requires_nonempty_hot_set() {
         let mut cfg = micro_hotspot();
-        cfg.style = SharingStyle::HotSpot { hot_items: 0, hot_prob: 0.5 };
+        cfg.style = SharingStyle::HotSpot {
+            hot_items: 0,
+            hot_prob: 0.5,
+        };
         cfg.validate();
     }
 

@@ -191,7 +191,7 @@ impl NodeStream {
     /// the per-checkpoint-interval modified set small and realistic.
     fn private_write_addr(&mut self) -> Addr {
         self.priv_writes += 1;
-        if self.priv_writes as u32 >= self.drift_period {
+        if self.priv_writes >= self.drift_period {
             self.priv_writes = 0;
             self.priv_frame = (self.priv_frame + 1) % self.private_items;
         }
@@ -222,7 +222,7 @@ impl NodeStream {
     fn windowed_write_in(&mut self, lo: u64, hi: u64) -> u64 {
         let span = hi - lo;
         self.shr_writes += 1;
-        if self.shr_writes as u32 >= self.drift_period {
+        if self.shr_writes >= self.drift_period {
             self.shr_writes = 0;
             self.shr_frame = (self.shr_frame + 1) % span;
         }
@@ -253,7 +253,10 @@ impl NodeStream {
                     self.shared_zipf.sample(&mut self.rng) as u64
                 }
             }
-            SharingStyle::Migratory { burst: (lo, hi), object_items } => {
+            SharingStyle::Migratory {
+                burst: (lo, hi),
+                object_items,
+            } => {
                 if self.burst_left == 0 {
                     self.burst_item = self.rng.below(self.shared_items);
                     self.burst_left = self.rng.range(u64::from(lo), u64::from(hi) + 1) as u32;
@@ -284,9 +287,11 @@ impl NodeStream {
                     let (lo, hi) = self.own_slice(self.node);
                     self.rng.range(lo, hi)
                 } else {
-                    let panel =
-                        self.panel_zipf.as_ref().expect("blocked style").sample(&mut self.rng)
-                            as u64;
+                    let panel = self
+                        .panel_zipf
+                        .as_ref()
+                        .expect("blocked style")
+                        .sample(&mut self.rng) as u64;
                     let base = panel * panel_items;
                     // Remote-panel reads touch only finalised rows — the
                     // leading half of the panel, biased towards the pivot
@@ -297,7 +302,10 @@ impl NodeStream {
                 }
             }
             SharingStyle::Uniform => self.rng.below(self.shared_items),
-            SharingStyle::HotSpot { hot_items, hot_prob } => {
+            SharingStyle::HotSpot {
+                hot_items,
+                hot_prob,
+            } => {
                 if self.rng.chance(hot_prob) {
                     self.rng.below(u64::from(hot_items).min(self.shared_items))
                 } else {
@@ -353,7 +361,12 @@ impl RefStream for NodeStream {
             self.private_read_addr()
         };
         self.refs_emitted += 1;
-        MemRef { pre_cycles, is_write, addr, shared }
+        MemRef {
+            pre_cycles,
+            is_write,
+            addr,
+            shared,
+        }
     }
 
     fn snapshot(&self) -> StreamSnapshot {
@@ -446,10 +459,27 @@ mod tests {
                 }
             }
             let f = |x: u64| x as f64 / instr as f64;
-            assert!((f(reads) - cfg.read_frac).abs() < 0.01, "{} reads {}", cfg.name, f(reads));
-            assert!((f(writes) - cfg.write_frac).abs() < 0.01, "{} writes", cfg.name);
-            assert!((f(sreads) - cfg.shared_read_frac).abs() < 0.01, "{} sreads", cfg.name);
-            assert!((f(swrites) - cfg.shared_write_frac).abs() < 0.005, "{} swrites", cfg.name);
+            assert!(
+                (f(reads) - cfg.read_frac).abs() < 0.01,
+                "{} reads {}",
+                cfg.name,
+                f(reads)
+            );
+            assert!(
+                (f(writes) - cfg.write_frac).abs() < 0.01,
+                "{} writes",
+                cfg.name
+            );
+            assert!(
+                (f(sreads) - cfg.shared_read_frac).abs() < 0.01,
+                "{} sreads",
+                cfg.name
+            );
+            assert!(
+                (f(swrites) - cfg.shared_write_frac).abs() < 0.005,
+                "{} swrites",
+                cfg.name
+            );
         }
     }
 

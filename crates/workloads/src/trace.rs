@@ -74,7 +74,10 @@ pub fn parse_trace(text: &str) -> Result<Vec<MemRef>, ParseTraceError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |reason: &str| ParseTraceError { line: i + 1, reason: reason.to_string() };
+        let err = |reason: &str| ParseTraceError {
+            line: i + 1,
+            reason: reason.to_string(),
+        };
         let mut parts = line.split_whitespace();
         let pre = parts
             .next()
@@ -101,7 +104,12 @@ pub fn parse_trace(text: &str) -> Result<Vec<MemRef>, ParseTraceError> {
         if parts.next().is_some() {
             return Err(err("trailing fields"));
         }
-        refs.push(MemRef { pre_cycles: pre, is_write, addr: Addr::new(addr), shared });
+        refs.push(MemRef {
+            pre_cycles: pre,
+            is_write,
+            addr: Addr::new(addr),
+            shared,
+        });
     }
     Ok(refs)
 }
@@ -122,8 +130,15 @@ impl TraceStream {
     ///
     /// Panics if the trace is empty.
     pub fn new(refs: Vec<MemRef>) -> Self {
-        assert!(!refs.is_empty(), "trace must contain at least one reference");
-        Self { refs, pos: 0, emitted: 0 }
+        assert!(
+            !refs.is_empty(),
+            "trace must contain at least one reference"
+        );
+        Self {
+            refs,
+            pos: 0,
+            emitted: 0,
+        }
     }
 
     /// Number of recorded references before the trace loops.

@@ -35,7 +35,10 @@ impl Zipf {
     /// Panics if `n == 0` or `theta` is negative or non-finite.
     pub fn new(n: usize, theta: f64) -> Self {
         assert!(n > 0, "population must be non-empty");
-        assert!(theta >= 0.0 && theta.is_finite(), "theta must be finite and non-negative");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
@@ -62,7 +65,10 @@ impl Zipf {
     /// Draws a rank in `0..len()`; rank 0 is the most popular.
     pub fn sample(&self, rng: &mut DetRng) -> usize {
         let u = rng.unit();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite probabilities")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite probabilities"))
+        {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         }
     }
@@ -89,7 +95,12 @@ mod tests {
         for _ in 0..50_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[50] * 5, "rank 0 ({}) vs rank 50 ({})", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "rank 0 ({}) vs rank 50 ({})",
+            counts[0],
+            counts[50]
+        );
         assert!(counts[0] > counts[99] * 10);
     }
 

@@ -33,7 +33,11 @@ fn main() {
         workload,
         ..MachineConfig::default()
     };
-    let std_run = Machine::new(MachineConfig { ft: FtConfig::disabled(), ..base.clone() }).run();
+    let std_run = Machine::new(MachineConfig {
+        ft: FtConfig::disabled(),
+        ..base.clone()
+    })
+    .run();
     let t_std = std_run.total_cycles as f64;
 
     for freq in [400.0, 200.0, 100.0, 50.0, 25.0] {
@@ -56,11 +60,9 @@ fn main() {
         })
         .run();
         let t_std_len = std_len.total_cycles as f64;
-        let poll =
-            ft.total_cycles as f64 - t_std_len - ft.t_create as f64 - ft.t_commit as f64;
-        let kb_per_ckpt = ft.items_checkpointed as f64 * 128.0
-            / 1024.0
-            / ft.checkpoints.max(1) as f64;
+        let poll = ft.total_cycles as f64 - t_std_len - ft.t_create as f64 - ft.t_commit as f64;
+        let kb_per_ckpt =
+            ft.items_checkpointed as f64 * 128.0 / 1024.0 / ft.checkpoints.max(1) as f64;
         println!(
             "{:>8}  {:>8.1}%  {:>7.1}%  {:>7.1}%  {:>7.1}%  {:>7.1} KB  {:>9.1} ms",
             freq,

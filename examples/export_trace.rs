@@ -1,0 +1,68 @@
+//! Structured export: metrics JSON, a Chrome trace and a JSONL trace.
+//!
+//! Runs a small ECP machine with a transient failure, then writes three
+//! artifacts next to the working directory:
+//!
+//! * `ftcoma_metrics.json` — the versioned metrics document (machine-wide,
+//!   per-node and per-link sections);
+//! * `ftcoma_trace.json` — a Chrome trace-event file: open it in Perfetto
+//!   (<https://ui.perfetto.dev>) or `chrome://tracing` to see per-node
+//!   timelines of checkpoint creates, commit scans and the recovery window;
+//! * `ftcoma_trace.jsonl` — the same events as one JSON object per line,
+//!   for `jq`-style ad-hoc analysis.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example export_trace
+//! ```
+
+use ftcoma_core::FtConfig;
+use ftcoma_machine::{export, FailureKind, Machine, MachineConfig};
+use ftcoma_mem::NodeId;
+use ftcoma_sim::Clock;
+use ftcoma_workloads::presets;
+
+fn main() -> std::io::Result<()> {
+    let mut machine = Machine::new(MachineConfig {
+        nodes: 9,
+        refs_per_node: 12_000,
+        workload: presets::mp3d(),
+        ft: FtConfig::enabled(200.0),
+        trace_capacity: 500_000,
+        verify: true,
+        ..MachineConfig::default()
+    });
+    machine.schedule_failure(60_000, NodeId::new(4), FailureKind::Transient);
+    let metrics = machine.run();
+    machine.assert_invariants();
+
+    let doc = export::metrics_json(&metrics, &machine.link_report());
+    std::fs::write("ftcoma_metrics.json", doc.to_string_pretty() + "\n")?;
+
+    let trace = machine.trace();
+    let chrome = export::chrome_trace(&trace, Clock::ksr1().hz());
+    std::fs::write("ftcoma_trace.json", chrome.to_string_compact() + "\n")?;
+    std::fs::write("ftcoma_trace.jsonl", export::trace_jsonl(&trace))?;
+
+    let s = metrics.access_latency.summary();
+    println!(
+        "run: {} cycles, {} checkpoints, {} failure(s)",
+        metrics.total_cycles, metrics.checkpoints, metrics.failures
+    );
+    println!(
+        "access latency: p50<={:.0} p90<={:.0} p99<={:.0} max={}",
+        s.p50, s.p90, s.p99, s.max
+    );
+    println!("per-node share of injections:");
+    for n in &metrics.per_node {
+        print!(" {:>4}", n.injections);
+    }
+    println!();
+    println!(
+        "wrote ftcoma_metrics.json, ftcoma_trace.json ({} events), ftcoma_trace.jsonl",
+        trace.len()
+    );
+    println!("open ftcoma_trace.json in https://ui.perfetto.dev to browse the timeline");
+    Ok(())
+}

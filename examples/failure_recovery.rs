@@ -39,8 +39,14 @@ fn main() {
     let run = m.run();
     m.assert_invariants();
     println!("transient failure of n5 @150k cycles");
-    println!("  completed in {} cycles, {} checkpoints", run.total_cycles, run.checkpoints);
-    println!("  recovery took {} cycles (rollback + restart)", run.t_recovery);
+    println!(
+        "  completed in {} cycles, {} checkpoints",
+        run.total_cycles, run.checkpoints
+    );
+    println!(
+        "  recovery took {} cycles (rollback + restart)",
+        run.t_recovery
+    );
     println!("  memory verified against the last committed recovery point\n");
 
     // --- 2. Permanent failure --------------------------------------------
@@ -50,8 +56,15 @@ fn main() {
     m.assert_invariants();
     assert!(!m.ring().is_alive(NodeId::new(5)));
     println!("permanent failure of n5 @150k cycles");
-    println!("  completed on {} surviving nodes in {} cycles", m.ring().alive_count(), run.total_cycles);
-    println!("  recovery + reconfiguration took {} cycles", run.t_recovery);
+    println!(
+        "  completed on {} surviving nodes in {} cycles",
+        m.ring().alive_count(),
+        run.total_cycles
+    );
+    println!(
+        "  recovery + reconfiguration took {} cycles",
+        run.t_recovery
+    );
     println!("  n5's work was adopted by its ring successor");
     println!("  every recovery copy re-replicated on a safe node\n");
 
@@ -62,7 +75,10 @@ fn main() {
     let run = m.run();
     m.assert_invariants();
     println!("permanent failure of n5 @150k, replacement node @400k");
-    println!("  failures recovered: {}, nodes repaired: {}", run.failures, run.repairs);
+    println!(
+        "  failures recovered: {}, nodes repaired: {}",
+        run.failures, run.repairs
+    );
     println!("  n5 rejoined the ring and took its home range and work back\n");
 
     // --- 4. Multiple transient failures ----------------------------------
@@ -72,6 +88,9 @@ fn main() {
     let run = m.run();
     m.assert_invariants();
     println!("two transient failures (n3 @120k, n11 @260k)");
-    println!("  completed in {} cycles, {} failures recovered", run.total_cycles, run.failures);
+    println!(
+        "  completed in {} cycles, {} failures recovered",
+        run.total_cycles, run.failures
+    );
     println!("  total recovery time {} cycles", run.t_recovery);
 }

@@ -23,10 +23,17 @@ fn main() {
     };
 
     // Baseline: the standard coherence protocol.
-    let std_run = Machine::new(MachineConfig { ft: FtConfig::disabled(), ..base.clone() }).run();
+    let std_run = Machine::new(MachineConfig {
+        ft: FtConfig::disabled(),
+        ..base.clone()
+    })
+    .run();
 
     // ECP: 100 recovery points per simulated second.
-    let mut ft_machine = Machine::new(MachineConfig { ft: FtConfig::enabled(100.0), ..base });
+    let mut ft_machine = Machine::new(MachineConfig {
+        ft: FtConfig::enabled(100.0),
+        ..base
+    });
     let ft_run = ft_machine.run();
     ft_machine.assert_invariants();
 
@@ -37,10 +44,22 @@ fn main() {
     println!("workload            : Mp3d (16 nodes, 100 recovery points/s)");
     println!("standard execution  : {:>12} cycles", std_run.total_cycles);
     println!("fault-tolerant      : {:>12} cycles", ft_run.total_cycles);
-    println!("overhead            : {:>11.1} %", (t_ft / t_std - 1.0) * 100.0);
-    println!("  T_create          : {:>11.1} %", ft_run.t_create as f64 / t_std * 100.0);
-    println!("  T_commit          : {:>11.1} %", ft_run.t_commit as f64 / t_std * 100.0);
-    println!("  T_pollution       : {:>11.1} %", pollution / t_std * 100.0);
+    println!(
+        "overhead            : {:>11.1} %",
+        (t_ft / t_std - 1.0) * 100.0
+    );
+    println!(
+        "  T_create          : {:>11.1} %",
+        ft_run.t_create as f64 / t_std * 100.0
+    );
+    println!(
+        "  T_commit          : {:>11.1} %",
+        ft_run.t_commit as f64 / t_std * 100.0
+    );
+    println!(
+        "  T_pollution       : {:>11.1} %",
+        pollution / t_std * 100.0
+    );
     println!("recovery points     : {:>12}", ft_run.checkpoints);
     println!(
         "replication         : {:>11.1} MB/s per node during establishment",

@@ -24,9 +24,16 @@ use ftcoma_protocol::MemTiming;
 use ftcoma_workloads::presets;
 
 fn overheads(cfg_base: MachineConfig, freq: f64) -> (f64, f64) {
-    let std_run =
-        Machine::new(MachineConfig { ft: FtConfig::disabled(), ..cfg_base.clone() }).run();
-    let ft_run = Machine::new(MachineConfig { ft: FtConfig::enabled(freq), ..cfg_base }).run();
+    let std_run = Machine::new(MachineConfig {
+        ft: FtConfig::disabled(),
+        ..cfg_base.clone()
+    })
+    .run();
+    let ft_run = Machine::new(MachineConfig {
+        ft: FtConfig::enabled(freq),
+        ..cfg_base
+    })
+    .run();
     let t_std = std_run.total_cycles as f64;
     let total = ft_run.total_cycles as f64 / t_std - 1.0;
     let create = ft_run.t_create as f64 / t_std;

@@ -37,10 +37,16 @@ fn main() {
             workload,
             ..MachineConfig::default()
         };
-        let std_run =
-            Machine::new(MachineConfig { ft: FtConfig::disabled(), ..base.clone() }).run();
-        let ft =
-            Machine::new(MachineConfig { ft: FtConfig::enabled(100.0), ..base.clone() }).run();
+        let std_run = Machine::new(MachineConfig {
+            ft: FtConfig::disabled(),
+            ..base.clone()
+        })
+        .run();
+        let ft = Machine::new(MachineConfig {
+            ft: FtConfig::enabled(100.0),
+            ..base.clone()
+        })
+        .run();
         let t_std = std_run.total_cycles as f64;
         let poll = ft.total_cycles as f64 - t_std - ft.t_create as f64 - ft.t_commit as f64;
         println!(
@@ -48,7 +54,8 @@ fn main() {
             nodes,
             ft.t_create as f64 / t_std * 100.0,
             poll / t_std * 100.0,
-            ft.items_checkpointed as f64 * 128.0 / 1024.0
+            ft.items_checkpointed as f64 * 128.0
+                / 1024.0
                 / ft.checkpoints.max(1) as f64
                 / f64::from(nodes),
             ft.aggregate_replication_throughput_bps(20e6) / 1e6,

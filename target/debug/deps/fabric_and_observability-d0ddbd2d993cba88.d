@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fabric_and_observability-d0ddbd2d993cba88.d: tests/tests/fabric_and_observability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfabric_and_observability-d0ddbd2d993cba88.rmeta: tests/tests/fabric_and_observability.rs Cargo.toml
+
+tests/tests/fabric_and_observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

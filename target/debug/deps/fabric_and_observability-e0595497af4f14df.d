@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fabric_and_observability-e0595497af4f14df.d: tests/tests/fabric_and_observability.rs
+
+/root/repo/target/debug/deps/fabric_and_observability-e0595497af4f14df: tests/tests/fabric_and_observability.rs
+
+tests/tests/fabric_and_observability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_6_frequency_sweep-22897b53d6ad112f.d: crates/bench/benches/fig3_6_frequency_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_6_frequency_sweep-22897b53d6ad112f.rmeta: crates/bench/benches/fig3_6_frequency_sweep.rs Cargo.toml
+
+crates/bench/benches/fig3_6_frequency_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

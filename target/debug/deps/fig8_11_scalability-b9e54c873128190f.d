@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_11_scalability-b9e54c873128190f.d: crates/bench/benches/fig8_11_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_11_scalability-b9e54c873128190f.rmeta: crates/bench/benches/fig8_11_scalability.rs Cargo.toml
+
+crates/bench/benches/fig8_11_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ftcoma-00db10aef27ff413.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/ftcoma-00db10aef27ff413: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ftcoma-28a341ef0b62cb5d.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/ftcoma-28a341ef0b62cb5d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

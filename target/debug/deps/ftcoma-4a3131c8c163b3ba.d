@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ftcoma-4a3131c8c163b3ba.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/ftcoma-4a3131c8c163b3ba: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ftcoma-8e255072aa8a611e.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/ftcoma-8e255072aa8a611e: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

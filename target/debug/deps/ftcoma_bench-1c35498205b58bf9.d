@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftcoma_bench-1c35498205b58bf9.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftcoma_bench-1c35498205b58bf9.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ftcoma_bench-45979b22ab32afe5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libftcoma_bench-45979b22ab32afe5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libftcoma_bench-45979b22ab32afe5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ftcoma_bench-7071a9a5591db8d6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ftcoma_bench-7071a9a5591db8d6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

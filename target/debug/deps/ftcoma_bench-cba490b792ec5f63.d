@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftcoma_bench-cba490b792ec5f63.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftcoma_bench-cba490b792ec5f63.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ftcoma_core-0cd4a5b75c60bc0e.d: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/ckpt.rs crates/core/src/config.rs crates/core/src/ctx.rs crates/core/src/engine.rs crates/core/src/invariants.rs crates/core/src/recovery.rs
+
+/root/repo/target/debug/deps/libftcoma_core-0cd4a5b75c60bc0e.rlib: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/ckpt.rs crates/core/src/config.rs crates/core/src/ctx.rs crates/core/src/engine.rs crates/core/src/invariants.rs crates/core/src/recovery.rs
+
+/root/repo/target/debug/deps/libftcoma_core-0cd4a5b75c60bc0e.rmeta: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/ckpt.rs crates/core/src/config.rs crates/core/src/ctx.rs crates/core/src/engine.rs crates/core/src/invariants.rs crates/core/src/recovery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capacity.rs:
+crates/core/src/ckpt.rs:
+crates/core/src/config.rs:
+crates/core/src/ctx.rs:
+crates/core/src/engine.rs:
+crates/core/src/invariants.rs:
+crates/core/src/recovery.rs:

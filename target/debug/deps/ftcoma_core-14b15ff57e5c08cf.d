@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ftcoma_core-14b15ff57e5c08cf.d: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/ckpt.rs crates/core/src/config.rs crates/core/src/ctx.rs crates/core/src/engine.rs crates/core/src/invariants.rs crates/core/src/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftcoma_core-14b15ff57e5c08cf.rmeta: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/ckpt.rs crates/core/src/config.rs crates/core/src/ctx.rs crates/core/src/engine.rs crates/core/src/invariants.rs crates/core/src/recovery.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/capacity.rs:
+crates/core/src/ckpt.rs:
+crates/core/src/config.rs:
+crates/core/src/ctx.rs:
+crates/core/src/engine.rs:
+crates/core/src/invariants.rs:
+crates/core/src/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ftcoma_core-4b9be1b3256a662f.d: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/ckpt.rs crates/core/src/config.rs crates/core/src/ctx.rs crates/core/src/engine.rs crates/core/src/invariants.rs crates/core/src/recovery.rs
+
+/root/repo/target/debug/deps/ftcoma_core-4b9be1b3256a662f: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/ckpt.rs crates/core/src/config.rs crates/core/src/ctx.rs crates/core/src/engine.rs crates/core/src/invariants.rs crates/core/src/recovery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capacity.rs:
+crates/core/src/ckpt.rs:
+crates/core/src/config.rs:
+crates/core/src/ctx.rs:
+crates/core/src/engine.rs:
+crates/core/src/invariants.rs:
+crates/core/src/recovery.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ftcoma_machine-4719fead9a5dd588.d: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/export.rs crates/machine/src/machine.rs crates/machine/src/metrics.rs crates/machine/src/probe.rs crates/machine/src/tracelog.rs
+
+/root/repo/target/debug/deps/libftcoma_machine-4719fead9a5dd588.rlib: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/export.rs crates/machine/src/machine.rs crates/machine/src/metrics.rs crates/machine/src/probe.rs crates/machine/src/tracelog.rs
+
+/root/repo/target/debug/deps/libftcoma_machine-4719fead9a5dd588.rmeta: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/export.rs crates/machine/src/machine.rs crates/machine/src/metrics.rs crates/machine/src/probe.rs crates/machine/src/tracelog.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/config.rs:
+crates/machine/src/export.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/metrics.rs:
+crates/machine/src/probe.rs:
+crates/machine/src/tracelog.rs:

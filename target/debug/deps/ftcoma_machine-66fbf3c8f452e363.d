@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ftcoma_machine-66fbf3c8f452e363.d: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/export.rs crates/machine/src/machine.rs crates/machine/src/metrics.rs crates/machine/src/probe.rs crates/machine/src/tracelog.rs
+
+/root/repo/target/debug/deps/ftcoma_machine-66fbf3c8f452e363: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/export.rs crates/machine/src/machine.rs crates/machine/src/metrics.rs crates/machine/src/probe.rs crates/machine/src/tracelog.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/config.rs:
+crates/machine/src/export.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/metrics.rs:
+crates/machine/src/probe.rs:
+crates/machine/src/tracelog.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ftcoma_machine-df7aa2a330ef1aee.d: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/export.rs crates/machine/src/machine.rs crates/machine/src/metrics.rs crates/machine/src/probe.rs crates/machine/src/tracelog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftcoma_machine-df7aa2a330ef1aee.rmeta: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/export.rs crates/machine/src/machine.rs crates/machine/src/metrics.rs crates/machine/src/probe.rs crates/machine/src/tracelog.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/config.rs:
+crates/machine/src/export.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/metrics.rs:
+crates/machine/src/probe.rs:
+crates/machine/src/tracelog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ftcoma_mem-3ec7e957d7086a61.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/am.rs crates/mem/src/cache.rs crates/mem/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftcoma_mem-3ec7e957d7086a61.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/am.rs crates/mem/src/cache.rs crates/mem/src/state.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/am.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

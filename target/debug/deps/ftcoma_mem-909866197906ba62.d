@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ftcoma_mem-909866197906ba62.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/am.rs crates/mem/src/cache.rs crates/mem/src/state.rs
+
+/root/repo/target/debug/deps/libftcoma_mem-909866197906ba62.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/am.rs crates/mem/src/cache.rs crates/mem/src/state.rs
+
+/root/repo/target/debug/deps/libftcoma_mem-909866197906ba62.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/am.rs crates/mem/src/cache.rs crates/mem/src/state.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/am.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/state.rs:

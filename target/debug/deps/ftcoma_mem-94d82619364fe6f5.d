@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftcoma_mem-94d82619364fe6f5.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/am.rs crates/mem/src/cache.rs crates/mem/src/state.rs
+
+/root/repo/target/debug/deps/ftcoma_mem-94d82619364fe6f5: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/am.rs crates/mem/src/cache.rs crates/mem/src/state.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/am.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/state.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ftcoma_net-428f8638032bc6b3.d: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/fabric.rs crates/net/src/mesh.rs crates/net/src/ring.rs
+
+/root/repo/target/debug/deps/libftcoma_net-428f8638032bc6b3.rlib: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/fabric.rs crates/net/src/mesh.rs crates/net/src/ring.rs
+
+/root/repo/target/debug/deps/libftcoma_net-428f8638032bc6b3.rmeta: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/fabric.rs crates/net/src/mesh.rs crates/net/src/ring.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bus.rs:
+crates/net/src/fabric.rs:
+crates/net/src/mesh.rs:
+crates/net/src/ring.rs:

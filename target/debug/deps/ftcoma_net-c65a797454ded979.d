@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ftcoma_net-c65a797454ded979.d: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/fabric.rs crates/net/src/mesh.rs crates/net/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftcoma_net-c65a797454ded979.rmeta: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/fabric.rs crates/net/src/mesh.rs crates/net/src/ring.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/bus.rs:
+crates/net/src/fabric.rs:
+crates/net/src/mesh.rs:
+crates/net/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

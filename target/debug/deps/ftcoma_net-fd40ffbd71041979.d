@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftcoma_net-fd40ffbd71041979.d: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/fabric.rs crates/net/src/mesh.rs crates/net/src/ring.rs
+
+/root/repo/target/debug/deps/ftcoma_net-fd40ffbd71041979: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/fabric.rs crates/net/src/mesh.rs crates/net/src/ring.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bus.rs:
+crates/net/src/fabric.rs:
+crates/net/src/mesh.rs:
+crates/net/src/ring.rs:

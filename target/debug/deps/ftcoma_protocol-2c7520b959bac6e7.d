@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ftcoma_protocol-2c7520b959bac6e7.d: crates/protocol/src/lib.rs crates/protocol/src/dir.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/node.rs crates/protocol/src/timing.rs
+
+/root/repo/target/debug/deps/ftcoma_protocol-2c7520b959bac6e7: crates/protocol/src/lib.rs crates/protocol/src/dir.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/node.rs crates/protocol/src/timing.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/dir.rs:
+crates/protocol/src/home.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/node.rs:
+crates/protocol/src/timing.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ftcoma_protocol-72ad7bf33c8d8764.d: crates/protocol/src/lib.rs crates/protocol/src/dir.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/node.rs crates/protocol/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftcoma_protocol-72ad7bf33c8d8764.rmeta: crates/protocol/src/lib.rs crates/protocol/src/dir.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/node.rs crates/protocol/src/timing.rs Cargo.toml
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/dir.rs:
+crates/protocol/src/home.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/node.rs:
+crates/protocol/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ftcoma_protocol-8bc0a24575eb674e.d: crates/protocol/src/lib.rs crates/protocol/src/dir.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/node.rs crates/protocol/src/timing.rs
+
+/root/repo/target/debug/deps/libftcoma_protocol-8bc0a24575eb674e.rlib: crates/protocol/src/lib.rs crates/protocol/src/dir.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/node.rs crates/protocol/src/timing.rs
+
+/root/repo/target/debug/deps/libftcoma_protocol-8bc0a24575eb674e.rmeta: crates/protocol/src/lib.rs crates/protocol/src/dir.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/node.rs crates/protocol/src/timing.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/dir.rs:
+crates/protocol/src/home.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/node.rs:
+crates/protocol/src/timing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ftcoma_sim-03318e407c95ef61.d: crates/sim/src/lib.rs crates/sim/src/json.rs crates/sim/src/queue.rs crates/sim/src/registry.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/ftcoma_sim-03318e407c95ef61: crates/sim/src/lib.rs crates/sim/src/json.rs crates/sim/src/queue.rs crates/sim/src/registry.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/json.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/registry.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:

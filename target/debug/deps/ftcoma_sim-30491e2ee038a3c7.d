@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ftcoma_sim-30491e2ee038a3c7.d: crates/sim/src/lib.rs crates/sim/src/json.rs crates/sim/src/queue.rs crates/sim/src/registry.rs crates/sim/src/rng.rs crates/sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftcoma_sim-30491e2ee038a3c7.rmeta: crates/sim/src/lib.rs crates/sim/src/json.rs crates/sim/src/queue.rs crates/sim/src/registry.rs crates/sim/src/rng.rs crates/sim/src/stats.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/json.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/registry.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

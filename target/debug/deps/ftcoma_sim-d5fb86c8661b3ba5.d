@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ftcoma_sim-d5fb86c8661b3ba5.d: crates/sim/src/lib.rs crates/sim/src/json.rs crates/sim/src/queue.rs crates/sim/src/registry.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libftcoma_sim-d5fb86c8661b3ba5.rlib: crates/sim/src/lib.rs crates/sim/src/json.rs crates/sim/src/queue.rs crates/sim/src/registry.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libftcoma_sim-d5fb86c8661b3ba5.rmeta: crates/sim/src/lib.rs crates/sim/src/json.rs crates/sim/src/queue.rs crates/sim/src/registry.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/json.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/registry.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ftcoma_tests-715ede28232bde06.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/ftcoma_tests-715ede28232bde06: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ftcoma_tests-89fb04ca4d6e5d13.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libftcoma_tests-89fb04ca4d6e5d13.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libftcoma_tests-89fb04ca4d6e5d13.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

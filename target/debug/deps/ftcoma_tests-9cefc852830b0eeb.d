@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftcoma_tests-9cefc852830b0eeb.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftcoma_tests-9cefc852830b0eeb.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

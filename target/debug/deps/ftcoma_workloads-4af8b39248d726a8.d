@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ftcoma_workloads-4af8b39248d726a8.d: crates/workloads/src/lib.rs crates/workloads/src/presets.rs crates/workloads/src/stream.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/ftcoma_workloads-4af8b39248d726a8: crates/workloads/src/lib.rs crates/workloads/src/presets.rs crates/workloads/src/stream.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/presets.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ftcoma_workloads-8626953aa9814414.d: crates/workloads/src/lib.rs crates/workloads/src/presets.rs crates/workloads/src/stream.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libftcoma_workloads-8626953aa9814414.rmeta: crates/workloads/src/lib.rs crates/workloads/src/presets.rs crates/workloads/src/stream.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/presets.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ftcoma_workloads-eb6524ea5d5788f7.d: crates/workloads/src/lib.rs crates/workloads/src/presets.rs crates/workloads/src/stream.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libftcoma_workloads-eb6524ea5d5788f7.rlib: crates/workloads/src/lib.rs crates/workloads/src/presets.rs crates/workloads/src/stream.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/debug/deps/libftcoma_workloads-eb6524ea5d5788f7.rmeta: crates/workloads/src/lib.rs crates/workloads/src/presets.rs crates/workloads/src/stream.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/presets.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/zipf.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/json_output-47584dad735e6fbe.d: crates/cli/tests/json_output.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjson_output-47584dad735e6fbe.rmeta: crates/cli/tests/json_output.rs Cargo.toml
+
+crates/cli/tests/json_output.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_ftcoma=placeholder:ftcoma
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

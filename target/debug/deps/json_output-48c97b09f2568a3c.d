@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/json_output-48c97b09f2568a3c.d: crates/cli/tests/json_output.rs
+
+/root/repo/target/debug/deps/json_output-48c97b09f2568a3c: crates/cli/tests/json_output.rs
+
+crates/cli/tests/json_output.rs:
+
+# env-dep:CARGO_BIN_EXE_ftcoma=/root/repo/target/debug/ftcoma

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machine_behavior-988a8f06140d308f.d: tests/tests/machine_behavior.rs
+
+/root/repo/target/debug/deps/machine_behavior-988a8f06140d308f: tests/tests/machine_behavior.rs
+
+tests/tests/machine_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machine_behavior-bd5a9071d335bf7a.d: tests/tests/machine_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine_behavior-bd5a9071d335bf7a.rmeta: tests/tests/machine_behavior.rs Cargo.toml
+
+tests/tests/machine_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-79c5d1f23ef99fe0.d: tests/tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-79c5d1f23ef99fe0: tests/tests/paper_shapes.rs
+
+tests/tests/paper_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shapes-f14a7cac3975b254.d: tests/tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shapes-f14a7cac3975b254.rmeta: tests/tests/paper_shapes.rs Cargo.toml
+
+tests/tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a7cb386fa18ce0b4.d: tests/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a7cb386fa18ce0b4: tests/tests/properties.rs
+
+tests/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-b01008845ef74b7a.d: tests/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-b01008845ef74b7a.rmeta: tests/tests/properties.rs Cargo.toml
+
+tests/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

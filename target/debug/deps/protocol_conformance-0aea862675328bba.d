@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_conformance-0aea862675328bba.d: tests/tests/protocol_conformance.rs
+
+/root/repo/target/debug/deps/protocol_conformance-0aea862675328bba: tests/tests/protocol_conformance.rs
+
+tests/tests/protocol_conformance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_conformance-10aed84bb1a4866e.d: tests/tests/protocol_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_conformance-10aed84bb1a4866e.rmeta: tests/tests/protocol_conformance.rs Cargo.toml
+
+tests/tests/protocol_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery_correctness-353ba6afb786bd35.d: tests/tests/recovery_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery_correctness-353ba6afb786bd35.rmeta: tests/tests/recovery_correctness.rs Cargo.toml
+
+tests/tests/recovery_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

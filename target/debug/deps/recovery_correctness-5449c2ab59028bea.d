@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_correctness-5449c2ab59028bea.d: tests/tests/recovery_correctness.rs
+
+/root/repo/target/debug/deps/recovery_correctness-5449c2ab59028bea: tests/tests/recovery_correctness.rs
+
+tests/tests/recovery_correctness.rs:

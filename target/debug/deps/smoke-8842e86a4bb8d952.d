@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-8842e86a4bb8d952.d: tests/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-8842e86a4bb8d952: tests/tests/smoke.rs
+
+tests/tests/smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_injections-0f053c8320924c82.d: crates/bench/benches/table1_injections.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_injections-0f053c8320924c82.rmeta: crates/bench/benches/table1_injections.rs Cargo.toml
+
+crates/bench/benches/table1_injections.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_workloads-44245ffed62f6dc9.d: crates/bench/benches/table3_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_workloads-44245ffed62f6dc9.rmeta: crates/bench/benches/table3_workloads.rs Cargo.toml
+
+crates/bench/benches/table3_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

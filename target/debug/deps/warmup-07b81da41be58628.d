@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/warmup-07b81da41be58628.d: tests/tests/warmup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwarmup-07b81da41be58628.rmeta: tests/tests/warmup.rs Cargo.toml
+
+tests/tests/warmup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

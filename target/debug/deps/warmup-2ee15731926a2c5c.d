@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warmup-2ee15731926a2c5c.d: tests/tests/warmup.rs
+
+/root/repo/target/debug/deps/warmup-2ee15731926a2c5c: tests/tests/warmup.rs
+
+tests/tests/warmup.rs:

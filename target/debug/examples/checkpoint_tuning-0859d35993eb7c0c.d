@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_tuning-0859d35993eb7c0c.d: crates/machine/../../examples/checkpoint_tuning.rs
+
+/root/repo/target/debug/examples/checkpoint_tuning-0859d35993eb7c0c: crates/machine/../../examples/checkpoint_tuning.rs
+
+crates/machine/../../examples/checkpoint_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/checkpoint_tuning-6d264e06cdb9b3cf.d: crates/machine/../../examples/checkpoint_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcheckpoint_tuning-6d264e06cdb9b3cf.rmeta: crates/machine/../../examples/checkpoint_tuning.rs Cargo.toml
+
+crates/machine/../../examples/checkpoint_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/export_trace-4b703963fe5a7674.d: crates/machine/../../examples/export_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexport_trace-4b703963fe5a7674.rmeta: crates/machine/../../examples/export_trace.rs Cargo.toml
+
+crates/machine/../../examples/export_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_trace-b6d5df703e3a204e.d: crates/machine/../../examples/export_trace.rs
+
+/root/repo/target/debug/examples/export_trace-b6d5df703e3a204e: crates/machine/../../examples/export_trace.rs
+
+crates/machine/../../examples/export_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_recovery-abcd3cd09f2c3a34.d: crates/machine/../../examples/failure_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_recovery-abcd3cd09f2c3a34.rmeta: crates/machine/../../examples/failure_recovery.rs Cargo.toml
+
+crates/machine/../../examples/failure_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

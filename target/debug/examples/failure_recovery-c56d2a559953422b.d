@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_recovery-c56d2a559953422b.d: crates/machine/../../examples/failure_recovery.rs
+
+/root/repo/target/debug/examples/failure_recovery-c56d2a559953422b: crates/machine/../../examples/failure_recovery.rs
+
+crates/machine/../../examples/failure_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_trace-3d734284a108f7c4.d: crates/machine/../../examples/protocol_trace.rs
+
+/root/repo/target/debug/examples/protocol_trace-3d734284a108f7c4: crates/machine/../../examples/protocol_trace.rs
+
+crates/machine/../../examples/protocol_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protocol_trace-f24e42cd674159e9.d: crates/machine/../../examples/protocol_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotocol_trace-f24e42cd674159e9.rmeta: crates/machine/../../examples/protocol_trace.rs Cargo.toml
+
+crates/machine/../../examples/protocol_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

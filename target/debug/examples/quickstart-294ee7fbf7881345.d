@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-294ee7fbf7881345.d: crates/machine/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-294ee7fbf7881345: crates/machine/../../examples/quickstart.rs
+
+crates/machine/../../examples/quickstart.rs:

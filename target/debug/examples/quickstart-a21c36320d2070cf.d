@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-a21c36320d2070cf.d: crates/machine/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-a21c36320d2070cf.rmeta: crates/machine/../../examples/quickstart.rs Cargo.toml
+
+crates/machine/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

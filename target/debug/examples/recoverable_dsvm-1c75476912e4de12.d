@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recoverable_dsvm-1c75476912e4de12.d: crates/machine/../../examples/recoverable_dsvm.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecoverable_dsvm-1c75476912e4de12.rmeta: crates/machine/../../examples/recoverable_dsvm.rs Cargo.toml
+
+crates/machine/../../examples/recoverable_dsvm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

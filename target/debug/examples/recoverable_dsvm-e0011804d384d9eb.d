@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recoverable_dsvm-e0011804d384d9eb.d: crates/machine/../../examples/recoverable_dsvm.rs
+
+/root/repo/target/debug/examples/recoverable_dsvm-e0011804d384d9eb: crates/machine/../../examples/recoverable_dsvm.rs
+
+crates/machine/../../examples/recoverable_dsvm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scalability-296d618d2475a082.d: crates/machine/../../examples/scalability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscalability-296d618d2475a082.rmeta: crates/machine/../../examples/scalability.rs Cargo.toml
+
+crates/machine/../../examples/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

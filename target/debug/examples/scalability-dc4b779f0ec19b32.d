@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalability-dc4b779f0ec19b32.d: crates/machine/../../examples/scalability.rs
+
+/root/repo/target/debug/examples/scalability-dc4b779f0ec19b32: crates/machine/../../examples/scalability.rs
+
+crates/machine/../../examples/scalability.rs:

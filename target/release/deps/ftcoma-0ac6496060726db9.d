@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/ftcoma-0ac6496060726db9.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/ftcoma-0ac6496060726db9: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

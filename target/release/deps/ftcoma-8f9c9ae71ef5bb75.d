@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/ftcoma-8f9c9ae71ef5bb75.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/ftcoma-8f9c9ae71ef5bb75: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

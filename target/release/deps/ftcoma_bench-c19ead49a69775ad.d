@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ftcoma_bench-c19ead49a69775ad.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libftcoma_bench-c19ead49a69775ad.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libftcoma_bench-c19ead49a69775ad.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

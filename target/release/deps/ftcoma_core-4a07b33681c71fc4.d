@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ftcoma_core-4a07b33681c71fc4.d: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/ckpt.rs crates/core/src/config.rs crates/core/src/ctx.rs crates/core/src/engine.rs crates/core/src/invariants.rs crates/core/src/recovery.rs
+
+/root/repo/target/release/deps/libftcoma_core-4a07b33681c71fc4.rlib: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/ckpt.rs crates/core/src/config.rs crates/core/src/ctx.rs crates/core/src/engine.rs crates/core/src/invariants.rs crates/core/src/recovery.rs
+
+/root/repo/target/release/deps/libftcoma_core-4a07b33681c71fc4.rmeta: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/ckpt.rs crates/core/src/config.rs crates/core/src/ctx.rs crates/core/src/engine.rs crates/core/src/invariants.rs crates/core/src/recovery.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capacity.rs:
+crates/core/src/ckpt.rs:
+crates/core/src/config.rs:
+crates/core/src/ctx.rs:
+crates/core/src/engine.rs:
+crates/core/src/invariants.rs:
+crates/core/src/recovery.rs:

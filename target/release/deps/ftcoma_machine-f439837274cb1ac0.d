@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ftcoma_machine-f439837274cb1ac0.d: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/export.rs crates/machine/src/machine.rs crates/machine/src/metrics.rs crates/machine/src/probe.rs crates/machine/src/tracelog.rs
+
+/root/repo/target/release/deps/libftcoma_machine-f439837274cb1ac0.rlib: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/export.rs crates/machine/src/machine.rs crates/machine/src/metrics.rs crates/machine/src/probe.rs crates/machine/src/tracelog.rs
+
+/root/repo/target/release/deps/libftcoma_machine-f439837274cb1ac0.rmeta: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/export.rs crates/machine/src/machine.rs crates/machine/src/metrics.rs crates/machine/src/probe.rs crates/machine/src/tracelog.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/config.rs:
+crates/machine/src/export.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/metrics.rs:
+crates/machine/src/probe.rs:
+crates/machine/src/tracelog.rs:

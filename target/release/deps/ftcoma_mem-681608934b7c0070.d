@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ftcoma_mem-681608934b7c0070.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/am.rs crates/mem/src/cache.rs crates/mem/src/state.rs
+
+/root/repo/target/release/deps/libftcoma_mem-681608934b7c0070.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/am.rs crates/mem/src/cache.rs crates/mem/src/state.rs
+
+/root/repo/target/release/deps/libftcoma_mem-681608934b7c0070.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/am.rs crates/mem/src/cache.rs crates/mem/src/state.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/am.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/state.rs:

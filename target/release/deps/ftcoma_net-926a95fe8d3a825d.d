@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ftcoma_net-926a95fe8d3a825d.d: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/fabric.rs crates/net/src/mesh.rs crates/net/src/ring.rs
+
+/root/repo/target/release/deps/libftcoma_net-926a95fe8d3a825d.rlib: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/fabric.rs crates/net/src/mesh.rs crates/net/src/ring.rs
+
+/root/repo/target/release/deps/libftcoma_net-926a95fe8d3a825d.rmeta: crates/net/src/lib.rs crates/net/src/bus.rs crates/net/src/fabric.rs crates/net/src/mesh.rs crates/net/src/ring.rs
+
+crates/net/src/lib.rs:
+crates/net/src/bus.rs:
+crates/net/src/fabric.rs:
+crates/net/src/mesh.rs:
+crates/net/src/ring.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ftcoma_protocol-da98c506e6cec0b3.d: crates/protocol/src/lib.rs crates/protocol/src/dir.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/node.rs crates/protocol/src/timing.rs
+
+/root/repo/target/release/deps/libftcoma_protocol-da98c506e6cec0b3.rlib: crates/protocol/src/lib.rs crates/protocol/src/dir.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/node.rs crates/protocol/src/timing.rs
+
+/root/repo/target/release/deps/libftcoma_protocol-da98c506e6cec0b3.rmeta: crates/protocol/src/lib.rs crates/protocol/src/dir.rs crates/protocol/src/home.rs crates/protocol/src/msg.rs crates/protocol/src/node.rs crates/protocol/src/timing.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/dir.rs:
+crates/protocol/src/home.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/node.rs:
+crates/protocol/src/timing.rs:

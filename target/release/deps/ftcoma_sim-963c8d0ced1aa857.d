@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ftcoma_sim-963c8d0ced1aa857.d: crates/sim/src/lib.rs crates/sim/src/json.rs crates/sim/src/queue.rs crates/sim/src/registry.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libftcoma_sim-963c8d0ced1aa857.rlib: crates/sim/src/lib.rs crates/sim/src/json.rs crates/sim/src/queue.rs crates/sim/src/registry.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libftcoma_sim-963c8d0ced1aa857.rmeta: crates/sim/src/lib.rs crates/sim/src/json.rs crates/sim/src/queue.rs crates/sim/src/registry.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/json.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/registry.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:

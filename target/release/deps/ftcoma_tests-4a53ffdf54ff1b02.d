@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ftcoma_tests-4a53ffdf54ff1b02.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libftcoma_tests-4a53ffdf54ff1b02.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libftcoma_tests-4a53ffdf54ff1b02.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

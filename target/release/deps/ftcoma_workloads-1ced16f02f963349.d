@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ftcoma_workloads-1ced16f02f963349.d: crates/workloads/src/lib.rs crates/workloads/src/presets.rs crates/workloads/src/stream.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libftcoma_workloads-1ced16f02f963349.rlib: crates/workloads/src/lib.rs crates/workloads/src/presets.rs crates/workloads/src/stream.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+/root/repo/target/release/deps/libftcoma_workloads-1ced16f02f963349.rmeta: crates/workloads/src/lib.rs crates/workloads/src/presets.rs crates/workloads/src/stream.rs crates/workloads/src/trace.rs crates/workloads/src/zipf.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/presets.rs:
+crates/workloads/src/stream.rs:
+crates/workloads/src/trace.rs:
+crates/workloads/src/zipf.rs:

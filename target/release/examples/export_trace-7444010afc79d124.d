@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/export_trace-7444010afc79d124.d: crates/machine/../../examples/export_trace.rs
+
+/root/repo/target/release/examples/export_trace-7444010afc79d124: crates/machine/../../examples/export_trace.rs
+
+crates/machine/../../examples/export_trace.rs:

@@ -35,7 +35,9 @@ impl Rig {
 
     /// A rig with `n` full-size nodes and the given protocol config.
     pub fn with_config(n: usize, ft: FtConfig) -> Self {
-        let nodes = (0..n as u16).map(|i| NodeState::ksr1(NodeId::new(i))).collect();
+        let nodes = (0..n as u16)
+            .map(|i| NodeState::ksr1(NodeId::new(i)))
+            .collect();
         Self {
             nodes,
             engine: Engine::new(ft, MemTiming::ksr1(), n),
@@ -48,7 +50,10 @@ impl Rig {
 
     /// A rig with tiny AMs (2 frames, 1-way) to force replacements.
     pub fn tiny_am(n: usize) -> Self {
-        let geo = AmGeometry { capacity_bytes: 2 * 16 * 1024, ways: 1 };
+        let geo = AmGeometry {
+            capacity_bytes: 2 * 16 * 1024,
+            ways: 1,
+        };
         let nodes = (0..n as u16)
             .map(|i| NodeState::new(NodeId::new(i), geo, CacheGeometry::ksr1()))
             .collect();
@@ -67,27 +72,40 @@ impl Rig {
     pub fn place(&mut self, node: u16, item: ItemId, state: ItemState, value: u64) {
         let n = node as usize;
         if !self.nodes[n].am.has_page(item.page()) {
-            self.nodes[n].am.allocate_page(item.page()).expect("rig AM has room");
+            self.nodes[n]
+                .am
+                .allocate_page(item.page())
+                .expect("rig AM has room");
         }
         self.nodes[n].am.install(item, state, value, None);
         if state.is_owner() {
             self.nodes[n].dir.create(item, Vec::new());
             let home = home_of(item, &self.ring);
-            self.nodes[home.index()].home.set_owner(item, NodeId::new(node));
+            self.nodes[home.index()]
+                .home
+                .set_owner(item, NodeId::new(node));
         }
     }
 
     /// Registers `sharer` in the owner's directory entry.
     pub fn add_sharer(&mut self, owner: u16, item: ItemId, sharer: u16) {
-        self.nodes[owner as usize].dir.add_sharer(item, NodeId::new(sharer));
+        self.nodes[owner as usize]
+            .dir
+            .add_sharer(item, NodeId::new(sharer));
     }
 
     /// Links two recovery copies as partners with the given generation.
     pub fn link_partners(&mut self, item: ItemId, a: u16, b: u16, gen: u64) {
-        let sa = self.nodes[a as usize].am.slot_mut(item).expect("copy placed");
+        let sa = self.nodes[a as usize]
+            .am
+            .slot_mut(item)
+            .expect("copy placed");
         sa.partner = Some(NodeId::new(b));
         sa.ckpt_gen = gen;
-        let sb = self.nodes[b as usize].am.slot_mut(item).expect("copy placed");
+        let sb = self.nodes[b as usize]
+            .am
+            .slot_mut(item)
+            .expect("copy placed");
         sb.partner = Some(NodeId::new(a));
         sb.ckpt_gen = gen;
     }
@@ -95,17 +113,28 @@ impl Rig {
     /// Issues one processor access on `node` and drives the machine until
     /// quiescent. Returns the completion time (cycles from issue).
     pub fn access(&mut self, node: u16, addr: u64, is_write: bool, value: u64) -> Cycles {
-        let req = AccessReq { addr: addr.into(), is_write, write_value: value };
+        let req = AccessReq {
+            addr: addr.into(),
+            is_write,
+            write_value: value,
+        };
         let now = self.queue.now();
         let mut ctx = Ctx::new(&self.ring, now);
-        let outcome = self.engine.access(&mut self.nodes[node as usize], req, &mut ctx);
+        let outcome = self
+            .engine
+            .access(&mut self.nodes[node as usize], req, &mut ctx);
         let (out, effects) = ctx.finish();
         for e in effects {
             self.effects.push((NodeId::new(node), e));
         }
         for o in out {
-            let arrival =
-                self.mesh.send(now + o.delay, NodeId::new(node), o.to, o.msg.class(), o.msg.payload_bytes());
+            let arrival = self.mesh.send(
+                now + o.delay,
+                NodeId::new(node),
+                o.to,
+                o.msg.class(),
+                o.msg.payload_bytes(),
+            );
             self.queue.schedule(arrival, (o.to, o.msg));
         }
         match outcome {
@@ -126,7 +155,8 @@ impl Rig {
                 continue;
             }
             let mut ctx = Ctx::new(&self.ring, now);
-            self.engine.handle(&mut self.nodes[to.index()], msg, &mut ctx);
+            self.engine
+                .handle(&mut self.nodes[to.index()], msg, &mut ctx);
             let (out, effects) = ctx.finish();
             for e in effects {
                 if let Effect::Resume { latency } = e {
@@ -135,8 +165,13 @@ impl Rig {
                 self.effects.push((to, e));
             }
             for o in out {
-                let arrival =
-                    self.mesh.send(now + o.delay, to, o.to, o.msg.class(), o.msg.payload_bytes());
+                let arrival = self.mesh.send(
+                    now + o.delay,
+                    to,
+                    o.to,
+                    o.msg.class(),
+                    o.msg.payload_bytes(),
+                );
                 self.queue.schedule(arrival, (o.to, o.msg));
             }
         }

@@ -50,7 +50,11 @@ fn shared_ck_reads_occur_under_ecp() {
     let std_run = Machine::new(base(FtConfig::disabled())).run();
     assert_eq!(std_run.shared_ck_reads, 0);
     assert_eq!(std_run.checkpoints, 0);
-    assert_eq!(std_run.injections_total(), 0, "full-size AM: no replacements");
+    assert_eq!(
+        std_run.injections_total(),
+        0,
+        "full-size AM: no replacements"
+    );
 }
 
 #[test]
@@ -97,7 +101,11 @@ fn failures_require_fault_tolerance() {
 #[test]
 #[should_panic(expected = "four nodes")]
 fn ecp_requires_four_nodes() {
-    let cfg = MachineConfig { nodes: 3, ft: FtConfig::enabled(100.0), ..base(FtConfig::enabled(100.0)) };
+    let cfg = MachineConfig {
+        nodes: 3,
+        ft: FtConfig::enabled(100.0),
+        ..base(FtConfig::enabled(100.0))
+    };
     let _ = Machine::new(cfg);
 }
 
@@ -126,7 +134,10 @@ fn replication_throughput_is_in_paper_ballpark() {
     })
     .run();
     let mbps = ft_run.replication_throughput_bps(20e6) / 1e6;
-    assert!((5.0..60.0).contains(&mbps), "throughput {mbps} MB/s far from paper's ~20");
+    assert!(
+        (5.0..60.0).contains(&mbps),
+        "throughput {mbps} MB/s far from paper's ~20"
+    );
 }
 
 #[test]
@@ -146,18 +157,27 @@ fn injection_mix_matches_paper_claim() {
     let wr = ft_run.injections_on_write();
     assert!(wr > 0);
     let share = ft_run.injections_write_shared_ck as f64 / wr as f64;
-    assert!(share > 0.7, "Shared-CK write-injection share only {share:.2}");
+    assert!(
+        share > 0.7,
+        "Shared-CK write-injection share only {share:.2}"
+    );
 }
 
 #[test]
 fn capacity_report_reflects_configuration() {
     let m = Machine::new(base(FtConfig::enabled(100.0)));
     let report = m.capacity_report();
-    assert!(report.fits, "paper-sized AMs must satisfy the guarantee: {report}");
+    assert!(
+        report.fits,
+        "paper-sized AMs must satisfy the guarantee: {report}"
+    );
     assert!(report.worst_utilization < 0.5);
 
     let tight = Machine::new(MachineConfig {
-        am: ftcoma_mem::AmGeometry { capacity_bytes: 2 * 16 * 1024, ways: 1 },
+        am: ftcoma_mem::AmGeometry {
+            capacity_bytes: 2 * 16 * 1024,
+            ways: 1,
+        },
         ..base(FtConfig::enabled(100.0))
     });
     assert!(!tight.capacity_report().fits);

@@ -49,7 +49,10 @@ fn fig3_shape_create_falls_with_frequency() {
 fn fig4_shape_replication_throughput_in_band() {
     let m = run(16, Some(400.0), 40_000);
     let mbps = m.replication_throughput_bps(20e6) / 1e6;
-    assert!((8.0..40.0).contains(&mbps), "throughput {mbps:.1} MB/s outside paper band");
+    assert!(
+        (8.0..40.0).contains(&mbps),
+        "throughput {mbps:.1} MB/s outside paper band"
+    );
 }
 
 #[test]
@@ -57,7 +60,10 @@ fn fig5_shape_read_miss_rate_frequency_invariant() {
     let hi = run(9, Some(400.0), 30_000);
     let lo = run(9, Some(50.0), 30_000);
     let delta = (hi.read_miss_rate() - lo.read_miss_rate()).abs();
-    assert!(delta < 0.01, "read miss rate moved {delta:.4} across frequencies");
+    assert!(
+        delta < 0.01,
+        "read miss rate moved {delta:.4} across frequencies"
+    );
 }
 
 #[test]
@@ -119,7 +125,11 @@ fn mp3d_is_the_worst_case_at_high_frequency() {
         let create = ft_run.t_create as f64 / std_run.total_cycles as f64;
         overheads.push((wl.name.clone(), create));
     }
-    let mp3d = overheads.iter().find(|(n, _)| n == "Mp3d").expect("mp3d measured").1;
+    let mp3d = overheads
+        .iter()
+        .find(|(n, _)| n == "Mp3d")
+        .expect("mp3d measured")
+        .1;
     for (name, create) in &overheads {
         assert!(
             mp3d >= *create,
@@ -134,6 +144,9 @@ fn table2_shape_remote_misses_cost_more_than_local() {
     // latency histogram must contain both ~1-cycle hits and >100-cycle
     // remote transactions.
     let m = run(9, None, 20_000);
-    assert!(m.access_latency.quantile(0.05) <= 2.0, "hits must dominate the low end");
+    assert!(
+        m.access_latency.quantile(0.05) <= 2.0,
+        "hits must dominate the low end"
+    );
     assert!(m.access_latency.max() >= 116, "remote misses must appear");
 }

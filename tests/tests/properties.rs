@@ -1,12 +1,18 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! full machine.
-
-use proptest::prelude::*;
+//! Randomized property tests over the core data structures and the full
+//! machine.
+//!
+//! These were originally written with `proptest`; the workspace is
+//! dependency-free, so the same properties are now exercised with
+//! deterministic seeded case generation from [`DetRng`]. Every case is a
+//! pure function of the hard-coded seed, so failures reproduce exactly.
 
 use ftcoma_core::FtConfig;
 use ftcoma_machine::{FailureKind, Machine, MachineConfig};
 use ftcoma_mem::addr::LineId;
-use ftcoma_mem::{AmGeometry, AttractionMemory, Cache, CacheGeometry, ItemId, ItemState, NodeId, PageId};
+use ftcoma_mem::{
+    AmGeometry, AttractionMemory, Cache, CacheGeometry, ItemId, ItemState, NodeId, PageId,
+};
+use ftcoma_sim::DetRng;
 use ftcoma_workloads::{presets, NodeStream, RefStream};
 
 // ---------------------------------------------------------------------------
@@ -21,22 +27,21 @@ enum CacheOp {
     FlushItem(u64),
 }
 
-fn cache_op() -> impl Strategy<Value = CacheOp> {
-    prop_oneof![
-        (0u64..2_000, any::<bool>()).prop_map(|(l, d)| CacheOp::Fill(l, d)),
-        (0u64..2_000).prop_map(CacheOp::MarkDirty),
-        (0u64..1_000).prop_map(CacheOp::InvalidateItem),
-        (0u64..1_000).prop_map(CacheOp::FlushItem),
-    ]
+fn random_cache_op(rng: &mut DetRng) -> CacheOp {
+    match rng.below(4) {
+        0 => CacheOp::Fill(rng.below(2_000), rng.chance(0.5)),
+        1 => CacheOp::MarkDirty(rng.below(2_000)),
+        2 => CacheOp::InvalidateItem(rng.below(1_000)),
+        _ => CacheOp::FlushItem(rng.below(1_000)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The cache agrees with a simple map-based model on presence and
-    /// dirtiness (modulo capacity evictions, which only remove entries).
-    #[test]
-    fn cache_behaves_like_model(ops in proptest::collection::vec(cache_op(), 1..300)) {
+/// The cache agrees with a simple map-based model on presence and
+/// dirtiness (modulo capacity evictions, which only remove entries).
+#[test]
+fn cache_behaves_like_model() {
+    let mut rng = DetRng::seeded(0xCAC4E);
+    for _case in 0..64 {
         use std::collections::HashMap;
         let mut cache = Cache::new(CacheGeometry {
             capacity_bytes: 16 * 2048,
@@ -44,8 +49,9 @@ proptest! {
             ways: 4,
         });
         let mut model: HashMap<u64, bool> = HashMap::new(); // line -> dirty
-        for op in ops {
-            match op {
+        let ops = 1 + rng.below(300);
+        for _ in 0..ops {
+            match random_cache_op(&mut rng) {
                 CacheOp::Fill(l, d) => {
                     cache.fill(LineId::new(l), d);
                     model.insert(l, d);
@@ -72,56 +78,58 @@ proptest! {
             }
             // The cache may hold FEWER lines than the model (evictions),
             // never more, and dirtiness must match where present.
-            prop_assert!(cache.resident_lines() <= model.len() as u64);
-            prop_assert!(cache.dirty_lines() <= model.values().filter(|&&d| d).count() as u64);
+            assert!(cache.resident_lines() <= model.len() as u64);
+            assert!(cache.dirty_lines() <= model.values().filter(|&&d| d).count() as u64);
         }
         // Every line the cache still holds must agree with the model.
         for (&l, &dirty) in &model {
             match cache.line_state(LineId::new(l)) {
                 ftcoma_mem::LineState::Invalid => {}
-                ftcoma_mem::LineState::Clean => prop_assert!(!dirty, "line {l} should be dirty"),
-                ftcoma_mem::LineState::Dirty => prop_assert!(dirty, "line {l} should be clean"),
+                ftcoma_mem::LineState::Clean => assert!(!dirty, "line {l} should be dirty"),
+                ftcoma_mem::LineState::Dirty => assert!(dirty, "line {l} should be clean"),
             }
         }
     }
+}
 
-    /// AM page allocation never loses pages silently and the acceptance
-    /// test never proposes sacrificing a page holding protected copies.
-    #[test]
-    fn am_acceptance_never_sacrifices_protected_pages(
-        pages in proptest::collection::vec(0u64..64, 1..40),
-        protect in proptest::collection::vec(any::<bool>(), 40),
-    ) {
+/// AM page allocation never loses pages silently and the acceptance
+/// test never proposes sacrificing a page holding protected copies.
+#[test]
+fn am_acceptance_never_sacrifices_protected_pages() {
+    let mut rng = DetRng::seeded(0xA11);
+    for _case in 0..64 {
         let mut am = AttractionMemory::new(AmGeometry {
             capacity_bytes: 8 * 16 * 1024, // 8 frames
             ways: 2,
         });
-        for (k, &p) in pages.iter().enumerate() {
-            let page = PageId::new(p);
-            if am.allocate_page(page).is_ok() && protect[k % protect.len()] {
+        let n_pages = 1 + rng.below(40);
+        for _ in 0..n_pages {
+            let page = PageId::new(rng.below(64));
+            if am.allocate_page(page).is_ok() && rng.chance(0.5) {
                 let item = page.items().next().unwrap();
                 am.install(item, ItemState::MasterShared, 0, None);
             }
         }
         for probe in 0..64u64 {
             let item = PageId::new(probe).items().next().unwrap();
-            if let ftcoma_mem::InjectionAccept::ReplacePage(victim) = am.injection_acceptance(item) {
-                let droppable = victim
-                    .items()
-                    .all(|i| !am.state(i).requires_injection());
-                prop_assert!(droppable, "acceptance offered protected page {victim}");
+            if let ftcoma_mem::InjectionAccept::ReplacePage(victim) = am.injection_acceptance(item)
+            {
+                let droppable = victim.items().all(|i| !am.state(i).requires_injection());
+                assert!(droppable, "acceptance offered protected page {victim}");
             }
         }
     }
+}
 
-    /// Workload streams replay exactly from any snapshot point.
-    #[test]
-    fn stream_replay_is_exact(
-        preset in 0usize..4,
-        node in 0u16..8,
-        advance in 0usize..2_000,
-        seed in any::<u64>(),
-    ) {
+/// Workload streams replay exactly from any snapshot point.
+#[test]
+fn stream_replay_is_exact() {
+    let mut rng = DetRng::seeded(0x57EA);
+    for _case in 0..32 {
+        let preset = rng.below(4) as usize;
+        let node = rng.below(8) as u16;
+        let advance = rng.below(2_000) as usize;
+        let seed = rng.next_u64();
         let cfg = presets::all()[preset].clone();
         let mut s = NodeStream::new(&cfg, node, 8, seed);
         for _ in 0..advance {
@@ -131,7 +139,7 @@ proptest! {
         let a: Vec<_> = (0..200).map(|_| s.next_ref()).collect();
         s.restore(&snap);
         let b: Vec<_> = (0..200).map(|_| s.next_ref()).collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }
 
@@ -139,19 +147,16 @@ proptest! {
 // Whole-machine properties (smaller case counts: these are full runs)
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any small machine, any workload, any frequency, any seed: the run
-    /// completes and every protocol invariant holds afterwards.
-    #[test]
-    fn machine_invariants_hold_for_random_configs(
-        preset in 0usize..4,
-        nodes in 4u16..10,
-        freq_idx in 0usize..3,
-        seed in any::<u64>(),
-    ) {
-        let freq = [400.0, 150.0, 60.0][freq_idx];
+/// Any small machine, any workload, any frequency, any seed: the run
+/// completes and every protocol invariant holds afterwards.
+#[test]
+fn machine_invariants_hold_for_random_configs() {
+    let mut rng = DetRng::seeded(0x14C);
+    for _case in 0..12 {
+        let preset = rng.below(4) as usize;
+        let nodes = 4 + rng.below(6) as u16;
+        let freq = [400.0, 150.0, 60.0][rng.below(3) as usize];
+        let seed = rng.next_u64();
         let cfg = MachineConfig {
             nodes,
             refs_per_node: 4_000,
@@ -163,17 +168,19 @@ proptest! {
         };
         let mut m = Machine::new(cfg);
         let run = m.run();
-        prop_assert!(run.total_cycles > 0);
+        assert!(run.total_cycles > 0);
         m.assert_invariants();
     }
+}
 
-    /// A transient failure at a random time never corrupts the machine.
-    #[test]
-    fn random_failure_times_recover_cleanly(
-        at in 5_000u64..120_000,
-        victim in 0u16..9,
-        seed in any::<u64>(),
-    ) {
+/// A transient failure at a random time never corrupts the machine.
+#[test]
+fn random_failure_times_recover_cleanly() {
+    let mut rng = DetRng::seeded(0xFA11);
+    for _case in 0..12 {
+        let at = rng.range(5_000, 120_000);
+        let victim = rng.below(9) as u16;
+        let seed = rng.next_u64();
         let cfg = MachineConfig {
             nodes: 9,
             refs_per_node: 8_000,
@@ -206,7 +213,10 @@ fn identical_seeds_give_identical_runs() {
     };
     let a = Machine::new(cfg()).run();
     let b = Machine::new(cfg()).run();
-    assert_eq!(a, b, "simulation must be a pure function of its configuration");
+    assert_eq!(
+        a, b,
+        "simulation must be a pure function of its configuration"
+    );
 }
 
 #[test]

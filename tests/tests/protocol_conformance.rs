@@ -19,7 +19,10 @@ fn first_touch_read_creates_master() {
     assert_eq!(rig.state(0, item(0)), ItemState::MasterShared);
     // The home knows the owner.
     let home = home_of(item(0), &rig.ring);
-    assert_eq!(rig.nodes[home.index()].home.owner(item(0)), Some(NodeId::new(0)));
+    assert_eq!(
+        rig.nodes[home.index()].home.owner(item(0)),
+        Some(NodeId::new(0))
+    );
 }
 
 #[test]
@@ -54,7 +57,10 @@ fn write_miss_transfers_ownership_and_invalidates() {
     assert_eq!(rig.state(1, item(0)), ItemState::Invalid);
     assert_eq!(rig.state(2, item(0)), ItemState::Invalid);
     let home = home_of(item(0), &rig.ring);
-    assert_eq!(rig.nodes[home.index()].home.owner(item(0)), Some(NodeId::new(3)));
+    assert_eq!(
+        rig.nodes[home.index()].home.owner(item(0)),
+        Some(NodeId::new(3))
+    );
 }
 
 #[test]
@@ -85,7 +91,11 @@ fn reads_are_served_by_shared_ck_copies() {
     // A remote read miss is served by the Shared-CK1 owner.
     rig.access(3, 0, false, 0);
     assert_eq!(rig.state(3, item(0)), ItemState::Shared);
-    assert_eq!(rig.state(1, item(0)), ItemState::SharedCk1, "owner copy untouched");
+    assert_eq!(
+        rig.state(1, item(0)),
+        ItemState::SharedCk1,
+        "owner copy untouched"
+    );
 }
 
 #[test]
@@ -125,7 +135,9 @@ fn local_write_on_shared_ck_injects_first() {
     assert_eq!(
         rig.count_effects(|e| matches!(
             e,
-            Effect::InjectionStarted { cause: InjectCause::WriteOnSharedCk }
+            Effect::InjectionStarted {
+                cause: InjectCause::WriteOnSharedCk
+            }
         )),
         1
     );
@@ -158,9 +170,12 @@ fn read_on_inv_ck_injects_and_misses() {
     assert_eq!(rig.state(1, item(0)), ItemState::Shared);
     assert_eq!(rig.nodes[1].am.slot(item(0)).unwrap().value, 9);
     assert_eq!(
-        rig.count_effects(
-            |e| matches!(e, Effect::InjectionStarted { cause: InjectCause::ReadOnInvCk })
-        ),
+        rig.count_effects(|e| matches!(
+            e,
+            Effect::InjectionStarted {
+                cause: InjectCause::ReadOnInvCk
+            }
+        )),
         1
     );
     // The pair still exists with mutual partner pointers.
@@ -196,7 +211,10 @@ fn create_phase_replicates_exclusive_items() {
         .map(|(n, _)| n)
         .collect();
     assert_eq!(pre2.len(), 1);
-    assert_eq!(rig.nodes[pre2[0] as usize].am.slot(item(0)).unwrap().value, 77);
+    assert_eq!(
+        rig.nodes[pre2[0] as usize].am.slot(item(0)).unwrap().value,
+        77
+    );
     assert_eq!(
         rig.nodes[0].am.slot(item(0)).unwrap().partner,
         Some(NodeId::new(pre2[0]))
@@ -214,11 +232,19 @@ fn create_phase_reuses_existing_replica() {
     assert_eq!(rig.state(0, item(0)), ItemState::PreCommit1);
     assert_eq!(rig.state(2, item(0)), ItemState::PreCommit2);
     assert_eq!(
-        rig.count_effects(|e| matches!(e, Effect::ItemCheckpointed { reused_existing: true })),
+        rig.count_effects(|e| matches!(
+            e,
+            Effect::ItemCheckpointed {
+                reused_existing: true
+            }
+        )),
         1,
         "the existing Shared replica must be re-labelled, not re-transferred"
     );
-    assert_eq!(rig.count_effects(|e| matches!(e, Effect::ReplicationBytes { .. })), 0);
+    assert_eq!(
+        rig.count_effects(|e| matches!(e, Effect::ReplicationBytes { .. })),
+        0
+    );
 }
 
 #[test]

@@ -27,8 +27,8 @@ fn transient_failure_restores_committed_memory_all_workloads() {
         let run = m.run();
         assert_eq!(run.failures, 1, "{name}: failure must fire");
         m.assert_invariants();
-        // The run completed its full reference quota despite the rollback.
-        assert_eq!(run.refs % 1 /* always true, refs counted */, 0);
+        // The run completed references despite the rollback.
+        assert!(run.refs > 0, "{name}: no references completed");
     }
 }
 
@@ -40,7 +40,10 @@ fn permanent_failure_reconfigures_all_workloads() {
         m.schedule_failure(20_000, NodeId::new(4), FailureKind::Permanent);
         let run = m.run();
         assert_eq!(run.failures, 1, "{name}");
-        assert!(!m.ring().is_alive(NodeId::new(4)), "{name}: node stays dead");
+        assert!(
+            !m.ring().is_alive(NodeId::new(4)),
+            "{name}: node stays dead"
+        );
         m.assert_invariants();
         // The dead node's memory plays no further part.
         assert_eq!(m.nodes()[4].am.iter_present().count(), 0, "{name}");
@@ -72,7 +75,10 @@ fn failure_before_first_checkpoint_rolls_back_to_start() {
     m.schedule_failure(10_000, NodeId::new(1), FailureKind::Transient);
     let run = m.run();
     assert_eq!(run.failures, 1);
-    assert_eq!(run.checkpoints, 0, "no recovery point fits before the failure");
+    assert_eq!(
+        run.checkpoints, 0,
+        "no recovery point fits before the failure"
+    );
     m.assert_invariants();
 }
 
@@ -174,7 +180,10 @@ fn repaired_node_rejoins_and_takes_work_back() {
     let run = m.run();
     assert_eq!(run.failures, 1);
     assert_eq!(run.repairs, 1);
-    assert!(m.ring().is_alive(NodeId::new(4)), "repaired node is back in the ring");
+    assert!(
+        m.ring().is_alive(NodeId::new(4)),
+        "repaired node is back in the ring"
+    );
     m.assert_invariants();
 }
 
