@@ -14,18 +14,46 @@
 //!   frequency-independent).
 
 use ftcoma_bench::{
-    banner, mbps, pair_json, pct, run_pair, write_bench_json, Pair, NODES, PAPER_FREQS,
+    banner, bench_jobs, mbps, pair_json, pct, quick_mode, write_bench_json, Pair, PairPoint, NODES,
+    PAPER_FREQS,
 };
 use ftcoma_workloads::presets;
 
 fn main() {
-    let mut sweep: Vec<(String, f64, Pair)> = Vec::new();
-    for wl in presets::all() {
-        for freq in PAPER_FREQS {
-            eprintln!("running {} at {freq} rp/s ...", wl.name);
-            sweep.push((wl.name.clone(), freq, run_pair(&wl, NODES, freq)));
+    // Quick mode (CI smoke): two workloads at two frequencies on a small
+    // mesh with short fixed runs — exercises the whole path, including the
+    // JSON export, in seconds.
+    let (workloads, freqs, nodes) = if quick_mode() {
+        (
+            vec![presets::water(), presets::mp3d()],
+            vec![400.0, 100.0],
+            4,
+        )
+    } else {
+        (presets::all(), PAPER_FREQS.to_vec(), NODES)
+    };
+
+    let mut grid: Vec<(String, f64)> = Vec::new();
+    let mut points: Vec<PairPoint> = Vec::new();
+    for wl in &workloads {
+        for &freq in &freqs {
+            grid.push((wl.name.clone(), freq));
+            let mut point = PairPoint::new(wl, nodes, freq);
+            if quick_mode() {
+                // Long enough for at least one recovery point at 4 nodes.
+                (point.refs, point.warmup) = (8_000, 1_000);
+            }
+            points.push(point);
         }
     }
+    let jobs = bench_jobs();
+    eprintln!("running {} pairs on {jobs} workers ...", points.len());
+    let pairs = ftcoma_bench::run_pairs(&points, jobs);
+    let sweep: Vec<(String, f64, Pair)> = grid
+        .into_iter()
+        .zip(pairs)
+        .map(|((name, freq), pair)| (name, freq, pair))
+        .collect();
 
     // Structured export (set FTCOMA_BENCH_JSON to a directory to enable).
     let rows = sweep

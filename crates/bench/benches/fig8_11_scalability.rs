@@ -10,15 +10,15 @@
 //! * Fig. 11: injections on writes stay constant; injections on reads
 //!   *decrease* with more processors.
 
-use ftcoma_bench::{banner, mbps, pct, run_one, Pair, PAPER_SIZES};
-use ftcoma_core::FtConfig;
+use ftcoma_bench::{banner, bench_jobs, mbps, pct, run_pairs, Pair, PairPoint, PAPER_SIZES};
 use ftcoma_workloads::presets;
 
 fn main() {
     const FREQ: f64 = 100.0;
     let (refs, warmup) = (60_000u64, 30_000u64);
 
-    let mut results: Vec<(String, u16, Pair)> = Vec::new();
+    let mut grid: Vec<(String, u16)> = Vec::new();
+    let mut points: Vec<PairPoint> = Vec::new();
     for wl in presets::all() {
         for &nodes in &PAPER_SIZES {
             // Fixed-size application: per-node private share shrinks as the
@@ -26,13 +26,23 @@ fn main() {
             let mut scaled = wl.clone();
             scaled.private_pages_per_node =
                 (wl.private_pages_per_node * 16 / u64::from(nodes)).max(1);
-            let pair = Pair {
-                std: run_one(&scaled, nodes, FtConfig::disabled(), refs, warmup),
-                ft: run_one(&scaled, nodes, FtConfig::enabled(FREQ), refs, warmup),
-            };
-            results.push((wl.name.clone(), nodes, pair));
+            grid.push((wl.name.clone(), nodes));
+            points.push(PairPoint {
+                workload: scaled,
+                nodes,
+                freq_hz: FREQ,
+                refs,
+                warmup,
+            });
         }
     }
+    let jobs = bench_jobs();
+    eprintln!("running {} pairs on {jobs} workers ...", points.len());
+    let results: Vec<(String, u16, Pair)> = grid
+        .into_iter()
+        .zip(run_pairs(&points, jobs))
+        .map(|((name, nodes), pair)| (name, nodes, pair))
+        .collect();
 
     banner(
         "Fig 8: T_create overhead vs number of processors (100 rp/s)",

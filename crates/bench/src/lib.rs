@@ -6,16 +6,23 @@
 //! identical seeds, the execution-time decomposition, run-length scaling
 //! for low checkpoint frequencies, and plain-text table printing.
 //!
+//! The grid-shaped benches (Figs. 3–6, 8–11) run their points on
+//! [`ftcoma_campaign`]'s worker pool via [`run_pairs`] — results are
+//! identical at any parallelism, so `cargo bench` uses every core.
+//!
 //! Absolute numbers will not match the paper (different workload substrate
 //! — see DESIGN.md §4); the *shapes* are the reproduction target and
 //! EXPERIMENTS.md records both sides.
 
 use std::path::{Path, PathBuf};
 
+use ftcoma_campaign::{run_cells, Cell, Scenario};
 use ftcoma_core::FtConfig;
 use ftcoma_machine::{export, Machine, MachineConfig, RunMetrics};
-use ftcoma_sim::{Clock, Json};
+use ftcoma_sim::Json;
 use ftcoma_workloads::SplashConfig;
+
+pub use ftcoma_campaign::lengths_for;
 
 /// The recovery-point frequencies of Fig. 3 (per simulated second).
 pub const PAPER_FREQS: [f64; 5] = [400.0, 200.0, 100.0, 50.0, 5.0];
@@ -26,18 +33,21 @@ pub const PAPER_SIZES: [u16; 5] = [9, 16, 30, 42, 56];
 /// Default node count (the paper's 4×4 mesh).
 pub const NODES: u16 = 16;
 
-/// Benchmark run lengths `(refs_per_node, warmup_refs_per_node)` for a
-/// checkpoint frequency: low frequencies need long runs so several recovery
-/// points land inside the measured window ("all the simulations are
-/// sufficiently long so that several recovery point establishments occur").
-pub fn lengths_for(freq_hz: f64) -> (u64, u64) {
-    let period = Clock::ksr1().period_for_rate_hz(freq_hz);
-    // At ~5 cycles/reference, `period * 4 / 5` references cover several
-    // checkpoint intervals; the warmup covers at least one full interval so
-    // measurement starts from a steady recovery-data population.
-    let refs = (period * 4 / 5).max(60_000);
-    let warmup = (period * 2 / 5).max(30_000);
-    (refs, warmup)
+/// Worker count for the parallel benches: one per core, overridable with
+/// `FTCOMA_BENCH_JOBS` (useful to pin `cargo bench` runs for timing).
+pub fn bench_jobs() -> usize {
+    std::env::var("FTCOMA_BENCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&j| j > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Whether `FTCOMA_BENCH_QUICK` is set: benches shrink their grids to a
+/// few short cells so CI smoke jobs can exercise the full path (including
+/// the `FTCOMA_BENCH_JSON` export) in seconds.
+pub fn quick_mode() -> bool {
+    std::env::var_os("FTCOMA_BENCH_QUICK").is_some()
 }
 
 /// Runs one machine configuration to completion.
@@ -68,13 +78,88 @@ pub struct Pair {
     pub ft: RunMetrics,
 }
 
+/// One grid point of a paired bench: a fully specified standard/ECP twin.
+#[derive(Debug, Clone)]
+pub struct PairPoint {
+    /// Workload configuration (already scaled if the bench scales it).
+    pub workload: SplashConfig,
+    /// Machine size.
+    pub nodes: u16,
+    /// ECP recovery-point frequency.
+    pub freq_hz: f64,
+    /// Measured references per node.
+    pub refs: u64,
+    /// Warmup references per node.
+    pub warmup: u64,
+}
+
+impl PairPoint {
+    /// A point with run lengths derived from the frequency via
+    /// [`lengths_for`].
+    pub fn new(workload: &SplashConfig, nodes: u16, freq_hz: f64) -> Self {
+        let (refs, warmup) = lengths_for(freq_hz);
+        PairPoint {
+            workload: workload.clone(),
+            nodes,
+            freq_hz,
+            refs,
+            warmup,
+        }
+    }
+
+    fn cell(&self, id: u64, group: u64, ft: FtConfig) -> Cell {
+        let mode = if ft.mode.is_enabled() { "ft" } else { "std" };
+        Cell {
+            id,
+            group,
+            label: format!(
+                "{}/n{}/f{}/{mode}",
+                self.workload.name, self.nodes, self.freq_hz
+            ),
+            cfg: MachineConfig {
+                nodes: self.nodes,
+                refs_per_node: self.refs,
+                warmup_refs_per_node: self.warmup,
+                workload: self.workload.clone(),
+                ft,
+                ..MachineConfig::default()
+            },
+            scenario: Scenario::none(),
+        }
+    }
+}
+
+/// Runs every point's standard/ECP twin on `jobs` campaign workers and
+/// returns the pairs in point order. Both halves of a pair share the
+/// default seed and run length, exactly as [`run_pair`] pairs them; the
+/// parallelism cannot affect the numbers.
+pub fn run_pairs(points: &[PairPoint], jobs: usize) -> Vec<Pair> {
+    let cells: Vec<Cell> = points
+        .iter()
+        .enumerate()
+        .flat_map(|(i, p)| {
+            let (i, base) = (i as u64, 2 * i as u64);
+            [
+                p.cell(base, i, FtConfig::disabled()),
+                p.cell(base + 1, i, FtConfig::enabled(p.freq_hz)),
+            ]
+        })
+        .collect();
+    let outcomes = run_cells(&cells, jobs);
+    outcomes
+        .chunks_exact(2)
+        .map(|twin| Pair {
+            std: twin[0].metrics.clone(),
+            ft: twin[1].metrics.clone(),
+        })
+        .collect()
+}
+
 /// Runs the standard and ECP machines over the same workload and seed.
 pub fn run_pair(workload: &SplashConfig, nodes: u16, freq_hz: f64) -> Pair {
-    let (refs, warmup) = lengths_for(freq_hz);
-    Pair {
-        std: run_one(workload, nodes, FtConfig::disabled(), refs, warmup),
-        ft: run_one(workload, nodes, FtConfig::enabled(freq_hz), refs, warmup),
-    }
+    run_pairs(&[PairPoint::new(workload, nodes, freq_hz)], 1)
+        .pop()
+        .expect("one point in, one pair out")
 }
 
 /// Fig. 3's execution-time decomposition, as fractions of the standard

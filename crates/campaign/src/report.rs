@@ -1,0 +1,229 @@
+//! The campaign report: one versioned JSON document aggregating every
+//! cell's metrics, link report and overhead decomposition.
+//!
+//! The document is `schema_version` 2 (see
+//! [`ftcoma_machine::export::SCHEMA_VERSION`]); cells appear in id order
+//! regardless of the order workers finished them, and every field except
+//! the `wall_ms*` timings is a pure function of the spec — the property the
+//! CI `determinism` job checks by diffing `--jobs 1` against `--jobs 4`
+//! output with wall-clock lines stripped.
+
+use ftcoma_machine::{export, RunMetrics};
+use ftcoma_sim::Json;
+
+use crate::runner::CellOutcome;
+use crate::spec::{CampaignSpec, Cell, ScenarioKind};
+
+/// The execution-time decomposition of one ECP cell against its group's
+/// standard-protocol baseline (`T_ft = T_std + T_create + T_commit +
+/// T_pollution`, fractions of `T_std`).
+fn decomposition_json(ft: &RunMetrics, std: &RunMetrics) -> Json {
+    let t_std = std.total_cycles as f64;
+    let t_ft = ft.total_cycles as f64;
+    let create = ft.t_create as f64;
+    let commit = ft.t_commit as f64;
+    Json::obj([
+        ("total_overhead", Json::from(t_ft / t_std - 1.0)),
+        ("create", Json::from(create / t_std)),
+        ("commit", Json::from(commit / t_std)),
+        (
+            "pollution",
+            Json::from((t_ft - t_std - create - commit) / t_std),
+        ),
+    ])
+}
+
+/// One cell's row in the report: identity, configuration summary,
+/// decomposition (ECP cells with a baseline in their group) and the full
+/// embedded metrics document.
+pub fn cell_json(cell: &Cell, outcome: &CellOutcome, baseline: Option<&RunMetrics>) -> Json {
+    let freq = if cell.is_ft() {
+        Json::from(cell.cfg.ft.ckpt_rate_hz)
+    } else {
+        Json::Null
+    };
+    let scenario = if cell.scenario.kind == ScenarioKind::None {
+        Json::Null
+    } else {
+        cell.scenario.to_json()
+    };
+    let decomposition = match (cell.is_ft(), baseline) {
+        (true, Some(std)) => decomposition_json(&outcome.metrics, std),
+        _ => Json::Null,
+    };
+    Json::obj([
+        ("id", Json::from(cell.id)),
+        ("group", Json::from(cell.group)),
+        ("label", Json::from(cell.label.as_str())),
+        ("workload", Json::from(cell.cfg.workload.name.as_str())),
+        ("nodes", Json::from(u64::from(cell.cfg.nodes))),
+        ("refs_per_node", Json::from(cell.cfg.refs_per_node)),
+        (
+            "warmup_refs_per_node",
+            Json::from(cell.cfg.warmup_refs_per_node),
+        ),
+        (
+            "mode",
+            Json::from(if cell.is_ft() { "ecp" } else { "standard" }),
+        ),
+        ("freq", freq),
+        ("scenario", scenario),
+        // Hex string: JSON numbers are doubles and would round 64-bit
+        // derived seeds.
+        ("seed", Json::from(format!("0x{:016x}", cell.cfg.seed))),
+        ("decomposition", decomposition),
+        ("wall_ms", Json::from(outcome.wall_ms)),
+        (
+            "metrics",
+            export::metrics_json(&outcome.metrics, &outcome.links),
+        ),
+    ])
+}
+
+/// Assembles the full campaign document from a spec's cells and their
+/// outcomes (`outcomes[i]` must be cell `i`'s, as `run_cells` returns
+/// them).
+///
+/// # Panics
+///
+/// Panics if `cells` and `outcomes` disagree in length or ids.
+pub fn campaign_json(
+    spec: &CampaignSpec,
+    cells: &[Cell],
+    outcomes: &[CellOutcome],
+    wall_ms_total: f64,
+) -> Json {
+    assert_eq!(cells.len(), outcomes.len(), "one outcome per cell");
+    // Group id -> baseline metrics, for the decompositions.
+    let baselines: Vec<(u64, &RunMetrics)> = cells
+        .iter()
+        .zip(outcomes)
+        .filter(|(c, _)| !c.is_ft())
+        .map(|(c, o)| (c.group, &o.metrics))
+        .collect();
+    let rows = cells.iter().zip(outcomes).map(|(c, o)| {
+        assert_eq!(c.id, o.cell_id, "outcomes out of order");
+        let baseline = baselines
+            .iter()
+            .find(|(g, _)| *g == c.group)
+            .map(|(_, m)| *m);
+        cell_json(c, o, baseline)
+    });
+
+    let mut totals = RunMetrics::default();
+    for o in outcomes {
+        totals.refs += o.metrics.refs;
+        totals.total_cycles += o.metrics.total_cycles;
+        totals.checkpoints += o.metrics.checkpoints;
+        totals.failures += o.metrics.failures;
+        totals.repairs += o.metrics.repairs;
+        totals.net_messages += o.metrics.net_messages;
+    }
+
+    Json::obj([
+        ("schema_version", Json::from(export::SCHEMA_VERSION)),
+        ("kind", Json::from("campaign")),
+        (
+            "campaign",
+            Json::obj([
+                ("name", Json::from(spec.name.as_str())),
+                ("seed", Json::from(spec.seed)),
+                ("cells", Json::from(cells.len())),
+            ]),
+        ),
+        (
+            "totals",
+            Json::obj([
+                ("refs", Json::from(totals.refs)),
+                ("simulated_cycles", Json::from(totals.total_cycles)),
+                ("checkpoints", Json::from(totals.checkpoints)),
+                ("failures", Json::from(totals.failures)),
+                ("repairs", Json::from(totals.repairs)),
+                ("net_messages", Json::from(totals.net_messages)),
+            ]),
+        ),
+        ("cells", Json::arr(rows)),
+        ("wall_ms_total", Json::from(wall_ms_total)),
+    ])
+}
+
+/// Removes every wall-clock field (`wall_ms`, `wall_ms_total`) from a
+/// document, recursively — the report minus its only nondeterministic
+/// fields. Used by the determinism tests; the CI gate does the same with
+/// `grep -v '"wall_ms'`.
+pub fn strip_wall_clock(doc: &mut Json) {
+    match doc {
+        Json::Obj(pairs) => {
+            pairs.retain(|(k, _)| !k.starts_with("wall_ms"));
+            for (_, v) in pairs {
+                strip_wall_clock(v);
+            }
+        }
+        Json::Arr(items) => {
+            for v in items {
+                strip_wall_clock(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_cells;
+
+    #[test]
+    fn report_is_versioned_ordered_and_decomposed() {
+        let spec = CampaignSpec::parse(
+            r#"{
+                "name": "report-unit",
+                "workloads": ["water"],
+                "nodes": [4],
+                "freqs": [400],
+                "refs": 2000,
+                "warmup": 0
+            }"#,
+        )
+        .unwrap();
+        let cells = spec.expand();
+        let outcomes = run_cells(&cells, 2);
+        let doc = campaign_json(&spec, &cells, &outcomes, 12.5);
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("campaign"));
+        let rows = doc.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("mode").and_then(Json::as_str), Some("standard"));
+        assert_eq!(rows[1].get("mode").and_then(Json::as_str), Some("ecp"));
+        // The ECP cell carries a decomposition against its baseline.
+        let d = rows[1].get("decomposition").unwrap();
+        assert!(d.get("create").and_then(Json::as_f64).is_some());
+        assert_eq!(rows[0].get("decomposition"), Some(&Json::Null));
+        // Embedded metrics documents are complete.
+        let m = rows[1].get("metrics").unwrap();
+        assert!(m
+            .get("machine")
+            .and_then(|s| s.get("checkpoints"))
+            .is_some());
+        // The whole document round-trips through the parser.
+        assert!(Json::parse(&doc.to_string_pretty()).is_ok());
+    }
+
+    #[test]
+    fn strip_wall_clock_removes_all_timing_fields() {
+        let mut doc = Json::obj([
+            ("wall_ms_total", Json::from(1.0)),
+            (
+                "cells",
+                Json::arr([Json::obj([
+                    ("id", Json::from(0u64)),
+                    ("wall_ms", Json::from(2.0)),
+                ])]),
+            ),
+        ]);
+        strip_wall_clock(&mut doc);
+        let text = doc.to_string_compact();
+        assert!(!text.contains("wall_ms"), "{text}");
+        assert!(text.contains("\"id\""));
+    }
+}

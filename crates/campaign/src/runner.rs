@@ -1,0 +1,157 @@
+//! The parallel cell executor: a work queue drained by `std::thread`
+//! workers.
+//!
+//! Cells are independent simulations, so the pool claims them off a shared
+//! atomic counter and writes each outcome back into its slot. Nothing about
+//! a cell's result depends on which worker ran it or when — seeds are fixed
+//! at expansion time and the simulator is a pure function of its
+//! configuration — so `--jobs 1` and `--jobs N` produce identical outcomes
+//! (enforced by the `determinism` CI job and the integration tests).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ftcoma_machine::{tracelog::TraceEvent, FailureKind, Machine};
+use ftcoma_mem::NodeId;
+use ftcoma_net::LinkReport;
+
+use crate::spec::{Cell, ScenarioKind};
+
+/// Everything one cell run produced.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Id of the cell that produced this outcome.
+    pub cell_id: u64,
+    /// The run's aggregated metrics.
+    pub metrics: ftcoma_machine::RunMetrics,
+    /// Per-link interconnect breakdown (empty for bus fabrics).
+    pub links: Vec<LinkReport>,
+    /// Retained protocol trace (empty unless the cell's config set
+    /// `trace_capacity`).
+    pub trace: Vec<TraceEvent>,
+    /// Host wall-clock time of this cell, in milliseconds. Excluded from
+    /// determinism comparisons.
+    pub wall_ms: f64,
+}
+
+/// Runs a single cell to completion: builds the machine, injects the
+/// cell's scenario, runs, and checks the protocol invariants.
+pub fn run_cell(cell: &Cell) -> CellOutcome {
+    let start = Instant::now();
+    let mut machine = Machine::new(cell.cfg.clone());
+    let node = NodeId::new(cell.scenario.node);
+    match cell.scenario.kind {
+        ScenarioKind::None => {}
+        ScenarioKind::Transient => {
+            machine.schedule_failure(cell.scenario.at, node, FailureKind::Transient);
+        }
+        ScenarioKind::Permanent => {
+            machine.schedule_failure(cell.scenario.at, node, FailureKind::Permanent);
+            if let Some(repair_at) = cell.scenario.repair_at {
+                machine.schedule_repair(repair_at, node);
+            }
+        }
+        ScenarioKind::Cycle { period, count } => {
+            for k in 0..u64::from(count) {
+                machine.schedule_failure(
+                    cell.scenario.at + k * period,
+                    node,
+                    FailureKind::Transient,
+                );
+            }
+        }
+    }
+    let metrics = machine.run();
+    machine.assert_invariants();
+    CellOutcome {
+        cell_id: cell.id,
+        metrics,
+        links: machine.link_report(),
+        trace: machine.trace(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Runs every cell on a pool of `jobs` worker threads and returns the
+/// outcomes in cell order (independent of completion order).
+///
+/// `jobs` is clamped to `1..=cells.len()`; pass
+/// `std::thread::available_parallelism()` for one worker per core.
+pub fn run_cells(cells: &[Cell], jobs: usize) -> Vec<CellOutcome> {
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, cells.len());
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CellOutcome>>> =
+        Mutex::new((0..cells.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let outcome = run_cell(&cells[i]);
+                slots.lock().expect("result lock")[i] = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result lock")
+        .into_iter()
+        .map(|s| s.expect("every cell ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::parse(
+            r#"{
+                "workloads": ["water"],
+                "nodes": [4],
+                "freqs": [400],
+                "refs": 2000,
+                "warmup": 0,
+                "scenarios": [
+                    {"kind": "none"},
+                    {"kind": "transient", "node": 1, "at": 4000},
+                    {"kind": "permanent", "node": 2, "at": 4000, "repair_at": 30000}
+                ]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn outcomes_are_identical_at_any_job_count() {
+        let cells = tiny_spec().expand();
+        assert_eq!(cells.len(), 4);
+        let serial = run_cells(&cells, 1);
+        let parallel = run_cells(&cells, 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.cell_id, b.cell_id);
+            assert_eq!(a.metrics, b.metrics, "cell {} diverged", a.cell_id);
+        }
+    }
+
+    #[test]
+    fn scenarios_inject_what_they_say() {
+        let cells = tiny_spec().expand();
+        let outcomes = run_cells(&cells, 2);
+        // Baseline and fault-free ECP cells see no failures.
+        assert_eq!(outcomes[0].metrics.failures, 0);
+        assert_eq!(outcomes[1].metrics.failures, 0);
+        // Transient and permanent scenario cells each fail once; the
+        // permanent one also repairs.
+        assert_eq!(outcomes[2].metrics.failures, 1);
+        assert_eq!(outcomes[3].metrics.failures, 1);
+        assert_eq!(outcomes[3].metrics.repairs, 1);
+    }
+}

@@ -1,0 +1,669 @@
+//! Campaign specifications: the grid of simulations to run.
+//!
+//! A spec names workloads, node counts, checkpoint frequencies and
+//! fault-injection scenarios; [`CampaignSpec::expand`] multiplies them into
+//! a flat, deterministically ordered list of [`Cell`]s. Cell ids are stable:
+//! the same spec always expands to the same ids, labels and derived seeds,
+//! which is what makes single-cell replay (`ftcoma campaign --cell`) and
+//! parallel execution reproducible.
+
+use ftcoma_core::FtConfig;
+use ftcoma_machine::MachineConfig;
+use ftcoma_sim::{derive_seed, Clock, Json};
+use ftcoma_workloads::{presets, SplashConfig};
+
+/// A malformed or inconsistent campaign spec, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+/// Run-length policy for the cells of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lengths {
+    /// Every cell runs `refs` references per node after `warmup`.
+    Fixed {
+        /// Measured references per node.
+        refs: u64,
+        /// Warmup references per node (excluded from metrics).
+        warmup: u64,
+    },
+    /// Run lengths derived from the checkpoint frequency via
+    /// [`lengths_for`], so several recovery points land inside the
+    /// measured window — the paper's methodology ("all the simulations are
+    /// sufficiently long so that several recovery point establishments
+    /// occur"). Each frequency gets its own baseline group.
+    PerFrequency,
+}
+
+/// Run lengths `(refs_per_node, warmup_refs_per_node)` for a checkpoint
+/// frequency: low frequencies need long runs so several recovery points
+/// land inside the measured window.
+pub fn lengths_for(freq_hz: f64) -> (u64, u64) {
+    let period = Clock::ksr1().period_for_rate_hz(freq_hz);
+    // At ~5 cycles/reference, `period * 4 / 5` references cover several
+    // checkpoint intervals; the warmup covers at least one full interval so
+    // measurement starts from a steady recovery-data population.
+    let refs = (period * 4 / 5).max(60_000);
+    let warmup = (period * 2 / 5).max(30_000);
+    (refs, warmup)
+}
+
+/// What kind of failure a scenario injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Fault-free run.
+    None,
+    /// One transient failure: the node rolls back and rejoins.
+    Transient,
+    /// One permanent failure (optionally followed by a repair).
+    Permanent,
+    /// A failure cycle: `count` transient failures, one every `period`
+    /// cycles starting at the scenario's `at`. The period must comfortably
+    /// exceed the recovery time.
+    Cycle {
+        /// Cycles between consecutive failures.
+        period: u64,
+        /// Number of failures injected.
+        count: u32,
+    },
+}
+
+/// One fault-injection scenario applied to an ECP cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// What to inject.
+    pub kind: ScenarioKind,
+    /// Victim node index.
+    pub node: u16,
+    /// Cycle of the (first) failure.
+    pub at: u64,
+    /// Repair time for permanent failures.
+    pub repair_at: Option<u64>,
+}
+
+impl Scenario {
+    /// The fault-free scenario.
+    pub fn none() -> Self {
+        Scenario {
+            kind: ScenarioKind::None,
+            node: 0,
+            at: 0,
+            repair_at: None,
+        }
+    }
+
+    /// Short label used in cell labels (`ok`, `t@20000`, ...).
+    pub fn label(&self) -> String {
+        match self.kind {
+            ScenarioKind::None => "ok".into(),
+            ScenarioKind::Transient => format!("t{}@{}", self.node, self.at),
+            ScenarioKind::Permanent => match self.repair_at {
+                Some(r) => format!("p{}@{}+r@{}", self.node, self.at, r),
+                None => format!("p{}@{}", self.node, self.at),
+            },
+            ScenarioKind::Cycle { period, count } => {
+                format!("c{}@{}x{}/{}", self.node, self.at, count, period)
+            }
+        }
+    }
+
+    /// JSON form for the campaign report (`null` for the fault-free case
+    /// is the caller's choice).
+    pub fn to_json(&self) -> Json {
+        let kind = match self.kind {
+            ScenarioKind::None => "none",
+            ScenarioKind::Transient => "transient",
+            ScenarioKind::Permanent => "permanent",
+            ScenarioKind::Cycle { .. } => "cycle",
+        };
+        let mut pairs = vec![("kind".to_string(), Json::from(kind))];
+        if self.kind != ScenarioKind::None {
+            pairs.push(("node".to_string(), Json::from(u64::from(self.node))));
+            pairs.push(("at".to_string(), Json::from(self.at)));
+        }
+        if let Some(r) = self.repair_at {
+            pairs.push(("repair_at".to_string(), Json::from(r)));
+        }
+        if let ScenarioKind::Cycle { period, count } = self.kind {
+            pairs.push(("period".to_string(), Json::from(period)));
+            pairs.push(("count".to_string(), Json::from(u64::from(count))));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// A campaign: the grid of runs the paper's evaluation is made of.
+///
+/// Expansion order (and therefore cell ids) is workloads × node counts ×
+/// baseline-group × frequencies × scenarios, in spec order.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign name (reported, not semantic).
+    pub name: String,
+    /// Master seed; every cell's seed is derived from it (see
+    /// [`CampaignSpec::expand`]).
+    pub seed: u64,
+    /// Workloads to run.
+    pub workloads: Vec<SplashConfig>,
+    /// Machine sizes to run.
+    pub nodes: Vec<u16>,
+    /// Checkpoint frequencies (recovery points per second) for ECP cells.
+    pub freqs: Vec<f64>,
+    /// Run-length policy.
+    pub lengths: Lengths,
+    /// Include a standard-protocol baseline cell per group (needed for the
+    /// overhead decomposition).
+    pub baseline: bool,
+    /// Fault-injection scenarios applied to every ECP cell.
+    pub scenarios: Vec<Scenario>,
+}
+
+/// One expanded grid cell: a complete machine configuration plus the
+/// scenario to inject.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Stable id: position in expansion order.
+    pub id: u64,
+    /// Baseline group this cell belongs to. Cells in the same group share
+    /// one derived seed, so each ECP cell is directly comparable to its
+    /// group's standard-protocol baseline (paired runs must share a seed —
+    /// the paper's methodology).
+    pub group: u64,
+    /// Human-readable label (`water/n16/f400/ok`, ...).
+    pub label: String,
+    /// Full machine configuration, seed included.
+    pub cfg: MachineConfig,
+    /// Failures to inject (always `none` for baseline cells).
+    pub scenario: Scenario,
+}
+
+impl Cell {
+    /// Whether this cell runs the ECP (vs the standard baseline).
+    pub fn is_ft(&self) -> bool {
+        self.cfg.ft.mode.is_enabled()
+    }
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: "campaign".into(),
+            seed: MachineConfig::default().seed,
+            workloads: vec![presets::water()],
+            nodes: vec![16],
+            freqs: vec![100.0],
+            lengths: Lengths::Fixed {
+                refs: 60_000,
+                warmup: 30_000,
+            },
+            baseline: true,
+            scenarios: vec![Scenario::none()],
+        }
+    }
+}
+
+fn workload_by_name(name: &str) -> Result<SplashConfig, SpecError> {
+    presets::all()
+        .into_iter()
+        .chain(presets::micros())
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| err(format!("unknown workload `{name}`")))
+}
+
+fn as_u64(v: &Json, key: &str) -> Result<u64, SpecError> {
+    v.as_u64()
+        .ok_or_else(|| err(format!("`{key}` must be a non-negative integer")))
+}
+
+fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
+    let Json::Obj(pairs) = v else {
+        return Err(err("each scenario must be an object"));
+    };
+    const KNOWN: &[&str] = &["kind", "node", "at", "repair_at", "period", "count"];
+    for (k, _) in pairs {
+        if !KNOWN.contains(&k.as_str()) {
+            return Err(err(format!("unknown scenario key `{k}`")));
+        }
+    }
+    let kind_name = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("scenario needs a string `kind`"))?;
+    let node = match v.get("node") {
+        Some(n) => {
+            u16::try_from(as_u64(n, "node")?).map_err(|_| err("scenario `node` out of range"))?
+        }
+        None => 1,
+    };
+    let at = match v.get("at") {
+        Some(a) => as_u64(a, "at")?,
+        None => 20_000,
+    };
+    let repair_at = match v.get("repair_at") {
+        Some(r) => Some(as_u64(r, "repair_at")?),
+        None => None,
+    };
+    let kind = match kind_name {
+        "none" => ScenarioKind::None,
+        "transient" => ScenarioKind::Transient,
+        "permanent" => ScenarioKind::Permanent,
+        "cycle" => ScenarioKind::Cycle {
+            period: match v.get("period") {
+                Some(p) => as_u64(p, "period")?,
+                None => 200_000,
+            },
+            count: u32::try_from(match v.get("count") {
+                Some(c) => as_u64(c, "count")?,
+                None => 2,
+            })
+            .map_err(|_| err("scenario `count` out of range"))?,
+        },
+        other => {
+            return Err(err(format!(
+                "scenario kind must be none|transient|permanent|cycle, got `{other}`"
+            )))
+        }
+    };
+    if repair_at.is_some() && kind != ScenarioKind::Permanent {
+        return Err(err("`repair_at` only applies to permanent failures"));
+    }
+    if matches!(kind, ScenarioKind::Cycle { .. }) {
+        // period/count defaults applied above; nothing more to check here.
+    } else if v.get("period").is_some() || v.get("count").is_some() {
+        return Err(err("`period`/`count` only apply to cycle scenarios"));
+    }
+    if kind != ScenarioKind::None && at == 0 {
+        return Err(err("scenario `at` must be positive"));
+    }
+    Ok(Scenario {
+        kind,
+        node,
+        at,
+        repair_at,
+    })
+}
+
+impl CampaignSpec {
+    /// Parses a spec from its JSON text. Unknown keys are rejected so typos
+    /// fail loudly instead of silently shrinking the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for malformed JSON, unknown keys or values,
+    /// and for specs that fail [`CampaignSpec::validate`].
+    pub fn parse(text: &str) -> Result<CampaignSpec, SpecError> {
+        let doc = Json::parse(text).map_err(|e| err(format!("spec is not valid JSON: {e}")))?;
+        let Json::Obj(pairs) = &doc else {
+            return Err(err("spec must be a JSON object"));
+        };
+        const KNOWN: &[&str] = &[
+            "name",
+            "seed",
+            "workloads",
+            "nodes",
+            "freqs",
+            "refs",
+            "warmup",
+            "lengths",
+            "baseline",
+            "scenarios",
+        ];
+        for (k, _) in pairs {
+            if !KNOWN.contains(&k.as_str()) {
+                return Err(err(format!("unknown spec key `{k}`")));
+            }
+        }
+        let mut spec = CampaignSpec::default();
+        if let Some(n) = doc.get("name") {
+            spec.name = n
+                .as_str()
+                .ok_or_else(|| err("`name` must be a string"))?
+                .to_string();
+        }
+        if let Some(s) = doc.get("seed") {
+            spec.seed = as_u64(s, "seed")?;
+        }
+        if let Some(w) = doc.get("workloads") {
+            let names = w
+                .as_array()
+                .ok_or_else(|| err("`workloads` must be an array of names"))?;
+            spec.workloads = names
+                .iter()
+                .map(|n| {
+                    n.as_str()
+                        .ok_or_else(|| err("workload names must be strings"))
+                        .and_then(workload_by_name)
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(ns) = doc.get("nodes") {
+            let xs = ns
+                .as_array()
+                .ok_or_else(|| err("`nodes` must be an array of integers"))?;
+            spec.nodes = xs
+                .iter()
+                .map(|x| {
+                    as_u64(x, "nodes")
+                        .and_then(|v| u16::try_from(v).map_err(|_| err("node count out of range")))
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(fs) = doc.get("freqs") {
+            let xs = fs
+                .as_array()
+                .ok_or_else(|| err("`freqs` must be an array of numbers"))?;
+            spec.freqs = xs
+                .iter()
+                .map(|x| x.as_f64().ok_or_else(|| err("`freqs` must be numbers")))
+                .collect::<Result<_, _>>()?;
+        }
+        let fixed_refs = doc.get("refs").map(|v| as_u64(v, "refs")).transpose()?;
+        let fixed_warmup = doc.get("warmup").map(|v| as_u64(v, "warmup")).transpose()?;
+        match doc.get("lengths").map(|v| {
+            v.as_str()
+                .ok_or_else(|| err("`lengths` must be \"fixed\" or \"paper\""))
+        }) {
+            None | Some(Ok("fixed")) => {
+                spec.lengths = Lengths::Fixed {
+                    refs: fixed_refs.unwrap_or(60_000),
+                    warmup: fixed_warmup.unwrap_or(30_000),
+                };
+            }
+            Some(Ok("paper")) => {
+                if fixed_refs.is_some() || fixed_warmup.is_some() {
+                    return Err(err("`refs`/`warmup` conflict with `lengths: \"paper\"`"));
+                }
+                spec.lengths = Lengths::PerFrequency;
+            }
+            Some(Ok(other)) => {
+                return Err(err(format!(
+                    "`lengths` must be \"fixed\" or \"paper\", got `{other}`"
+                )))
+            }
+            Some(Err(e)) => return Err(e),
+        }
+        if let Some(b) = doc.get("baseline") {
+            spec.baseline = b
+                .as_bool()
+                .ok_or_else(|| err("`baseline` must be a boolean"))?;
+        }
+        if let Some(sc) = doc.get("scenarios") {
+            let xs = sc
+                .as_array()
+                .ok_or_else(|| err("`scenarios` must be an array of objects"))?;
+            spec.scenarios = xs.iter().map(parse_scenario).collect::<Result<_, _>>()?;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks the spec for emptiness and machine-level consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.workloads.is_empty() {
+            return Err(err("spec has no workloads"));
+        }
+        if self.nodes.is_empty() {
+            return Err(err("spec has no node counts"));
+        }
+        if self.freqs.is_empty() && !self.baseline {
+            return Err(err(
+                "spec has no frequencies and no baseline: nothing to run",
+            ));
+        }
+        if self.scenarios.is_empty() {
+            return Err(err(
+                "spec has an empty scenario list (omit it for fault-free)",
+            ));
+        }
+        if matches!(self.lengths, Lengths::PerFrequency) && self.freqs.is_empty() {
+            return Err(err("`lengths: \"paper\"` needs at least one frequency"));
+        }
+        if let Lengths::Fixed { refs, .. } = self.lengths {
+            if refs == 0 {
+                return Err(err("`refs` must be positive"));
+            }
+        }
+        for f in &self.freqs {
+            if !f.is_finite() || *f <= 0.0 {
+                return Err(err(format!("frequency {f} is not a positive number")));
+            }
+        }
+        for &n in &self.nodes {
+            if n < 2 {
+                return Err(err("every machine needs at least two nodes"));
+            }
+            if n < 4 && !self.freqs.is_empty() {
+                return Err(err(format!(
+                    "{n} nodes is too small for the ECP (four copies per modified item)"
+                )));
+            }
+            for sc in &self.scenarios {
+                if sc.kind != ScenarioKind::None && sc.node >= n {
+                    return Err(err(format!(
+                        "scenario targets node {} but the machine has only {n} nodes",
+                        sc.node
+                    )));
+                }
+            }
+        }
+        let faulty = self.scenarios.iter().any(|s| s.kind != ScenarioKind::None);
+        if faulty && self.freqs.is_empty() {
+            return Err(err(
+                "failure scenarios need at least one frequency (the baseline cannot recover)",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Expands the spec into its flat, deterministically ordered cell list.
+    ///
+    /// Every cell's seed is derived from `(campaign seed, group id)` with
+    /// [`ftcoma_sim::derive_seed`]: cells in the same baseline group share
+    /// the seed (paired standard/ECP runs must — see
+    /// [`MachineConfig::seed`]), distinct groups get independent streams,
+    /// and nothing depends on execution order, so results are identical at
+    /// any `--jobs` level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid; call [`CampaignSpec::validate`]
+    /// first when the spec was built programmatically.
+    pub fn expand(&self) -> Vec<Cell> {
+        self.validate().expect("invalid campaign spec");
+        let mut cells = Vec::new();
+        let mut group: u64 = 0;
+        for wl in &self.workloads {
+            for &nodes in &self.nodes {
+                // One baseline group per distinct run length: fixed lengths
+                // share one group across all frequencies; paper lengths give
+                // each frequency its own (refs differ, so baselines do too).
+                let groups: Vec<(u64, u64, Vec<f64>)> = match self.lengths {
+                    Lengths::Fixed { refs, warmup } => {
+                        vec![(refs, warmup, self.freqs.clone())]
+                    }
+                    Lengths::PerFrequency => self
+                        .freqs
+                        .iter()
+                        .map(|&f| {
+                            let (refs, warmup) = lengths_for(f);
+                            (refs, warmup, vec![f])
+                        })
+                        .collect(),
+                };
+                for (refs, warmup, freqs) in groups {
+                    let seed = derive_seed(self.seed, group);
+                    let base = MachineConfig {
+                        nodes,
+                        refs_per_node: refs,
+                        warmup_refs_per_node: warmup,
+                        workload: wl.clone(),
+                        seed,
+                        ..MachineConfig::default()
+                    };
+                    let wl_tag = wl.name.to_ascii_lowercase();
+                    if self.baseline {
+                        cells.push(Cell {
+                            id: cells.len() as u64,
+                            group,
+                            label: format!("{wl_tag}/n{nodes}/r{refs}/std"),
+                            cfg: MachineConfig {
+                                ft: FtConfig::disabled(),
+                                ..base.clone()
+                            },
+                            scenario: Scenario::none(),
+                        });
+                    }
+                    for &freq in &freqs {
+                        for sc in &self.scenarios {
+                            cells.push(Cell {
+                                id: cells.len() as u64,
+                                group,
+                                label: format!("{wl_tag}/n{nodes}/r{refs}/f{freq}/{}", sc.label()),
+                                cfg: MachineConfig {
+                                    ft: FtConfig::enabled(freq),
+                                    // Failure runs verify recovery against
+                                    // the committed-value oracle.
+                                    verify: sc.kind != ScenarioKind::None,
+                                    ..base.clone()
+                                },
+                                scenario: *sc,
+                            });
+                        }
+                    }
+                    group += 1;
+                }
+            }
+        }
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec_text() -> &'static str {
+        r#"{
+            "name": "unit",
+            "seed": 7,
+            "workloads": ["water", "mp3d"],
+            "nodes": [4],
+            "freqs": [400, 200],
+            "refs": 3000,
+            "warmup": 1000,
+            "scenarios": [
+                {"kind": "none"},
+                {"kind": "transient", "node": 1, "at": 5000}
+            ]
+        }"#
+    }
+
+    #[test]
+    fn expansion_count_and_stable_ids() {
+        let spec = CampaignSpec::parse(small_spec_text()).unwrap();
+        let cells = spec.expand();
+        // 2 workloads x 1 node count x (1 baseline + 2 freqs x 2 scenarios).
+        assert_eq!(cells.len(), 10);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.id, i as u64);
+        }
+        // Re-expansion is byte-identical in ids, labels and seeds.
+        let again = spec.expand();
+        for (a, b) in cells.iter().zip(&again) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.cfg.seed, b.cfg.seed);
+        }
+        // Baseline and its ECP cells share the group seed; groups differ.
+        assert_eq!(cells[0].cfg.seed, cells[1].cfg.seed);
+        assert_ne!(cells[0].cfg.seed, cells[5].cfg.seed);
+        assert!(!cells[0].is_ft());
+        assert!(cells[1].is_ft());
+        // Failure cells verify against the oracle.
+        assert!(cells[2].cfg.verify);
+        assert!(!cells[1].cfg.verify);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let e = CampaignSpec::parse(r#"{"bogus": 1}"#).unwrap_err();
+        assert!(e.0.contains("unknown spec key"), "{e}");
+        let e =
+            CampaignSpec::parse(r#"{"nodes": [4], "scenarios": [{"kind": "none", "knid": 1}]}"#)
+                .unwrap_err();
+        assert!(e.0.contains("unknown scenario key"), "{e}");
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        assert!(CampaignSpec::parse(r#"{"workloads": []}"#).is_err());
+        // ECP needs >= 4 nodes.
+        assert!(CampaignSpec::parse(r#"{"nodes": [2]}"#).is_err());
+        // Scenario victim must exist.
+        assert!(CampaignSpec::parse(
+            r#"{"nodes": [4], "scenarios": [{"kind": "transient", "node": 9}]}"#
+        )
+        .is_err());
+        // repair_at only for permanent failures.
+        assert!(
+            CampaignSpec::parse(r#"{"scenarios": [{"kind": "transient", "repair_at": 10}]}"#)
+                .is_err()
+        );
+        // paper lengths conflict with explicit refs.
+        assert!(CampaignSpec::parse(r#"{"lengths": "paper", "refs": 100}"#).is_err());
+        // Baseline-only campaigns are allowed.
+        let spec = CampaignSpec::parse(r#"{"freqs": [], "baseline": true}"#).unwrap();
+        assert_eq!(spec.expand().len(), 1);
+    }
+
+    #[test]
+    fn paper_lengths_give_one_group_per_frequency() {
+        let spec = CampaignSpec::parse(
+            r#"{"workloads": ["water"], "nodes": [4], "freqs": [400, 5], "lengths": "paper"}"#,
+        )
+        .unwrap();
+        let cells = spec.expand();
+        // Two groups, each with a baseline and one ECP cell.
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].group, cells[1].group);
+        assert_eq!(cells[2].group, cells[3].group);
+        assert_ne!(cells[0].group, cells[2].group);
+        // Low frequency runs are long (lengths_for floor is 60k refs).
+        assert_eq!(cells[0].cfg.refs_per_node, 60_000);
+        assert!(cells[2].cfg.refs_per_node >= 3_000_000);
+    }
+
+    #[test]
+    fn scenario_labels_and_json() {
+        let sc = parse_scenario(
+            &Json::parse(r#"{"kind": "permanent", "node": 3, "at": 100, "repair_at": 900}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(sc.label(), "p3@100+r@900");
+        let j = sc.to_json();
+        assert_eq!(j.get("kind").and_then(Json::as_str), Some("permanent"));
+        assert_eq!(j.get("repair_at").and_then(Json::as_u64), Some(900));
+        let cyc = parse_scenario(
+            &Json::parse(r#"{"kind": "cycle", "node": 1, "at": 50, "period": 60, "count": 3}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(cyc.label(), "c1@50x3/60");
+    }
+}

@@ -1,22 +1,27 @@
 //! `ftcoma` — command-line front end for the ft-coma simulator.
 //!
 //! ```text
-//! ftcoma run     --workload mp3d --nodes 16 --refs 60000 [--freq 100 | --no-ft]
-//! ftcoma compare --workload mp3d --nodes 16 --freq 100        # std vs ECP
-//! ftcoma sweep   --workload water --freqs 400,200,100,50,5    # Fig 3 style
-//! ftcoma failure --workload water --kind permanent --node 3 --at 20000 [--repair-at 80000]
-//! ftcoma latency                                              # Table 2 probe
+//! ftcoma run      --workload mp3d --nodes 16 --refs 60000 [--freq 100 | --no-ft]
+//! ftcoma compare  --workload mp3d --nodes 16 --freq 100        # std vs ECP
+//! ftcoma sweep    --workload water --freqs 400,200,100,50,5    # Fig 3 style
+//! ftcoma failure  --workload water --kind permanent --node 3 --at 20000 [--repair-at 80000]
+//! ftcoma campaign --spec grid.json --jobs 8 --out report.json  # parallel grid
+//! ftcoma latency                                               # Table 2 probe
 //! ftcoma help
 //! ```
 
 mod args;
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use args::{ArgError, Parsed};
+use ftcoma_campaign::{
+    report, run_cell, run_cells, CampaignSpec, Cell, Lengths, Scenario, ScenarioKind,
+};
 use ftcoma_core::FtConfig;
-use ftcoma_machine::{export, probe, FailureKind, Machine, MachineConfig, RunMetrics};
-use ftcoma_mem::NodeId;
+use ftcoma_machine::{export, probe, tracelog::TraceEvent, Machine, MachineConfig, RunMetrics};
+use ftcoma_net::LinkReport;
 use ftcoma_sim::Clock;
 use ftcoma_workloads::{presets, SplashConfig};
 
@@ -43,6 +48,7 @@ fn dispatch(p: &Parsed) -> Result<(), ArgError> {
         "compare" => cmd_compare(p),
         "sweep" => cmd_sweep(p),
         "failure" => cmd_failure(p),
+        "campaign" => cmd_campaign(p),
         "latency" => cmd_latency(p),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
@@ -61,11 +67,19 @@ USAGE
                   [--json] [--metrics-out FILE] [--trace-out FILE]
                   [--trace-jsonl FILE] [--trace-capacity N]
   ftcoma compare  --workload W [--nodes N] [--refs R] [--warmup U] [--freq F]
-  ftcoma sweep    --workload W [--nodes N] [--freqs F1,F2,...]
+  ftcoma sweep    --workload W [--nodes N] [--freqs F1,F2,...] [--jobs J]
   ftcoma failure  --workload W --kind transient|permanent [--node K]
                   [--at CYCLES] [--repair-at CYCLES]
+  ftcoma campaign --spec FILE [--jobs J] [--json] [--out FILE] [--cell ID]
   ftcoma latency
   ftcoma help
+
+CAMPAIGNS
+  A campaign spec (see docs/CAMPAIGNS.md) expands workloads x node counts
+  x checkpoint frequencies x failure scenarios into independent cells, run
+  on J worker threads. Per-cell seeds are derived from the campaign seed
+  at expansion time, so the aggregated JSON report is byte-identical
+  (modulo wall_ms* fields) at any --jobs level. --cell replays one cell.
 
 OBSERVABILITY (run and failure)
   --json              print the run metrics as versioned JSON on stdout
@@ -123,13 +137,18 @@ fn machine_config(p: &Parsed) -> Result<MachineConfig, ArgError> {
 
 /// Handles the structured-output flags shared by `run` and `failure`.
 /// Returns `true` when `--json` consumed stdout (suppress the text report).
-fn export_outputs(p: &Parsed, machine: &Machine, metrics: &RunMetrics) -> Result<bool, ArgError> {
+fn export_outputs(
+    p: &Parsed,
+    metrics: &RunMetrics,
+    links: &[LinkReport],
+    trace: &[TraceEvent],
+) -> Result<bool, ArgError> {
     let write = |path: &str, contents: &str| {
         std::fs::write(path, contents).map_err(|e| ArgError(format!("cannot write {path}: {e}")))
     };
     let wants_doc = p.has("json") || p.has("metrics-out");
     let doc = if wants_doc {
-        Some(export::metrics_json(metrics, &machine.link_report()))
+        Some(export::metrics_json(metrics, links))
     } else {
         None
     };
@@ -141,16 +160,13 @@ fn export_outputs(p: &Parsed, machine: &Machine, metrics: &RunMetrics) -> Result
         }
     }
     if p.has("trace-out") {
-        let trace = export::chrome_trace(&machine.trace(), Clock::ksr1().hz());
-        let mut text = trace.to_string_compact();
+        let chrome = export::chrome_trace(trace, Clock::ksr1().hz());
+        let mut text = chrome.to_string_compact();
         text.push('\n');
         write(&p.str_or("trace-out", ""), &text)?;
     }
     if p.has("trace-jsonl") {
-        write(
-            &p.str_or("trace-jsonl", ""),
-            &export::trace_jsonl(&machine.trace()),
-        )?;
+        write(&p.str_or("trace-jsonl", ""), &export::trace_jsonl(trace))?;
     }
     if p.has("json") {
         println!("{}", doc.expect("built above").to_string_pretty());
@@ -235,7 +251,7 @@ fn cmd_run(p: &Parsed) -> Result<(), ArgError> {
     let mut machine = machine;
     let metrics = machine.run();
     machine.assert_invariants();
-    if !export_outputs(p, &machine, &metrics)? {
+    if !export_outputs(p, &metrics, &machine.link_report(), &machine.trace())? {
         print_metrics(&metrics);
     }
     Ok(())
@@ -274,30 +290,56 @@ fn cmd_compare(p: &Parsed) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `--jobs` with a per-core default, shared by `sweep` and `campaign`.
+fn jobs_flag(p: &Parsed) -> Result<usize, ArgError> {
+    let default = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    let jobs = p.u64_or("jobs", default)?;
+    if jobs == 0 {
+        return Err(ArgError("--jobs must be at least 1".into()));
+    }
+    Ok(jobs as usize)
+}
+
 fn cmd_sweep(p: &Parsed) -> Result<(), ArgError> {
-    p.assert_only(&["workload", "nodes", "freqs", "refs", "warmup", "seed"])?;
+    p.assert_only(&[
+        "workload", "nodes", "freqs", "refs", "warmup", "seed", "jobs",
+    ])?;
     let freqs = p.f64_list_or("freqs", &[400.0, 200.0, 100.0, 50.0])?;
+    // One base configuration for the whole sweep; the campaign engine runs
+    // the standard-protocol baseline once and every frequency against it.
+    let base = machine_config(p)?;
+    let spec = CampaignSpec {
+        name: "sweep".into(),
+        seed: base.seed,
+        workloads: vec![base.workload.clone()],
+        nodes: vec![base.nodes],
+        freqs,
+        lengths: Lengths::Fixed {
+            refs: base.refs_per_node,
+            warmup: base.warmup_refs_per_node,
+        },
+        baseline: true,
+        scenarios: vec![Scenario::none()],
+    };
+    spec.validate().map_err(|e| ArgError(e.0))?;
+    let cells = spec.expand();
+    let outcomes = run_cells(&cells, jobs_flag(p)?);
+    let std_m = &outcomes[0].metrics;
+    let t_std = std_m.total_cycles as f64;
+    println!(
+        "baseline (standard protocol): {} cycles over {} refs",
+        std_m.total_cycles, std_m.refs
+    );
     println!(
         "{:>8}  {:>9}  {:>8}  {:>8}  {:>9}",
         "rp/s", "overhead", "create", "commit", "pollution"
     );
-    for f in freqs {
-        let base = machine_config(p)?;
-        let ft_cfg = MachineConfig {
-            ft: FtConfig::enabled(f),
-            ..base.clone()
-        };
-        let std_cfg = MachineConfig {
-            ft: FtConfig::disabled(),
-            ..base
-        };
-        let std_m = Machine::new(std_cfg).run();
-        let ft_m = Machine::new(ft_cfg).run();
-        let t_std = std_m.total_cycles as f64;
+    for (cell, outcome) in cells.iter().zip(&outcomes).skip(1) {
+        let ft_m = &outcome.metrics;
         let poll = ft_m.total_cycles as f64 - t_std - ft_m.t_create as f64 - ft_m.t_commit as f64;
         println!(
             "{:>8}  {:>8.1}%  {:>7.1}%  {:>7.1}%  {:>8.1}%",
-            f,
+            cell.cfg.ft.ckpt_rate_hz,
             (ft_m.total_cycles as f64 / t_std - 1.0) * 100.0,
             ft_m.t_create as f64 / t_std * 100.0,
             ft_m.t_commit as f64 / t_std * 100.0,
@@ -328,29 +370,143 @@ fn cmd_failure(p: &Parsed) -> Result<(), ArgError> {
     let mut cfg = machine_config(p)?;
     cfg.verify = true;
     let kind = match p.str_or("kind", "transient").as_str() {
-        "transient" => FailureKind::Transient,
-        "permanent" => FailureKind::Permanent,
+        "transient" => ScenarioKind::Transient,
+        "permanent" => ScenarioKind::Permanent,
         other => {
             return Err(ArgError(format!(
                 "--kind must be transient|permanent, got {other}"
             )))
         }
     };
-    let node = NodeId::new(p.u64_or("node", 1)? as u16);
-    let at = p.u64_or("at", 20_000)?;
-    let mut machine = Machine::new(cfg);
-    machine.schedule_failure(at, node, kind);
-    if let Ok(repair_at) = p.u64_or("repair-at", u64::MAX) {
-        if repair_at != u64::MAX {
-            machine.schedule_repair(repair_at, node);
+    let repair_at = match p.u64_or("repair-at", u64::MAX)? {
+        u64::MAX => None,
+        at => Some(at),
+    };
+    if repair_at.is_some() && kind != ScenarioKind::Permanent {
+        return Err(ArgError(
+            "--repair-at only applies to permanent failures".into(),
+        ));
+    }
+    let scenario = Scenario {
+        kind,
+        node: p.u64_or("node", 1)? as u16,
+        at: p.u64_or("at", 20_000)?,
+        repair_at,
+    };
+    // A failure run is a single campaign cell with an explicit seed.
+    let cell = Cell {
+        id: 0,
+        group: 0,
+        label: format!(
+            "{}/{}",
+            cfg.workload.name.to_ascii_lowercase(),
+            scenario.label()
+        ),
+        cfg,
+        scenario,
+    };
+    let outcome = run_cell(&cell);
+    if !export_outputs(p, &outcome.metrics, &outcome.links, &outcome.trace)? {
+        println!(
+            "{kind:?} failure of node {} at cycle {}: recovered and verified",
+            scenario.node, scenario.at
+        );
+        print_metrics(&outcome.metrics);
+    }
+    Ok(())
+}
+
+const CAMPAIGN_FLAGS: &[&str] = &["spec", "jobs", "json", "out", "cell"];
+
+fn cmd_campaign(p: &Parsed) -> Result<(), ArgError> {
+    p.assert_only(CAMPAIGN_FLAGS)?;
+    if !p.has("spec") {
+        return Err(ArgError("campaign needs --spec FILE".into()));
+    }
+    let path = p.str_or("spec", "");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| ArgError(format!("cannot read spec {path}: {e}")))?;
+    let spec = CampaignSpec::parse(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let cells = spec.expand();
+
+    // Single-cell replay: same expansion, same derived seed, one run.
+    if p.has("cell") {
+        let id = p.u64_or("cell", 0)?;
+        let cell = cells
+            .iter()
+            .find(|c| c.id == id)
+            .ok_or_else(|| ArgError(format!("no cell {id}: the spec has {}", cells.len())))?;
+        let outcome = run_cell(cell);
+        if p.has("json") {
+            println!(
+                "{}",
+                report::cell_json(cell, &outcome, None).to_string_pretty()
+            );
+        } else {
+            println!("cell {id} ({})", cell.label);
+            print_metrics(&outcome.metrics);
+        }
+        return Ok(());
+    }
+
+    let jobs = jobs_flag(p)?;
+    let quiet = p.has("json");
+    if !quiet {
+        println!(
+            "campaign `{}`: {} cells on {} worker thread{}",
+            spec.name,
+            cells.len(),
+            jobs,
+            if jobs == 1 { "" } else { "s" }
+        );
+    }
+    let start = Instant::now();
+    let outcomes = run_cells(&cells, jobs);
+    let wall_ms_total = start.elapsed().as_secs_f64() * 1e3;
+    let doc = report::campaign_json(&spec, &cells, &outcomes, wall_ms_total);
+    if p.has("out") {
+        let out = p.str_or("out", "");
+        std::fs::write(&out, doc.to_string_pretty())
+            .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+        if !quiet {
+            println!("wrote {out}");
         }
     }
-    let metrics = machine.run();
-    machine.assert_invariants();
-    if !export_outputs(p, &machine, &metrics)? {
-        println!("{kind:?} failure of {node} at cycle {at}: recovered and verified");
-        print_metrics(&metrics);
+    if quiet {
+        println!("{}", doc.to_string_pretty());
+        return Ok(());
     }
+
+    // Text summary: one row per cell, overhead for ECP cells whose group
+    // has a baseline.
+    println!(
+        "{:>4}  {:<34} {:>12} {:>6} {:>5} {:>9}",
+        "id", "label", "cycles", "ckpts", "fail", "overhead"
+    );
+    for (cell, outcome) in cells.iter().zip(&outcomes) {
+        let m = &outcome.metrics;
+        let overhead = cells
+            .iter()
+            .zip(&outcomes)
+            .find(|(c, _)| c.group == cell.group && !c.is_ft())
+            .filter(|_| cell.is_ft())
+            .map(|(_, base)| {
+                let t_std = base.metrics.total_cycles as f64;
+                format!("{:>8.1}%", (m.total_cycles as f64 / t_std - 1.0) * 100.0)
+            })
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>4}  {:<34} {:>12} {:>6} {:>5} {:>9}",
+            cell.id, cell.label, m.total_cycles, m.checkpoints, m.failures, overhead
+        );
+    }
+    println!(
+        "{} cells in {:.1} s ({} job{})",
+        cells.len(),
+        wall_ms_total / 1e3,
+        jobs,
+        if jobs == 1 { "" } else { "s" }
+    );
     Ok(())
 }
 

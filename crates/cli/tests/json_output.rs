@@ -41,7 +41,7 @@ fn run_json_emits_versioned_schema_on_stdout() {
     let text = std::str::from_utf8(&out.stdout).expect("utf-8 stdout");
     let doc = Json::parse(text).expect("stdout is one valid JSON document");
 
-    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(2));
     let machine = doc.get("machine").expect("machine section");
     for key in [
         "nodes",
@@ -112,7 +112,7 @@ fn metrics_and_trace_files_are_valid_json() {
     );
 
     let m = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
-    assert_eq!(m.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(m.get("schema_version").and_then(|v| v.as_u64()), Some(2));
 
     let t = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
     let events = t.get("traceEvents").unwrap().as_array().unwrap();
@@ -145,12 +145,96 @@ fn metrics_and_trace_files_are_valid_json() {
             .unwrap()
             .get("schema_version")
             .and_then(|v| v.as_u64()),
-        Some(1)
+        Some(2)
     );
 
     for p in [metrics, trace, jsonl] {
         let _ = std::fs::remove_file(p);
     }
+}
+
+/// Strips the only nondeterministic fields (`wall_ms`, `wall_ms_total`)
+/// the way the CI `determinism` job does: drop whole lines.
+fn strip_wall_lines(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.contains("\"wall_ms"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn campaign_is_deterministic_across_job_counts() {
+    let dir = std::env::temp_dir();
+    let tag = std::process::id();
+    let spec = dir.join(format!("ftcoma_test_spec_{tag}.json"));
+    std::fs::write(
+        &spec,
+        r#"{
+            "name": "cli-determinism",
+            "seed": 11,
+            "workloads": ["water", "mp3d"],
+            "nodes": [4],
+            "freqs": [400],
+            "refs": 2000,
+            "warmup": 0,
+            "scenarios": [
+                {"kind": "none"},
+                {"kind": "transient", "node": 1, "at": 4000}
+            ]
+        }"#,
+    )
+    .unwrap();
+    let spec_str = spec.to_string_lossy().into_owned();
+
+    let mut reports = Vec::new();
+    for jobs in ["1", "4"] {
+        let out = ftcoma(&["campaign", "--spec", &spec_str, "--jobs", jobs, "--json"]);
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = std::str::from_utf8(&out.stdout).unwrap().to_string();
+        let doc = Json::parse(&text).expect("campaign report parses");
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("campaign"));
+        // 2 workloads x (1 baseline + 2 scenarios) = 6 cells.
+        assert_eq!(doc.get("cells").unwrap().as_array().unwrap().len(), 6);
+        reports.push(text);
+    }
+    assert_eq!(
+        strip_wall_lines(&reports[0]),
+        strip_wall_lines(&reports[1]),
+        "--jobs 1 and --jobs 4 reports must be byte-identical modulo wall clock"
+    );
+
+    // Single-cell replay reproduces the full run's numbers for that cell.
+    let out = ftcoma(&["campaign", "--spec", &spec_str, "--cell", "1", "--json"]);
+    assert!(out.status.success());
+    let cell = Json::parse(std::str::from_utf8(&out.stdout).unwrap()).unwrap();
+    let full = Json::parse(&reports[0]).unwrap();
+    let row = &full.get("cells").unwrap().as_array().unwrap()[1];
+    assert_eq!(cell.get("label"), row.get("label"));
+    assert_eq!(
+        cell.get("metrics").unwrap().get("machine"),
+        row.get("metrics").unwrap().get("machine"),
+        "replayed cell diverged from the campaign run"
+    );
+
+    let _ = std::fs::remove_file(spec);
+}
+
+#[test]
+fn campaign_rejects_bad_specs() {
+    let dir = std::env::temp_dir();
+    let spec = dir.join(format!("ftcoma_test_badspec_{}.json", std::process::id()));
+    std::fs::write(&spec, r#"{"bogus_key": 1}"#).unwrap();
+    let out = ftcoma(&["campaign", "--spec", &spec.to_string_lossy()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown spec key"));
+    let out = ftcoma(&["campaign"]);
+    assert!(!out.status.success(), "campaign requires --spec");
+    let _ = std::fs::remove_file(spec);
 }
 
 #[test]

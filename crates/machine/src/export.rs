@@ -23,7 +23,7 @@
 //! });
 //! let metrics = m.run();
 //! let doc = export::metrics_json(&metrics, &m.link_report());
-//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(2));
 //! let trace = export::chrome_trace(&m.trace(), 20_000_000.0);
 //! assert!(!trace.get("traceEvents").unwrap().as_array().unwrap().is_empty());
 //! ```
@@ -37,9 +37,16 @@ use crate::metrics::{NodeMetrics, RunMetrics};
 use crate::tracelog::TraceEvent;
 
 /// Version of the exported JSON schemas. Bump on any breaking change to
-/// the key set or meaning of [`metrics_json`], [`trace_jsonl`] or the
-/// bench harness documents built from [`registry_from`].
-pub const SCHEMA_VERSION: u64 = 1;
+/// the key set or meaning of [`metrics_json`], [`trace_jsonl`], the bench
+/// harness documents built from [`registry_from`], or the campaign report
+/// produced by `ftcoma-campaign`.
+///
+/// Version history:
+/// * 1 — per-run metrics document, JSONL trace, bench documents.
+/// * 2 — adds the campaign document (`"kind": "campaign"`, per-cell
+///   embedded metrics documents with derived seeds and decompositions);
+///   the per-run document keys are unchanged.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Serializes a full run as one versioned JSON document with machine-wide,
 /// per-node and per-link sections.

@@ -42,7 +42,7 @@ pub mod stats;
 pub use json::Json;
 pub use queue::EventQueue;
 pub use registry::MetricsRegistry;
-pub use rng::DetRng;
+pub use rng::{derive_seed, DetRng};
 
 /// Simulation time, measured in processor clock cycles.
 ///
