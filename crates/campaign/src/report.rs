@@ -1,7 +1,7 @@
 //! The campaign report: one versioned JSON document aggregating every
 //! cell's metrics, link report and overhead decomposition.
 //!
-//! The document is `schema_version` 2 (see
+//! The document is `schema_version` 3 (see
 //! [`ftcoma_machine::export::SCHEMA_VERSION`]); cells appear in id order
 //! regardless of the order workers finished them, and every field except
 //! the `wall_ms*` timings is a pure function of the spec — the property the
@@ -72,6 +72,7 @@ pub fn cell_json(cell: &Cell, outcome: &CellOutcome, baseline: Option<&RunMetric
         // derived seeds.
         ("seed", Json::from(format!("0x{:016x}", cell.cfg.seed))),
         ("decomposition", decomposition),
+        ("outcome", export::outcome_json(&outcome.outcome)),
         ("wall_ms", Json::from(outcome.wall_ms)),
         (
             "metrics",
@@ -189,12 +190,21 @@ mod tests {
         let cells = spec.expand();
         let outcomes = run_cells(&cells, 2);
         let doc = campaign_json(&spec, &cells, &outcomes, 12.5);
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(3));
         assert_eq!(doc.get("kind").and_then(Json::as_str), Some("campaign"));
         let rows = doc.get("cells").unwrap().as_array().unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get("mode").and_then(Json::as_str), Some("standard"));
         assert_eq!(rows[1].get("mode").and_then(Json::as_str), Some("ecp"));
+        // Every cell carries its structured recovery outcome.
+        for row in rows {
+            assert_eq!(
+                row.get("outcome")
+                    .and_then(|o| o.get("status"))
+                    .and_then(Json::as_str),
+                Some("recovered")
+            );
+        }
         // The ECP cell carries a decomposition against its baseline.
         let d = rows[1].get("decomposition").unwrap();
         assert!(d.get("create").and_then(Json::as_f64).is_some());

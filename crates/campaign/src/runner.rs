@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use ftcoma_core::RecoveryOutcome;
 use ftcoma_machine::{tracelog::TraceEvent, FailureKind, Machine};
 use ftcoma_mem::NodeId;
 use ftcoma_net::LinkReport;
@@ -30,13 +31,23 @@ pub struct CellOutcome {
     /// Retained protocol trace (empty unless the cell's config set
     /// `trace_capacity`).
     pub trace: Vec<TraceEvent>,
+    /// Structured recovery verdict: the machine's own outcome, downgraded
+    /// to `InvariantViolation` if the post-run invariant sweep found
+    /// problems a recovered run should not have.
+    pub outcome: RecoveryOutcome,
+    /// Final owner-visible memory image (`(item index, value)`, sorted) —
+    /// the chaos golden-replay oracle's subject.
+    pub owner_image: Vec<(u64, u64)>,
+    /// Per-stream emitted-reference counts (liveness oracle input).
+    pub stream_progress: Vec<u64>,
     /// Host wall-clock time of this cell, in milliseconds. Excluded from
     /// determinism comparisons.
     pub wall_ms: f64,
 }
 
 /// Runs a single cell to completion: builds the machine, injects the
-/// cell's scenario, runs, and checks the protocol invariants.
+/// cell's scenario, runs, and records the structured outcome (machine
+/// verdict plus a post-run invariant sweep) instead of panicking.
 pub fn run_cell(cell: &Cell) -> CellOutcome {
     let start = Instant::now();
     let mut machine = Machine::new(cell.cfg.clone());
@@ -61,14 +72,34 @@ pub fn run_cell(cell: &Cell) -> CellOutcome {
                 );
             }
         }
+        ScenarioKind::BackToBack { gap, second_node } => {
+            machine.schedule_failure(cell.scenario.at, node, FailureKind::Permanent);
+            machine.schedule_failure(
+                cell.scenario.at + gap,
+                NodeId::new(second_node),
+                FailureKind::Transient,
+            );
+        }
     }
     let metrics = machine.run();
-    machine.assert_invariants();
+    let mut outcome = machine.outcome().clone();
+    if outcome.is_recovered() {
+        let problems = machine.check_invariants();
+        if !problems.is_empty() {
+            outcome = RecoveryOutcome::InvariantViolation {
+                at: metrics.total_cycles,
+                problems,
+            };
+        }
+    }
     CellOutcome {
         cell_id: cell.id,
         metrics,
         links: machine.link_report(),
         trace: machine.trace(),
+        outcome,
+        owner_image: machine.owner_image(),
+        stream_progress: machine.stream_progress(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
     }
 }

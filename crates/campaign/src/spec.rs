@@ -77,6 +77,19 @@ pub enum ScenarioKind {
         /// Number of failures injected.
         count: u32,
     },
+    /// Back-to-back faults probing the single-failure hypothesis: a
+    /// *permanent* failure of `node` at `at`, then a transient failure of
+    /// `second_node` only `gap` cycles later — tight gaps land inside the
+    /// reconfiguration window and are expected to report
+    /// `unrecoverable_second_fault` rather than recover.
+    BackToBack {
+        /// Cycles between the first (permanent) and second (transient)
+        /// failure.
+        gap: u64,
+        /// Victim of the second failure (must differ from `node` and be
+        /// alive, i.e. not the permanently failed node).
+        second_node: u16,
+    },
 }
 
 /// One fault-injection scenario applied to an ECP cell.
@@ -115,7 +128,21 @@ impl Scenario {
             ScenarioKind::Cycle { period, count } => {
                 format!("c{}@{}x{}/{}", self.node, self.at, count, period)
             }
+            ScenarioKind::BackToBack { gap, second_node } => {
+                format!("b{}@{}+{}t{}", self.node, self.at, gap, second_node)
+            }
         }
+    }
+
+    /// Parses the object form produced by [`Scenario::to_json`] — the
+    /// scenario encoding campaign specs and chaos counterexample artifacts
+    /// share. Missing optional fields take the spec defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for malformed or inconsistent scenarios.
+    pub fn from_json(v: &Json) -> Result<Scenario, SpecError> {
+        parse_scenario(v)
     }
 
     /// JSON form for the campaign report (`null` for the fault-free case
@@ -126,6 +153,7 @@ impl Scenario {
             ScenarioKind::Transient => "transient",
             ScenarioKind::Permanent => "permanent",
             ScenarioKind::Cycle { .. } => "cycle",
+            ScenarioKind::BackToBack { .. } => "back_to_back",
         };
         let mut pairs = vec![("kind".to_string(), Json::from(kind))];
         if self.kind != ScenarioKind::None {
@@ -138,6 +166,13 @@ impl Scenario {
         if let ScenarioKind::Cycle { period, count } = self.kind {
             pairs.push(("period".to_string(), Json::from(period)));
             pairs.push(("count".to_string(), Json::from(u64::from(count))));
+        }
+        if let ScenarioKind::BackToBack { gap, second_node } = self.kind {
+            pairs.push(("gap".to_string(), Json::from(gap)));
+            pairs.push((
+                "second_node".to_string(),
+                Json::from(u64::from(second_node)),
+            ));
         }
         Json::Obj(pairs)
     }
@@ -230,7 +265,16 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
     let Json::Obj(pairs) = v else {
         return Err(err("each scenario must be an object"));
     };
-    const KNOWN: &[&str] = &["kind", "node", "at", "repair_at", "period", "count"];
+    const KNOWN: &[&str] = &[
+        "kind",
+        "node",
+        "at",
+        "repair_at",
+        "period",
+        "count",
+        "gap",
+        "second_node",
+    ];
     for (k, _) in pairs {
         if !KNOWN.contains(&k.as_str()) {
             return Err(err(format!("unknown scenario key `{k}`")));
@@ -269,9 +313,20 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
             })
             .map_err(|_| err("scenario `count` out of range"))?,
         },
+        "back_to_back" => ScenarioKind::BackToBack {
+            gap: match v.get("gap") {
+                Some(g) => as_u64(g, "gap")?,
+                None => 1_000,
+            },
+            second_node: match v.get("second_node") {
+                Some(s) => u16::try_from(as_u64(s, "second_node")?)
+                    .map_err(|_| err("scenario `second_node` out of range"))?,
+                None => 0,
+            },
+        },
         other => {
             return Err(err(format!(
-                "scenario kind must be none|transient|permanent|cycle, got `{other}`"
+                "scenario kind must be none|transient|permanent|cycle|back_to_back, got `{other}`"
             )))
         }
     };
@@ -282,6 +337,20 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
         // period/count defaults applied above; nothing more to check here.
     } else if v.get("period").is_some() || v.get("count").is_some() {
         return Err(err("`period`/`count` only apply to cycle scenarios"));
+    }
+    if let ScenarioKind::BackToBack { gap, second_node } = kind {
+        if gap == 0 {
+            return Err(err("back_to_back `gap` must be positive"));
+        }
+        if second_node == node {
+            return Err(err(
+                "back_to_back `second_node` must differ from the (dead) first victim",
+            ));
+        }
+    } else if v.get("gap").is_some() || v.get("second_node").is_some() {
+        return Err(err(
+            "`gap`/`second_node` only apply to back_to_back scenarios",
+        ));
     }
     if kind != ScenarioKind::None && at == 0 {
         return Err(err("scenario `at` must be positive"));
@@ -458,6 +527,14 @@ impl CampaignSpec {
                         "scenario targets node {} but the machine has only {n} nodes",
                         sc.node
                     )));
+                }
+                if let ScenarioKind::BackToBack { second_node, .. } = sc.kind {
+                    if second_node >= n {
+                        return Err(err(format!(
+                            "scenario targets second node {second_node} but the machine has \
+                             only {n} nodes"
+                        )));
+                    }
                 }
             }
         }

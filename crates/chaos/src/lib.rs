@@ -1,0 +1,32 @@
+//! Adversarial fault-injection fuzzing for the FT-COMA machine.
+//!
+//! The paper's central claim is that a COMA can be made fault tolerant
+//! with modest extensions to its coherence protocol. The campaign runner
+//! already measures the *cost* of that claim; this crate attacks its
+//! *correctness*: a seeded fuzzer sweeps failure injections across every
+//! phase of the protocol lifecycle — mid-transaction, inside the two-phase
+//! checkpoint establishment window, during drain, during
+//! rollback/reconfiguration, and in back-to-back pairs — and judges every
+//! run with a three-layer oracle ([`oracle`]):
+//!
+//! 1. protocol invariants after recovery,
+//! 2. golden replay against an unfaulted execution of the same seed,
+//! 3. liveness (reference quotas met, bounded termination).
+//!
+//! Failures are shrunk by bisection ([`shrink`]) and written as standalone
+//! replayable artifacts ([`artifact`]); `ftcoma chaos --replay` reproduces
+//! them byte-identically. Everything derives from one campaign seed, so a
+//! whole fuzzing run is itself deterministic across `--jobs` settings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod engine;
+pub mod oracle;
+pub mod shrink;
+
+pub use artifact::Counterexample;
+pub use engine::{replay, run_chaos, ChaosConfig, ChaosReport};
+pub use oracle::{judge, GoldenRef, Verdict};
+pub use shrink::shrink_scenario;

@@ -1,0 +1,162 @@
+//! Counterexample minimization: bisection over the injection cycle plus
+//! structural simplification of the scenario kind.
+//!
+//! The shrinker never assumes failures are monotonic in the injection
+//! time — a candidate only replaces the current best if re-running it
+//! *still fails* — so the result is always a genuinely failing scenario,
+//! merely a simpler/earlier one when the search gets lucky.
+
+use ftcoma_campaign::{Scenario, ScenarioKind};
+
+/// Minimizes a failing scenario under a deterministic `still_fails`
+/// predicate, spending at most `budget` predicate evaluations. Returns
+/// the smallest failing scenario found and the evaluations spent.
+///
+/// Strategy, in order:
+/// 1. structural: drop the second fault of a back-to-back pair, collapse
+///    a failure cycle to its first fault, demote permanent to transient;
+/// 2. bisect the injection cycle `at` downwards;
+/// 3. for surviving back-to-back pairs, bisect the `gap` downwards.
+pub fn shrink_scenario<F: FnMut(&Scenario) -> bool>(
+    scenario: &Scenario,
+    mut still_fails: F,
+    budget: u32,
+) -> (Scenario, u32) {
+    let mut best = *scenario;
+    let mut used: u32 = 0;
+
+    // Structural simplifications: each candidate keeps `at` and `node`.
+    let simpler: Vec<ScenarioKind> = match best.kind {
+        ScenarioKind::BackToBack { .. } => {
+            vec![ScenarioKind::Transient, ScenarioKind::Permanent]
+        }
+        ScenarioKind::Cycle { .. } => vec![ScenarioKind::Transient],
+        ScenarioKind::Permanent => vec![ScenarioKind::Transient],
+        ScenarioKind::Transient | ScenarioKind::None => Vec::new(),
+    };
+    for kind in simpler {
+        let cand = Scenario {
+            kind,
+            repair_at: None,
+            ..best
+        };
+        if attempt(&cand, &mut best, &mut used, budget, &mut still_fails) {
+            break; // simplest first: stop at the first that still fails
+        }
+    }
+
+    // Bisect `at` towards 1. `best.at` is known-failing; candidates below
+    // that either fail (new best, search lower) or pass (raise the floor).
+    let mut lo: u64 = 0;
+    while best.at > lo + 1 && used < budget {
+        let mid = lo + (best.at - lo) / 2;
+        let cand = Scenario { at: mid, ..best };
+        if !attempt(&cand, &mut best, &mut used, budget, &mut still_fails) {
+            lo = mid;
+        }
+    }
+
+    // Bisect a surviving back-to-back gap towards 1 (a tighter gap is the
+    // sharper reproduction of a recovery-window hit).
+    while let ScenarioKind::BackToBack { gap, second_node } = best.kind {
+        if gap <= 1 || used >= budget {
+            break;
+        }
+        let cand = Scenario {
+            kind: ScenarioKind::BackToBack {
+                gap: gap / 2,
+                second_node,
+            },
+            ..best
+        };
+        if !attempt(&cand, &mut best, &mut used, budget, &mut still_fails) {
+            break;
+        }
+    }
+
+    (best, used)
+}
+
+/// Runs one candidate; adopts it as the new best iff it still fails.
+fn attempt<F: FnMut(&Scenario) -> bool>(
+    cand: &Scenario,
+    best: &mut Scenario,
+    used: &mut u32,
+    budget: u32,
+    still_fails: &mut F,
+) -> bool {
+    if *used >= budget || *cand == *best {
+        return false;
+    }
+    *used += 1;
+    if still_fails(cand) {
+        *best = *cand;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transient_at(at: u64) -> Scenario {
+        Scenario {
+            kind: ScenarioKind::Transient,
+            node: 1,
+            at,
+            repair_at: None,
+        }
+    }
+
+    #[test]
+    fn bisection_finds_the_exact_threshold() {
+        // Monotonic predicate: fails iff at >= 12_345. Bisection converges
+        // to exactly the threshold.
+        let (best, used) = shrink_scenario(&transient_at(100_000), |s| s.at >= 12_345, 64);
+        assert_eq!(best.at, 12_345);
+        assert!(used <= 20, "spent {used} runs");
+    }
+
+    #[test]
+    fn structural_shrink_prefers_the_simplest_failing_kind() {
+        let b2b = Scenario {
+            kind: ScenarioKind::BackToBack {
+                gap: 1_000,
+                second_node: 2,
+            },
+            node: 1,
+            at: 50_000,
+            repair_at: None,
+        };
+        // Everything fails: the shrinker should land on a plain transient.
+        let (best, _) = shrink_scenario(&b2b, |_| true, 64);
+        assert_eq!(best.kind, ScenarioKind::Transient);
+        assert_eq!(best.at, 1);
+        // Only back-to-back pairs fail: kind survives, gap shrinks.
+        let (best, _) = shrink_scenario(
+            &b2b,
+            |s| matches!(s.kind, ScenarioKind::BackToBack { .. }),
+            64,
+        );
+        assert!(matches!(best.kind, ScenarioKind::BackToBack { gap: 1, .. }));
+    }
+
+    #[test]
+    fn budget_zero_returns_the_original() {
+        let s = transient_at(77);
+        let (best, used) = shrink_scenario(&s, |_| true, 0);
+        assert_eq!(best, s);
+        assert_eq!(used, 0);
+    }
+
+    #[test]
+    fn non_monotonic_failures_still_end_on_a_failing_scenario() {
+        // Fails only on a narrow window — candidates outside it are
+        // rejected, so the result must stay inside.
+        let pred = |s: &Scenario| (40_000..41_000).contains(&s.at);
+        let (best, _) = shrink_scenario(&transient_at(40_500), pred, 64);
+        assert!(pred(&best), "shrunk to a passing scenario: {best:?}");
+    }
+}

@@ -6,6 +6,8 @@
 //! ftcoma sweep    --workload water --freqs 400,200,100,50,5    # Fig 3 style
 //! ftcoma failure  --workload water --kind permanent --node 3 --at 20000 [--repair-at 80000]
 //! ftcoma campaign --spec grid.json --jobs 8 --out report.json  # parallel grid
+//! ftcoma chaos    --seeds 4 --cases 200 --jobs 4 --out chaos.json
+//! ftcoma chaos    --replay chaos-counterexample-17.json        # reproduce
 //! ftcoma latency                                               # Table 2 probe
 //! ftcoma help
 //! ```
@@ -19,10 +21,14 @@ use args::{ArgError, Parsed};
 use ftcoma_campaign::{
     report, run_cell, run_cells, CampaignSpec, Cell, Lengths, Scenario, ScenarioKind,
 };
-use ftcoma_core::FtConfig;
-use ftcoma_machine::{export, probe, tracelog::TraceEvent, Machine, MachineConfig, RunMetrics};
+use ftcoma_chaos::{ChaosConfig, Counterexample, Verdict};
+use ftcoma_core::{FtConfig, RecoveryOutcome};
+use ftcoma_machine::{
+    export, probe, tracelog::TraceEvent, FailureKind, Machine, MachineConfig, RunMetrics,
+};
+use ftcoma_mem::NodeId;
 use ftcoma_net::LinkReport;
-use ftcoma_sim::Clock;
+use ftcoma_sim::{Clock, Json};
 use ftcoma_workloads::{presets, SplashConfig};
 
 fn main() -> ExitCode {
@@ -49,6 +55,7 @@ fn dispatch(p: &Parsed) -> Result<(), ArgError> {
         "sweep" => cmd_sweep(p),
         "failure" => cmd_failure(p),
         "campaign" => cmd_campaign(p),
+        "chaos" => cmd_chaos(p),
         "latency" => cmd_latency(p),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
@@ -64,6 +71,8 @@ ftcoma — fault-tolerant COMA simulator (Morin et al., ISCA 1996)
 USAGE
   ftcoma run      --workload W [--nodes N] [--refs R] [--warmup U]
                   [--freq RP_PER_S | --no-ft] [--seed S] [--verify]
+                  [--fail-at CYCLES [--fail-kind transient|permanent]
+                  [--fail-node K]]
                   [--json] [--metrics-out FILE] [--trace-out FILE]
                   [--trace-jsonl FILE] [--trace-capacity N]
   ftcoma compare  --workload W [--nodes N] [--refs R] [--warmup U] [--freq F]
@@ -71,6 +80,10 @@ USAGE
   ftcoma failure  --workload W --kind transient|permanent [--node K]
                   [--at CYCLES] [--repair-at CYCLES]
   ftcoma campaign --spec FILE [--jobs J] [--json] [--out FILE] [--cell ID]
+  ftcoma chaos    [--seeds G] [--cases N] [--jobs J] [--seed S]
+                  [--workload W] [--nodes K] [--freq F] [--refs R]
+                  [--out FILE] [--json]
+  ftcoma chaos    --replay ARTIFACT.json
   ftcoma latency
   ftcoma help
 
@@ -80,6 +93,17 @@ CAMPAIGNS
   on J worker threads. Per-cell seeds are derived from the campaign seed
   at expansion time, so the aggregated JSON report is byte-identical
   (modulo wall_ms* fields) at any --jobs level. --cell replays one cell.
+
+CHAOS (see docs/CHAOS.md)
+  A seeded fuzzer sweeps failure injections across the whole protocol
+  lifecycle (mid-transaction, checkpoint establishment, drain, recovery,
+  back-to-back pairs) and judges every case with a three-layer oracle:
+  post-recovery invariants, golden replay against an unfaulted run of the
+  same seed, and liveness bounds. Failing cases are shrunk by bisection
+  and written as standalone counterexample artifacts; --replay re-runs
+  one artifact byte-identically (exit 0 iff it still reproduces).
+  Reports are byte-identical across --jobs (modulo wall_ms_total).
+  FTCOMA_BENCH_QUICK=1 halves the per-case run length for CI smoke.
 
 OBSERVABILITY (run and failure)
   --json              print the run metrics as versioned JSON on stdout
@@ -142,13 +166,18 @@ fn export_outputs(
     metrics: &RunMetrics,
     links: &[LinkReport],
     trace: &[TraceEvent],
+    outcome: &RecoveryOutcome,
 ) -> Result<bool, ArgError> {
     let write = |path: &str, contents: &str| {
         std::fs::write(path, contents).map_err(|e| ArgError(format!("cannot write {path}: {e}")))
     };
     let wants_doc = p.has("json") || p.has("metrics-out");
     let doc = if wants_doc {
-        Some(export::metrics_json(metrics, links))
+        let mut d = export::metrics_json(metrics, links);
+        if let Json::Obj(pairs) = &mut d {
+            pairs.push(("outcome".into(), export::outcome_json(outcome)));
+        }
+        Some(d)
     } else {
         None
     };
@@ -221,6 +250,9 @@ const RUN_FLAGS: &[&str] = &[
     "seed",
     "verify",
     "wormhole",
+    "fail-at",
+    "fail-kind",
+    "fail-node",
     "json",
     "metrics-out",
     "trace-out",
@@ -228,9 +260,79 @@ const RUN_FLAGS: &[&str] = &[
     "trace-capacity",
 ];
 
+/// The `--fail-at/--fail-kind/--fail-node` injection triple of `run`.
+fn injection_flags(p: &Parsed) -> Result<Option<(u64, u16, FailureKind)>, ArgError> {
+    if !p.has("fail-at") {
+        if p.has("fail-kind") || p.has("fail-node") {
+            return Err(ArgError(
+                "--fail-kind/--fail-node need --fail-at CYCLES".into(),
+            ));
+        }
+        return Ok(None);
+    }
+    let kind = match p.str_or("fail-kind", "transient").as_str() {
+        "transient" => FailureKind::Transient,
+        "permanent" => FailureKind::Permanent,
+        other => {
+            return Err(ArgError(format!(
+                "--fail-kind must be transient|permanent, got {other}"
+            )))
+        }
+    };
+    Ok(Some((
+        p.u64_or("fail-at", 0)?,
+        p.u64_or("fail-node", 1)? as u16,
+        kind,
+    )))
+}
+
+/// Folds the post-run invariant sweep into the machine's own outcome.
+fn final_outcome(machine: &Machine, metrics: &RunMetrics) -> RecoveryOutcome {
+    let outcome = machine.outcome().clone();
+    if outcome.is_recovered() {
+        let problems = machine.check_invariants();
+        if !problems.is_empty() {
+            return RecoveryOutcome::InvariantViolation {
+                at: metrics.total_cycles,
+                problems,
+            };
+        }
+    }
+    outcome
+}
+
+/// Error mapping shared by every command that surfaces a [`RecoveryOutcome`]:
+/// an invariant violation is a simulator-correctness failure and must fail
+/// the process; an unrecoverable second fault is a *reported* legal outcome.
+fn fail_on_violation(outcome: &RecoveryOutcome) -> Result<(), ArgError> {
+    if let RecoveryOutcome::InvariantViolation { at, problems } = outcome {
+        return Err(ArgError(format!(
+            "invariant violation at cycle {at}: {}",
+            problems.join("; ")
+        )));
+    }
+    Ok(())
+}
+
 fn cmd_run(p: &Parsed) -> Result<(), ArgError> {
     p.assert_only(RUN_FLAGS)?;
-    let cfg = machine_config(p)?;
+    let inject = injection_flags(p)?;
+    let mut cfg = machine_config(p)?;
+    if let Some((at, node, _)) = inject {
+        if u64::from(node) >= u64::from(cfg.nodes) {
+            return Err(ArgError(format!(
+                "--fail-node {node} out of range for {} nodes",
+                cfg.nodes
+            )));
+        }
+        if !cfg.ft.mode.is_enabled() {
+            return Err(ArgError("--fail-at needs the ECP (drop --no-ft)".into()));
+        }
+        if at == 0 {
+            return Err(ArgError("--fail-at must be a positive cycle".into()));
+        }
+        cfg.verify = true; // an injected run is always checked
+    }
     let quiet = p.has("json"); // keep stdout pure JSON
     if !quiet {
         println!(
@@ -244,17 +346,28 @@ fn cmd_run(p: &Parsed) -> Result<(), ArgError> {
             }
         );
     }
-    let machine = Machine::new(cfg);
+    let mut machine = Machine::new(cfg);
     if !quiet {
         println!("capacity check: {}", machine.capacity_report());
     }
-    let mut machine = machine;
-    let metrics = machine.run();
-    machine.assert_invariants();
-    if !export_outputs(p, &metrics, &machine.link_report(), &machine.trace())? {
-        print_metrics(&metrics);
+    if let Some((at, node, kind)) = inject {
+        machine.schedule_failure(at, NodeId::new(node), kind);
     }
-    Ok(())
+    let metrics = machine.run();
+    let outcome = final_outcome(&machine, &metrics);
+    if !export_outputs(
+        p,
+        &metrics,
+        &machine.link_report(),
+        &machine.trace(),
+        &outcome,
+    )? {
+        print_metrics(&metrics);
+        if inject.is_some() || !outcome.is_recovered() {
+            println!("outcome          {outcome}");
+        }
+    }
+    fail_on_violation(&outcome)
 }
 
 fn cmd_compare(p: &Parsed) -> Result<(), ArgError> {
@@ -406,14 +519,26 @@ fn cmd_failure(p: &Parsed) -> Result<(), ArgError> {
         scenario,
     };
     let outcome = run_cell(&cell);
-    if !export_outputs(p, &outcome.metrics, &outcome.links, &outcome.trace)? {
-        println!(
-            "{kind:?} failure of node {} at cycle {}: recovered and verified",
-            scenario.node, scenario.at
-        );
+    if !export_outputs(
+        p,
+        &outcome.metrics,
+        &outcome.links,
+        &outcome.trace,
+        &outcome.outcome,
+    )? {
+        match &outcome.outcome {
+            RecoveryOutcome::Recovered => println!(
+                "{kind:?} failure of node {} at cycle {}: recovered and verified",
+                scenario.node, scenario.at
+            ),
+            other => println!(
+                "{kind:?} failure of node {} at cycle {}: {other}",
+                scenario.node, scenario.at
+            ),
+        }
         print_metrics(&outcome.metrics);
     }
-    Ok(())
+    fail_on_violation(&outcome.outcome)
 }
 
 const CAMPAIGN_FLAGS: &[&str] = &["spec", "jobs", "json", "out", "cell"];
@@ -445,8 +570,11 @@ fn cmd_campaign(p: &Parsed) -> Result<(), ArgError> {
         } else {
             println!("cell {id} ({})", cell.label);
             print_metrics(&outcome.metrics);
+            if !outcome.outcome.is_recovered() {
+                println!("outcome          {}", outcome.outcome);
+            }
         }
-        return Ok(());
+        return fail_on_violation(&outcome.outcome);
     }
 
     let jobs = jobs_flag(p)?;
@@ -463,6 +591,34 @@ fn cmd_campaign(p: &Parsed) -> Result<(), ArgError> {
     let start = Instant::now();
     let outcomes = run_cells(&cells, jobs);
     let wall_ms_total = start.elapsed().as_secs_f64() * 1e3;
+    // The report is always written/printed first — a violation must not
+    // suppress the evidence describing it.
+    let violations: Vec<String> = cells
+        .iter()
+        .zip(&outcomes)
+        .filter_map(|(c, o)| match &o.outcome {
+            RecoveryOutcome::InvariantViolation { at, problems } => Some(format!(
+                "cell {} ({}): invariant violation at cycle {at}: {}",
+                c.id,
+                c.label,
+                problems.join("; ")
+            )),
+            _ => None,
+        })
+        .collect();
+    let finish = |violations: Vec<String>| -> Result<(), ArgError> {
+        for v in &violations {
+            eprintln!("error: {v}");
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(ArgError(format!(
+                "{} cell(s) ended with invariant violations",
+                violations.len()
+            )))
+        }
+    };
     let doc = report::campaign_json(&spec, &cells, &outcomes, wall_ms_total);
     if p.has("out") {
         let out = p.str_or("out", "");
@@ -474,7 +630,7 @@ fn cmd_campaign(p: &Parsed) -> Result<(), ArgError> {
     }
     if quiet {
         println!("{}", doc.to_string_pretty());
-        return Ok(());
+        return finish(violations);
     }
 
     // Text summary: one row per cell, overhead for ECP cells whose group
@@ -507,7 +663,125 @@ fn cmd_campaign(p: &Parsed) -> Result<(), ArgError> {
         jobs,
         if jobs == 1 { "" } else { "s" }
     );
+    finish(violations)
+}
+
+const CHAOS_FLAGS: &[&str] = &[
+    "seeds", "cases", "jobs", "seed", "workload", "nodes", "freq", "refs", "out", "json", "replay",
+];
+
+/// Where a counterexample artifact lands: next to `--out` when given
+/// (`report.json` → `report-counterexample-<id>.json`), else the cwd.
+fn artifact_path(out: Option<&str>, case_id: u64) -> String {
+    match out {
+        Some(out) => format!(
+            "{}-counterexample-{case_id}.json",
+            out.strip_suffix(".json").unwrap_or(out)
+        ),
+        None => format!("chaos-counterexample-{case_id}.json"),
+    }
+}
+
+fn cmd_chaos(p: &Parsed) -> Result<(), ArgError> {
+    p.assert_only(CHAOS_FLAGS)?;
+    if p.has("replay") {
+        return cmd_chaos_replay(p);
+    }
+    let mut cfg = ChaosConfig::new(p.u64_or("seed", 0xC4A0_5EED)?);
+    cfg.seeds = p.u64_or("seeds", cfg.seeds)?;
+    cfg.cases = p.u64_or("cases", cfg.cases)?;
+    cfg.jobs = jobs_flag(p)?;
+    if p.has("workload") {
+        cfg.workload = workload(p)?;
+    }
+    cfg.nodes = p.u64_or("nodes", u64::from(cfg.nodes))? as u16;
+    cfg.freq_hz = p.f64_or("freq", cfg.freq_hz)?;
+    cfg.refs_per_node = p.u64_or("refs", cfg.refs_per_node)?;
+    let quiet = p.has("json");
+    if !quiet {
+        println!(
+            "chaos: {} cases over {} seed groups ({} on {} nodes, {} rp/s, {} refs/node, {} job{})",
+            cfg.cases,
+            cfg.seeds,
+            cfg.workload.name,
+            cfg.nodes,
+            cfg.freq_hz,
+            cfg.refs_per_node,
+            cfg.jobs,
+            if cfg.jobs == 1 { "" } else { "s" }
+        );
+    }
+    let report = ftcoma_chaos::run_chaos(&cfg).map_err(ArgError)?;
+    let out = p.has("out").then(|| p.str_or("out", ""));
+    // Artifacts and report first; the exit code must never suppress them.
+    for cx in &report.counterexamples {
+        let path = artifact_path(out.as_deref(), cx.case_id);
+        let mut text = cx.to_json().to_string_pretty();
+        text.push('\n');
+        std::fs::write(&path, text).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        eprintln!(
+            "counterexample: case {} shrunk to `{}` in {} runs -> {path}",
+            cx.case_id,
+            cx.scenario.label(),
+            cx.shrink_runs
+        );
+        for r in &cx.reasons {
+            eprintln!("  {r}");
+        }
+    }
+    if let Some(out) = &out {
+        let mut text = report.doc.to_string_pretty();
+        text.push('\n');
+        std::fs::write(out, text).map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+        if !quiet {
+            println!("wrote {out}");
+        }
+    }
+    if quiet {
+        println!("{}", report.doc.to_string_pretty());
+    } else {
+        println!(
+            "verdicts: {} pass, {} unrecoverable (legal second faults), {} fail",
+            report.passed, report.unrecoverable, report.failed
+        );
+    }
+    if report.failed > 0 {
+        return Err(ArgError(format!(
+            "{} case(s) failed the oracle (see counterexample artifacts)",
+            report.failed
+        )));
+    }
     Ok(())
+}
+
+/// `ftcoma chaos --replay ARTIFACT`: exit 0 iff the counterexample still
+/// reproduces (a fixed bug makes the replay *fail* with the new verdict).
+fn cmd_chaos_replay(p: &Parsed) -> Result<(), ArgError> {
+    let path = p.str_or("replay", "");
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let cx = Counterexample::parse(&text).map_err(ArgError)?;
+    println!(
+        "replaying case {} of campaign seed 0x{:016x}: {} on {} nodes, scenario `{}`",
+        cx.case_id,
+        cx.campaign_seed,
+        cx.workload,
+        cx.nodes,
+        cx.scenario.label()
+    );
+    match ftcoma_chaos::replay(&cx).map_err(ArgError)? {
+        Verdict::Fail(reasons) => {
+            println!("reproduced: the scenario still fails the oracle");
+            for r in &reasons {
+                println!("  {r}");
+            }
+            Ok(())
+        }
+        v => Err(ArgError(format!(
+            "counterexample did not reproduce (verdict now `{}`)",
+            v.label()
+        ))),
+    }
 }
 
 fn cmd_latency(p: &Parsed) -> Result<(), ArgError> {

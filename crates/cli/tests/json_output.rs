@@ -41,7 +41,7 @@ fn run_json_emits_versioned_schema_on_stdout() {
     let text = std::str::from_utf8(&out.stdout).expect("utf-8 stdout");
     let doc = Json::parse(text).expect("stdout is one valid JSON document");
 
-    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(3));
     let machine = doc.get("machine").expect("machine section");
     for key in [
         "nodes",
@@ -85,6 +85,79 @@ fn run_json_emits_versioned_schema_on_stdout() {
     for key in ["count", "mean", "p50", "p90", "p99", "max"] {
         assert!(lat.get(key).is_some(), "missing access_latency.{key}");
     }
+
+    // Schema 3: every run reports its structured recovery outcome.
+    assert_eq!(
+        doc.get("outcome")
+            .and_then(|o| o.get("status"))
+            .and_then(|v| v.as_str()),
+        Some("recovered")
+    );
+}
+
+#[test]
+fn run_fail_at_injects_and_reports_the_outcome() {
+    let mut args = RUN_ARGS.to_vec();
+    args.extend([
+        "--fail-at",
+        "8000",
+        "--fail-kind",
+        "transient",
+        "--fail-node",
+        "2",
+        "--json",
+    ]);
+    let out = ftcoma(&args);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(std::str::from_utf8(&out.stdout).unwrap()).unwrap();
+    let machine = doc.get("machine").expect("machine section");
+    assert_eq!(machine.get("failures").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        doc.get("outcome")
+            .and_then(|o| o.get("status"))
+            .and_then(|v| v.as_str()),
+        Some("recovered")
+    );
+
+    // The triple is validated: satellites without --fail-at are rejected.
+    let out = ftcoma(&["run", "--workload", "water", "--fail-kind", "permanent"]);
+    assert!(!out.status.success());
+    let out = ftcoma(&["run", "--workload", "water", "--fail-at", "100", "--no-ft"]);
+    assert!(!out.status.success(), "--fail-at needs the ECP");
+}
+
+#[test]
+fn chaos_smoke_is_deterministic_and_passes() {
+    let base = [
+        "chaos", "--seeds", "2", "--cases", "6", "--nodes", "8", "--refs", "1500", "--freq",
+        "1000", "--seed", "77", "--json",
+    ];
+    let mut reports = Vec::new();
+    for jobs in ["1", "4"] {
+        let out = ftcoma(&[&base[..], &["--jobs", jobs]].concat());
+        assert!(
+            out.status.success(),
+            "chaos failed the oracle; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = std::str::from_utf8(&out.stdout).unwrap().to_string();
+        let doc = Json::parse(&text).expect("chaos report parses");
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("chaos"));
+        let oracle = doc.get("oracle").expect("oracle tallies");
+        assert_eq!(oracle.get("fail").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(doc.get("cases").unwrap().as_array().unwrap().len(), 6);
+        reports.push(text);
+    }
+    assert_eq!(
+        strip_wall_lines(&reports[0]),
+        strip_wall_lines(&reports[1]),
+        "chaos reports must be byte-identical across --jobs modulo wall clock"
+    );
 }
 
 #[test]
@@ -112,7 +185,7 @@ fn metrics_and_trace_files_are_valid_json() {
     );
 
     let m = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
-    assert_eq!(m.get("schema_version").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(m.get("schema_version").and_then(|v| v.as_u64()), Some(3));
 
     let t = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
     let events = t.get("traceEvents").unwrap().as_array().unwrap();
@@ -145,7 +218,7 @@ fn metrics_and_trace_files_are_valid_json() {
             .unwrap()
             .get("schema_version")
             .and_then(|v| v.as_u64()),
-        Some(2)
+        Some(3)
     );
 
     for p in [metrics, trace, jsonl] {
@@ -196,7 +269,7 @@ fn campaign_is_deterministic_across_job_counts() {
         );
         let text = std::str::from_utf8(&out.stdout).unwrap().to_string();
         let doc = Json::parse(&text).expect("campaign report parses");
-        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(3));
         assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("campaign"));
         // 2 workloads x (1 baseline + 2 scenarios) = 6 cells.
         assert_eq!(doc.get("cells").unwrap().as_array().unwrap().len(), 6);

@@ -315,6 +315,70 @@ mod tests {
     }
 
     #[test]
+    fn detects_divergent_recovery_pair_values() {
+        let (mut nodes, ring) = two_nodes();
+        install(
+            &mut nodes[0],
+            0,
+            ItemState::SharedCk1,
+            5,
+            Some(NodeId::new(1)),
+        );
+        install(
+            &mut nodes[1],
+            0,
+            ItemState::SharedCk2,
+            6, // diverged from its replica-1 partner
+            Some(NodeId::new(0)),
+        );
+        let problems = check(
+            &nodes,
+            &ring,
+            CheckScope {
+                check_homes: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("values differ")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn detects_stale_partner_pointer() {
+        let (mut nodes, ring) = two_nodes();
+        install(
+            &mut nodes[0],
+            0,
+            ItemState::SharedCk1,
+            5,
+            Some(NodeId::new(0)), // points at itself instead of its partner
+        );
+        install(
+            &mut nodes[1],
+            0,
+            ItemState::SharedCk2,
+            5,
+            Some(NodeId::new(0)),
+        );
+        let problems = check(
+            &nodes,
+            &ring,
+            CheckScope {
+                check_homes: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("partner pointers not mutual")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "invariants violated")]
     fn assert_consistent_panics_on_violation() {
         let (mut nodes, ring) = two_nodes();

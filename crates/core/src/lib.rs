@@ -43,3 +43,4 @@ pub mod recovery;
 pub use config::{CommitStrategy, FtConfig, FtMode};
 pub use ctx::{Ctx, Effect};
 pub use engine::{AccessOutcome, AccessReq, Engine, HitSource};
+pub use recovery::RecoveryOutcome;

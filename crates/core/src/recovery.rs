@@ -20,6 +20,74 @@ use ftcoma_net::LogicalRing;
 use ftcoma_protocol::{home_of, MemTiming, NodeState};
 use ftcoma_sim::Cycles;
 
+/// Final recovery verdict of a whole run.
+///
+/// The machine starts out `Recovered` (a run without failures trivially
+/// satisfies the recovery contract) and degrades monotonically: a second
+/// fault striking while a reconfiguration is still in flight exceeds the
+/// paper's single-failure hypothesis (§2) and becomes
+/// [`RecoveryOutcome::UnrecoverableSecondFault`]; a post-recovery memory
+/// image that contradicts the committed recovery point becomes
+/// [`RecoveryOutcome::InvariantViolation`]. Either terminal state halts
+/// the machine instead of aborting the process, so harnesses can report
+/// the outcome structurally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// Every injected failure was recovered from (or none occurred).
+    #[default]
+    Recovered,
+    /// A failure struck while a previous recovery was still reconfiguring
+    /// — outside the single-failure hypothesis, reported and halted.
+    UnrecoverableSecondFault {
+        /// Simulation time of the second fault.
+        at: Cycles,
+        /// The node that suffered the second fault.
+        node: NodeId,
+    },
+    /// Post-recovery verification found an inconsistent memory image.
+    InvariantViolation {
+        /// Simulation time at which verification failed.
+        at: Cycles,
+        /// Human-readable violation reports.
+        problems: Vec<String>,
+    },
+}
+
+impl RecoveryOutcome {
+    /// True iff the run never left the recovered state.
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, RecoveryOutcome::Recovered)
+    }
+
+    /// Stable machine-readable tag (`recovered` /
+    /// `unrecoverable_second_fault` / `invariant_violation`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryOutcome::Recovered => "recovered",
+            RecoveryOutcome::UnrecoverableSecondFault { .. } => "unrecoverable_second_fault",
+            RecoveryOutcome::InvariantViolation { .. } => "invariant_violation",
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryOutcome::Recovered => write!(f, "recovered"),
+            RecoveryOutcome::UnrecoverableSecondFault { at, node } => {
+                write!(f, "unrecoverable second fault on {node} at cycle {at}")
+            }
+            RecoveryOutcome::InvariantViolation { at, problems } => {
+                write!(f, "invariant violation at cycle {at}:")?;
+                for p in problems {
+                    write!(f, "\n  {p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Outcome of one node's rollback scan.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RollbackStats {

@@ -23,7 +23,7 @@
 //! });
 //! let metrics = m.run();
 //! let doc = export::metrics_json(&metrics, &m.link_report());
-//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(2));
+//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(3));
 //! let trace = export::chrome_trace(&m.trace(), 20_000_000.0);
 //! assert!(!trace.get("traceEvents").unwrap().as_array().unwrap().is_empty());
 //! ```
@@ -46,7 +46,34 @@ use crate::tracelog::TraceEvent;
 /// * 2 — adds the campaign document (`"kind": "campaign"`, per-cell
 ///   embedded metrics documents with derived seeds and decompositions);
 ///   the per-run document keys are unchanged.
-pub const SCHEMA_VERSION: u64 = 2;
+/// * 3 — adds structured recovery outcomes: campaign cells gain an
+///   `"outcome"` object ([`outcome_json`]), the chaos report
+///   (`"kind": "chaos"`) and its counterexample artifacts are introduced,
+///   and `ftcoma run --json` gains a top-level `"outcome"` field.
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// Serializes a [`RecoveryOutcome`](ftcoma_core::RecoveryOutcome) as a JSON
+/// object: `{"status": <label>}` plus the variant's fields (`at`/`node` for
+/// a second fault, `at`/`problems` for a violation).
+pub fn outcome_json(o: &ftcoma_core::RecoveryOutcome) -> Json {
+    use ftcoma_core::RecoveryOutcome;
+    let mut pairs = vec![("status".to_string(), Json::from(o.label()))];
+    match o {
+        RecoveryOutcome::Recovered => {}
+        RecoveryOutcome::UnrecoverableSecondFault { at, node } => {
+            pairs.push(("at".to_string(), Json::from(*at)));
+            pairs.push(("node".to_string(), Json::from(node.index())));
+        }
+        RecoveryOutcome::InvariantViolation { at, problems } => {
+            pairs.push(("at".to_string(), Json::from(*at)));
+            pairs.push((
+                "problems".to_string(),
+                Json::arr(problems.iter().map(|p| Json::from(p.as_str()))),
+            ));
+        }
+    }
+    Json::Obj(pairs)
+}
 
 /// Serializes a full run as one versioned JSON document with machine-wide,
 /// per-node and per-link sections.

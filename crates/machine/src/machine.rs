@@ -1,10 +1,11 @@
 //! The machine: nodes + engine + mesh + checkpoint coordinator + failures,
 //! advanced by one deterministic event loop.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use ftcoma_core::{
     ckpt, invariants, recovery, AccessOutcome, AccessReq, Ctx, Effect, Engine, HitSource,
+    RecoveryOutcome,
 };
 use ftcoma_mem::{ItemId, ItemState, NodeId};
 use ftcoma_net::{Fabric, LogicalRing};
@@ -73,6 +74,12 @@ pub struct Machine {
 
     streams: Vec<NodeStream>,
     snapshots: Vec<StreamSnapshot>,
+    /// Per-stream buffered-but-unissued reference at the recovery point.
+    /// The stream snapshot already counts such a reference as emitted, so
+    /// a rollback must re-inject it explicitly or it is lost forever.
+    pending_snap: Vec<Option<MemRef>>,
+    /// References re-injected by a rollback, drained before the streams.
+    carryover: Vec<VecDeque<(usize, MemRef)>>,
     /// Stream indices each node executes (grows when adopting a dead
     /// node's work).
     assigned: Vec<Vec<usize>>,
@@ -101,6 +108,9 @@ pub struct Machine {
     /// Metrics snapshot taken when warmup completed.
     baseline: Option<(RunMetrics, Cycles)>,
     finished: bool,
+    outcome: RecoveryOutcome,
+    /// Set when the machine stopped early on a terminal outcome.
+    halted: bool,
 }
 
 impl Machine {
@@ -130,6 +140,8 @@ impl Machine {
             queue: EventQueue::new(),
             streams,
             snapshots,
+            pending_snap: vec![None; n],
+            carryover: (0..n).map(|_| VecDeque::new()).collect(),
             assigned: (0..n).map(|i| vec![i]).collect(),
             rr: vec![0; n],
             pending_ref: vec![None; n],
@@ -157,6 +169,8 @@ impl Machine {
             },
             baseline: None,
             finished: false,
+            outcome: RecoveryOutcome::Recovered,
+            halted: false,
             cfg,
         };
         for i in 0..n {
@@ -206,6 +220,9 @@ impl Machine {
         assert!(!self.finished, "machine already ran");
         while let Some((_, ev)) = self.queue.pop() {
             self.dispatch(ev);
+            if self.halted {
+                break;
+            }
             if self.all_done() && self.deliver_pending == 0 && self.phase == Phase::Running {
                 break;
             }
@@ -240,6 +257,39 @@ impl Machine {
     /// The metrics collected so far (complete after [`Machine::run`]).
     pub fn metrics(&self) -> &RunMetrics {
         &self.metrics
+    }
+
+    /// The structured recovery verdict of the run so far. Stays
+    /// [`RecoveryOutcome::Recovered`] unless the run degraded into a
+    /// terminal state (second fault inside a recovery window, or a failed
+    /// post-recovery verification), in which case the machine halted early.
+    pub fn outcome(&self) -> &RecoveryOutcome {
+        &self.outcome
+    }
+
+    /// Per-stream emitted-reference counts, indexed by stream (= home
+    /// node) number. After a complete run every entry reaches the quota
+    /// `warmup_refs_per_node + refs_per_node` even when streams were
+    /// adopted by an heir — the liveness signal chaos oracles check.
+    pub fn stream_progress(&self) -> Vec<u64> {
+        self.streams.iter().map(RefStream::refs_emitted).collect()
+    }
+
+    /// The owner-visible memory image: `(item index, value)` for every
+    /// owner-state copy on a live node, sorted by item index. The
+    /// invariants guarantee at most one owner per item, so this is a
+    /// well-defined snapshot of current memory contents.
+    pub fn owner_image(&self) -> Vec<(u64, u64)> {
+        let mut image: Vec<(u64, u64)> = Vec::new();
+        for ns in self.live_nodes() {
+            for (item, slot) in ns.am.iter_present() {
+                if slot.state.is_owner() {
+                    image.push((item.index(), slot.value));
+                }
+            }
+        }
+        image.sort_unstable();
+        image
     }
 
     /// The retained protocol trace (empty unless
@@ -290,6 +340,17 @@ impl Machine {
             check_homes: self.deliver_pending == 0,
         };
         invariants::assert_consistent(&self.nodes, &self.ring, scope);
+    }
+
+    /// Checks all protocol invariants and returns the violations (empty =
+    /// consistent). Non-panicking form of [`Machine::assert_invariants`]
+    /// for harnesses that report rather than abort.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let scope = invariants::CheckScope {
+            allow_precommit: self.phase == Phase::Create,
+            check_homes: self.deliver_pending == 0,
+        };
+        invariants::check(&self.nodes, &self.ring, scope)
     }
 
     /// Verifies that the memory image matches the last committed recovery
@@ -350,6 +411,9 @@ impl Machine {
             Event::Failure { node, kind } => self.on_failure(node, kind),
             Event::Repair { node } => self.on_repair_request(node),
         }
+        if self.halted {
+            return; // terminal outcome: no phase may make progress
+        }
         if self.cfg.workload.barrier_interval_refs.is_some() && self.phase == Phase::Running {
             self.try_release_barrier();
         }
@@ -399,6 +463,9 @@ impl Machine {
     /// (round-robin), or `None` when its quota is complete.
     fn next_ref_for(&mut self, node: NodeId) -> Option<(usize, MemRef)> {
         let i = node.index();
+        if let Some(re_injected) = self.carryover[i].pop_front() {
+            return Some(re_injected);
+        }
         let k = self.assigned[i].len();
         for step in 0..k {
             let si = self.assigned[i][(self.rr[i] + step) % k];
@@ -661,8 +728,15 @@ impl Machine {
         }
         self.metrics.t_commit += max_dur;
 
-        // The recovery point includes the processor (stream) state.
+        // The recovery point includes the processor (stream) state, plus
+        // any reference already emitted into an issue buffer but not yet
+        // executed — the stream snapshot counts it as consumed, so only
+        // this side record can resurrect it after a rollback.
         self.snapshots = self.streams.iter().map(NodeStream::snapshot).collect();
+        self.pending_snap = vec![None; self.streams.len()];
+        for p in self.pending_ref.iter().flatten() {
+            self.pending_snap[p.0] = Some(p.1);
+        }
         if self.cfg.verify {
             self.rebuild_oracle();
         }
@@ -727,10 +801,15 @@ impl Machine {
         // The statically assigned home range returns to the repaired node.
         recovery::rebuild_homes_from_owners(&mut self.nodes, &self.ring);
 
-        // Reclaim the node's own stream from whoever adopted it.
+        // Reclaim the node's own stream from whoever adopted it (any
+        // rollback-re-injected reference of that stream follows it home).
         for other in 0..self.nodes.len() {
             if other != i {
                 self.assigned[other].retain(|&s| s != i);
+                while let Some(pos) = self.carryover[other].iter().position(|&(s, _)| s == i) {
+                    let moved = self.carryover[other].remove(pos).expect("position exists");
+                    self.carryover[i].push_back(moved);
+                }
             }
         }
         if !self.assigned[i].contains(&i) {
@@ -755,12 +834,26 @@ impl Machine {
     }
 
     fn on_failure(&mut self, node: NodeId, kind: FailureKind) {
-        assert_ne!(
-            self.phase,
-            Phase::Recovering,
-            "failure during recovery not modelled"
-        );
         if !self.nodes[node.index()].alive {
+            return;
+        }
+        if self.phase == Phase::Recovering {
+            // A fault inside the reconfiguration window exceeds the
+            // paper's single-failure hypothesis: the orphaned recovery
+            // copies being re-replicated have no second copy yet, so a
+            // consistent recovery point can no longer be guaranteed.
+            // Report it structurally and stop instead of aborting.
+            self.metrics.failures += 1;
+            self.trace.push(TraceEvent::Failure {
+                at: self.queue.now(),
+                node,
+                permanent: kind == FailureKind::Permanent,
+            });
+            self.outcome = RecoveryOutcome::UnrecoverableSecondFault {
+                at: self.queue.now(),
+                node,
+            };
+            self.halt();
             return;
         }
         self.metrics.failures += 1;
@@ -828,9 +921,25 @@ impl Machine {
         //    and destination); keep one of each and mend partner pointers.
         recovery::dedup_recovery_copies(&mut self.nodes);
 
-        // 5. Processor state (streams) rewinds to the recovery point.
+        // 5. Processor state (streams) rewinds to the recovery point, and
+        //    references that sat in an issue buffer when that recovery
+        //    point was taken are re-injected: the restored streams will
+        //    never re-emit them. Each goes to whichever live node now
+        //    executes its stream (the ring heir after an adoption).
         for (stream, snap) in self.streams.iter_mut().zip(&self.snapshots) {
             stream.restore(snap);
+        }
+        for q in &mut self.carryover {
+            q.clear();
+        }
+        for (si, buffered) in self.pending_snap.iter().enumerate() {
+            if let Some(r) = buffered {
+                let owner = (0..self.nodes.len())
+                    .find(|&p| self.proc[p] != ProcState::Dead && self.assigned[p].contains(&si));
+                if let Some(p) = owner {
+                    self.carryover[p].push_back((si, *r));
+                }
+            }
         }
 
         // 5. Reconfiguration: re-replicate orphaned recovery copies, then
@@ -871,8 +980,11 @@ impl Machine {
         self.metrics.t_recovery += end - self.recovery_start;
 
         if self.cfg.verify {
-            self.verify_against_oracle()
-                .unwrap_or_else(|p| panic!("recovery verification failed:\n  {}", p.join("\n  ")));
+            if let Err(problems) = self.verify_against_oracle() {
+                self.outcome = RecoveryOutcome::InvariantViolation { at: end, problems };
+                self.halt();
+                return;
+            }
         }
 
         self.trace.push(TraceEvent::Recovered { at: end });
@@ -887,6 +999,19 @@ impl Machine {
         if self.cfg.ft.ckpt_period_cycles().is_some() && !self.timer_in_queue && !self.all_done() {
             self.schedule_timer(delay + self.period());
         }
+    }
+
+    /// Stops the event loop: drains the queue so [`Machine::run`] exits at
+    /// the current simulation time with the terminal outcome recorded.
+    fn halt(&mut self) {
+        debug_assert!(
+            !self.outcome.is_recovered(),
+            "halt needs a terminal outcome"
+        );
+        self.halted = true;
+        self.queue.clear();
+        self.deliver_pending = 0;
+        self.timer_in_queue = false;
     }
 
     fn rebuild_oracle(&mut self) {

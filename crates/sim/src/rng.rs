@@ -127,6 +127,27 @@ impl DetRng {
         }
     }
 
+    /// Samples a point uniformly from the union of half-open windows
+    /// `[lo, hi)`, each weighted by its width — the chaos fuzzer's
+    /// injection-time sampler (bias failure times into checkpoint or
+    /// recovery windows by listing only those). Empty or inverted windows
+    /// contribute nothing; returns `None` when the union is empty.
+    pub fn in_windows(&mut self, windows: &[(u64, u64)]) -> Option<u64> {
+        let total: u64 = windows.iter().map(|&(lo, hi)| hi.saturating_sub(lo)).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut k = self.below(total);
+        for &(lo, hi) in windows {
+            let w = hi.saturating_sub(lo);
+            if k < w {
+                return Some(lo + k);
+            }
+            k -= w;
+        }
+        unreachable!("k < total width")
+    }
+
     /// Samples from a geometric-like distribution: number of failures before
     /// a success with probability `p`, capped at `cap`.
     ///
@@ -241,6 +262,24 @@ mod tests {
             assert!(!r.chance(0.0));
             assert!(r.chance(1.0 + 1e-9));
         }
+    }
+
+    #[test]
+    fn in_windows_respects_bounds_and_weights() {
+        let mut r = DetRng::seeded(23);
+        let windows = [(10, 20), (50, 50), (100, 1100)];
+        let mut low = 0u64;
+        for _ in 0..2000 {
+            let x = r.in_windows(&windows).unwrap();
+            assert!((10..20).contains(&x) || (100..1100).contains(&x), "{x}");
+            if x < 20 {
+                low += 1;
+            }
+        }
+        // The 10-wide window gets ~1% of the 1010 total width.
+        assert!(low < 100, "low window over-sampled: {low}");
+        assert_eq!(r.in_windows(&[]), None);
+        assert_eq!(r.in_windows(&[(7, 7), (9, 3)]), None);
     }
 
     #[test]

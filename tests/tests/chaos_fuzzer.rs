@@ -1,0 +1,92 @@
+//! Integration tests of the chaos fault-injection engine against the real
+//! simulator: a small fuzzing run must pass its own oracle, and the
+//! counterexample replay path must be exercisable end to end.
+
+use ftcoma_campaign::{Scenario, ScenarioKind};
+use ftcoma_chaos::{replay, run_chaos, ChaosConfig, Counterexample, Verdict};
+use ftcoma_sim::derive_seed;
+use ftcoma_workloads::presets;
+
+fn small(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        campaign_seed: seed,
+        seeds: 2,
+        cases: 6,
+        jobs: 2,
+        workload: presets::water(),
+        nodes: 8,
+        freq_hz: 1_000.0,
+        refs_per_node: 1_500,
+        shrink_budget: 8,
+    }
+}
+
+#[test]
+fn small_fuzzing_run_passes_its_oracle() {
+    let report = run_chaos(&small(0xFEED)).expect("valid config");
+    assert_eq!(report.failed, 0, "{:#?}", report.counterexamples);
+    assert_eq!(report.passed + report.unrecoverable, 6);
+    // The report document carries one row per case plus the oracle tally.
+    let cases = report.doc.get("cases").unwrap().as_array().unwrap();
+    assert_eq!(cases.len(), 6);
+    assert_eq!(
+        report.doc.get("kind").and_then(|v| v.as_str()),
+        Some("chaos")
+    );
+}
+
+#[test]
+fn replay_rejects_stale_seed_derivations() {
+    let cfg = small(0xFEED);
+    let cx = Counterexample {
+        campaign_seed: cfg.campaign_seed,
+        seed_group: 0,
+        machine_seed: 12345, // not what derive_seed gives
+        workload: "water".into(),
+        nodes: 8,
+        freq_hz: 1_000.0,
+        refs_per_node: 1_500,
+        case_id: 0,
+        scenario: Scenario::none(),
+        original: Scenario::none(),
+        reasons: Vec::new(),
+        shrink_runs: 0,
+    };
+    assert!(replay(&cx).unwrap_err().contains("stale artifact"));
+}
+
+#[test]
+fn replay_of_a_healthy_scenario_reports_no_reproduction() {
+    // An artifact whose scenario actually recovers: replay must run the
+    // full golden + case pipeline and come back with a non-fail verdict
+    // (the CLI then exits non-zero: "did not reproduce").
+    let cfg = small(0xFEED);
+    let cx = Counterexample {
+        campaign_seed: cfg.campaign_seed,
+        seed_group: 1,
+        machine_seed: derive_seed(cfg.campaign_seed, 2),
+        workload: "water".into(),
+        nodes: 8,
+        freq_hz: 1_000.0,
+        refs_per_node: 1_500,
+        case_id: 3,
+        scenario: Scenario {
+            kind: ScenarioKind::Transient,
+            node: 2,
+            at: 12_000,
+            repair_at: None,
+        },
+        original: Scenario {
+            kind: ScenarioKind::Transient,
+            node: 2,
+            at: 25_000,
+            repair_at: None,
+        },
+        reasons: vec!["stale reason from a fixed bug".into()],
+        shrink_runs: 3,
+    };
+    match replay(&cx).expect("replay runs") {
+        Verdict::Fail(reasons) => panic!("healthy scenario failed: {reasons:?}"),
+        Verdict::Pass | Verdict::Unrecoverable => {}
+    }
+}
