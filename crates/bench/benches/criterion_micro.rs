@@ -75,7 +75,16 @@ fn bench_mesh() {
     let mut t = 0u64;
     bench("mesh_send_item", 15, 100_000, || {
         t += 10;
-        black_box(mesh.send(t, NodeId::new(3), NodeId::new(52), NetClass::Reply, 128));
+        black_box(mesh.send(t, NodeId::new(3), NodeId::new(52), NetClass::Reply, 128)).unwrap();
+    });
+    // Same traffic on a degraded mesh: the XY path crosses a failed router,
+    // so every send pays the breadth-first misroute fallback.
+    let mut mesh = Mesh::new(MeshGeometry::for_nodes(56), NetConfig::default());
+    mesh.fail_node(NodeId::new(28));
+    let mut t = 0u64;
+    bench("mesh_send_item_detoured", 15, 100_000, || {
+        t += 10;
+        black_box(mesh.send(t, NodeId::new(3), NodeId::new(52), NetClass::Reply, 128)).unwrap();
     });
 }
 

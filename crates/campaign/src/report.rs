@@ -1,7 +1,7 @@
 //! The campaign report: one versioned JSON document aggregating every
 //! cell's metrics, link report and overhead decomposition.
 //!
-//! The document is `schema_version` 3 (see
+//! The document is `schema_version` 4 (see
 //! [`ftcoma_machine::export::SCHEMA_VERSION`]); cells appear in id order
 //! regardless of the order workers finished them, and every field except
 //! the `wall_ms*` timings is a pure function of the spec — the property the
@@ -190,7 +190,7 @@ mod tests {
         let cells = spec.expand();
         let outcomes = run_cells(&cells, 2);
         let doc = campaign_json(&spec, &cells, &outcomes, 12.5);
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(4));
         assert_eq!(doc.get("kind").and_then(Json::as_str), Some("campaign"));
         let rows = doc.get("cells").unwrap().as_array().unwrap();
         assert_eq!(rows.len(), 2);

@@ -80,6 +80,15 @@ pub fn run_cell(cell: &Cell) -> CellOutcome {
                 FailureKind::Transient,
             );
         }
+        ScenarioKind::LinkCut { to_node } => {
+            machine.schedule_link_cut(cell.scenario.at, node, NodeId::new(to_node));
+        }
+        ScenarioKind::RouterDown => {
+            machine.schedule_router_down(cell.scenario.at, node);
+        }
+        ScenarioKind::MessageLoss { rate } => {
+            machine.set_message_loss(cell.scenario.at, rate);
+        }
     }
     let metrics = machine.run();
     let mut outcome = machine.outcome().clone();
@@ -184,5 +193,38 @@ mod tests {
         assert_eq!(outcomes[2].metrics.failures, 1);
         assert_eq!(outcomes[3].metrics.failures, 1);
         assert_eq!(outcomes[3].metrics.repairs, 1);
+    }
+
+    #[test]
+    fn net_scenarios_recover_under_the_reliable_transport() {
+        let spec = CampaignSpec::parse(
+            r#"{
+                "workloads": ["water"],
+                "nodes": [4],
+                "freqs": [400],
+                "refs": 2000,
+                "warmup": 0,
+                "baseline": false,
+                "scenarios": [
+                    {"kind": "message_loss", "rate": 200, "at": 3000},
+                    {"kind": "link_cut", "node": 0, "to_node": 1, "at": 3000}
+                ]
+            }"#,
+        )
+        .unwrap();
+        let outcomes = run_cells(&spec.expand(), 2);
+        for o in &outcomes {
+            assert!(
+                o.outcome.is_recovered(),
+                "cell {}: {:?}",
+                o.cell_id,
+                o.outcome
+            );
+        }
+        // Retransmissions masked the dropped packets...
+        assert!(outcomes[0].metrics.net_retries > 0);
+        assert!(outcomes[0].metrics.net_dropped_msgs > 0);
+        // ...and traffic detoured around the cut link.
+        assert!(outcomes[1].metrics.net_detour_hops > 0);
     }
 }

@@ -9,6 +9,7 @@
 
 use ftcoma_core::FtConfig;
 use ftcoma_machine::MachineConfig;
+use ftcoma_mem::NodeId;
 use ftcoma_sim::{derive_seed, Clock, Json};
 use ftcoma_workloads::{presets, SplashConfig};
 
@@ -90,6 +91,24 @@ pub enum ScenarioKind {
         /// alive, i.e. not the permanently failed node).
         second_node: u16,
     },
+    /// Interconnect fault: the mesh link between `node` and `to_node`
+    /// (which must be mesh-adjacent) is cut at `at`. Traffic detours; if
+    /// the cut severs the mesh the reliable transport escalates.
+    LinkCut {
+        /// The other endpoint of the cut link.
+        to_node: u16,
+    },
+    /// Interconnect fault: `node`'s mesh router dies at `at`. The node
+    /// becomes unreachable and its peers' transports escalate the loss
+    /// into a permanent node failure.
+    RouterDown,
+    /// Interconnect fault: a bounded message-loss episode starting at `at`
+    /// drops `rate` per-mille of all packets; the reliable transport masks
+    /// the losses with retransmissions.
+    MessageLoss {
+        /// Drop rate in per-mille (`1..=999`).
+        rate: u32,
+    },
 }
 
 /// One fault-injection scenario applied to an ECP cell.
@@ -131,6 +150,11 @@ impl Scenario {
             ScenarioKind::BackToBack { gap, second_node } => {
                 format!("b{}@{}+{}t{}", self.node, self.at, gap, second_node)
             }
+            ScenarioKind::LinkCut { to_node } => {
+                format!("lc{}-{}@{}", self.node, to_node, self.at)
+            }
+            ScenarioKind::RouterDown => format!("rd{}@{}", self.node, self.at),
+            ScenarioKind::MessageLoss { rate } => format!("ml{rate}@{}", self.at),
         }
     }
 
@@ -154,6 +178,9 @@ impl Scenario {
             ScenarioKind::Permanent => "permanent",
             ScenarioKind::Cycle { .. } => "cycle",
             ScenarioKind::BackToBack { .. } => "back_to_back",
+            ScenarioKind::LinkCut { .. } => "link_cut",
+            ScenarioKind::RouterDown => "router_down",
+            ScenarioKind::MessageLoss { .. } => "message_loss",
         };
         let mut pairs = vec![("kind".to_string(), Json::from(kind))];
         if self.kind != ScenarioKind::None {
@@ -173,6 +200,12 @@ impl Scenario {
                 "second_node".to_string(),
                 Json::from(u64::from(second_node)),
             ));
+        }
+        if let ScenarioKind::LinkCut { to_node } = self.kind {
+            pairs.push(("to_node".to_string(), Json::from(u64::from(to_node))));
+        }
+        if let ScenarioKind::MessageLoss { rate } = self.kind {
+            pairs.push(("rate".to_string(), Json::from(u64::from(rate))));
         }
         Json::Obj(pairs)
     }
@@ -274,6 +307,8 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
         "count",
         "gap",
         "second_node",
+        "to_node",
+        "rate",
     ];
     for (k, _) in pairs {
         if !KNOWN.contains(&k.as_str()) {
@@ -324,9 +359,25 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
                 None => 0,
             },
         },
+        "link_cut" => ScenarioKind::LinkCut {
+            to_node: match v.get("to_node") {
+                Some(t) => u16::try_from(as_u64(t, "to_node")?)
+                    .map_err(|_| err("scenario `to_node` out of range"))?,
+                None => 0,
+            },
+        },
+        "router_down" => ScenarioKind::RouterDown,
+        "message_loss" => ScenarioKind::MessageLoss {
+            rate: match v.get("rate") {
+                Some(r) => u32::try_from(as_u64(r, "rate")?)
+                    .map_err(|_| err("scenario `rate` out of range"))?,
+                None => 100,
+            },
+        },
         other => {
             return Err(err(format!(
-                "scenario kind must be none|transient|permanent|cycle|back_to_back, got `{other}`"
+                "scenario kind must be none|transient|permanent|cycle|back_to_back|link_cut\
+                 |router_down|message_loss, got `{other}`"
             )))
         }
     };
@@ -351,6 +402,20 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
         return Err(err(
             "`gap`/`second_node` only apply to back_to_back scenarios",
         ));
+    }
+    if let ScenarioKind::LinkCut { to_node } = kind {
+        if to_node == node {
+            return Err(err("link_cut `to_node` must differ from `node`"));
+        }
+    } else if v.get("to_node").is_some() {
+        return Err(err("`to_node` only applies to link_cut scenarios"));
+    }
+    if let ScenarioKind::MessageLoss { rate } = kind {
+        if !(1..=999).contains(&rate) {
+            return Err(err("message_loss `rate` must be 1..=999 per-mille"));
+        }
+    } else if v.get("rate").is_some() {
+        return Err(err("`rate` only applies to message_loss scenarios"));
     }
     if kind != ScenarioKind::None && at == 0 {
         return Err(err("scenario `at` must be positive"));
@@ -533,6 +598,25 @@ impl CampaignSpec {
                         return Err(err(format!(
                             "scenario targets second node {second_node} but the machine has \
                              only {n} nodes"
+                        )));
+                    }
+                }
+                if let ScenarioKind::LinkCut { to_node } = sc.kind {
+                    if to_node >= n {
+                        return Err(err(format!(
+                            "scenario cuts a link to node {to_node} but the machine has \
+                             only {n} nodes"
+                        )));
+                    }
+                    let geo = ftcoma_net::MeshGeometry::for_nodes(usize::from(n));
+                    let (a, b) = (NodeId::new(sc.node), NodeId::new(to_node));
+                    if geo.hops(a, b) != 1 {
+                        return Err(err(format!(
+                            "link_cut nodes {} and {to_node} are not mesh-adjacent on \
+                             {n} nodes ({}x{})",
+                            sc.node,
+                            geo.cols(),
+                            geo.rows()
                         )));
                     }
                 }
@@ -742,5 +826,50 @@ mod tests {
         )
         .unwrap();
         assert_eq!(cyc.label(), "c1@50x3/60");
+    }
+
+    #[test]
+    fn net_scenarios_parse_label_and_validate() {
+        let lc = parse_scenario(
+            &Json::parse(r#"{"kind": "link_cut", "node": 1, "to_node": 2, "at": 400}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(lc.label(), "lc1-2@400");
+        assert_eq!(lc.to_json().get("to_node").and_then(Json::as_u64), Some(2));
+        let rd =
+            parse_scenario(&Json::parse(r#"{"kind": "router_down", "node": 3, "at": 9}"#).unwrap())
+                .unwrap();
+        assert_eq!(rd.label(), "rd3@9");
+        let ml = parse_scenario(
+            &Json::parse(r#"{"kind": "message_loss", "rate": 250, "at": 7}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(ml.label(), "ml250@7");
+        assert_eq!(ml.to_json().get("rate").and_then(Json::as_u64), Some(250));
+        // Round-trip through to_json/from_json.
+        assert_eq!(Scenario::from_json(&lc.to_json()).unwrap(), lc);
+        assert_eq!(Scenario::from_json(&ml.to_json()).unwrap(), ml);
+        // Rate bounds and cross-field checks.
+        assert!(
+            parse_scenario(&Json::parse(r#"{"kind": "message_loss", "rate": 1000}"#).unwrap())
+                .is_err()
+        );
+        assert!(
+            parse_scenario(&Json::parse(r#"{"kind": "transient", "rate": 5}"#).unwrap()).is_err()
+        );
+        assert!(parse_scenario(
+            &Json::parse(r#"{"kind": "link_cut", "node": 2, "to_node": 2}"#).unwrap()
+        )
+        .is_err());
+        // Adjacency: on a 2x2 mesh nodes 0 and 3 sit on the diagonal.
+        assert!(CampaignSpec::parse(
+            r#"{"nodes": [4], "scenarios": [{"kind": "link_cut", "node": 0, "to_node": 3}]}"#
+        )
+        .is_err());
+        let ok = CampaignSpec::parse(
+            r#"{"nodes": [4], "scenarios": [{"kind": "link_cut", "node": 0, "to_node": 1}]}"#,
+        )
+        .unwrap();
+        assert!(ok.expand().iter().any(|c| c.label.ends_with("lc0-1@20000")));
     }
 }

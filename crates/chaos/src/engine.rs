@@ -14,6 +14,8 @@ use ftcoma_campaign::{run_cell, run_cells, Cell, CellOutcome, Scenario, Scenario
 use ftcoma_core::FtConfig;
 use ftcoma_machine::{export, MachineConfig};
 use ftcoma_mem::addr::ITEMS_PER_PAGE;
+use ftcoma_mem::NodeId;
+use ftcoma_net::MeshGeometry;
 use ftcoma_sim::{derive_seed, DetRng, Json};
 use ftcoma_workloads::{presets, SplashConfig};
 
@@ -44,6 +46,11 @@ pub struct ChaosConfig {
     pub refs_per_node: u64,
     /// Max re-runs the shrinker may spend per counterexample.
     pub shrink_budget: u32,
+    /// Mix interconnect faults (link cuts, router deaths, message-loss
+    /// episodes) into the sampled cases. Off by default: the node-fault
+    /// sampling streams are untouched when disabled, so existing runs
+    /// stay byte-identical.
+    pub net_faults: bool,
 }
 
 impl ChaosConfig {
@@ -63,6 +70,7 @@ impl ChaosConfig {
             freq_hz: 1_000.0,
             refs_per_node: if quick { 4_000 } else { 8_000 },
             shrink_budget: 24,
+            net_faults: false,
         }
     }
 
@@ -203,6 +211,38 @@ fn sample_scenario(rng: &mut DetRng, nodes: u16, horizon: u64, period: u64) -> S
     }
 }
 
+/// Samples one interconnect-fault scenario (only drawn when
+/// [`ChaosConfig::net_faults`] is on): link cuts between mesh-adjacent
+/// pairs, router deaths, and bounded message-loss episodes — all faults
+/// the reliable transport and fault-aware routing must mask or escalate
+/// cleanly.
+fn sample_net_scenario(rng: &mut DetRng, nodes: u16, horizon: u64) -> Scenario {
+    let horizon = horizon.max(2);
+    let node = rng.below(u64::from(nodes)) as u16;
+    let at = rng.in_windows(&[(1, horizon)]).expect("non-empty window");
+    let bucket = rng.below(100);
+    let kind = if bucket < 40 {
+        let geo = MeshGeometry::for_nodes(usize::from(nodes));
+        let neighbors: Vec<u16> = (0..nodes)
+            .filter(|&m| m != node && geo.hops(NodeId::new(node), NodeId::new(m)) == 1)
+            .collect();
+        let to_node = neighbors[rng.below(neighbors.len() as u64) as usize];
+        ScenarioKind::LinkCut { to_node }
+    } else if bucket < 70 {
+        ScenarioKind::RouterDown
+    } else {
+        ScenarioKind::MessageLoss {
+            rate: 50 + rng.below(450) as u32,
+        }
+    };
+    Scenario {
+        kind,
+        node,
+        at,
+        repair_at: None,
+    }
+}
+
 /// What one fuzzing run produced.
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
@@ -257,12 +297,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         let n = cfg.cases / cfg.seeds + u64::from(k < cfg.cases % cfg.seeds);
         let mut rng = cfg.case_rng(k);
         for _ in 0..n {
-            let sc = sample_scenario(
-                &mut rng,
-                cfg.nodes,
-                goldens[k as usize].total_cycles,
-                period,
-            );
+            let horizon = goldens[k as usize].total_cycles;
+            let sc = if cfg.net_faults && rng.chance(0.5) {
+                sample_net_scenario(&mut rng, cfg.nodes, horizon)
+            } else {
+                sample_scenario(&mut rng, cfg.nodes, horizon, period)
+            };
             cells.push(cfg.cell(cells.len() as u64, k, sc));
         }
     }
@@ -323,6 +363,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
                 ("freq", Json::from(cfg.freq_hz)),
                 ("refs_per_node", Json::from(cfg.refs_per_node)),
                 ("shrink_budget", Json::from(u64::from(cfg.shrink_budget))),
+                ("net_faults", Json::from(cfg.net_faults)),
             ]),
         ),
         ("goldens", Json::arr(golden_rows)),
@@ -421,6 +462,9 @@ pub fn replay(cx: &Counterexample) -> Result<Verdict, String> {
         freq_hz: cx.freq_hz,
         refs_per_node: cx.refs_per_node,
         shrink_budget: 0,
+        // Only steers case sampling; a replay re-runs the recorded
+        // scenario directly.
+        net_faults: false,
     };
     cfg.validate()?;
     if cfg.machine_seed(cx.seed_group) != cx.machine_seed {
@@ -459,6 +503,7 @@ mod tests {
             freq_hz: 1_000.0,
             refs_per_node: 1_500,
             shrink_budget: 8,
+            net_faults: false,
         }
     }
 
@@ -474,6 +519,60 @@ mod tests {
                 assert!(gap >= 1 && second_node < 8 && second_node != sc.node);
             }
         }
+    }
+
+    #[test]
+    fn net_fault_sampling_is_in_range() {
+        let mut rng = DetRng::seeded(3);
+        let geo = MeshGeometry::for_nodes(8);
+        for _ in 0..200 {
+            let sc = sample_net_scenario(&mut rng, 8, 50_000);
+            assert!(sc.at >= 1);
+            assert!(sc.node < 8);
+            assert_eq!(sc.repair_at, None);
+            match sc.kind {
+                ScenarioKind::LinkCut { to_node } => {
+                    assert!(to_node < 8 && to_node != sc.node);
+                    assert_eq!(geo.hops(NodeId::new(sc.node), NodeId::new(to_node)), 1);
+                }
+                ScenarioKind::RouterDown => {}
+                ScenarioKind::MessageLoss { rate } => assert!((50..500).contains(&rate)),
+                other => panic!("unexpected node-fault kind {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn net_fault_fuzzing_is_deterministic_and_violation_free() {
+        let cfg1 = ChaosConfig {
+            jobs: 1,
+            net_faults: true,
+            ..tiny(23)
+        };
+        let cfg4 = ChaosConfig {
+            jobs: 4,
+            ..cfg1.clone()
+        };
+        let r1 = run_chaos(&cfg1).unwrap();
+        let r4 = run_chaos(&cfg4).unwrap();
+        let strip = |mut d: Json| {
+            ftcoma_campaign::report::strip_wall_clock(&mut d);
+            d.to_string_pretty()
+        };
+        assert_eq!(strip(r1.doc.clone()), strip(r4.doc));
+        assert_eq!(
+            r1.failed, 0,
+            "net-fault bug or oracle bug: {:#?}",
+            r1.counterexamples
+        );
+        // The mix actually drew interconnect faults, not just node faults.
+        let text = r1.doc.to_string_pretty();
+        assert!(
+            ["link_cut", "router_down", "message_loss"]
+                .iter()
+                .any(|k| text.contains(k)),
+            "no net-fault cases sampled"
+        );
     }
 
     #[test]

@@ -61,8 +61,10 @@ impl GoldenRef {
 pub enum Verdict {
     /// Recovered and passed all three oracle layers.
     Pass,
-    /// Reported `unrecoverable_second_fault` — outside the single-failure
-    /// hypothesis, a *legal* outcome, not an oracle failure.
+    /// Reported `unrecoverable_second_fault` or `partitioned_network` —
+    /// outside the single-failure hypothesis (or the mesh split so no
+    /// component could safely reconfigure), a *legal* fail-stop outcome,
+    /// not an oracle failure.
     Unrecoverable,
     /// An oracle failed; the reasons name each divergence.
     Fail(Vec<String>),
@@ -87,7 +89,8 @@ impl Verdict {
 /// Judges one case outcome against its golden reference.
 pub fn judge(outcome: &CellOutcome, golden: &GoldenRef) -> Verdict {
     match &outcome.outcome {
-        RecoveryOutcome::UnrecoverableSecondFault { .. } => Verdict::Unrecoverable,
+        RecoveryOutcome::UnrecoverableSecondFault { .. }
+        | RecoveryOutcome::PartitionedNetwork { .. } => Verdict::Unrecoverable,
         RecoveryOutcome::InvariantViolation { at, problems } => Verdict::Fail(
             problems
                 .iter()
@@ -275,6 +278,17 @@ mod tests {
             RecoveryOutcome::UnrecoverableSecondFault {
                 at: 5,
                 node: ftcoma_mem::NodeId::new(1),
+            },
+        );
+        assert_eq!(judge(&o, &golden()), Verdict::Unrecoverable);
+        let o = outcome(
+            Vec::new(),
+            Vec::new(),
+            0,
+            RecoveryOutcome::PartitionedNetwork {
+                at: 7,
+                from: ftcoma_mem::NodeId::new(0),
+                to: ftcoma_mem::NodeId::new(3),
             },
         );
         assert_eq!(judge(&o, &golden()), Verdict::Unrecoverable);

@@ -16,7 +16,9 @@ use ftcoma_campaign::{Scenario, ScenarioKind};
 /// 1. structural: drop the second fault of a back-to-back pair, collapse
 ///    a failure cycle to its first fault, demote permanent to transient;
 /// 2. bisect the injection cycle `at` downwards;
-/// 3. for surviving back-to-back pairs, bisect the `gap` downwards.
+/// 3. for surviving back-to-back pairs, bisect the `gap` downwards;
+/// 4. for surviving message-loss episodes, halve the drop `rate` downwards
+///    (a lower rate is a gentler, easier-to-analyse reproduction).
 pub fn shrink_scenario<F: FnMut(&Scenario) -> bool>(
     scenario: &Scenario,
     mut still_fails: F,
@@ -32,7 +34,13 @@ pub fn shrink_scenario<F: FnMut(&Scenario) -> bool>(
         }
         ScenarioKind::Cycle { .. } => vec![ScenarioKind::Transient],
         ScenarioKind::Permanent => vec![ScenarioKind::Transient],
-        ScenarioKind::Transient | ScenarioKind::None => Vec::new(),
+        // Interconnect faults have no simpler node-level equivalent: a
+        // link cut or router death is already its own minimal shape.
+        ScenarioKind::Transient
+        | ScenarioKind::None
+        | ScenarioKind::LinkCut { .. }
+        | ScenarioKind::RouterDown
+        | ScenarioKind::MessageLoss { .. } => Vec::new(),
     };
     for kind in simpler {
         let cand = Scenario {
@@ -67,6 +75,20 @@ pub fn shrink_scenario<F: FnMut(&Scenario) -> bool>(
                 gap: gap / 2,
                 second_node,
             },
+            ..best
+        };
+        if !attempt(&cand, &mut best, &mut used, budget, &mut still_fails) {
+            break;
+        }
+    }
+
+    // Halve a surviving message-loss rate towards 1 per-mille.
+    while let ScenarioKind::MessageLoss { rate } = best.kind {
+        if rate <= 1 || used >= budget {
+            break;
+        }
+        let cand = Scenario {
+            kind: ScenarioKind::MessageLoss { rate: rate / 2 },
             ..best
         };
         if !attempt(&cand, &mut best, &mut used, budget, &mut still_fails) {
@@ -141,6 +163,25 @@ mod tests {
             64,
         );
         assert!(matches!(best.kind, ScenarioKind::BackToBack { gap: 1, .. }));
+    }
+
+    #[test]
+    fn message_loss_rate_halves_while_still_failing() {
+        let ml = Scenario {
+            kind: ScenarioKind::MessageLoss { rate: 800 },
+            node: 1,
+            at: 40_000,
+            repair_at: None,
+        };
+        // Fails whenever the rate stays at or above 100 per-mille: the
+        // halving loop walks 800 -> 400 -> 200 -> 100 and stops there.
+        let (best, _) = shrink_scenario(
+            &ml,
+            |s| matches!(s.kind, ScenarioKind::MessageLoss { rate } if rate >= 100),
+            64,
+        );
+        assert_eq!(best.kind, ScenarioKind::MessageLoss { rate: 100 });
+        assert_eq!(best.at, 1);
     }
 
     #[test]

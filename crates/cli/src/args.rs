@@ -47,7 +47,7 @@ impl Parsed {
             if key.is_empty() {
                 return Err(ArgError("empty flag name".into()));
             }
-            let value = if matches!(key, "no-ft" | "verify" | "wormhole" | "json") {
+            let value = if matches!(key, "no-ft" | "verify" | "wormhole" | "json" | "net-faults") {
                 "true".to_string() // boolean flags take no value
             } else {
                 it.next()

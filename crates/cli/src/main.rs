@@ -82,7 +82,7 @@ USAGE
   ftcoma campaign --spec FILE [--jobs J] [--json] [--out FILE] [--cell ID]
   ftcoma chaos    [--seeds G] [--cases N] [--jobs J] [--seed S]
                   [--workload W] [--nodes K] [--freq F] [--refs R]
-                  [--out FILE] [--json]
+                  [--net-faults] [--out FILE] [--json]
   ftcoma chaos    --replay ARTIFACT.json
   ftcoma latency
   ftcoma help
@@ -102,6 +102,10 @@ CHAOS (see docs/CHAOS.md)
   same seed, and liveness bounds. Failing cases are shrunk by bisection
   and written as standalone counterexample artifacts; --replay re-runs
   one artifact byte-identically (exit 0 iff it still reproduces).
+  --net-faults mixes interconnect faults into the sampled cases: link
+  cuts, router deaths and message-loss episodes, which the fault-aware
+  routing and reliable transport must mask or escalate cleanly (see
+  docs/NETWORK.md).
   Reports are byte-identical across --jobs (modulo wall_ms_total).
   FTCOMA_BENCH_QUICK=1 halves the per-case run length for CI smoke.
 
@@ -667,7 +671,18 @@ fn cmd_campaign(p: &Parsed) -> Result<(), ArgError> {
 }
 
 const CHAOS_FLAGS: &[&str] = &[
-    "seeds", "cases", "jobs", "seed", "workload", "nodes", "freq", "refs", "out", "json", "replay",
+    "seeds",
+    "cases",
+    "jobs",
+    "seed",
+    "workload",
+    "nodes",
+    "freq",
+    "refs",
+    "out",
+    "json",
+    "replay",
+    "net-faults",
 ];
 
 /// Where a counterexample artifact lands: next to `--out` when given
@@ -697,6 +712,7 @@ fn cmd_chaos(p: &Parsed) -> Result<(), ArgError> {
     cfg.nodes = p.u64_or("nodes", u64::from(cfg.nodes))? as u16;
     cfg.freq_hz = p.f64_or("freq", cfg.freq_hz)?;
     cfg.refs_per_node = p.u64_or("refs", cfg.refs_per_node)?;
+    cfg.net_faults = p.has("net-faults");
     let quiet = p.has("json");
     if !quiet {
         println!(

@@ -41,7 +41,7 @@ fn run_json_emits_versioned_schema_on_stdout() {
     let text = std::str::from_utf8(&out.stdout).expect("utf-8 stdout");
     let doc = Json::parse(text).expect("stdout is one valid JSON document");
 
-    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(4));
     let machine = doc.get("machine").expect("machine section");
     for key in [
         "nodes",
@@ -86,7 +86,7 @@ fn run_json_emits_versioned_schema_on_stdout() {
         assert!(lat.get(key).is_some(), "missing access_latency.{key}");
     }
 
-    // Schema 3: every run reports its structured recovery outcome.
+    // Since schema 3 every run reports its structured recovery outcome.
     assert_eq!(
         doc.get("outcome")
             .and_then(|o| o.get("status"))
@@ -146,7 +146,7 @@ fn chaos_smoke_is_deterministic_and_passes() {
         );
         let text = std::str::from_utf8(&out.stdout).unwrap().to_string();
         let doc = Json::parse(&text).expect("chaos report parses");
-        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(4));
         assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("chaos"));
         let oracle = doc.get("oracle").expect("oracle tallies");
         assert_eq!(oracle.get("fail").and_then(|v| v.as_u64()), Some(0));
@@ -158,6 +158,43 @@ fn chaos_smoke_is_deterministic_and_passes() {
         strip_wall_lines(&reports[1]),
         "chaos reports must be byte-identical across --jobs modulo wall clock"
     );
+}
+
+#[test]
+fn chaos_net_faults_smoke_passes() {
+    let out = ftcoma(&[
+        "chaos",
+        "--seeds",
+        "1",
+        "--cases",
+        "4",
+        "--nodes",
+        "8",
+        "--refs",
+        "1500",
+        "--freq",
+        "1000",
+        "--seed",
+        "9",
+        "--net-faults",
+        "--jobs",
+        "2",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "net-fault chaos failed the oracle; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(std::str::from_utf8(&out.stdout).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("config")
+            .and_then(|c| c.get("net_faults"))
+            .and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    let oracle = doc.get("oracle").expect("oracle tallies");
+    assert_eq!(oracle.get("fail").and_then(|v| v.as_u64()), Some(0));
 }
 
 #[test]
@@ -185,7 +222,7 @@ fn metrics_and_trace_files_are_valid_json() {
     );
 
     let m = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
-    assert_eq!(m.get("schema_version").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(m.get("schema_version").and_then(|v| v.as_u64()), Some(4));
 
     let t = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
     let events = t.get("traceEvents").unwrap().as_array().unwrap();
@@ -218,7 +255,7 @@ fn metrics_and_trace_files_are_valid_json() {
             .unwrap()
             .get("schema_version")
             .and_then(|v| v.as_u64()),
-        Some(3)
+        Some(4)
     );
 
     for p in [metrics, trace, jsonl] {
@@ -269,7 +306,7 @@ fn campaign_is_deterministic_across_job_counts() {
         );
         let text = std::str::from_utf8(&out.stdout).unwrap().to_string();
         let doc = Json::parse(&text).expect("campaign report parses");
-        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(4));
         assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("campaign"));
         // 2 workloads x (1 baseline + 2 scenarios) = 6 cells.
         assert_eq!(doc.get("cells").unwrap().as_array().unwrap().len(), 6);

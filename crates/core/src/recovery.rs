@@ -51,6 +51,18 @@ pub enum RecoveryOutcome {
         /// Human-readable violation reports.
         problems: Vec<String>,
     },
+    /// Interconnect faults split the mesh: after exhausting its transport
+    /// retries, the machine found both itself and its peer cut off from the
+    /// majority of live nodes. No reconfiguration can restore a consistent
+    /// memory image across the split, so the machine halts fail-stop.
+    PartitionedNetwork {
+        /// Simulation time at which the partition was diagnosed.
+        at: Cycles,
+        /// The node whose transport gave up.
+        from: NodeId,
+        /// The unreachable peer.
+        to: NodeId,
+    },
 }
 
 impl RecoveryOutcome {
@@ -60,12 +72,14 @@ impl RecoveryOutcome {
     }
 
     /// Stable machine-readable tag (`recovered` /
-    /// `unrecoverable_second_fault` / `invariant_violation`).
+    /// `unrecoverable_second_fault` / `invariant_violation` /
+    /// `partitioned_network`).
     pub fn label(&self) -> &'static str {
         match self {
             RecoveryOutcome::Recovered => "recovered",
             RecoveryOutcome::UnrecoverableSecondFault { .. } => "unrecoverable_second_fault",
             RecoveryOutcome::InvariantViolation { .. } => "invariant_violation",
+            RecoveryOutcome::PartitionedNetwork { .. } => "partitioned_network",
         }
     }
 }
@@ -83,6 +97,12 @@ impl std::fmt::Display for RecoveryOutcome {
                     write!(f, "\n  {p}")?;
                 }
                 Ok(())
+            }
+            RecoveryOutcome::PartitionedNetwork { at, from, to } => {
+                write!(
+                    f,
+                    "network partitioned at cycle {at}: {from} cannot reach {to}"
+                )
             }
         }
     }

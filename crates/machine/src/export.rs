@@ -23,7 +23,7 @@
 //! });
 //! let metrics = m.run();
 //! let doc = export::metrics_json(&metrics, &m.link_report());
-//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(3));
+//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(4));
 //! let trace = export::chrome_trace(&m.trace(), 20_000_000.0);
 //! assert!(!trace.get("traceEvents").unwrap().as_array().unwrap().is_empty());
 //! ```
@@ -50,7 +50,11 @@ use crate::tracelog::TraceEvent;
 ///   `"outcome"` object ([`outcome_json`]), the chaos report
 ///   (`"kind": "chaos"`) and its counterexample artifacts are introduced,
 ///   and `ftcoma run --json` gains a top-level `"outcome"` field.
-pub const SCHEMA_VERSION: u64 = 3;
+/// * 4 — interconnect fault tolerance: the machine `"net"` object gains
+///   `retries`, `timeouts`, `detour_hops` and `dropped_msgs`; per-link rows
+///   gain `"alive"`; traces gain `link_cut`/`router_down` events; outcomes
+///   gain the `partitioned_network` status.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Serializes a [`RecoveryOutcome`](ftcoma_core::RecoveryOutcome) as a JSON
 /// object: `{"status": <label>}` plus the variant's fields (`at`/`node` for
@@ -70,6 +74,11 @@ pub fn outcome_json(o: &ftcoma_core::RecoveryOutcome) -> Json {
                 "problems".to_string(),
                 Json::arr(problems.iter().map(|p| Json::from(p.as_str()))),
             ));
+        }
+        RecoveryOutcome::PartitionedNetwork { at, from, to } => {
+            pairs.push(("at".to_string(), Json::from(*at)));
+            pairs.push(("from".to_string(), Json::from(from.index())));
+            pairs.push(("to".to_string(), Json::from(to.index())));
         }
     }
     Json::Obj(pairs)
@@ -137,6 +146,10 @@ fn machine_section(m: &RunMetrics) -> Json {
             Json::obj([
                 ("messages", Json::from(m.net_messages)),
                 ("contention_cycles", Json::from(m.net_contention_cycles)),
+                ("retries", Json::from(m.net_retries)),
+                ("timeouts", Json::from(m.net_timeouts)),
+                ("detour_hops", Json::from(m.net_detour_hops)),
+                ("dropped_msgs", Json::from(m.net_dropped_msgs)),
             ]),
         ),
     ])
@@ -182,6 +195,7 @@ fn link_row(l: &LinkReport, total_cycles: Cycles) -> Json {
         ),
         ("to", Json::arr([Json::from(l.to.0), Json::from(l.to.1)])),
         ("class", Json::from(l.class.name())),
+        ("alive", Json::from(l.alive)),
         ("messages", Json::from(l.stats.messages)),
         ("busy_cycles", Json::from(l.stats.busy_cycles)),
         ("contention_cycles", Json::from(l.stats.contention_cycles)),
@@ -204,6 +218,10 @@ pub fn registry_from(m: &RunMetrics) -> MetricsRegistry {
     reg.counter_add("items_checkpointed_total", &[], m.items_checkpointed);
     reg.counter_add("replication_bytes_total", &[], m.replication_bytes);
     reg.counter_add("net_messages_total", &[], m.net_messages);
+    reg.counter_add("net_retries_total", &[], m.net_retries);
+    reg.counter_add("net_timeouts_total", &[], m.net_timeouts);
+    reg.counter_add("net_detour_hops_total", &[], m.net_detour_hops);
+    reg.counter_add("net_dropped_msgs_total", &[], m.net_dropped_msgs);
     for (cause, v) in [
         ("replacement", m.injections_replacement),
         ("on_read", m.injections_on_read),
@@ -252,6 +270,13 @@ pub fn trace_event_json(e: &TraceEvent) -> Json {
         TraceEvent::NodeCommit { node, dur, .. } | TraceEvent::NodeRollback { node, dur, .. } => {
             pairs.push(("node".to_string(), Json::from(node.index())));
             pairs.push(("dur".to_string(), Json::from(*dur)));
+        }
+        TraceEvent::LinkCut { a, b, .. } => {
+            pairs.push(("a".to_string(), Json::from(a.index())));
+            pairs.push(("b".to_string(), Json::from(b.index())));
+        }
+        TraceEvent::RouterDown { node, .. } => {
+            pairs.push(("node".to_string(), Json::from(node.index())));
         }
         TraceEvent::Failure {
             node, permanent, ..
@@ -378,6 +403,20 @@ pub fn chrome_trace(events: &[TraceEvent], clock_hz: f64) -> Json {
                     tid,
                     Json::Obj(Vec::new()),
                 ));
+            }
+            TraceEvent::LinkCut { at, a, b } => {
+                note_tid(0, &mut tids_seen);
+                rows.push(instant(
+                    "link cut",
+                    us(*at),
+                    0,
+                    Json::obj([("a", Json::from(a.index())), ("b", Json::from(b.index()))]),
+                ));
+            }
+            TraceEvent::RouterDown { at, node } => {
+                let tid = node.index() as u64 + 1;
+                note_tid(tid, &mut tids_seen);
+                rows.push(instant("router down", us(*at), tid, Json::Obj(Vec::new())));
             }
             TraceEvent::Failure {
                 at,

@@ -8,10 +8,11 @@ use ftcoma_core::{
     RecoveryOutcome,
 };
 use ftcoma_mem::{ItemId, ItemState, NodeId};
-use ftcoma_net::{Fabric, LogicalRing};
+use ftcoma_net::{Fabric, FaultDecision, LogicalRing, NetClass, NetFaultPlan};
 use ftcoma_protocol::msg::{InjectCause, Msg};
+use ftcoma_protocol::transport::{backoff, DedupFilter, SeqSpace, MAX_RETRIES};
 use ftcoma_protocol::NodeState;
-use ftcoma_sim::{Cycles, EventQueue};
+use ftcoma_sim::{derive_seed, Cycles, EventQueue};
 use ftcoma_workloads::{MemRef, NodeStream, RefStream, StreamSnapshot};
 
 use crate::config::{FailureKind, MachineConfig};
@@ -33,7 +34,41 @@ enum Event {
     Failure { node: NodeId, kind: FailureKind },
     /// A replacement node rejoins in place of a permanently failed one.
     Repair { node: NodeId },
+    /// Reliable-transport delivery attempt: one physical copy of packet
+    /// `(src, seq)` arriving at `to`.
+    NetDeliver {
+        src: NodeId,
+        to: NodeId,
+        seq: u64,
+        msg: Msg,
+    },
+    /// Transport acknowledgement for `(src, dst, seq)` arriving back at
+    /// `src`.
+    NetAck { src: NodeId, dst: NodeId, seq: u64 },
+    /// Retransmission timer for in-flight packet `(src, dst, seq)`.
+    NetRetry { src: NodeId, dst: NodeId, seq: u64 },
+    /// Scheduled interconnect fault: a mesh link is cut.
+    LinkCut { a: NodeId, b: NodeId },
+    /// Scheduled interconnect fault: a mesh router dies.
+    RouterDown { node: NodeId },
 }
+
+/// An unacknowledged transport packet awaiting its ack or next retry.
+#[derive(Debug)]
+struct InFlight {
+    msg: Msg,
+    attempts: u32,
+}
+
+/// Seed stream for the message-loss plan installed by
+/// [`Machine::set_message_loss`] (decorrelates it from workload streams).
+const NET_PLAN_STREAM: u64 = 0xD1A5_7E2C_0FF3_1D07;
+
+/// How long a [`Machine::set_message_loss`] window stays open. Bounded so
+/// a lossy episode behaves like a transient network fault rather than a
+/// permanently degraded mesh (which would escalate into node failures with
+/// probability approaching 1 as the run grows).
+const LOSS_WINDOW: Cycles = 16_000;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProcState {
@@ -102,6 +137,19 @@ pub struct Machine {
     timer_in_queue: bool,
     pending_repair: Option<NodeId>,
 
+    /// Reliable transport active? Flips on when a fault plan is installed
+    /// or an interconnect fault is scheduled; off = the exact legacy
+    /// fire-and-forget path (mesh sends cannot fail on a healthy fabric).
+    transport_active: bool,
+    /// Deterministic drop/duplicate/delay plan consulted per physical send.
+    net_plan: Option<NetFaultPlan>,
+    /// Per-source send sequence spaces (indexed by sender).
+    seqs: Vec<SeqSpace>,
+    /// Per-receiver duplicate suppression (indexed by receiver).
+    dedup: Vec<DedupFilter>,
+    /// Unacked packets by `(src, dst, seq)`.
+    in_flight: HashMap<(NodeId, NodeId, u64), InFlight>,
+
     committed_values: HashMap<ItemId, u64>,
     trace: TraceLog,
     metrics: RunMetrics,
@@ -160,6 +208,11 @@ impl Machine {
             recovery_scan_end: 0,
             timer_in_queue: false,
             pending_repair: None,
+            transport_active: cfg.net_fault.is_some(),
+            net_plan: cfg.net_fault.clone(),
+            seqs: vec![SeqSpace::new(); n],
+            dedup: vec![DedupFilter::new(); n],
+            in_flight: HashMap::new(),
             committed_values: HashMap::new(),
             trace: TraceLog::new(cfg.trace_capacity),
             metrics: RunMetrics {
@@ -215,6 +268,75 @@ impl Machine {
         self.queue.schedule(at, Event::Repair { node });
     }
 
+    /// Schedules a mesh link cut at `at`: both directions of the `a`–`b`
+    /// link die, forcing traffic to detour (or, if the cut severs the mesh,
+    /// escalating through the reliable transport). Activates the transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fault tolerance is disabled, the fabric is a bus (no
+    /// per-link topology), or a node index is out of range; `a` and `b`
+    /// must be mesh-adjacent (checked when the cut is applied).
+    pub fn schedule_link_cut(&mut self, at: Cycles, a: NodeId, b: NodeId) {
+        assert!(
+            self.cfg.ft.mode.is_enabled(),
+            "interconnect faults require the ECP machine"
+        );
+        assert!(self.cfg.bus.is_none(), "link cuts need a mesh fabric");
+        assert!(
+            a.index() < self.nodes.len() && b.index() < self.nodes.len(),
+            "no such node"
+        );
+        self.transport_active = true;
+        self.queue.schedule(at, Event::LinkCut { a, b });
+    }
+
+    /// Schedules a mesh router failure at `at`: the node's router stops
+    /// switching, making the node unreachable while its processor keeps
+    /// running. Its peers' transports time out and escalate, turning the
+    /// router loss into a permanent node failure. Activates the transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fault tolerance is disabled, the fabric is a bus, or the
+    /// node index is out of range.
+    pub fn schedule_router_down(&mut self, at: Cycles, node: NodeId) {
+        assert!(
+            self.cfg.ft.mode.is_enabled(),
+            "interconnect faults require the ECP machine"
+        );
+        assert!(self.cfg.bus.is_none(), "router faults need a mesh fabric");
+        assert!(node.index() < self.nodes.len(), "no such node");
+        self.transport_active = true;
+        self.queue.schedule(at, Event::RouterDown { node });
+    }
+
+    /// Installs a seeded message-loss episode: starting at `at`, each
+    /// physical packet is dropped with probability `rate_per_mille`/1000
+    /// for a bounded window ([`LOSS_WINDOW`] cycles). The reliable
+    /// transport masks the losses with retransmissions. Activates the
+    /// transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fault tolerance is disabled, a plan is already installed,
+    /// or the rate exceeds 1000 per-mille.
+    pub fn set_message_loss(&mut self, at: Cycles, rate_per_mille: u32) {
+        assert!(
+            self.cfg.ft.mode.is_enabled(),
+            "interconnect faults require the ECP machine"
+        );
+        assert!(
+            self.net_plan.is_none(),
+            "one message fault plan per machine"
+        );
+        let plan =
+            NetFaultPlan::message_loss(derive_seed(self.cfg.seed, NET_PLAN_STREAM), rate_per_mille)
+                .with_window(at, at + LOSS_WINDOW);
+        self.transport_active = true;
+        self.net_plan = Some(plan);
+    }
+
     /// Runs the machine to completion and returns the metrics.
     pub fn run(&mut self) -> RunMetrics {
         assert!(!self.finished, "machine already ran");
@@ -247,6 +369,7 @@ impl Machine {
         }
         self.metrics.net_messages = self.mesh.stats().messages;
         self.metrics.net_contention_cycles = self.mesh.stats().contention_cycles;
+        self.metrics.net_detour_hops = self.mesh.stats().detour_hops;
         if let Some((base, base_cycles)) = self.baseline.take() {
             self.metrics = self.metrics.delta_since(&base);
             self.metrics.total_cycles = self.queue.now() - base_cycles;
@@ -410,6 +533,26 @@ impl Machine {
             Event::CkptTimer => self.on_ckpt_timer(),
             Event::Failure { node, kind } => self.on_failure(node, kind),
             Event::Repair { node } => self.on_repair_request(node),
+            Event::NetDeliver { src, to, seq, msg } => self.on_net_deliver(src, to, seq, msg),
+            Event::NetAck { src, dst, seq } => {
+                self.in_flight.remove(&(src, dst, seq));
+            }
+            Event::NetRetry { src, dst, seq } => self.on_net_retry(src, dst, seq),
+            Event::LinkCut { a, b } => {
+                self.trace.push(TraceEvent::LinkCut {
+                    at: self.queue.now(),
+                    a,
+                    b,
+                });
+                self.mesh.fail_link(a, b);
+            }
+            Event::RouterDown { node } => {
+                self.trace.push(TraceEvent::RouterDown {
+                    at: self.queue.now(),
+                    node,
+                });
+                self.mesh.fail_router(node);
+            }
         }
         if self.halted {
             return; // terminal outcome: no phase may make progress
@@ -549,6 +692,7 @@ impl Machine {
             snap.total_cycles = 0;
             snap.net_messages = self.mesh.stats().messages;
             snap.net_contention_cycles = self.mesh.stats().contention_cycles;
+            snap.net_detour_hops = self.mesh.stats().detour_hops;
             self.baseline = Some((snap, self.queue.now()));
         }
         if r.is_write {
@@ -792,6 +936,7 @@ impl Machine {
     /// home-range migration back, and reclaiming its share of the work.
     fn do_repair(&mut self, node: NodeId) {
         let i = node.index();
+        self.mesh.repair_node(node);
         self.ring.mark_alive(node);
         self.nodes[i] = NodeState::new(node, self.cfg.am, self.cfg.cache);
         self.engine.reset_node(node);
@@ -864,22 +1009,39 @@ impl Machine {
             permanent: kind == FailureKind::Permanent,
         });
 
-        // 1. Every in-flight message and scheduled processor issue is moot.
+        // 1. Every in-flight message and scheduled processor issue is moot
+        //    (scheduled interconnect faults survive: the mesh keeps its own
+        //    fate regardless of node-level recovery). The transport loses
+        //    all its packets with the network, so its state resets too.
         self.queue.retain(|e| {
             matches!(
                 e,
-                Event::CkptTimer | Event::Failure { .. } | Event::Repair { .. }
+                Event::CkptTimer
+                    | Event::Failure { .. }
+                    | Event::Repair { .. }
+                    | Event::LinkCut { .. }
+                    | Event::RouterDown { .. }
             )
         });
         self.deliver_pending = 0;
+        self.in_flight.clear();
+        for s in &mut self.seqs {
+            s.clear();
+        }
+        for d in &mut self.dedup {
+            d.clear();
+        }
         for i in 0..self.nodes.len() {
             self.epochs[i] += 1;
             self.pending_ref[i] = None;
         }
 
-        // 2. The failed node.
+        // 2. The failed node. A permanent loss takes its mesh router down
+        //    with it, so subsequent traffic detours around the dead node
+        //    instead of flowing through a ghost router.
         let permanent = kind == FailureKind::Permanent;
         if permanent {
+            self.mesh.fail_node(node);
             self.ring.mark_dead(node);
             recovery::wipe_dead_node(&mut self.nodes[node.index()]);
             self.proc[node.index()] = ProcState::Dead;
@@ -1028,17 +1190,240 @@ impl Machine {
     fn apply_outgoing(&mut self, from: NodeId, out: Vec<ftcoma_protocol::msg::Outgoing>) {
         for o in out {
             let depart = self.queue.now() + o.delay;
-            let arrival = self
-                .mesh
-                .send(depart, from, o.to, o.msg.class(), o.msg.payload_bytes());
-            self.queue.schedule(
-                arrival,
-                Event::Deliver {
-                    to: o.to,
+            if !self.transport_active || o.to == from {
+                // Fire-and-forget: either no interconnect faults are in
+                // play, or the message never leaves the node (node-local
+                // deliveries need no end-to-end framing). A send can only
+                // fail once a mesh fault has removed the route, in which
+                // case the destination must already be a dead node whose
+                // router died with it; the dead node would have swallowed
+                // the message anyway.
+                match self
+                    .mesh
+                    .send(depart, from, o.to, o.msg.class(), o.msg.payload_bytes())
+                {
+                    Ok(arrival) => {
+                        self.queue.schedule(
+                            arrival,
+                            Event::Deliver {
+                                to: o.to,
+                                msg: o.msg,
+                            },
+                        );
+                        self.deliver_pending += 1;
+                    }
+                    Err(_) => {
+                        debug_assert!(
+                            !self.nodes[o.to.index()].alive,
+                            "unroutable destination {} is alive",
+                            o.to
+                        );
+                        self.metrics.net_dropped_msgs += 1;
+                    }
+                }
+                continue;
+            }
+            // Reliable transport: sequence the packet, remember it until
+            // acked, and let the retry timer repair whatever the network
+            // does to it. `deliver_pending` counts logical messages, so it
+            // rises exactly once here no matter how many copies fly.
+            let seq = self.seqs[from.index()].next(o.to);
+            self.deliver_pending += 1;
+            self.in_flight.insert(
+                (from, o.to, seq),
+                InFlight {
                     msg: o.msg,
+                    attempts: 0,
                 },
             );
-            self.deliver_pending += 1;
+            self.transmit(depart, from, o.to, seq);
+        }
+    }
+
+    /// Sends one physical copy of in-flight packet `(src, dst, seq)` and
+    /// arms its retransmission timer. The fault plan may drop, duplicate
+    /// or delay the copy; an unroutable destination counts as a drop (the
+    /// retry timer escalates if the route never comes back).
+    fn transmit(&mut self, depart: Cycles, src: NodeId, dst: NodeId, seq: u64) {
+        let entry = &self.in_flight[&(src, dst, seq)];
+        let (msg, attempt) = (entry.msg.clone(), entry.attempts);
+        let (mut copies, mut extra_delay) = (1, 0);
+        if let Some(plan) = &mut self.net_plan {
+            match plan.decide(depart) {
+                FaultDecision::Deliver => {}
+                FaultDecision::Drop => copies = 0,
+                FaultDecision::Duplicate => copies = 2,
+                FaultDecision::Delay(d) => extra_delay = d,
+            }
+        }
+        if copies == 0 {
+            self.metrics.net_dropped_msgs += 1;
+        }
+        for _ in 0..copies {
+            match self
+                .mesh
+                .send(depart, src, dst, msg.class(), msg.payload_bytes())
+            {
+                Ok(arrival) => {
+                    self.queue.schedule(
+                        arrival + extra_delay,
+                        Event::NetDeliver {
+                            src,
+                            to: dst,
+                            seq,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                Err(_) => {
+                    self.metrics.net_dropped_msgs += 1;
+                    break;
+                }
+            }
+        }
+        self.queue
+            .schedule(depart + backoff(attempt), Event::NetRetry { src, dst, seq });
+    }
+
+    /// A physical copy of `(src, seq)` reached `to`: ack it, and hand the
+    /// payload to the protocol engine iff this is its first arrival.
+    fn on_net_deliver(&mut self, src: NodeId, to: NodeId, seq: u64, msg: Msg) {
+        if !self.nodes[to.index()].alive {
+            return; // purged-queue stragglers only; nothing was counted
+        }
+        // Ack every copy: the sender keeps retransmitting until an ack
+        // survives the network, so duplicates must re-ack too.
+        self.send_ack(to, src, seq);
+        if !self.dedup[to.index()].first_delivery(src, seq) {
+            return; // duplicate suppressed
+        }
+        self.deliver_pending -= 1;
+        if self.trace.enabled() {
+            self.trace.push(TraceEvent::Delivery {
+                at: self.queue.now(),
+                to,
+                kind: msg.kind(),
+                item: msg.item(),
+            });
+        }
+        let mut ctx = Ctx::new(&self.ring, self.queue.now());
+        self.engine
+            .handle(&mut self.nodes[to.index()], msg, &mut ctx);
+        let (out, effects) = ctx.finish();
+        self.apply_outgoing(to, out);
+        self.apply_effects(to, effects);
+    }
+
+    /// Sends a transport ack from `from` back to `to` for `(to, from, seq)`.
+    /// Acks are header-only reply-class packets, subject to the fault plan
+    /// but never retried themselves: a lost ack is repaired by the data
+    /// packet's retransmission, which triggers a fresh ack.
+    fn send_ack(&mut self, from: NodeId, to: NodeId, seq: u64) {
+        let now = self.queue.now();
+        let (mut copies, mut extra_delay) = (1, 0);
+        if let Some(plan) = &mut self.net_plan {
+            match plan.decide(now) {
+                FaultDecision::Deliver => {}
+                FaultDecision::Drop => copies = 0,
+                FaultDecision::Duplicate => copies = 2,
+                FaultDecision::Delay(d) => extra_delay = d,
+            }
+        }
+        if copies == 0 {
+            self.metrics.net_dropped_msgs += 1;
+        }
+        for _ in 0..copies {
+            match self.mesh.send(now, from, to, NetClass::Reply, 0) {
+                Ok(arrival) => {
+                    self.queue.schedule(
+                        arrival + extra_delay,
+                        Event::NetAck {
+                            src: to,
+                            dst: from,
+                            seq,
+                        },
+                    );
+                }
+                Err(_) => {
+                    self.metrics.net_dropped_msgs += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The retransmission timer for `(src, dst, seq)` fired. If the ack
+    /// already arrived this is a no-op; otherwise retransmit with doubled
+    /// timeout, or escalate once the retry budget is spent.
+    fn on_net_retry(&mut self, src: NodeId, dst: NodeId, seq: u64) {
+        let Some(entry) = self.in_flight.get_mut(&(src, dst, seq)) else {
+            return; // acked in time
+        };
+        self.metrics.net_timeouts += 1;
+        if entry.attempts >= MAX_RETRIES {
+            self.in_flight.remove(&(src, dst, seq));
+            self.escalate(src, dst);
+            return;
+        }
+        entry.attempts += 1;
+        self.metrics.net_retries += 1;
+        let now = self.queue.now();
+        self.transmit(now, src, dst, seq);
+    }
+
+    /// The transport gave up on `dst` after [`MAX_RETRIES`]: decide what
+    /// that means for the machine. A peer that is still routable looks
+    /// dead, so the single-failure machinery handles it. If the mesh is
+    /// severed, the largest connected component of live nodes (ties broken
+    /// towards the one holding the lowest node id) carries on and treats
+    /// the endpoints outside it as failed; when neither endpoint is in the
+    /// majority component, no side can safely reconfigure and the machine
+    /// halts fail-stop with [`RecoveryOutcome::PartitionedNetwork`].
+    fn escalate(&mut self, src: NodeId, dst: NodeId) {
+        if self.mesh.reachable(src, dst) {
+            // Pure message loss: the peer is unresponsive, not unreachable.
+            self.on_failure(dst, FailureKind::Permanent);
+            return;
+        }
+        let live: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.id)
+            .collect();
+        let mut best: Vec<NodeId> = Vec::new();
+        let mut assigned = vec![false; self.nodes.len()];
+        for &n in &live {
+            if assigned[n.index()] {
+                continue;
+            }
+            let comp: Vec<NodeId> = live
+                .iter()
+                .copied()
+                .filter(|&m| self.mesh.reachable(n, m))
+                .collect();
+            for &m in &comp {
+                assigned[m.index()] = true;
+            }
+            // First strictly-larger component wins; iteration order is by
+            // ascending node id, so ties resolve to the lowest-id one.
+            if comp.len() > best.len() {
+                best = comp;
+            }
+        }
+        let src_in = best.contains(&src);
+        let dst_in = best.contains(&dst);
+        match (src_in, dst_in) {
+            (true, false) => self.on_failure(dst, FailureKind::Permanent),
+            (false, true) => self.on_failure(src, FailureKind::Permanent),
+            _ => {
+                self.outcome = RecoveryOutcome::PartitionedNetwork {
+                    at: self.queue.now(),
+                    from: src,
+                    to: dst,
+                };
+                self.halt();
+            }
         }
     }
 

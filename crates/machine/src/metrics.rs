@@ -129,6 +129,17 @@ pub struct RunMetrics {
     pub net_messages: u64,
     /// Cycles messages spent waiting for busy links.
     pub net_contention_cycles: Cycles,
+    /// Transport retransmissions (timer expired, packet resent).
+    pub net_retries: u64,
+    /// Transport retry-timer expirations with the ack still outstanding
+    /// (counts the final, escalating expiration too, unlike `net_retries`).
+    pub net_timeouts: u64,
+    /// Extra hops taken beyond the Manhattan distance because fault-aware
+    /// routing detoured around failed links or routers.
+    pub net_detour_hops: u64,
+    /// Messages the fault plan dropped in flight, plus send attempts
+    /// refused because no healthy route existed.
+    pub net_dropped_msgs: u64,
 
     /// Number of nodes in the run (for per-node normalisation).
     pub nodes: u64,
@@ -175,6 +186,10 @@ impl RunMetrics {
             pages_peak: self.pages_peak,
             net_messages: self.net_messages - base.net_messages,
             net_contention_cycles: self.net_contention_cycles - base.net_contention_cycles,
+            net_retries: self.net_retries - base.net_retries,
+            net_timeouts: self.net_timeouts - base.net_timeouts,
+            net_detour_hops: self.net_detour_hops - base.net_detour_hops,
+            net_dropped_msgs: self.net_dropped_msgs - base.net_dropped_msgs,
             nodes: self.nodes,
             per_node: self
                 .per_node

@@ -48,13 +48,15 @@ fn measure_read(item: ItemId, setup: impl FnOnce(&mut [NodeState])) -> Cycles {
     let outcome = engine.access(&mut nodes[0], req, &mut ctx);
     let (out, effects) = ctx.finish();
     for o in out {
-        let arrival = mesh.send(
-            o.delay,
-            requester,
-            o.to,
-            o.msg.class(),
-            o.msg.payload_bytes(),
-        );
+        let arrival = mesh
+            .send(
+                o.delay,
+                requester,
+                o.to,
+                o.msg.class(),
+                o.msg.payload_bytes(),
+            )
+            .expect("probe mesh is healthy");
         queue.schedule(arrival, (o.to, o.msg));
     }
     if let AccessOutcome::Complete { latency, .. } = outcome {
@@ -68,13 +70,15 @@ fn measure_read(item: ItemId, setup: impl FnOnce(&mut [NodeState])) -> Cycles {
         engine.handle(&mut nodes[to.index()], msg, &mut ctx);
         let (out, effects) = ctx.finish();
         for o in out {
-            let arrival = mesh.send(
-                now + o.delay,
-                to,
-                o.to,
-                o.msg.class(),
-                o.msg.payload_bytes(),
-            );
+            let arrival = mesh
+                .send(
+                    now + o.delay,
+                    to,
+                    o.to,
+                    o.msg.class(),
+                    o.msg.payload_bytes(),
+                )
+                .expect("probe mesh is healthy");
             queue.schedule(arrival, (o.to, o.msg));
         }
         for e in effects {
@@ -192,13 +196,15 @@ pub fn force_replacement_injection() -> ReplacementDemo {
         }
     }
     for o in out {
-        let arrival = mesh.send(
-            o.delay,
-            requester,
-            o.to,
-            o.msg.class(),
-            o.msg.payload_bytes(),
-        );
+        let arrival = mesh
+            .send(
+                o.delay,
+                requester,
+                o.to,
+                o.msg.class(),
+                o.msg.payload_bytes(),
+            )
+            .expect("probe mesh is healthy");
         queue.schedule(arrival, (o.to, o.msg));
     }
 
@@ -208,13 +214,15 @@ pub fn force_replacement_injection() -> ReplacementDemo {
         engine.handle(&mut nodes[to.index()], msg, &mut ctx);
         let (out, effects) = ctx.finish();
         for o in out {
-            let arrival = mesh.send(
-                now + o.delay,
-                to,
-                o.to,
-                o.msg.class(),
-                o.msg.payload_bytes(),
-            );
+            let arrival = mesh
+                .send(
+                    now + o.delay,
+                    to,
+                    o.to,
+                    o.msg.class(),
+                    o.msg.payload_bytes(),
+                )
+                .expect("probe mesh is healthy");
             queue.schedule(arrival, (o.to, o.msg));
         }
         for e in effects {

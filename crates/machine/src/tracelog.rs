@@ -82,6 +82,22 @@ pub enum TraceEvent {
         /// Scan duration in cycles.
         dur: Cycles,
     },
+    /// A mesh link was cut (both directions).
+    LinkCut {
+        /// Cut time.
+        at: Cycles,
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// A mesh router went down (its node becomes unreachable).
+    RouterDown {
+        /// Failure time.
+        at: Cycles,
+        /// The node whose router died.
+        node: NodeId,
+    },
     /// A failure was injected.
     Failure {
         /// Failure time.
@@ -114,6 +130,8 @@ impl TraceEvent {
             | TraceEvent::CheckpointCommitted { at, .. }
             | TraceEvent::NodeCommit { at, .. }
             | TraceEvent::NodeRollback { at, .. }
+            | TraceEvent::LinkCut { at, .. }
+            | TraceEvent::RouterDown { at, .. }
             | TraceEvent::Failure { at, .. }
             | TraceEvent::Recovered { at }
             | TraceEvent::Repaired { at, .. } => *at,
@@ -128,6 +146,8 @@ impl TraceEvent {
             TraceEvent::CheckpointCommitted { .. } => "checkpoint_committed",
             TraceEvent::NodeCommit { .. } => "node_commit",
             TraceEvent::NodeRollback { .. } => "node_rollback",
+            TraceEvent::LinkCut { .. } => "link_cut",
+            TraceEvent::RouterDown { .. } => "router_down",
             TraceEvent::Failure { .. } => "failure",
             TraceEvent::Recovered { .. } => "recovered",
             TraceEvent::Repaired { .. } => "repaired",
@@ -152,6 +172,12 @@ impl std::fmt::Display for TraceEvent {
             }
             TraceEvent::NodeRollback { at, node, dur } => {
                 write!(f, "{at:>12} {node} rollback scan ({dur} cycles)")
+            }
+            TraceEvent::LinkCut { at, a, b } => {
+                write!(f, "{at:>12} link {a}<->{b} cut")
+            }
+            TraceEvent::RouterDown { at, node } => {
+                write!(f, "{at:>12} {node} router down")
             }
             TraceEvent::Failure {
                 at,

@@ -4,7 +4,7 @@ use ftcoma_mem::NodeId;
 use ftcoma_sim::Cycles;
 
 use crate::bus::{Bus, BusConfig};
-use crate::mesh::{LinkReport, Mesh, MeshGeometry, NetClass, NetConfig, NetStats};
+use crate::mesh::{LinkReport, Mesh, MeshGeometry, NetClass, NetConfig, NetStats, RouteError};
 
 /// Which interconnect to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +31,7 @@ impl Default for FabricConfig {
 ///
 /// let mut f = Fabric::new(FabricConfig::default(), 16);
 /// let arrival = f.send(0, NodeId::new(0), NodeId::new(1), NetClass::Request, 0);
-/// assert_eq!(arrival, 16); // mesh zero-load latency at 1 hop
+/// assert_eq!(arrival, Ok(16)); // mesh zero-load latency at 1 hop
 /// ```
 #[derive(Debug)]
 pub enum Fabric {
@@ -50,7 +50,9 @@ impl Fabric {
         }
     }
 
-    /// Sends a message; returns its arrival time (see the concrete types).
+    /// Sends a message; returns its arrival time (see the concrete types),
+    /// or a [`RouteError`] when mesh faults leave no healthy path. A bus is
+    /// a single shared fault-free medium and never fails a send.
     pub fn send(
         &mut self,
         now: Cycles,
@@ -58,10 +60,60 @@ impl Fabric {
         to: NodeId,
         class: NetClass,
         payload_bytes: u64,
-    ) -> Cycles {
+    ) -> Result<Cycles, RouteError> {
         match self {
             Fabric::Mesh(m) => m.send(now, from, to, class, payload_bytes),
-            Fabric::Bus(b) => b.send(now, from, to, class, payload_bytes),
+            Fabric::Bus(b) => Ok(b.send(now, from, to, class, payload_bytes)),
+        }
+    }
+
+    /// Ties fabric health to a permanent node failure (mesh: the node's
+    /// router dies with it; bus: no-op).
+    pub fn fail_node(&mut self, node: NodeId) {
+        if let Fabric::Mesh(m) = self {
+            m.fail_node(node);
+        }
+    }
+
+    /// Severs a mesh link between two adjacent nodes (bus: no-op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric is a mesh and the nodes are not mesh-adjacent.
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
+        if let Fabric::Mesh(m) = self {
+            m.fail_link(a, b);
+        }
+    }
+
+    /// Fails a mesh router (bus: no-op).
+    pub fn fail_router(&mut self, node: NodeId) {
+        if let Fabric::Mesh(m) = self {
+            m.fail_router(node);
+        }
+    }
+
+    /// Restores a repaired node's router (bus: no-op).
+    pub fn repair_node(&mut self, node: NodeId) {
+        if let Fabric::Mesh(m) = self {
+            m.repair_router(node);
+        }
+    }
+
+    /// Is there a healthy route from `from` to `to`? A bus always connects
+    /// all nodes.
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        match self {
+            Fabric::Mesh(m) => m.reachable(from, to),
+            Fabric::Bus(_) => true,
+        }
+    }
+
+    /// Has no link or router failed?
+    pub fn healthy(&self) -> bool {
+        match self {
+            Fabric::Mesh(m) => m.healthy(),
+            Fabric::Bus(_) => true,
         }
     }
 
@@ -92,10 +144,36 @@ mod tests {
     fn builds_both_kinds() {
         let mut mesh = Fabric::new(FabricConfig::default(), 9);
         let mut bus = Fabric::new(FabricConfig::Bus(BusConfig::default()), 9);
-        let a = mesh.send(0, NodeId::new(0), NodeId::new(8), NetClass::Reply, 128);
-        let b = bus.send(0, NodeId::new(0), NodeId::new(8), NetClass::Reply, 128);
+        let a = mesh
+            .send(0, NodeId::new(0), NodeId::new(8), NetClass::Reply, 128)
+            .unwrap();
+        let b = bus
+            .send(0, NodeId::new(0), NodeId::new(8), NetClass::Reply, 128)
+            .unwrap();
         assert!(a > 0 && b > 0);
         assert_eq!(mesh.stats().messages, 1);
         assert_eq!(bus.stats().messages, 1);
+    }
+
+    #[test]
+    fn mesh_faults_pass_through_while_a_bus_stays_fault_free() {
+        let mut mesh = Fabric::new(FabricConfig::default(), 16);
+        mesh.fail_node(NodeId::new(1));
+        assert!(!mesh.healthy());
+        assert!(!mesh.reachable(NodeId::new(0), NodeId::new(1)));
+        assert!(mesh
+            .send(0, NodeId::new(0), NodeId::new(1), NetClass::Request, 0)
+            .is_err());
+        mesh.repair_node(NodeId::new(1));
+        assert!(mesh.healthy());
+
+        let mut bus = Fabric::new(FabricConfig::Bus(BusConfig::default()), 4);
+        bus.fail_node(NodeId::new(1));
+        bus.fail_router(NodeId::new(1));
+        assert!(bus.healthy());
+        assert!(bus.reachable(NodeId::new(0), NodeId::new(1)));
+        assert!(bus
+            .send(0, NodeId::new(0), NodeId::new(1), NetClass::Request, 0)
+            .is_ok());
     }
 }

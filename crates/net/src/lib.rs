@@ -21,18 +21,27 @@
 //! [`ring::LogicalRing`] implements the logical ring "mapped onto the
 //! physical interconnection network" that the injection mechanism walks to
 //! find a victim AM, including its reconfiguration when a node fails.
+//!
+//! The mesh is also a fault domain (see docs/NETWORK.md): links and routers
+//! can fail at runtime, routing detours around the damage, unreachable
+//! destinations surface as [`mesh::RouteError`], and a seeded
+//! [`fault::NetFaultPlan`] deterministically drops, duplicates or delays
+//! individual messages for the transport layer above to absorb.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bus;
 pub mod fabric;
+pub mod fault;
 pub mod mesh;
 pub mod ring;
 
 pub use bus::{Bus, BusConfig};
 pub use fabric::{Fabric, FabricConfig};
+pub use fault::{FaultDecision, NetFaultPlan};
 pub use mesh::{
-    LinkReport, LinkStats, Mesh, MeshGeometry, NetClass, NetConfig, NetStats, SwitchingModel,
+    LinkReport, LinkStats, Mesh, MeshGeometry, NetClass, NetConfig, NetStats, RouteError,
+    SwitchingModel,
 };
 pub use ring::LogicalRing;

@@ -1,6 +1,12 @@
 //! 2-D mesh with XY routing, two sub-networks and per-link contention.
+//!
+//! The mesh is a fault domain: links and routers can be failed at runtime
+//! ([`Mesh::fail_link`], [`Mesh::fail_router`]), after which routing
+//! detours around the damage (XY with a deterministic breadth-first
+//! misroute fallback) and destinations with no healthy path are reported
+//! as a typed [`RouteError`] instead of a phantom arrival.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use ftcoma_mem::NodeId;
 use ftcoma_sim::Cycles;
@@ -107,6 +113,33 @@ impl NetConfig {
             self.local_delay
         } else {
             self.ni_overhead + hops * self.router_delay + self.flits(payload_bytes)
+        }
+    }
+}
+
+/// Why a message could not be routed.
+///
+/// Returned by [`Mesh::send`] when the mesh's fault state leaves no healthy
+/// path between two routers — the caller sees a typed error instead of a
+/// phantom arrival on dead hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No healthy path exists between the two nodes: an endpoint router
+    /// failed, or every route between them is severed.
+    Unreachable {
+        /// Sending node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Unreachable { from, to } => {
+                write!(f, "no healthy route from {from} to {to}")
+            }
         }
     }
 }
@@ -257,6 +290,9 @@ pub struct NetStats {
     pub contention_cycles: Cycles,
     /// Total link-occupancy cycles (utilisation numerator).
     pub link_busy_cycles: Cycles,
+    /// Extra hops (beyond the Manhattan distance) taken by messages
+    /// detouring around failed links or routers.
+    pub detour_hops: u64,
 }
 
 type Link = ((usize, usize), (usize, usize));
@@ -282,6 +318,8 @@ pub struct LinkReport {
     pub to: (usize, usize),
     /// Which sub-network.
     pub class: NetClass,
+    /// Is the link usable — neither it nor its endpoint routers failed?
+    pub alive: bool,
     /// Accumulated statistics.
     pub stats: LinkStats,
 }
@@ -309,7 +347,7 @@ impl LinkReport {
 /// let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
 /// // 1-hop header-only message at zero load: 8 + 4 + 4 = 16 cycles.
 /// let arrival = mesh.send(0, NodeId::new(0), NodeId::new(1), NetClass::Request, 0);
-/// assert_eq!(arrival, 16);
+/// assert_eq!(arrival, Ok(16));
 /// ```
 #[derive(Debug)]
 pub struct Mesh {
@@ -320,10 +358,16 @@ pub struct Mesh {
     stats: NetStats,
     /// Per-link breakdown of the aggregate statistics.
     link_stats: HashMap<(Link, NetClass), LinkStats>,
+    /// Severed links (both directions of a cut are inserted). `BTreeSet`
+    /// keeps iteration — and therefore any derived output — deterministic.
+    failed_links: BTreeSet<Link>,
+    /// Failed routers by coordinate; no message may traverse or terminate
+    /// at a failed router.
+    failed_routers: BTreeSet<(usize, usize)>,
 }
 
 impl Mesh {
-    /// Creates an idle mesh.
+    /// Creates an idle, fully healthy mesh.
     pub fn new(geo: MeshGeometry, cfg: NetConfig) -> Self {
         Self {
             geo,
@@ -331,6 +375,8 @@ impl Mesh {
             link_free: HashMap::new(),
             stats: NetStats::default(),
             link_stats: HashMap::new(),
+            failed_links: BTreeSet::new(),
+            failed_routers: BTreeSet::new(),
         }
     }
 
@@ -349,12 +395,137 @@ impl Mesh {
         &self.stats
     }
 
-    /// Sends a message at time `now`; returns its arrival time at `to`.
+    /// Severs the bidirectional link between the routers of `a` and `b`;
+    /// later traffic detours around it.
     ///
-    /// The message reserves every link of its XY path for its serialization
+    /// # Panics
+    ///
+    /// Panics if the two nodes are not mesh-adjacent.
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
+        let ca = self.geo.coords(a);
+        let cb = self.geo.coords(b);
+        assert_eq!(
+            ca.0.abs_diff(cb.0) + ca.1.abs_diff(cb.1),
+            1,
+            "fail_link needs mesh-adjacent nodes, got {a} at {ca:?} and {b} at {cb:?}"
+        );
+        self.failed_links.insert((ca, cb));
+        self.failed_links.insert((cb, ca));
+    }
+
+    /// Marks `node`'s router failed: no message may traverse or terminate
+    /// at it until [`Mesh::repair_router`].
+    pub fn fail_router(&mut self, node: NodeId) {
+        self.failed_routers.insert(self.geo.coords(node));
+    }
+
+    /// Ties mesh health to a permanent node failure: the dead node's
+    /// router dies with it, so post-reconfiguration traffic can no longer
+    /// be routed through dead hardware.
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.fail_router(node);
+    }
+
+    /// Restores `node`'s router (a repaired node rejoins the mesh).
+    pub fn repair_router(&mut self, node: NodeId) {
+        self.failed_routers.remove(&self.geo.coords(node));
+    }
+
+    /// Is `node`'s router currently failed?
+    pub fn router_failed(&self, node: NodeId) -> bool {
+        self.failed_routers.contains(&self.geo.coords(node))
+    }
+
+    /// Has neither a link nor a router failed?
+    pub fn healthy(&self) -> bool {
+        self.failed_links.is_empty() && self.failed_routers.is_empty()
+    }
+
+    /// Is there a healthy route from `from` to `to`?
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        from == to || self.route(from, to).is_ok()
+    }
+
+    /// May a message hop from router `a` to the adjacent router `b`?
+    fn hop_ok(&self, a: (usize, usize), b: (usize, usize)) -> bool {
+        !self.failed_routers.contains(&b) && !self.failed_links.contains(&(a, b))
+    }
+
+    /// The healthy route from `from` to `to`: the XY path when it is
+    /// intact, otherwise the shortest detour over healthy links and
+    /// routers (breadth-first misroute with a fixed `+x, -x, +y, -y`
+    /// neighbour order, so the chosen detour is deterministic). Returns
+    /// the links and the extra hops relative to the Manhattan distance.
+    fn route(&self, from: NodeId, to: NodeId) -> Result<(Vec<Link>, u64), RouteError> {
+        let xy = self.geo.path(from, to);
+        if self.healthy() {
+            return Ok((xy, 0));
+        }
+        let src = self.geo.coords(from);
+        let dst = self.geo.coords(to);
+        if self.failed_routers.contains(&src) || self.failed_routers.contains(&dst) {
+            return Err(RouteError::Unreachable { from, to });
+        }
+        if xy.iter().all(|&(a, b)| self.hop_ok(a, b)) {
+            return Ok((xy, 0));
+        }
+        let (cols, rows) = (self.geo.cols(), self.geo.rows());
+        let idx = |(x, y): (usize, usize)| y * cols + x;
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; cols * rows];
+        let mut seen = vec![false; cols * rows];
+        let mut queue = VecDeque::new();
+        seen[idx(src)] = true;
+        queue.push_back(src);
+        'bfs: while let Some(at @ (x, y)) = queue.pop_front() {
+            let mut neighbours = [None; 4];
+            if x + 1 < cols {
+                neighbours[0] = Some((x + 1, y));
+            }
+            if x > 0 {
+                neighbours[1] = Some((x - 1, y));
+            }
+            if y + 1 < rows {
+                neighbours[2] = Some((x, y + 1));
+            }
+            if y > 0 {
+                neighbours[3] = Some((x, y - 1));
+            }
+            for nb in neighbours.into_iter().flatten() {
+                if !seen[idx(nb)] && self.hop_ok(at, nb) {
+                    seen[idx(nb)] = true;
+                    parent[idx(nb)] = Some(at);
+                    if nb == dst {
+                        break 'bfs;
+                    }
+                    queue.push_back(nb);
+                }
+            }
+        }
+        if !seen[idx(dst)] {
+            return Err(RouteError::Unreachable { from, to });
+        }
+        let mut links = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let prev = parent[idx(cur)].expect("reached routers have parents");
+            links.push((prev, cur));
+            cur = prev;
+        }
+        links.reverse();
+        let detour = links.len() as u64 - self.geo.hops(from, to);
+        Ok((links, detour))
+    }
+
+    /// Sends a message at time `now`; returns its arrival time at `to`, or
+    /// a [`RouteError`] when mesh faults leave no healthy path (in which
+    /// case nothing is sent and no statistics change).
+    ///
+    /// The message reserves every link of its path for its serialization
     /// time on the given sub-network; waiting for busy links is accounted in
-    /// [`NetStats::contention_cycles`]. Node-local messages bypass the
-    /// network entirely and arrive after `local_delay`.
+    /// [`NetStats::contention_cycles`]. The path is the XY route while it is
+    /// healthy, or the shortest deterministic detour otherwise (extra hops
+    /// accounted in [`NetStats::detour_hops`]). Node-local messages bypass
+    /// the network entirely and arrive after `local_delay`.
     pub fn send(
         &mut self,
         now: Cycles,
@@ -362,14 +533,17 @@ impl Mesh {
         to: NodeId,
         class: NetClass,
         payload_bytes: u64,
-    ) -> Cycles {
+    ) -> Result<Cycles, RouteError> {
+        if from == to {
+            self.stats.messages += 1;
+            self.stats.payload_bytes += payload_bytes;
+            return Ok(now + self.cfg.local_delay);
+        }
+        let (path, detour) = self.route(from, to)?;
         self.stats.messages += 1;
         self.stats.payload_bytes += payload_bytes;
-        if from == to {
-            return now + self.cfg.local_delay;
-        }
+        self.stats.detour_hops += detour;
         let flits = self.cfg.flits(payload_bytes);
-        let path = self.geo.path(from, to);
         // Forward pass: when does the header claim each link?
         let mut starts = Vec::with_capacity(path.len());
         let mut head = now + self.cfg.ni_overhead;
@@ -419,10 +593,11 @@ impl Mesh {
                 }
             }
         }
-        arrival
+        Ok(arrival)
     }
 
-    /// Arrival time a message *would* have at zero load (no reservation).
+    /// Arrival time a message *would* have at zero load (no reservation,
+    /// assuming a healthy XY path).
     pub fn probe_latency(&self, from: NodeId, to: NodeId, payload_bytes: u64) -> Cycles {
         self.cfg
             .zero_load_latency(self.geo.hops(from, to), payload_bytes)
@@ -439,6 +614,9 @@ impl Mesh {
                 from,
                 to,
                 class,
+                alive: !self.failed_links.contains(&(from, to))
+                    && !self.failed_routers.contains(&from)
+                    && !self.failed_routers.contains(&to),
                 stats,
             })
             .collect();
@@ -507,7 +685,7 @@ mod tests {
     #[test]
     fn send_matches_zero_load_when_idle() {
         let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
-        let t = mesh.send(100, n(0), n(2), NetClass::Reply, 128);
+        let t = mesh.send(100, n(0), n(2), NetClass::Reply, 128).unwrap();
         assert_eq!(t, 100 + mesh.probe_latency(n(0), n(2), 128));
         assert_eq!(mesh.stats().contention_cycles, 0);
     }
@@ -516,8 +694,8 @@ mod tests {
     fn contention_serializes_on_shared_link() {
         let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
         // Two 128-byte messages over the same link at the same instant.
-        let t1 = mesh.send(0, n(0), n(1), NetClass::Reply, 128);
-        let t2 = mesh.send(0, n(0), n(1), NetClass::Reply, 128);
+        let t1 = mesh.send(0, n(0), n(1), NetClass::Reply, 128).unwrap();
+        let t2 = mesh.send(0, n(0), n(1), NetClass::Reply, 128).unwrap();
         assert_eq!(t1, 44); // 8 + 4 + 32
                             // Second message waits 32 flit-cycles for the link.
         assert_eq!(t2, t1 + 32);
@@ -527,15 +705,15 @@ mod tests {
     #[test]
     fn subnetworks_do_not_interfere() {
         let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
-        let t1 = mesh.send(0, n(0), n(1), NetClass::Request, 128);
-        let t2 = mesh.send(0, n(0), n(1), NetClass::Reply, 128);
+        let t1 = mesh.send(0, n(0), n(1), NetClass::Request, 128).unwrap();
+        let t2 = mesh.send(0, n(0), n(1), NetClass::Reply, 128).unwrap();
         assert_eq!(t1, t2);
     }
 
     #[test]
     fn local_messages_bypass_network() {
         let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
-        assert_eq!(mesh.send(10, n(3), n(3), NetClass::Request, 128), 11);
+        assert_eq!(mesh.send(10, n(3), n(3), NetClass::Request, 128), Ok(11));
         assert_eq!(mesh.stats().link_busy_cycles, 0);
     }
 
@@ -555,8 +733,8 @@ mod tests {
             let mut vct = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
             let mut wh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::wormhole());
             assert_eq!(
-                vct.send(0, n(a), n(b), NetClass::Reply, bytes),
-                wh.send(0, n(a), n(b), NetClass::Reply, bytes),
+                vct.send(0, n(a), n(b), NetClass::Reply, bytes).unwrap(),
+                wh.send(0, n(a), n(b), NetClass::Reply, bytes).unwrap(),
             );
         }
     }
@@ -569,9 +747,9 @@ mod tests {
         // blocked worm releases its upstream links.
         let setup = |cfg: NetConfig| {
             let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), cfg);
-            mesh.send(0, n(2), n(3), NetClass::Reply, 1024); // busy last link
-            mesh.send(0, n(0), n(3), NetClass::Reply, 1024); // the blocked worm
-            mesh.send(1, n(0), n(1), NetClass::Reply, 0) // the bystander
+            mesh.send(0, n(2), n(3), NetClass::Reply, 1024).unwrap(); // busy last link
+            mesh.send(0, n(0), n(3), NetClass::Reply, 1024).unwrap(); // the blocked worm
+            mesh.send(1, n(0), n(1), NetClass::Reply, 0).unwrap() // the bystander
         };
         let vct = setup(NetConfig::default());
         let wh = setup(NetConfig::wormhole());
@@ -584,8 +762,8 @@ mod tests {
     #[test]
     fn wormhole_busy_accounting_exceeds_serialization_under_blocking() {
         let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::wormhole());
-        mesh.send(0, n(2), n(3), NetClass::Reply, 2048);
-        mesh.send(0, n(0), n(3), NetClass::Reply, 2048);
+        mesh.send(0, n(2), n(3), NetClass::Reply, 2048).unwrap();
+        mesh.send(0, n(0), n(3), NetClass::Reply, 2048).unwrap();
         // 2048B = 512 flits; two messages over 1 and 3 links respectively
         // would occupy 4 * 512 link-cycles without blocking; the stalled
         // worm holds its upstream links longer.
@@ -595,10 +773,10 @@ mod tests {
     #[test]
     fn link_report_matches_aggregate_stats() {
         let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
-        mesh.send(0, n(0), n(1), NetClass::Reply, 128);
-        mesh.send(0, n(0), n(1), NetClass::Reply, 128); // contends on (0,0)->(1,0)
-        mesh.send(0, n(0), n(1), NetClass::Request, 0);
-        mesh.send(5, n(3), n(3), NetClass::Request, 64); // local: no links
+        mesh.send(0, n(0), n(1), NetClass::Reply, 128).unwrap();
+        mesh.send(0, n(0), n(1), NetClass::Reply, 128).unwrap(); // contends on (0,0)->(1,0)
+        mesh.send(0, n(0), n(1), NetClass::Request, 0).unwrap();
+        mesh.send(5, n(3), n(3), NetClass::Request, 64).unwrap(); // local: no links
 
         let report = mesh.link_report();
         // One link on each sub-network, sorted Request before Reply.
@@ -621,9 +799,131 @@ mod tests {
     #[test]
     fn disjoint_paths_do_not_contend() {
         let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
-        let t1 = mesh.send(0, n(0), n(1), NetClass::Reply, 128);
-        let t2 = mesh.send(0, n(14), n(15), NetClass::Reply, 128);
+        let t1 = mesh.send(0, n(0), n(1), NetClass::Reply, 128).unwrap();
+        let t2 = mesh.send(0, n(14), n(15), NetClass::Reply, 128).unwrap();
         assert_eq!(t1, t2);
         assert_eq!(mesh.stats().contention_cycles, 0);
+    }
+
+    // Regression for the phantom-arrival bug: before the mesh knew about
+    // failed hardware, XY routing happily traversed a permanently failed
+    // node's router and a send *to* a dead node returned a normal arrival.
+    #[test]
+    fn send_to_failed_node_is_a_route_error_not_a_phantom_arrival() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        mesh.fail_node(n(5));
+        assert!(mesh.router_failed(n(5)));
+        assert_eq!(
+            mesh.send(0, n(0), n(5), NetClass::Request, 0),
+            Err(RouteError::Unreachable {
+                from: n(0),
+                to: n(5),
+            })
+        );
+        // A refused message is not accounted as traffic.
+        assert_eq!(mesh.stats().messages, 0);
+        assert!(!mesh.reachable(n(0), n(5)));
+    }
+
+    // Regression pinning the post-failure route: node 1 at (1,0) dies; the
+    // XY path 0 -> 2 ran straight through its router and must now detour
+    // via row 1 — (0,0) (0,1) (1,1) (2,1) (2,0) — two extra hops.
+    #[test]
+    fn traffic_detours_around_a_permanently_failed_node() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        mesh.fail_node(n(1));
+        let t = mesh.send(0, n(0), n(2), NetClass::Request, 0).unwrap();
+        // 4-hop detour at zero load: 8 + 4*4 + 4 = 28 cycles.
+        assert_eq!(t, 28);
+        assert_eq!(mesh.stats().detour_hops, 2);
+        // The survivors still reach each other.
+        assert!(mesh.reachable(n(0), n(2)));
+        assert!(mesh.reachable(n(2), n(0)));
+    }
+
+    #[test]
+    fn repairing_a_router_restores_the_xy_route() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        mesh.fail_router(n(1));
+        assert!(mesh.send(0, n(0), n(1), NetClass::Request, 0).is_err());
+        mesh.repair_router(n(1));
+        assert!(mesh.healthy());
+        assert_eq!(mesh.send(0, n(0), n(2), NetClass::Request, 0), Ok(20));
+        assert_eq!(mesh.stats().detour_hops, 0);
+    }
+
+    #[test]
+    fn severed_corner_is_unreachable() {
+        // 2x2 mesh: cutting both of node 0's links isolates it entirely.
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(4), NetConfig::default());
+        mesh.fail_link(n(0), n(1));
+        mesh.fail_link(n(0), n(2));
+        assert!(!mesh.reachable(n(0), n(3)));
+        assert!(mesh.send(0, n(3), n(0), NetClass::Reply, 0).is_err());
+        // The other three nodes still form a connected component.
+        assert!(mesh.reachable(n(1), n(2)));
+        // A node always reaches itself (local delivery needs no router).
+        assert!(mesh.reachable(n(0), n(0)));
+    }
+
+    #[test]
+    fn cut_link_detours_but_stays_connected() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        mesh.fail_link(n(0), n(1));
+        // Both directions of the cut are severed; the grid stays connected.
+        let t = mesh.send(0, n(0), n(1), NetClass::Request, 0).unwrap();
+        // Shortest healthy path is 3 hops: (0,0) (0,1) (1,1) (1,0).
+        assert_eq!(t, 8 + 3 * 4 + 4);
+        assert_eq!(mesh.stats().detour_hops, 2);
+        for a in 0..16u16 {
+            for b in 0..16u16 {
+                assert!(mesh.reachable(n(a), n(b)), "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn link_report_flags_failed_links_and_routers() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        mesh.send(0, n(0), n(1), NetClass::Request, 0).unwrap(); // (0,0)->(1,0)
+        mesh.send(0, n(4), n(5), NetClass::Request, 0).unwrap(); // (0,1)->(1,1)
+        mesh.send(0, n(8), n(9), NetClass::Request, 0).unwrap(); // (0,2)->(1,2)
+        mesh.fail_link(n(0), n(1));
+        mesh.fail_router(n(4));
+        let report = mesh.link_report();
+        assert_eq!(report.len(), 3);
+        assert!(!report[0].alive, "cut link must report dead");
+        assert!(
+            !report[1].alive,
+            "link out of a failed router must report dead"
+        );
+        assert!(report[2].alive);
+    }
+
+    // Satellite: wormhole switching under contention *and* a failed link —
+    // detoured worms still exhibit head-of-line blocking on their (longer)
+    // path, and blocking accounting still exceeds pure serialization.
+    #[test]
+    fn wormhole_contention_with_a_failed_link() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::wormhole());
+        mesh.fail_link(n(2), n(3)); // severs (2,0)<->(3,0)
+                                    // Saturate the detour's final link (3,1)->(3,0) with a long worm.
+        let t_block = mesh.send(0, n(7), n(3), NetClass::Reply, 2048).unwrap();
+        // 0 -> 3 detours (2,0) (2,1) (3,1) (3,0) and queues behind it.
+        let t = mesh.send(0, n(0), n(3), NetClass::Reply, 2048).unwrap();
+        assert!(t > t_block, "detoured worm must queue behind the blocker");
+        assert_eq!(mesh.stats().detour_hops, 2);
+        assert!(mesh.stats().contention_cycles > 0);
+        // 2048B = 512 flits over 1 + 5 links: blocking must hold links
+        // beyond the 6 * 512 serialization cycles.
+        assert!(mesh.stats().link_busy_cycles > 6 * 512);
+        // The detour is identical under VCT (routing is switching-agnostic)
+        // but the wormhole worm holds its upstream links while stalled.
+        let mut vct = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        vct.fail_link(n(2), n(3));
+        vct.send(0, n(7), n(3), NetClass::Reply, 2048).unwrap();
+        vct.send(0, n(0), n(3), NetClass::Reply, 2048).unwrap();
+        assert_eq!(vct.stats().detour_hops, mesh.stats().detour_hops);
+        assert!(mesh.stats().link_busy_cycles > vct.stats().link_busy_cycles);
     }
 }

@@ -164,6 +164,42 @@ mod tests {
         assert!(ring.is_alive(n(1)));
     }
 
+    // Reconfiguration edge case: two *adjacent* failed nodes, placed at the
+    // wraparound point so the successor scan must skip both and wrap.
+    #[test]
+    fn two_adjacent_dead_nodes_wrap_around() {
+        let mut ring = LogicalRing::new(5);
+        ring.mark_dead(n(3));
+        ring.mark_dead(n(4));
+        assert_eq!(ring.successor(n(2)), Some(n(0)));
+        // Successors *of* the dead pair are still well-defined (the heir
+        // lookup during reconfiguration asks exactly this).
+        assert_eq!(ring.successor(n(3)), Some(n(0)));
+        assert_eq!(ring.successor(n(4)), Some(n(0)));
+        assert_eq!(ring.alive_count(), 3);
+        let visited: Vec<_> = ring.walk_from(n(2)).collect();
+        assert_eq!(visited, vec![n(0), n(1)]);
+    }
+
+    // Reconfiguration edge case: failure of node 0 — the ring "head" every
+    // wraparound lands on — alone and then together with its neighbour.
+    #[test]
+    fn head_failure_reconfigures_the_wraparound() {
+        let mut ring = LogicalRing::new(4);
+        ring.mark_dead(n(0));
+        assert_eq!(ring.successor(n(3)), Some(n(1)));
+        assert_eq!(ring.successor(n(0)), Some(n(1)));
+        ring.mark_dead(n(1)); // adjacent to the dead head
+        assert_eq!(ring.successor(n(3)), Some(n(2)));
+        assert_eq!(ring.successor(n(2)), Some(n(3)));
+        assert_eq!(ring.alive_count(), 2);
+        let visited: Vec<_> = ring.walk_from(n(2)).collect();
+        assert_eq!(visited, vec![n(3)]);
+        // Repairing the head restores the original wraparound.
+        ring.mark_alive(n(0));
+        assert_eq!(ring.successor(n(3)), Some(n(0)));
+    }
+
     #[test]
     fn alive_nodes_in_order() {
         let mut ring = LogicalRing::new(4);

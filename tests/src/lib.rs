@@ -128,13 +128,16 @@ impl Rig {
             self.effects.push((NodeId::new(node), e));
         }
         for o in out {
-            let arrival = self.mesh.send(
-                now + o.delay,
-                NodeId::new(node),
-                o.to,
-                o.msg.class(),
-                o.msg.payload_bytes(),
-            );
+            let arrival = self
+                .mesh
+                .send(
+                    now + o.delay,
+                    NodeId::new(node),
+                    o.to,
+                    o.msg.class(),
+                    o.msg.payload_bytes(),
+                )
+                .expect("rig mesh is healthy");
             self.queue.schedule(arrival, (o.to, o.msg));
         }
         match outcome {
@@ -165,13 +168,16 @@ impl Rig {
                 self.effects.push((to, e));
             }
             for o in out {
-                let arrival = self.mesh.send(
-                    now + o.delay,
-                    to,
-                    o.to,
-                    o.msg.class(),
-                    o.msg.payload_bytes(),
-                );
+                let arrival = self
+                    .mesh
+                    .send(
+                        now + o.delay,
+                        to,
+                        o.to,
+                        o.msg.class(),
+                        o.msg.payload_bytes(),
+                    )
+                    .expect("rig mesh is healthy");
                 self.queue.schedule(arrival, (o.to, o.msg));
             }
         }
@@ -191,13 +197,16 @@ impl Rig {
                 self.effects.push((NodeId::new(i as u16), e));
             }
             for o in out {
-                let arrival = self.mesh.send(
-                    now + o.delay,
-                    NodeId::new(i as u16),
-                    o.to,
-                    o.msg.class(),
-                    o.msg.payload_bytes(),
-                );
+                let arrival = self
+                    .mesh
+                    .send(
+                        now + o.delay,
+                        NodeId::new(i as u16),
+                        o.to,
+                        o.msg.class(),
+                        o.msg.payload_bytes(),
+                    )
+                    .expect("rig mesh is healthy");
                 self.queue.schedule(arrival, (o.to, o.msg));
             }
         }

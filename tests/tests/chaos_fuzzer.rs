@@ -18,6 +18,7 @@ fn small(seed: u64) -> ChaosConfig {
         freq_hz: 1_000.0,
         refs_per_node: 1_500,
         shrink_budget: 8,
+        net_faults: false,
     }
 }
 
