@@ -14,7 +14,7 @@ use ftcoma_machine::{Machine, MachineConfig};
 use ftcoma_mem::addr::LineId;
 use ftcoma_mem::{AttractionMemory, Cache, ItemId, ItemState, NodeId};
 use ftcoma_net::{Mesh, MeshGeometry, NetClass, NetConfig};
-use ftcoma_sim::DetRng;
+use ftcoma_sim::{DetRng, EventQueue};
 use ftcoma_workloads::{presets, NodeStream, RefStream};
 
 /// Times `iters` calls of `f` per batch over `batches` batches and prints
@@ -70,6 +70,51 @@ fn bench_am() {
     });
 }
 
+fn bench_queue() {
+    // Near-future churn: the protocol's small constant delays land in the
+    // calendar's per-cycle lanes. Steady state ~64 pending events.
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for k in 0..64 {
+        q.schedule_in(k % 40, k);
+    }
+    let mut i = 0u64;
+    bench("queue_push_pop_near", 15, 100_000, || {
+        i += 1;
+        q.schedule_in(1 + (i % 40), i);
+        black_box(q.pop());
+    });
+
+    // Far-future churn: delays beyond the lane window exercise the
+    // spill-over heap (checkpoint timers, retransmission backoffs).
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for k in 0..64 {
+        q.schedule_in(2_000 + k, k);
+    }
+    let mut i = 0u64;
+    bench("queue_push_pop_far", 15, 100_000, || {
+        i += 1;
+        q.schedule_in(2_000 + (i % 512), i);
+        black_box(q.pop());
+    });
+
+    // The machine's actual mix: mostly near with an occasional far event.
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for k in 0..64 {
+        q.schedule_in(k % 40, k);
+    }
+    let mut i = 0u64;
+    bench("queue_push_pop_mixed", 15, 100_000, || {
+        i += 1;
+        let delay = if i.is_multiple_of(16) {
+            50_000
+        } else {
+            1 + (i % 40)
+        };
+        q.schedule_in(delay, i);
+        black_box(q.pop());
+    });
+}
+
 fn bench_mesh() {
     let mut mesh = Mesh::new(MeshGeometry::for_nodes(56), NetConfig::default());
     let mut t = 0u64;
@@ -89,9 +134,30 @@ fn bench_mesh() {
 }
 
 fn bench_workload() {
-    let mut stream = NodeStream::new(&presets::mp3d(), 0, 16, 1);
-    bench("workload_next_ref", 15, 100_000, || {
-        black_box(stream.next_ref());
+    for cfg in presets::all() {
+        let mut stream = NodeStream::new(&cfg, 0, 16, 1);
+        bench(
+            &format!("workload_next_ref/{}", cfg.name),
+            15,
+            100_000,
+            || {
+                black_box(stream.next_ref());
+            },
+        );
+    }
+    let zipf = ftcoma_workloads::zipf::Zipf::new(4608, 0.8);
+    let mut rng = DetRng::seeded(1);
+    bench("zipf_sample_4608", 15, 100_000, || {
+        black_box(zipf.sample(&mut rng));
+    });
+    let mut rng = DetRng::seeded(1);
+    bench("rng_geometric", 15, 100_000, || {
+        black_box(rng.geometric(0.3, 10_000));
+    });
+    let mut rng = DetRng::seeded(1);
+    let t = DetRng::threshold(0.3);
+    bench("rng_geometric_threshold", 15, 100_000, || {
+        black_box(rng.geometric_with(t, 10_000));
     });
     let mut rng = DetRng::seeded(1);
     bench("rng_next", 15, 1_000_000, || {
@@ -121,6 +187,7 @@ fn main() {
     println!("== criterion_micro: simulator hot paths ==");
     bench_cache();
     bench_am();
+    bench_queue();
     bench_mesh();
     bench_workload();
     bench_machine();

@@ -1,0 +1,124 @@
+//! End-to-end simulator throughput: simulated memory references per
+//! wall-clock second, on a paper-grid smoke configuration.
+//!
+//! This is the number every campaign, chaos sweep and figure regeneration
+//! is bounded by, and the one the CI `perf-smoke` job gates: the job runs
+//! this bench on the PR and on its merge base (same runner, quick mode)
+//! and fails on a >10% regression of the `refs_per_sec_total` line.
+//!
+//! Wall-clock timing is inherently noisy; each cell runs `REPEATS` times
+//! and reports the fastest run (minimum wall time), which is the standard
+//! low-noise estimator for throughput benches.
+
+use std::time::Instant;
+
+use ftcoma_bench::{banner, lengths_for, quick_mode, write_bench_json};
+use ftcoma_core::FtConfig;
+use ftcoma_machine::{Machine, MachineConfig};
+use ftcoma_sim::Json;
+use ftcoma_workloads::{presets, SplashConfig};
+
+/// Timed runs per cell; the minimum wall time wins.
+const REPEATS: u32 = 3;
+
+struct CellResult {
+    label: String,
+    refs: u64,
+    wall_ms: f64,
+    refs_per_sec: f64,
+}
+
+/// Runs one configuration `REPEATS` times and returns its best throughput.
+fn time_cell(
+    workload: &SplashConfig,
+    nodes: u16,
+    ft: FtConfig,
+    refs: u64,
+    warmup: u64,
+) -> CellResult {
+    let mode = if ft.mode.is_enabled() { "ft" } else { "std" };
+    let label = format!("{}/n{nodes}/{mode}", workload.name);
+    let cfg = MachineConfig {
+        nodes,
+        refs_per_node: refs,
+        warmup_refs_per_node: warmup,
+        workload: workload.clone(),
+        ft,
+        verify: false,
+        ..MachineConfig::default()
+    };
+    // Every simulated reference counts towards throughput, warmup included
+    // — the simulator works equally hard for both.
+    let total_refs = (refs + warmup) * u64::from(nodes);
+    let mut best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let mut machine = Machine::new(cfg.clone());
+        let start = Instant::now();
+        let _ = machine.run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    CellResult {
+        label,
+        refs: total_refs,
+        wall_ms: best * 1e3,
+        refs_per_sec: total_refs as f64 / best,
+    }
+}
+
+fn main() {
+    // Quick mode (CI smoke / the perf gate): two workloads on a small mesh
+    // with short runs. Full mode: the paper's 16-node grid at 400 rp/s.
+    let (workloads, nodes, refs, warmup) = if quick_mode() {
+        (vec![presets::water(), presets::mp3d()], 8, 8_000, 1_000)
+    } else {
+        let (refs, warmup) = lengths_for(400.0);
+        (presets::all(), 16, refs, warmup)
+    };
+
+    banner(
+        "refs_per_sec: end-to-end simulator throughput",
+        "infrastructure bench (no paper figure) — gates CI perf regressions",
+    );
+
+    let mut results: Vec<CellResult> = Vec::new();
+    for wl in &workloads {
+        for ft in [FtConfig::disabled(), FtConfig::enabled(400.0)] {
+            let r = time_cell(wl, nodes, ft, refs, warmup);
+            println!(
+                "{:<20} {:>10} refs  {:>9.1} ms  {:>12.0} refs/sec",
+                r.label, r.refs, r.wall_ms, r.refs_per_sec
+            );
+            results.push(r);
+        }
+    }
+
+    let total_refs: u64 = results.iter().map(|r| r.refs).sum();
+    let total_secs: f64 = results.iter().map(|r| r.wall_ms / 1e3).sum();
+    let total_rps = total_refs as f64 / total_secs;
+    println!("{}", "-".repeat(72));
+    // Machine-parseable: the CI perf gate reads exactly this line.
+    println!("refs_per_sec_total {total_rps:.0}");
+
+    let rows: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("label", Json::from(r.label.as_str())),
+                ("refs", Json::from(r.refs)),
+                ("wall_ms", Json::from(r.wall_ms)),
+                ("refs_per_sec", Json::from(r.refs_per_sec)),
+            ])
+        })
+        .chain([Json::obj([
+            ("label", Json::from("total")),
+            ("refs", Json::from(total_refs)),
+            ("wall_ms", Json::from(total_secs * 1e3)),
+            ("refs_per_sec", Json::from(total_rps)),
+        ])])
+        .collect();
+    match write_bench_json("refs_per_sec", rows) {
+        Ok(Some(path)) => eprintln!("wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("bench JSON export failed: {e}"),
+    }
+}

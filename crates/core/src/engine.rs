@@ -21,14 +21,14 @@
 //! Checkpoint-establishment and reconfiguration replications run while the
 //! processors are stalled and need no locks.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use ftcoma_mem::addr::ITEM_BYTES;
 use ftcoma_mem::{Addr, ItemId, ItemState, NodeId, PageId};
 use ftcoma_protocol::home::QueuedReq;
 use ftcoma_protocol::msg::{InjectCause, ItemPayload, Msg};
 use ftcoma_protocol::{home_of, MemTiming, NodeState};
-use ftcoma_sim::Cycles;
+use ftcoma_sim::{Cycles, FxHashMap};
 
 use crate::config::FtConfig;
 use crate::ctx::{Ctx, Effect};
@@ -165,8 +165,8 @@ struct NodeEngine {
     /// The pending access targets a slot reserved for an in-flight
     /// injection; it re-dispatches when the copy installs.
     wait_install: bool,
-    write_collect: HashMap<ItemId, WriteCollect>,
-    injections: HashMap<ItemId, InjectionTask>,
+    write_collect: FxHashMap<ItemId, WriteCollect>,
+    injections: FxHashMap<ItemId, InjectionTask>,
     evict: Option<EvictTask>,
     create: Option<CreateTask>,
     reconfig: Option<ReconfigTask>,

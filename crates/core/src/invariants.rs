@@ -6,11 +6,10 @@
 //! values — and are executed by the test suite (and optionally after every
 //! checkpoint) against a quiescent machine.
 
-use std::collections::HashMap;
-
 use ftcoma_mem::{ItemId, ItemState, NodeId};
 use ftcoma_net::LogicalRing;
 use ftcoma_protocol::{home_of, NodeState};
+use ftcoma_sim::FxHashMap;
 
 /// Which invariants apply right now.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +37,7 @@ pub fn check(nodes: &[NodeState], ring: &LogicalRing, scope: CheckScope) -> Vec<
 
     // Gather every copy of every item: (node, state, value, partner, gen).
     type Copy = (NodeId, ItemState, u64, Option<NodeId>, u64);
-    let mut copies: HashMap<ItemId, Vec<Copy>> = HashMap::new();
+    let mut copies: FxHashMap<ItemId, Vec<Copy>> = FxHashMap::default();
     for ns in nodes {
         if !ns.alive {
             continue;

@@ -1,7 +1,7 @@
 //! The machine: nodes + engine + mesh + checkpoint coordinator + failures,
 //! advanced by one deterministic event loop.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use ftcoma_core::{
     ckpt, invariants, recovery, AccessOutcome, AccessReq, Ctx, Effect, Engine, HitSource,
@@ -12,7 +12,7 @@ use ftcoma_net::{Fabric, FaultDecision, LogicalRing, NetClass, NetFaultPlan};
 use ftcoma_protocol::msg::{InjectCause, Msg};
 use ftcoma_protocol::transport::{backoff, DedupFilter, SeqSpace, MAX_RETRIES};
 use ftcoma_protocol::NodeState;
-use ftcoma_sim::{derive_seed, Cycles, EventQueue};
+use ftcoma_sim::{derive_seed, Cycles, EventQueue, FxHashMap};
 use ftcoma_workloads::{MemRef, NodeStream, RefStream, StreamSnapshot};
 
 use crate::config::{FailureKind, MachineConfig};
@@ -148,9 +148,9 @@ pub struct Machine {
     /// Per-receiver duplicate suppression (indexed by receiver).
     dedup: Vec<DedupFilter>,
     /// Unacked packets by `(src, dst, seq)`.
-    in_flight: HashMap<(NodeId, NodeId, u64), InFlight>,
+    in_flight: FxHashMap<(NodeId, NodeId, u64), InFlight>,
 
-    committed_values: HashMap<ItemId, u64>,
+    committed_values: FxHashMap<ItemId, u64>,
     trace: TraceLog,
     metrics: RunMetrics,
     /// Metrics snapshot taken when warmup completed.
@@ -212,8 +212,8 @@ impl Machine {
             net_plan: cfg.net_fault.clone(),
             seqs: vec![SeqSpace::new(); n],
             dedup: vec![DedupFilter::new(); n],
-            in_flight: HashMap::new(),
-            committed_values: HashMap::new(),
+            in_flight: FxHashMap::default(),
+            committed_values: FxHashMap::default(),
             trace: TraceLog::new(cfg.trace_capacity),
             metrics: RunMetrics {
                 nodes: n as u64,
@@ -360,12 +360,15 @@ impl Machine {
             .map(|n| n.am.peak_allocated_pages() as u64)
             .sum();
         for i in 0..self.nodes.len() {
-            if self.nodes[i].alive {
-                self.metrics.per_node[i].pages_allocated =
-                    self.nodes[i].am.allocated_pages() as u64;
-                self.metrics.per_node[i].pages_peak =
-                    self.nodes[i].am.peak_allocated_pages() as u64;
-            }
+            // Dead nodes report their peak up to the failure (the wipe
+            // evicts pages but keeps the high-water mark) and zero current
+            // pages, consistent with the live_nodes() aggregates above.
+            self.metrics.per_node[i].pages_allocated = if self.nodes[i].alive {
+                self.nodes[i].am.allocated_pages() as u64
+            } else {
+                0
+            };
+            self.metrics.per_node[i].pages_peak = self.nodes[i].am.peak_allocated_pages() as u64;
         }
         self.metrics.net_messages = self.mesh.stats().messages;
         self.metrics.net_contention_cycles = self.mesh.stats().contention_cycles;
@@ -485,7 +488,7 @@ impl Machine {
             "oracle tracking disabled in this configuration"
         );
         let mut problems = Vec::new();
-        let mut seen: HashMap<ItemId, Vec<u64>> = HashMap::new();
+        let mut seen: FxHashMap<ItemId, Vec<u64>> = FxHashMap::default();
         for ns in self.live_nodes() {
             for (item, slot) in ns.am.iter_present() {
                 if slot.state.is_committed_recovery() {
@@ -1246,7 +1249,8 @@ impl Machine {
     /// retry timer escalates if the route never comes back).
     fn transmit(&mut self, depart: Cycles, src: NodeId, dst: NodeId, seq: u64) {
         let entry = &self.in_flight[&(src, dst, seq)];
-        let (msg, attempt) = (entry.msg.clone(), entry.attempts);
+        let attempt = entry.attempts;
+        let (class, bytes) = (entry.msg.class(), entry.msg.payload_bytes());
         let (mut copies, mut extra_delay) = (1, 0);
         if let Some(plan) = &mut self.net_plan {
             match plan.decide(depart) {
@@ -1260,18 +1264,18 @@ impl Machine {
             self.metrics.net_dropped_msgs += 1;
         }
         for _ in 0..copies {
-            match self
-                .mesh
-                .send(depart, src, dst, msg.class(), msg.payload_bytes())
-            {
+            match self.mesh.send(depart, src, dst, class, bytes) {
                 Ok(arrival) => {
+                    // Clone only per physical copy scheduled (the stored
+                    // packet must stay in `in_flight` for retransmission).
+                    let msg = self.in_flight[&(src, dst, seq)].msg.clone();
                     self.queue.schedule(
                         arrival + extra_delay,
                         Event::NetDeliver {
                             src,
                             to: dst,
                             seq,
-                            msg: msg.clone(),
+                            msg,
                         },
                     );
                 }
@@ -1478,6 +1482,72 @@ impl Machine {
                      four irreplaceable pages per page to rule this out)"
                 ),
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use ftcoma_core::FtConfig;
+    use ftcoma_workloads::presets;
+
+    fn small_ecp_config() -> MachineConfig {
+        MachineConfig {
+            nodes: 8,
+            refs_per_node: 3_000,
+            workload: presets::water(),
+            ft: FtConfig::enabled(400.0),
+            verify: true,
+            ..MachineConfig::default()
+        }
+    }
+
+    #[test]
+    fn dead_node_reports_peak_pages_and_zero_current() {
+        let mut m = Machine::new(small_ecp_config());
+        let victim = NodeId::new(2);
+        m.schedule_failure(20_000, victim, FailureKind::Permanent);
+        let metrics = m.run();
+        assert!(m.outcome().is_recovered(), "run must survive the failure");
+        assert_eq!(metrics.failures, 1, "the failure must fire mid-run");
+
+        let dead = &metrics.per_node[victim.index()];
+        assert_eq!(
+            dead.pages_allocated, 0,
+            "a permanently failed node holds no pages"
+        );
+        assert!(
+            dead.pages_peak > 0,
+            "the peak up to the failure must be reported, not dropped"
+        );
+        // The aggregates cover live nodes only; per-node rows must agree.
+        let live_current: u64 = metrics
+            .per_node
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != victim.index())
+            .map(|(_, n)| n.pages_allocated)
+            .sum();
+        assert_eq!(metrics.pages_allocated, live_current);
+        let live_peak: u64 = metrics
+            .per_node
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != victim.index())
+            .map(|(_, n)| n.pages_peak)
+            .sum();
+        assert_eq!(metrics.pages_peak, live_peak);
+    }
+
+    #[test]
+    fn live_nodes_report_pages_as_before() {
+        let mut m = Machine::new(small_ecp_config());
+        let metrics = m.run();
+        for n in &metrics.per_node {
+            assert!(n.pages_peak >= n.pages_allocated);
+            assert!(n.pages_allocated > 0, "every live node touched pages");
         }
     }
 }

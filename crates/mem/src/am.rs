@@ -12,8 +12,6 @@
 //! *injection* mechanism implemented in the protocol engine; this module
 //! only exposes the acceptance test ([`AttractionMemory::injection_acceptance`]).
 
-use std::collections::HashMap;
-
 use crate::addr::{ItemId, NodeId, PageId, ITEMS_PER_PAGE, PAGE_BYTES};
 use crate::state::ItemState;
 
@@ -183,7 +181,19 @@ impl std::error::Error for SetFull {}
 pub struct AttractionMemory {
     geo: AmGeometry,
     sets: Vec<Vec<Option<PageFrame>>>,
-    index: HashMap<PageId, (usize, usize)>,
+    /// Flat page index: `index[page]` is `way + 1` of the frame holding
+    /// the page (0 = not allocated; the set is implied by the page
+    /// number). The workload address space is dense and small — shared
+    /// region first, then the per-node private regions — so a
+    /// direct-indexed vector replaces the old `HashMap<PageId, _>` on the
+    /// per-reference lookup path. Grown on demand.
+    index: Vec<u32>,
+    /// Cached `geo.sets()`: the geometry recomputes it with divisions,
+    /// which is too slow for the per-reference lookup path.
+    num_sets: u64,
+    /// `num_sets - 1` when the set count is a power of two, else 0
+    /// (falls back to the modulo in `set_of`).
+    set_mask: u64,
     tick: u64,
     allocated: usize,
     peak_allocated: usize,
@@ -201,10 +211,17 @@ impl AttractionMemory {
         let sets = (0..geo.sets())
             .map(|_| (0..geo.ways).map(|_| None).collect())
             .collect();
+        let num_sets = geo.sets() as u64;
         Self {
             geo,
             sets,
-            index: HashMap::new(),
+            index: Vec::new(),
+            num_sets,
+            set_mask: if num_sets.is_power_of_two() {
+                num_sets - 1
+            } else {
+                0
+            },
             tick: 0,
             allocated: 0,
             peak_allocated: 0,
@@ -222,13 +239,27 @@ impl AttractionMemory {
         &self.geo
     }
 
+    #[inline]
     fn set_of(&self, page: PageId) -> usize {
-        (page.index() % self.geo.sets() as u64) as usize
+        if self.set_mask != 0 {
+            (page.index() & self.set_mask) as usize
+        } else {
+            (page.index() % self.num_sets) as usize
+        }
+    }
+
+    /// The `(set, way)` of the frame holding `page`, if allocated.
+    #[inline]
+    fn frame_pos(&self, page: PageId) -> Option<(usize, usize)> {
+        match self.index.get(page.index() as usize) {
+            Some(&way) if way != 0 => Some((self.set_of(page), (way - 1) as usize)),
+            _ => None,
+        }
     }
 
     /// Is `page` allocated in this AM?
     pub fn has_page(&self, page: PageId) -> bool {
-        self.index.contains_key(&page)
+        self.frame_pos(page).is_some()
     }
 
     /// Number of currently allocated pages.
@@ -257,11 +288,18 @@ impl AttractionMemory {
             return Ok(false);
         }
         let set = self.set_of(page);
-        self.tick += 1;
         match self.sets[set].iter().position(Option::is_none) {
             Some(way) => {
+                // Advance the LRU clock only on success: a SetFull failure
+                // must not age the set, or victim selection on the retry
+                // would be perturbed by the failed attempt.
+                self.tick += 1;
                 self.sets[set][way] = Some(PageFrame::new(page, self.tick));
-                self.index.insert(page, (set, way));
+                let idx = page.index() as usize;
+                if self.index.len() <= idx {
+                    self.index.resize(idx + 1, 0);
+                }
+                self.index[idx] = way as u32 + 1;
                 self.allocated += 1;
                 self.cumulative_allocs += 1;
                 self.peak_allocated = self.peak_allocated.max(self.allocated);
@@ -287,7 +325,8 @@ impl AttractionMemory {
     /// requires injection ([`ItemState::requires_injection`]) — the protocol
     /// engine must inject those copies *before* evicting the page.
     pub fn evict_page(&mut self, page: PageId) -> Vec<(ItemId, ItemSlot)> {
-        let (set, way) = self.index.remove(&page).expect("evicting unallocated page");
+        let (set, way) = self.frame_pos(page).expect("evicting unallocated page");
+        self.index[page.index() as usize] = 0;
         let frame = self.sets[set][way].take().expect("index consistent");
         self.allocated -= 1;
         let mut dropped = Vec::new();
@@ -307,15 +346,21 @@ impl AttractionMemory {
 
     /// Marks `page` recently used.
     pub fn touch(&mut self, page: PageId) {
-        if let Some(&(set, way)) = self.index.get(&page) {
+        if let Some((set, way)) = self.frame_pos(page) {
             self.tick += 1;
             self.sets[set][way].as_mut().expect("index consistent").lru = self.tick;
         }
     }
 
+    /// The current value of the LRU clock (advanced by successful
+    /// allocations and touches; diagnostics and regression tests).
+    pub fn lru_clock(&self) -> u64 {
+        self.tick
+    }
+
     /// The slot for `item`, if its page is allocated here.
     pub fn slot(&self, item: ItemId) -> Option<&ItemSlot> {
-        let &(set, way) = self.index.get(&item.page())?;
+        let (set, way) = self.frame_pos(item.page())?;
         Some(
             &self.sets[set][way]
                 .as_ref()
@@ -326,7 +371,7 @@ impl AttractionMemory {
 
     /// Mutable access to the slot for `item`, if its page is allocated here.
     pub fn slot_mut(&mut self, item: ItemId) -> Option<&mut ItemSlot> {
-        let &(set, way) = self.index.get(&item.page())?;
+        let (set, way) = self.frame_pos(item.page())?;
         Some(
             &mut self.sets[set][way]
                 .as_mut()
@@ -433,7 +478,7 @@ impl AttractionMemory {
 
     /// Pages currently allocated (unordered).
     pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
-        self.index.keys().copied()
+        self.sets.iter().flatten().flatten().map(|f| f.page)
     }
 
     /// Number of present copies in the given state.
@@ -592,6 +637,38 @@ mod tests {
         am.clear_slot(item);
         assert_eq!(am.state(item), ItemState::Invalid);
         assert_eq!(am.iter_present().count(), 0);
+    }
+
+    #[test]
+    fn failed_allocation_leaves_lru_clock_untouched() {
+        let mut am = AttractionMemory::new(tiny_geo());
+        am.allocate_page(PageId::new(0)).unwrap();
+        am.allocate_page(PageId::new(2)).unwrap();
+        let clock_before = am.lru_clock();
+        // Set 0 is full: allocation fails and must not age the set.
+        am.allocate_page(PageId::new(4)).unwrap_err();
+        am.allocate_page(PageId::new(6)).unwrap_err();
+        assert_eq!(am.lru_clock(), clock_before);
+    }
+
+    #[test]
+    fn victim_choice_stable_across_failed_then_retried_allocation() {
+        let mut am = AttractionMemory::new(tiny_geo());
+        am.allocate_page(PageId::new(0)).unwrap();
+        am.allocate_page(PageId::new(2)).unwrap();
+        am.touch(PageId::new(0)); // page 2 is now LRU
+        let first = am.allocate_page(PageId::new(4)).unwrap_err();
+        assert_eq!(first.victim, PageId::new(2));
+        // Retrying without any intervening reference must name the same
+        // victim, and must behave exactly like a fresh AM that never saw
+        // the failed attempt.
+        let retry = am.allocate_page(PageId::new(4)).unwrap_err();
+        assert_eq!(retry.victim, first.victim);
+        am.evict_page(retry.victim);
+        am.allocate_page(PageId::new(4)).unwrap();
+        // After the eviction-and-retry dance, LRU order is page 0 < page 4.
+        let next = am.allocate_page(PageId::new(6)).unwrap_err();
+        assert_eq!(next.victim, PageId::new(0));
     }
 
     #[test]

@@ -141,6 +141,16 @@ pub struct Cache {
     geo: CacheGeometry,
     sets: Vec<Vec<Option<Sector>>>,
     tick: u64,
+    /// Cached geometry derivatives: `geo` recomputes these with
+    /// divisions, which is too slow for the per-reference probe path.
+    lps: u64,
+    num_sets: u64,
+    /// Shift/mask fast path, valid only when `pow2` is set (both `lps`
+    /// and `num_sets` are powers of two — true for the paper geometry).
+    lps_shift: u32,
+    lps_mask: u64,
+    sets_mask: u64,
+    pow2: bool,
 }
 
 impl Cache {
@@ -155,7 +165,20 @@ impl Cache {
         let sets = (0..geo.sets())
             .map(|_| (0..geo.ways).map(|_| None).collect())
             .collect();
-        Self { geo, sets, tick: 0 }
+        let lps = geo.lines_per_sector() as u64;
+        let num_sets = geo.sets() as u64;
+        let pow2 = lps.is_power_of_two() && num_sets.is_power_of_two();
+        Self {
+            geo,
+            sets,
+            tick: 0,
+            lps,
+            num_sets,
+            lps_shift: lps.trailing_zeros(),
+            lps_mask: lps - 1,
+            sets_mask: num_sets - 1,
+            pow2,
+        }
     }
 
     /// Creates an empty cache with the paper's geometry.
@@ -168,16 +191,31 @@ impl Cache {
         &self.geo
     }
 
+    #[inline]
     fn sector_id(&self, line: LineId) -> u64 {
-        line.index() / self.geo.lines_per_sector() as u64
+        if self.pow2 {
+            line.index() >> self.lps_shift
+        } else {
+            line.index() / self.lps
+        }
     }
 
+    #[inline]
     fn set_index(&self, sector_id: u64) -> usize {
-        (sector_id % self.geo.sets() as u64) as usize
+        if self.pow2 {
+            (sector_id & self.sets_mask) as usize
+        } else {
+            (sector_id % self.num_sets) as usize
+        }
     }
 
+    #[inline]
     fn line_in_sector(&self, line: LineId) -> usize {
-        (line.index() % self.geo.lines_per_sector() as u64) as usize
+        if self.pow2 {
+            (line.index() & self.lps_mask) as usize
+        } else {
+            (line.index() % self.lps) as usize
+        }
     }
 
     fn find_sector(&self, sector_id: u64) -> Option<(usize, usize)> {

@@ -6,10 +6,10 @@
 //! misroute fallback) and destinations with no healthy path are reported
 //! as a typed [`RouteError`] instead of a phantom arrival.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use ftcoma_mem::NodeId;
-use ftcoma_sim::Cycles;
+use ftcoma_sim::{Cycles, FxHashMap};
 
 /// Which physical sub-network a message travels on.
 ///
@@ -354,10 +354,10 @@ pub struct Mesh {
     geo: MeshGeometry,
     cfg: NetConfig,
     /// Next-free time of each directed link, per sub-network.
-    link_free: HashMap<(Link, NetClass), Cycles>,
+    link_free: FxHashMap<(Link, NetClass), Cycles>,
     stats: NetStats,
     /// Per-link breakdown of the aggregate statistics.
-    link_stats: HashMap<(Link, NetClass), LinkStats>,
+    link_stats: FxHashMap<(Link, NetClass), LinkStats>,
     /// Severed links (both directions of a cut are inserted). `BTreeSet`
     /// keeps iteration — and therefore any derived output — deterministic.
     failed_links: BTreeSet<Link>,
@@ -372,9 +372,9 @@ impl Mesh {
         Self {
             geo,
             cfg,
-            link_free: HashMap::new(),
+            link_free: FxHashMap::default(),
             stats: NetStats::default(),
-            link_stats: HashMap::new(),
+            link_stats: FxHashMap::default(),
             failed_links: BTreeSet::new(),
             failed_routers: BTreeSet::new(),
         }

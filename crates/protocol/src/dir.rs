@@ -10,9 +10,8 @@
 //! next invalidation round, which it acknowledges trivially. This mirrors
 //! the real protocol and is harmless.
 
-use std::collections::HashMap;
-
 use ftcoma_mem::{ItemId, NodeId};
+use ftcoma_sim::FxHashMap;
 
 /// Sharing lists for the items this node currently owns.
 ///
@@ -34,7 +33,7 @@ use ftcoma_mem::{ItemId, NodeId};
 /// ```
 #[derive(Debug, Default)]
 pub struct OwnerDirectory {
-    entries: HashMap<ItemId, Vec<NodeId>>,
+    entries: FxHashMap<ItemId, Vec<NodeId>>,
 }
 
 impl OwnerDirectory {

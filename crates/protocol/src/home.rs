@@ -6,9 +6,10 @@
 //! waiting requests, the standard way to keep a flat COMA directory
 //! protocol race-free.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use ftcoma_mem::{ItemId, NodeId};
+use ftcoma_sim::FxHashMap;
 
 /// A request waiting for an item's busy bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,8 +52,8 @@ impl QueuedReq {
 /// ```
 #[derive(Debug, Default)]
 pub struct HomeTable {
-    owner: HashMap<ItemId, NodeId>,
-    busy: HashMap<ItemId, VecDeque<QueuedReq>>,
+    owner: FxHashMap<ItemId, NodeId>,
+    busy: FxHashMap<ItemId, VecDeque<QueuedReq>>,
 }
 
 impl HomeTable {

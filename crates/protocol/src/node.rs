@@ -1,8 +1,7 @@
 //! Per-node protocol state.
 
-use std::collections::HashSet;
-
 use ftcoma_mem::{AmGeometry, AttractionMemory, Cache, CacheGeometry, ItemId, NodeId, PageId};
+use ftcoma_sim::FxHashSet;
 
 use crate::dir::OwnerDirectory;
 use crate::home::HomeTable;
@@ -29,10 +28,10 @@ pub struct NodeState {
     pub alive: bool,
     /// Slots reserved for an accepted injection whose data is in flight;
     /// such slots must not be re-accepted or evicted.
-    pub reserved: HashSet<ItemId>,
+    pub reserved: FxHashSet<ItemId>,
     /// Items whose data reply is in flight towards this node (pending
     /// misses); their slots must not be stolen by an injection.
-    pub pending_fill: HashSet<ItemId>,
+    pub pending_fill: FxHashSet<ItemId>,
 }
 
 impl NodeState {
@@ -45,8 +44,8 @@ impl NodeState {
             home: HomeTable::new(),
             dir: OwnerDirectory::new(),
             alive: true,
-            reserved: HashSet::new(),
-            pending_fill: HashSet::new(),
+            reserved: FxHashSet::default(),
+            pending_fill: FxHashSet::default(),
         }
     }
 

@@ -33,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fxhash;
 pub mod json;
 pub mod queue;
 pub mod registry;
 pub mod rng;
 pub mod stats;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::Json;
 pub use queue::EventQueue;
 pub use registry::MetricsRegistry;

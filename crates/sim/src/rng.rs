@@ -109,6 +109,34 @@ impl DetRng {
         self.unit() < p
     }
 
+    /// Precomputed-threshold form of [`chance`](Self::chance) for hot
+    /// loops: `chance_with(threshold(p))` consumes the same single draw
+    /// and returns the *bit-identical* decision as `chance(p)`, but
+    /// compares integers instead of converting to `f64` every call.
+    ///
+    /// Exactness: `unit()` is exactly `k * 2^-53` with `k = x >> 11`, and
+    /// `p * 2^53` is an exact exponent shift for any finite `p`, so
+    /// `unit() < p  ⟺  k < ceil(p * 2^53)`.
+    pub fn threshold(p: f64) -> u64 {
+        (p.clamp(0.0, 1.0) * (1u64 << 53) as f64).ceil() as u64
+    }
+
+    /// See [`threshold`](Self::threshold).
+    pub fn chance_with(&mut self, threshold: u64) -> bool {
+        (self.next_u64() >> 11) < threshold
+    }
+
+    /// Precomputed-threshold form of [`geometric`](Self::geometric):
+    /// consumes the same draws and returns the same value as
+    /// `geometric(p, cap)` when `threshold == Self::threshold(p)`.
+    pub fn geometric_with(&mut self, threshold: u64, cap: u64) -> u64 {
+        let mut n = 0;
+        while n < cap && !self.chance_with(threshold) {
+            n += 1;
+        }
+        n
+    }
+
     /// Saves the complete generator state.
     pub fn snapshot(&self) -> RngSnapshot {
         RngSnapshot(self.state)
@@ -261,6 +289,52 @@ mod tests {
         for _ in 0..100 {
             assert!(!r.chance(0.0));
             assert!(r.chance(1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn threshold_forms_are_bit_identical_to_float_forms() {
+        // The workload generators rely on chance_with/geometric_with
+        // consuming the same draws and producing the same decisions as
+        // chance/geometric — any divergence silently changes every
+        // reference stream. Sweep awkward probabilities, including exact
+        // dyadics, near-0/1 values, and 10k random ones.
+        let mut ps: Vec<f64> = vec![
+            0.0,
+            1.0,
+            0.5,
+            0.25,
+            1.0 / 3.0,
+            0.3,
+            0.55,
+            1e-12,
+            1.0 - 1e-12,
+        ];
+        let mut pr = DetRng::seeded(99);
+        ps.extend((0..10_000).map(|_| pr.unit()));
+        for p in ps {
+            let t = DetRng::threshold(p);
+            let mut a = DetRng::seeded(41);
+            let mut b = a.clone();
+            for _ in 0..50 {
+                assert_eq!(a.chance(p), b.chance_with(t), "p = {p}");
+            }
+            if p > 0.0 {
+                let mut a = DetRng::seeded(43);
+                let mut b = a.clone();
+                for _ in 0..20 {
+                    assert_eq!(
+                        a.geometric(p, 10_000),
+                        b.geometric_with(t, 10_000),
+                        "p = {p}"
+                    );
+                    assert_eq!(
+                        a.snapshot(),
+                        b.snapshot(),
+                        "draw counts diverged at p = {p}"
+                    );
+                }
+            }
         }
     }
 

@@ -102,19 +102,22 @@ pub struct NodeStream {
     // Immutable configuration.
     node: u64,
     nodes: u64,
-    write_frac: f64,
-    shared_given_read: f64,
-    shared_given_write: f64,
-    mem_frac: f64,
     shared_items: u64,
     private_base_page: u64,
     private_items: u64,
-    private_hot_prob: f64,
     window: u64,
     drift_period: u32,
     style: SharingStyle,
     shared_zipf: Zipf,
     panel_zipf: Option<Zipf>,
+    // Precomputed `DetRng::threshold`s for the per-reference Bernoulli
+    // draws (bit-identical to the `chance(p)` forms, minus the per-call
+    // float work — this path runs once per simulated reference).
+    mem_t: u64,
+    write_t: u64,
+    shared_read_t: u64,
+    shared_write_t: u64,
+    priv_hot_t: u64,
 
     // Mutable, snapshot-covered state.
     rng: DetRng,
@@ -150,19 +153,19 @@ impl NodeStream {
         Self {
             node: u64::from(node),
             nodes: u64::from(nodes),
-            write_frac: cfg.write_frac,
-            shared_given_read: cfg.shared_read_frac / cfg.read_frac,
-            shared_given_write: cfg.shared_write_frac / cfg.write_frac,
-            mem_frac: cfg.mem_frac(),
             shared_items,
             private_base_page: cfg.shared_pages + u64::from(node) * cfg.private_pages_per_node,
             private_items,
-            private_hot_prob: cfg.private_hot_prob,
             window: u64::from(cfg.write_window_items),
             drift_period: cfg.write_drift_period,
             style: cfg.style,
             shared_zipf: Zipf::new(shared_items as usize, cfg.zipf_theta),
             panel_zipf,
+            mem_t: DetRng::threshold(cfg.mem_frac()),
+            write_t: DetRng::threshold(cfg.write_frac / cfg.mem_frac()),
+            shared_read_t: DetRng::threshold(cfg.shared_read_frac / cfg.read_frac),
+            shared_write_t: DetRng::threshold(cfg.shared_write_frac / cfg.write_frac),
+            priv_hot_t: DetRng::threshold(cfg.private_hot_prob),
             rng: DetRng::seeded(seed).split(u64::from(node)),
             burst_item: 0,
             burst_left: 0,
@@ -202,7 +205,7 @@ impl NodeStream {
     /// Address of a private *load*: usually near the write window, with a
     /// uniform tail over the whole private region.
     fn private_read_addr(&mut self) -> Addr {
-        let idx = if self.rng.chance(self.private_hot_prob) {
+        let idx = if self.rng.chance_with(self.priv_hot_t) {
             let near = (self.window * 8).min(self.private_items);
             (self.priv_frame + self.rng.below(near)) % self.private_items
         } else {
@@ -344,13 +347,13 @@ impl NodeStream {
 impl RefStream for NodeStream {
     fn next_ref(&mut self) -> MemRef {
         // Compute gap: geometric with success probability mem_frac.
-        let pre_cycles = self.rng.geometric(self.mem_frac, 10_000) as u32;
+        let pre_cycles = self.rng.geometric_with(self.mem_t, 10_000) as u32;
         // Load or store, conditioned on this being a memory reference.
-        let is_write = self.rng.chance(self.write_frac / self.mem_frac);
+        let is_write = self.rng.chance_with(self.write_t);
         let shared = if is_write {
-            self.rng.chance(self.shared_given_write)
+            self.rng.chance_with(self.shared_write_t)
         } else {
-            self.rng.chance(self.shared_given_read)
+            self.rng.chance_with(self.shared_read_t)
         };
         let addr = if shared {
             let idx = self.pick_shared_item(is_write);

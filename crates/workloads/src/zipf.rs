@@ -23,7 +23,18 @@ use ftcoma_sim::DetRng;
 #[derive(Debug, Clone)]
 pub struct Zipf {
     cdf: Vec<f64>,
+    /// Guide table: `guide[j]` is the first rank whose CDF value is
+    /// `>= j / GUIDE_BUCKETS`, so a draw `u` in bucket `j` only searches
+    /// `cdf[guide[j] ..= guide[j+1]]` — one or two cache lines instead of
+    /// a full binary search. The mapping `u -> rank` is bit-identical to
+    /// the plain search (the bucket bounds `j / GUIDE_BUCKETS` are exact
+    /// dyadic rationals, so the bracket is exact).
+    guide: Vec<u32>,
 }
+
+/// Guide-table resolution; a power of two so `u * GUIDE_BUCKETS` and
+/// `j / GUIDE_BUCKETS` are exact in `f64`.
+const GUIDE_BUCKETS: usize = 1024;
 
 impl Zipf {
     /// Builds a sampler over `n` ranks with exponent `theta`.
@@ -49,7 +60,16 @@ impl Zipf {
         for v in &mut cdf {
             *v /= total;
         }
-        Self { cdf }
+        assert!(
+            n < u32::MAX as usize,
+            "population too large for guide table"
+        );
+        let mut guide = Vec::with_capacity(GUIDE_BUCKETS + 1);
+        for j in 0..=GUIDE_BUCKETS {
+            let bound = j as f64 / GUIDE_BUCKETS as f64;
+            guide.push(cdf.partition_point(|&p| p < bound) as u32);
+        }
+        Self { cdf, guide }
     }
 
     /// Number of ranks.
@@ -65,12 +85,13 @@ impl Zipf {
     /// Draws a rank in `0..len()`; rank 0 is the most popular.
     pub fn sample(&self, rng: &mut DetRng) -> usize {
         let u = rng.unit();
-        match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("finite probabilities"))
-        {
-            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
-        }
+        // The result is the first rank with cdf >= u. `u` lies in guide
+        // bucket `j`, so the rank lies in `guide[j] ..= guide[j+1]`.
+        let j = (u * GUIDE_BUCKETS as f64) as usize;
+        let lo = self.guide[j] as usize;
+        let hi = (self.guide[j + 1] as usize + 1).min(self.cdf.len());
+        let i = lo + self.cdf[lo..hi].partition_point(|&p| p < u);
+        i.min(self.cdf.len() - 1)
     }
 }
 
@@ -114,6 +135,35 @@ mod tests {
         }
         for c in counts {
             assert!((8_000..12_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn guide_table_matches_plain_binary_search() {
+        // The guide table is a pure accelerator: for every draw it must
+        // return exactly the rank the original full binary search would
+        // have — reference streams (and thus all reports) depend on it.
+        for &(n, theta) in &[
+            (1usize, 0.8),
+            (7, 0.0),
+            (512, 0.6),
+            (4608, 0.8),
+            (10_000, 1.2),
+        ] {
+            let z = Zipf::new(n, theta);
+            let mut rng = DetRng::seeded(29);
+            let mut shadow = rng.clone();
+            for _ in 0..20_000 {
+                let got = z.sample(&mut rng);
+                let u = shadow.unit();
+                let want = match z
+                    .cdf
+                    .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+                {
+                    Ok(i) | Err(i) => i.min(z.cdf.len() - 1),
+                };
+                assert_eq!(got, want, "n={n} theta={theta} u={u}");
+            }
         }
     }
 
