@@ -5,7 +5,8 @@
 //! frequencies × failure scenarios. This crate expands such a grid from a
 //! declarative spec into flat [`Cell`]s, runs them on a `std::thread`
 //! worker pool, and aggregates everything into one versioned JSON report
-//! (`schema_version` 4).
+//! (`schema_version` 5). Host wall-clock timings stay out of the report;
+//! [`report::timing_json`] builds them as a separate sidecar document.
 //!
 //! Determinism is the design center: every cell's RNG seed is derived from
 //! `(campaign seed, baseline-group id)` with [`ftcoma_sim::derive_seed`] at
@@ -31,8 +32,8 @@
 //! let cells = spec.expand();
 //! assert_eq!(cells.len(), 2); // baseline + one ECP cell
 //! let outcomes = run_cells(&cells, 2);
-//! let doc = report::campaign_json(&spec, &cells, &outcomes, 0.0);
-//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(4));
+//! let doc = report::campaign_json(&spec, &cells, &outcomes);
+//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(5));
 //! ```
 
 #![forbid(unsafe_code)]

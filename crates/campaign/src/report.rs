@@ -1,14 +1,15 @@
 //! The campaign report: one versioned JSON document aggregating every
 //! cell's metrics, link report and overhead decomposition.
 //!
-//! The document is `schema_version` 4 (see
+//! The document is `schema_version` 5 (see
 //! [`ftcoma_machine::export::SCHEMA_VERSION`]); cells appear in id order
-//! regardless of the order workers finished them, and every field except
-//! the `wall_ms*` timings is a pure function of the spec — the property the
-//! CI `determinism` job checks by diffing `--jobs 1` against `--jobs 4`
-//! output with wall-clock lines stripped.
+//! regardless of the order workers finished them, and every field is a
+//! pure function of the spec — the property the CI `determinism` job
+//! checks by byte-diffing `--jobs 1` against `--jobs 4` output. Wall-clock
+//! timings live in a separate sidecar document ([`timing_json`]) that is
+//! exempt from the comparison.
 
-use ftcoma_machine::{export, RunMetrics};
+use ftcoma_machine::{export, PhaseLatency, RunMetrics};
 use ftcoma_sim::Json;
 
 use crate::runner::CellOutcome;
@@ -73,7 +74,6 @@ pub fn cell_json(cell: &Cell, outcome: &CellOutcome, baseline: Option<&RunMetric
         ("seed", Json::from(format!("0x{:016x}", cell.cfg.seed))),
         ("decomposition", decomposition),
         ("outcome", export::outcome_json(&outcome.outcome)),
-        ("wall_ms", Json::from(outcome.wall_ms)),
         (
             "metrics",
             export::metrics_json(&outcome.metrics, &outcome.links),
@@ -88,12 +88,7 @@ pub fn cell_json(cell: &Cell, outcome: &CellOutcome, baseline: Option<&RunMetric
 /// # Panics
 ///
 /// Panics if `cells` and `outcomes` disagree in length or ids.
-pub fn campaign_json(
-    spec: &CampaignSpec,
-    cells: &[Cell],
-    outcomes: &[CellOutcome],
-    wall_ms_total: f64,
-) -> Json {
+pub fn campaign_json(spec: &CampaignSpec, cells: &[Cell], outcomes: &[CellOutcome]) -> Json {
     assert_eq!(cells.len(), outcomes.len(), "one outcome per cell");
     // Group id -> baseline metrics, for the decompositions.
     let baselines: Vec<(u64, &RunMetrics)> = cells
@@ -112,6 +107,7 @@ pub fn campaign_json(
     });
 
     let mut totals = RunMetrics::default();
+    let mut phases = PhaseLatency::default();
     for o in outcomes {
         totals.refs += o.metrics.refs;
         totals.total_cycles += o.metrics.total_cycles;
@@ -119,6 +115,7 @@ pub fn campaign_json(
         totals.failures += o.metrics.failures;
         totals.repairs += o.metrics.repairs;
         totals.net_messages += o.metrics.net_messages;
+        phases.merge(&o.metrics.phases);
     }
 
     Json::obj([
@@ -141,32 +138,40 @@ pub fn campaign_json(
                 ("failures", Json::from(totals.failures)),
                 ("repairs", Json::from(totals.repairs)),
                 ("net_messages", Json::from(totals.net_messages)),
+                (
+                    "phases",
+                    Json::obj(
+                        phases
+                            .named()
+                            .into_iter()
+                            .map(|(name, h)| (name, h.summary().to_json())),
+                    ),
+                ),
             ]),
         ),
         ("cells", Json::arr(rows)),
-        ("wall_ms_total", Json::from(wall_ms_total)),
     ])
 }
 
-/// Removes every wall-clock field (`wall_ms`, `wall_ms_total`) from a
-/// document, recursively — the report minus its only nondeterministic
-/// fields. Used by the determinism tests; the CI gate does the same with
-/// `grep -v '"wall_ms'`.
-pub fn strip_wall_clock(doc: &mut Json) {
-    match doc {
-        Json::Obj(pairs) => {
-            pairs.retain(|(k, _)| !k.starts_with("wall_ms"));
-            for (_, v) in pairs {
-                strip_wall_clock(v);
-            }
-        }
-        Json::Arr(items) => {
-            for v in items {
-                strip_wall_clock(v);
-            }
-        }
-        _ => {}
-    }
+/// The wall-clock timing sidecar: host timings of a campaign run, kept out
+/// of the report document so the report itself stays byte-deterministic.
+/// The CLI writes it next to the report as `<out>.timing.json`.
+pub fn timing_json(outcomes: &[CellOutcome], wall_ms_total: f64) -> Json {
+    Json::obj([(
+        "timing",
+        Json::obj([
+            ("wall_ms_total", Json::from(wall_ms_total)),
+            (
+                "cells",
+                Json::arr(outcomes.iter().map(|o| {
+                    Json::obj([
+                        ("id", Json::from(o.cell_id)),
+                        ("wall_ms", Json::from(o.wall_ms)),
+                    ])
+                })),
+            ),
+        ]),
+    )])
 }
 
 #[cfg(test)]
@@ -189,8 +194,11 @@ mod tests {
         .unwrap();
         let cells = spec.expand();
         let outcomes = run_cells(&cells, 2);
-        let doc = campaign_json(&spec, &cells, &outcomes, 12.5);
-        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(4));
+        let doc = campaign_json(&spec, &cells, &outcomes);
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(export::SCHEMA_VERSION)
+        );
         assert_eq!(doc.get("kind").and_then(Json::as_str), Some("campaign"));
         let rows = doc.get("cells").unwrap().as_array().unwrap();
         assert_eq!(rows.len(), 2);
@@ -215,25 +223,21 @@ mod tests {
             .get("machine")
             .and_then(|s| s.get("checkpoints"))
             .is_some());
+        // Merged per-phase latency summaries ride along in the totals.
+        let phases = doc.get("totals").and_then(|t| t.get("phases")).unwrap();
+        assert!(phases
+            .get("dir_lookup")
+            .and_then(|h| h.get("count"))
+            .is_some());
         // The whole document round-trips through the parser.
         assert!(Json::parse(&doc.to_string_pretty()).is_ok());
-    }
-
-    #[test]
-    fn strip_wall_clock_removes_all_timing_fields() {
-        let mut doc = Json::obj([
-            ("wall_ms_total", Json::from(1.0)),
-            (
-                "cells",
-                Json::arr([Json::obj([
-                    ("id", Json::from(0u64)),
-                    ("wall_ms", Json::from(2.0)),
-                ])]),
-            ),
-        ]);
-        strip_wall_clock(&mut doc);
+        // The report itself carries no wall-clock fields...
         let text = doc.to_string_compact();
-        assert!(!text.contains("wall_ms"), "{text}");
-        assert!(text.contains("\"id\""));
+        assert!(!text.contains("wall_ms"), "wall clock leaked into report");
+        // ...those live in the timing sidecar, one row per cell.
+        let timing = timing_json(&outcomes, 12.5);
+        let t = timing.get("timing").unwrap();
+        assert!(t.get("wall_ms_total").and_then(Json::as_f64).is_some());
+        assert_eq!(t.get("cells").unwrap().as_array().unwrap().len(), 2);
     }
 }

@@ -40,8 +40,15 @@ pub struct CellOutcome {
     pub owner_image: Vec<(u64, u64)>,
     /// Per-stream emitted-reference counts (liveness oracle input).
     pub stream_progress: Vec<u64>,
-    /// Host wall-clock time of this cell, in milliseconds. Excluded from
-    /// determinism comparisons.
+    /// Retained causal span records (empty unless the cell's config set
+    /// `trace_capacity`).
+    pub spans: Vec<ftcoma_sim::span::SpanRecord>,
+    /// Sampled time-series rows (empty unless the cell's config set
+    /// `timeseries_every`).
+    pub timeseries: Vec<ftcoma_machine::TsSample>,
+    /// Host wall-clock time of this cell, in milliseconds. Never
+    /// serialized into the report document (it lands in the `timing`
+    /// sidecar), so reports stay byte-deterministic.
     pub wall_ms: f64,
 }
 
@@ -109,6 +116,8 @@ pub fn run_cell(cell: &Cell) -> CellOutcome {
         outcome,
         owner_image: machine.owner_image(),
         stream_progress: machine.stream_progress(),
+        spans: machine.spans(),
+        timeseries: machine.timeseries().to_vec(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
     }
 }

@@ -7,7 +7,8 @@
 //! counterexample either reproduces exactly or the artifact is stale.
 
 use ftcoma_campaign::Scenario;
-use ftcoma_machine::export::SCHEMA_VERSION;
+use ftcoma_machine::export::{span_json, SCHEMA_VERSION};
+use ftcoma_sim::span::{SpanPhase, SpanRecord};
 use ftcoma_sim::Json;
 
 /// One minimized failing case, self-contained for replay.
@@ -38,6 +39,10 @@ pub struct Counterexample {
     pub reasons: Vec<String>,
     /// Predicate evaluations the shrinker spent.
     pub shrink_runs: u32,
+    /// Recovery-phase spans (detection, rollback, reconfiguration,
+    /// replay) collected from the shrunk case's final traced run, capped
+    /// at 64 records. Empty when the failing run saw no recovery at all.
+    pub recovery_timeline: Vec<SpanRecord>,
 }
 
 impl Counterexample {
@@ -67,6 +72,10 @@ impl Counterexample {
                 Json::arr(self.reasons.iter().map(|r| Json::from(r.as_str()))),
             ),
             ("shrink_runs", Json::from(u64::from(self.shrink_runs))),
+            (
+                "recovery_timeline",
+                Json::arr(self.recovery_timeline.iter().map(span_json)),
+            ),
         ])
     }
 
@@ -129,8 +138,28 @@ impl Counterexample {
                 })
                 .unwrap_or_default(),
             shrink_runs: num("shrink_runs").map(|v| v as u32).unwrap_or(0),
+            // Tolerant: pre-v5 artifacts have no timeline; malformed rows
+            // are skipped rather than failing the whole parse.
+            recovery_timeline: doc
+                .get("recovery_timeline")
+                .and_then(Json::as_array)
+                .map(|xs| xs.iter().filter_map(parse_span).collect())
+                .unwrap_or_default(),
         })
     }
+}
+
+/// Parses one serialized span row ([`span_json`] format); `None` for
+/// malformed rows.
+fn parse_span(row: &Json) -> Option<SpanRecord> {
+    Some(SpanRecord {
+        id: row.get("id").and_then(Json::as_u64)?,
+        parent: row.get("parent").and_then(Json::as_u64)?,
+        phase: SpanPhase::from_name(row.get("phase").and_then(Json::as_str)?)?,
+        node: u16::try_from(row.get("node").and_then(Json::as_u64)?).ok()?,
+        start: row.get("start").and_then(Json::as_u64)?,
+        end: row.get("end").and_then(Json::as_u64)?,
+    })
 }
 
 #[cfg(test)]
@@ -168,6 +197,24 @@ mod tests {
             },
             reasons: vec!["golden-replay: item 7 lost (golden value 9)".into()],
             shrink_runs: 21,
+            recovery_timeline: vec![
+                SpanRecord {
+                    id: 40,
+                    parent: 0,
+                    phase: SpanPhase::Recovery,
+                    node: 1,
+                    start: 42_000,
+                    end: 44_500,
+                },
+                SpanRecord {
+                    id: 41,
+                    parent: 40,
+                    phase: SpanPhase::Rollback,
+                    node: 1,
+                    start: 42_000,
+                    end: 42_800,
+                },
+            ],
         }
     }
 
@@ -179,6 +226,17 @@ mod tests {
         assert_eq!(back, cx);
         // Serialization is byte-deterministic.
         assert_eq!(text, back.to_json().to_string_pretty());
+    }
+
+    #[test]
+    fn pre_v5_artifacts_parse_with_empty_timeline() {
+        let mut doc = sample().to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "recovery_timeline");
+        }
+        let back = Counterexample::parse(&doc.to_string_pretty()).unwrap();
+        assert!(back.recovery_timeline.is_empty());
+        assert_eq!(back.case_id, sample().case_id);
     }
 
     #[test]

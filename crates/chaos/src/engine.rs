@@ -1,8 +1,9 @@
 //! The fuzzing engine: golden runs → adversarial case generation →
 //! parallel execution → oracle judgement → counterexample shrinking.
 //!
-//! Determinism contract: everything except the report's `wall_ms_total`
-//! is a pure function of the [`ChaosConfig`]. Case scenarios are sampled
+//! Determinism contract: the report document is a pure function of the
+//! [`ChaosConfig`] (host wall-clock time is reported out-of-band in
+//! [`ChaosReport::wall_ms_total`]). Case scenarios are sampled
 //! from per-seed-group [`DetRng`] streams derived at generation time, the
 //! cells run on the campaign worker pool (whose results are
 //! order-independent), and shrinking re-runs cells sequentially in case
@@ -246,9 +247,12 @@ fn sample_net_scenario(rng: &mut DetRng, nodes: u16, horizon: u64) -> Scenario {
 /// What one fuzzing run produced.
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
-    /// The full report document (`"kind": "chaos"`, deterministic except
-    /// for `wall_ms_total`).
+    /// The full report document (`"kind": "chaos"`, byte-deterministic).
     pub doc: Json,
+    /// Host wall-clock time of the whole run, in milliseconds. Kept out
+    /// of `doc` so reports diff cleanly; the CLI writes it to the
+    /// `timing` sidecar.
+    pub wall_ms_total: f64,
     /// One minimized artifact per oracle failure, in case order.
     pub counterexamples: Vec<Counterexample>,
     /// Cases that recovered and passed all three oracles.
@@ -380,13 +384,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             "counterexamples",
             Json::arr(counterexamples.iter().map(Counterexample::to_json)),
         ),
-        (
-            "wall_ms_total",
-            Json::from(start.elapsed().as_secs_f64() * 1e3),
-        ),
     ]);
     Ok(ChaosReport {
         doc,
+        wall_ms_total: start.elapsed().as_secs_f64() * 1e3,
         counterexamples,
         passed,
         unrecoverable,
@@ -413,11 +414,19 @@ fn minimize_case<F: FnMut(&Cell) -> CellOutcome>(
         cfg.shrink_budget,
     );
     // Record the shrunk scenario's own reasons (one extra run); the
-    // shrinker guarantees it still fails.
-    let reasons = match judge(
-        &runner(&cfg.cell(case_cell.id, case_cell.group, shrunk)),
-        golden,
-    ) {
+    // shrinker guarantees it still fails. This final run collects spans
+    // so the artifact carries the recovery timeline of the failing case.
+    let mut final_cell = cfg.cell(case_cell.id, case_cell.group, shrunk);
+    final_cell.cfg.trace_capacity = 100_000;
+    let final_outcome = runner(&final_cell);
+    let recovery_timeline: Vec<_> = final_outcome
+        .spans
+        .iter()
+        .filter(|s| s.phase.is_recovery())
+        .take(64)
+        .copied()
+        .collect();
+    let reasons = match judge(&final_outcome, golden) {
         Verdict::Fail(r) => r,
         _ => original_reasons,
     };
@@ -434,6 +443,7 @@ fn minimize_case<F: FnMut(&Cell) -> CellOutcome>(
         original: case_cell.scenario,
         reasons,
         shrink_runs: runs,
+        recovery_timeline,
     }
 }
 
@@ -555,11 +565,7 @@ mod tests {
         };
         let r1 = run_chaos(&cfg1).unwrap();
         let r4 = run_chaos(&cfg4).unwrap();
-        let strip = |mut d: Json| {
-            ftcoma_campaign::report::strip_wall_clock(&mut d);
-            d.to_string_pretty()
-        };
-        assert_eq!(strip(r1.doc.clone()), strip(r4.doc));
+        assert_eq!(r1.doc.to_string_pretty(), r4.doc.to_string_pretty());
         assert_eq!(
             r1.failed, 0,
             "net-fault bug or oracle bug: {:#?}",
@@ -623,6 +629,8 @@ mod tests {
                 },
                 owner_image: Vec::new(),
                 stream_progress: Vec::new(),
+                spans: Vec::new(),
+                timeseries: Vec::new(),
                 wall_ms: 0.0,
             }
         };
@@ -663,11 +671,7 @@ mod tests {
         };
         let r1 = run_chaos(&cfg1).unwrap();
         let r4 = run_chaos(&cfg4).unwrap();
-        let strip = |mut d: Json| {
-            ftcoma_campaign::report::strip_wall_clock(&mut d);
-            d.to_string_pretty()
-        };
-        assert_eq!(strip(r1.doc), strip(r4.doc));
+        assert_eq!(r1.doc.to_string_pretty(), r4.doc.to_string_pretty());
         assert_eq!(
             r1.failed, 0,
             "protocol bug or oracle bug: {:#?}",

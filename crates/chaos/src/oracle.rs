@@ -199,6 +199,8 @@ mod tests {
             outcome,
             owner_image: image,
             stream_progress: progress,
+            spans: Vec::new(),
+            timeseries: Vec::new(),
             wall_ms: 0.0,
         }
     }

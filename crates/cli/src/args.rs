@@ -7,6 +7,9 @@ use std::collections::HashMap;
 pub struct Parsed {
     /// The subcommand (first positional argument).
     pub command: String,
+    /// Second-level action (only the `trace` command takes one, e.g.
+    /// `ftcoma trace summarize`); `None` everywhere else.
+    pub subcommand: Option<String>,
     flags: HashMap<String, String>,
 }
 
@@ -40,7 +43,17 @@ impl Parsed {
             )));
         }
         let mut flags = HashMap::new();
+        let mut subcommand = None;
+        let mut first = true;
         while let Some(a) = it.next() {
+            // `trace` takes a second-level action word; every other
+            // command rejects stray positionals.
+            if first && command == "trace" && !a.starts_with('-') {
+                subcommand = Some(a);
+                first = false;
+                continue;
+            }
+            first = false;
             let key = a
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError(format!("unexpected positional argument {a}")))?;
@@ -57,7 +70,11 @@ impl Parsed {
                 return Err(ArgError(format!("flag --{key} given twice")));
             }
         }
-        Ok(Parsed { command, flags })
+        Ok(Parsed {
+            command,
+            subcommand,
+            flags,
+        })
     }
 
     /// String flag with a default.
@@ -171,6 +188,17 @@ mod tests {
         );
         let b = p("sweep").unwrap();
         assert_eq!(b.f64_list_or("freqs", &[1.0]).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn trace_takes_an_action_word() {
+        let a = p("trace summarize --spans out.jsonl --top 5").unwrap();
+        assert_eq!(a.command, "trace");
+        assert_eq!(a.subcommand.as_deref(), Some("summarize"));
+        assert_eq!(a.str_or("spans", ""), "out.jsonl");
+        // Only `trace` accepts a positional action; other commands don't.
+        assert!(p("run stray").is_err());
+        assert_eq!(p("trace --spans x").unwrap().subcommand, None);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! ftcoma campaign --spec grid.json --jobs 8 --out report.json  # parallel grid
 //! ftcoma chaos    --seeds 4 --cases 200 --jobs 4 --out chaos.json
 //! ftcoma chaos    --replay chaos-counterexample-17.json        # reproduce
+//! ftcoma trace summarize --spans spans.jsonl --top 10          # slowest txns
 //! ftcoma latency                                               # Table 2 probe
 //! ftcoma help
 //! ```
@@ -23,11 +24,13 @@ use ftcoma_campaign::{
 };
 use ftcoma_chaos::{ChaosConfig, Counterexample, Verdict};
 use ftcoma_core::{FtConfig, RecoveryOutcome};
+use ftcoma_machine::TsSample;
 use ftcoma_machine::{
     export, probe, tracelog::TraceEvent, FailureKind, Machine, MachineConfig, RunMetrics,
 };
 use ftcoma_mem::NodeId;
 use ftcoma_net::LinkReport;
+use ftcoma_sim::span::{SpanPhase, SpanRecord};
 use ftcoma_sim::{Clock, Json};
 use ftcoma_workloads::{presets, SplashConfig};
 
@@ -56,6 +59,7 @@ fn dispatch(p: &Parsed) -> Result<(), ArgError> {
         "failure" => cmd_failure(p),
         "campaign" => cmd_campaign(p),
         "chaos" => cmd_chaos(p),
+        "trace" => cmd_trace(p),
         "latency" => cmd_latency(p),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
@@ -75,6 +79,8 @@ USAGE
                   [--fail-node K]]
                   [--json] [--metrics-out FILE] [--trace-out FILE]
                   [--trace-jsonl FILE] [--trace-capacity N]
+                  [--spans-out FILE] [--timeseries-out FILE]
+                  [--timeseries-every CYCLES]
   ftcoma compare  --workload W [--nodes N] [--refs R] [--warmup U] [--freq F]
   ftcoma sweep    --workload W [--nodes N] [--freqs F1,F2,...] [--jobs J]
   ftcoma failure  --workload W --kind transient|permanent [--node K]
@@ -84,6 +90,7 @@ USAGE
                   [--workload W] [--nodes K] [--freq F] [--refs R]
                   [--net-faults] [--out FILE] [--json]
   ftcoma chaos    --replay ARTIFACT.json
+  ftcoma trace summarize --spans FILE [--top K]
   ftcoma latency
   ftcoma help
 
@@ -91,8 +98,9 @@ CAMPAIGNS
   A campaign spec (see docs/CAMPAIGNS.md) expands workloads x node counts
   x checkpoint frequencies x failure scenarios into independent cells, run
   on J worker threads. Per-cell seeds are derived from the campaign seed
-  at expansion time, so the aggregated JSON report is byte-identical
-  (modulo wall_ms* fields) at any --jobs level. --cell replays one cell.
+  at expansion time, so the aggregated JSON report is byte-identical at
+  any --jobs level (wall-clock timings go to a separate <out>.timing.json
+  sidecar). --cell replays one cell.
 
 CHAOS (see docs/CHAOS.md)
   A seeded fuzzer sweeps failure injections across the whole protocol
@@ -106,16 +114,27 @@ CHAOS (see docs/CHAOS.md)
   cuts, router deaths and message-loss episodes, which the fault-aware
   routing and reliable transport must mask or escalate cleanly (see
   docs/NETWORK.md).
-  Reports are byte-identical across --jobs (modulo wall_ms_total).
+  Reports are byte-identical across --jobs; wall-clock time goes to the
+  <out>.timing.json sidecar. Counterexample artifacts carry the failing
+  case's recovery span timeline.
   FTCOMA_BENCH_QUICK=1 halves the per-case run length for CI smoke.
 
-OBSERVABILITY (run and failure)
-  --json              print the run metrics as versioned JSON on stdout
-  --metrics-out FILE  also write that JSON document to FILE
-  --trace-out FILE    write a Chrome trace-event file (Perfetto-viewable)
-  --trace-jsonl FILE  write the protocol trace as JSON Lines
-  --trace-capacity N  retain the last N trace events (default 1000000
-                      when a trace output is requested, else 0)
+OBSERVABILITY (run and failure; see docs/OBSERVABILITY.md)
+  --json                   print the run metrics as versioned JSON on stdout
+  --metrics-out FILE       also write that JSON document to FILE
+  --trace-out FILE         write a Chrome trace-event file (Perfetto-viewable;
+                           includes causal spans and flow arrows)
+  --trace-jsonl FILE       write the protocol trace as JSON Lines
+  --trace-capacity N       retain the last N trace events and causal spans
+                           (default 1000000 when a trace or span output is
+                           requested, else 0)
+  --spans-out FILE         write the causal span records as JSON Lines
+  --timeseries-out FILE    write epoch-sampled time-series rows as JSON Lines
+  --timeseries-every N     sample every N cycles (default 10000 when
+                           --timeseries-out is given, else off)
+  ftcoma trace summarize --spans FILE [--top K]
+                           print the K slowest transactions with their
+                           per-phase decomposition (default 10)
 
 WORKLOADS
   barnes, cholesky, mp3d, water (paper's Table 3), plus micro-benchmarks
@@ -144,11 +163,13 @@ fn machine_config(p: &Parsed) -> Result<MachineConfig, ArgError> {
     } else {
         Default::default()
     };
-    let default_trace_capacity = if p.has("trace-out") || p.has("trace-jsonl") {
+    let default_trace_capacity = if p.has("trace-out") || p.has("trace-jsonl") || p.has("spans-out")
+    {
         1_000_000
     } else {
         0
     };
+    let default_ts_every = if p.has("timeseries-out") { 10_000 } else { 0 };
     Ok(MachineConfig {
         nodes: p.u64_or("nodes", 16)? as u16,
         refs_per_node: p.u64_or("refs", 60_000)?,
@@ -159,6 +180,7 @@ fn machine_config(p: &Parsed) -> Result<MachineConfig, ArgError> {
         seed: p.u64_or("seed", 0xF7C0_3A11)?,
         verify: p.has("verify"),
         trace_capacity: p.u64_or("trace-capacity", default_trace_capacity)? as usize,
+        timeseries_every: p.u64_or("timeseries-every", default_ts_every)?,
         ..MachineConfig::default()
     })
 }
@@ -170,6 +192,8 @@ fn export_outputs(
     metrics: &RunMetrics,
     links: &[LinkReport],
     trace: &[TraceEvent],
+    spans: &[SpanRecord],
+    timeseries: &[TsSample],
     outcome: &RecoveryOutcome,
 ) -> Result<bool, ArgError> {
     let write = |path: &str, contents: &str| {
@@ -193,13 +217,22 @@ fn export_outputs(
         }
     }
     if p.has("trace-out") {
-        let chrome = export::chrome_trace(trace, Clock::ksr1().hz());
+        let chrome = export::chrome_trace_with_spans(trace, spans, Clock::ksr1().hz());
         let mut text = chrome.to_string_compact();
         text.push('\n');
         write(&p.str_or("trace-out", ""), &text)?;
     }
     if p.has("trace-jsonl") {
         write(&p.str_or("trace-jsonl", ""), &export::trace_jsonl(trace))?;
+    }
+    if p.has("spans-out") {
+        write(&p.str_or("spans-out", ""), &export::spans_jsonl(spans))?;
+    }
+    if p.has("timeseries-out") {
+        write(
+            &p.str_or("timeseries-out", ""),
+            &export::timeseries_jsonl(timeseries),
+        )?;
     }
     if p.has("json") {
         println!("{}", doc.expect("built above").to_string_pretty());
@@ -262,6 +295,9 @@ const RUN_FLAGS: &[&str] = &[
     "trace-out",
     "trace-jsonl",
     "trace-capacity",
+    "spans-out",
+    "timeseries-out",
+    "timeseries-every",
 ];
 
 /// The `--fail-at/--fail-kind/--fail-node` injection triple of `run`.
@@ -364,6 +400,8 @@ fn cmd_run(p: &Parsed) -> Result<(), ArgError> {
         &metrics,
         &machine.link_report(),
         &machine.trace(),
+        &machine.spans(),
+        machine.timeseries(),
         &outcome,
     )? {
         print_metrics(&metrics);
@@ -483,6 +521,9 @@ fn cmd_failure(p: &Parsed) -> Result<(), ArgError> {
         "trace-out",
         "trace-jsonl",
         "trace-capacity",
+        "spans-out",
+        "timeseries-out",
+        "timeseries-every",
     ])?;
     let mut cfg = machine_config(p)?;
     cfg.verify = true;
@@ -528,6 +569,8 @@ fn cmd_failure(p: &Parsed) -> Result<(), ArgError> {
         &outcome.metrics,
         &outcome.links,
         &outcome.trace,
+        &outcome.spans,
+        &outcome.timeseries,
         &outcome.outcome,
     )? {
         match &outcome.outcome {
@@ -623,13 +666,18 @@ fn cmd_campaign(p: &Parsed) -> Result<(), ArgError> {
             )))
         }
     };
-    let doc = report::campaign_json(&spec, &cells, &outcomes, wall_ms_total);
+    let doc = report::campaign_json(&spec, &cells, &outcomes);
     if p.has("out") {
         let out = p.str_or("out", "");
         std::fs::write(&out, doc.to_string_pretty())
             .map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+        // Wall-clock timings go to a sidecar so the report diffs cleanly.
+        let timing_path = timing_sidecar_path(&out);
+        let timing = report::timing_json(&outcomes, wall_ms_total);
+        std::fs::write(&timing_path, timing.to_string_pretty())
+            .map_err(|e| ArgError(format!("cannot write {timing_path}: {e}")))?;
         if !quiet {
-            println!("wrote {out}");
+            println!("wrote {out} (+ {timing_path})");
         }
     }
     if quiet {
@@ -684,6 +732,12 @@ const CHAOS_FLAGS: &[&str] = &[
     "replay",
     "net-faults",
 ];
+
+/// Where the wall-clock sidecar of `--out report.json` lands:
+/// `report.timing.json`.
+fn timing_sidecar_path(out: &str) -> String {
+    format!("{}.timing.json", out.strip_suffix(".json").unwrap_or(out))
+}
 
 /// Where a counterexample artifact lands: next to `--out` when given
 /// (`report.json` → `report-counterexample-<id>.json`), else the cwd.
@@ -749,8 +803,15 @@ fn cmd_chaos(p: &Parsed) -> Result<(), ArgError> {
         let mut text = report.doc.to_string_pretty();
         text.push('\n');
         std::fs::write(out, text).map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+        let timing_path = timing_sidecar_path(out);
+        let timing = Json::obj([(
+            "timing",
+            Json::obj([("wall_ms_total", Json::from(report.wall_ms_total))]),
+        )]);
+        std::fs::write(&timing_path, timing.to_string_pretty())
+            .map_err(|e| ArgError(format!("cannot write {timing_path}: {e}")))?;
         if !quiet {
-            println!("wrote {out}");
+            println!("wrote {out} (+ {timing_path})");
         }
     }
     if quiet {
@@ -797,6 +858,109 @@ fn cmd_chaos_replay(p: &Parsed) -> Result<(), ArgError> {
             "counterexample did not reproduce (verdict now `{}`)",
             v.label()
         ))),
+    }
+}
+
+/// `ftcoma trace summarize --spans FILE [--top K]`: reads a spans JSONL
+/// file (the `--spans-out` format) and prints the K slowest root spans —
+/// transactions and recoveries — each decomposed into its child phases.
+fn cmd_trace(p: &Parsed) -> Result<(), ArgError> {
+    p.assert_only(&["spans", "top"])?;
+    match p.subcommand.as_deref() {
+        Some("summarize") => {}
+        Some(other) => {
+            return Err(ArgError(format!(
+                "unknown trace action `{other}` (try `summarize`)"
+            )))
+        }
+        None => {
+            return Err(ArgError(
+                "trace needs an action: `ftcoma trace summarize --spans FILE`".into(),
+            ))
+        }
+    }
+    if !p.has("spans") {
+        return Err(ArgError("trace summarize needs --spans FILE".into()));
+    }
+    let path = p.str_or("spans", "");
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let spans = parse_spans_jsonl(&text)?;
+    print_span_summary(&spans, p.u64_or("top", 10)? as usize);
+    Ok(())
+}
+
+/// Parses a spans JSONL file: the meta header line is skipped, every
+/// other line must be one span row as written by `--spans-out`.
+fn parse_spans_jsonl(text: &str) -> Result<Vec<SpanRecord>, ArgError> {
+    let mut spans = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row = Json::parse(line).map_err(|e| ArgError(format!("line {}: {e}", ln + 1)))?;
+        if row.get("type").is_some() {
+            continue; // meta header
+        }
+        let parsed = (|| {
+            Some(SpanRecord {
+                id: row.get("id").and_then(Json::as_u64)?,
+                parent: row.get("parent").and_then(Json::as_u64)?,
+                phase: SpanPhase::from_name(row.get("phase").and_then(Json::as_str)?)?,
+                node: u16::try_from(row.get("node").and_then(Json::as_u64)?).ok()?,
+                start: row.get("start").and_then(Json::as_u64)?,
+                end: row.get("end").and_then(Json::as_u64)?,
+            })
+        })();
+        spans.push(parsed.ok_or_else(|| ArgError(format!("line {}: malformed span row", ln + 1)))?);
+    }
+    Ok(spans)
+}
+
+/// Prints the `top` slowest roots with their per-phase decomposition.
+fn print_span_summary(spans: &[SpanRecord], top: usize) {
+    let mut roots: Vec<&SpanRecord> = spans.iter().filter(|s| s.parent == 0).collect();
+    // Slowest first; id breaks ties so the listing is deterministic.
+    roots.sort_by(|a, b| b.duration().cmp(&a.duration()).then(a.id.cmp(&b.id)));
+    println!(
+        "{} spans, {} roots; top {} by duration:",
+        spans.len(),
+        roots.len(),
+        roots.len().min(top)
+    );
+    for (rank, root) in roots.iter().take(top).enumerate() {
+        println!(
+            "#{:<3} {:<12} node {:<3} start {:>10}  {:>8} cycles",
+            rank + 1,
+            root.phase.name(),
+            root.node,
+            root.start,
+            root.duration()
+        );
+        // (phase name, summed duration, child count), largest share first.
+        let mut by_phase: Vec<(&'static str, u64, u64)> = Vec::new();
+        for s in spans.iter().filter(|s| s.parent == root.id) {
+            match by_phase.iter_mut().find(|(n, _, _)| *n == s.phase.name()) {
+                Some(e) => {
+                    e.1 += s.duration();
+                    e.2 += 1;
+                }
+                None => by_phase.push((s.phase.name(), s.duration(), 1)),
+            }
+        }
+        by_phase.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let total = root.duration().max(1) as f64;
+        for (name, dur, count) in &by_phase {
+            println!(
+                "      {:<16} {:>8} cycles ({:>5.1}%, {} span{})",
+                name,
+                dur,
+                *dur as f64 / total * 100.0,
+                count,
+                if *count == 1 { "" } else { "s" }
+            );
+        }
     }
 }
 

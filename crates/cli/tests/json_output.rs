@@ -41,7 +41,7 @@ fn run_json_emits_versioned_schema_on_stdout() {
     let text = std::str::from_utf8(&out.stdout).expect("utf-8 stdout");
     let doc = Json::parse(text).expect("stdout is one valid JSON document");
 
-    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(5));
     let machine = doc.get("machine").expect("machine section");
     for key in [
         "nodes",
@@ -146,7 +146,7 @@ fn chaos_smoke_is_deterministic_and_passes() {
         );
         let text = std::str::from_utf8(&out.stdout).unwrap().to_string();
         let doc = Json::parse(&text).expect("chaos report parses");
-        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(5));
         assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("chaos"));
         let oracle = doc.get("oracle").expect("oracle tallies");
         assert_eq!(oracle.get("fail").and_then(|v| v.as_u64()), Some(0));
@@ -154,9 +154,8 @@ fn chaos_smoke_is_deterministic_and_passes() {
         reports.push(text);
     }
     assert_eq!(
-        strip_wall_lines(&reports[0]),
-        strip_wall_lines(&reports[1]),
-        "chaos reports must be byte-identical across --jobs modulo wall clock"
+        reports[0], reports[1],
+        "chaos reports must be byte-identical across --jobs"
     );
 }
 
@@ -222,7 +221,7 @@ fn metrics_and_trace_files_are_valid_json() {
     );
 
     let m = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
-    assert_eq!(m.get("schema_version").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(m.get("schema_version").and_then(|v| v.as_u64()), Some(5));
 
     let t = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
     let events = t.get("traceEvents").unwrap().as_array().unwrap();
@@ -255,7 +254,7 @@ fn metrics_and_trace_files_are_valid_json() {
             .unwrap()
             .get("schema_version")
             .and_then(|v| v.as_u64()),
-        Some(4)
+        Some(5)
     );
 
     for p in [metrics, trace, jsonl] {
@@ -263,13 +262,71 @@ fn metrics_and_trace_files_are_valid_json() {
     }
 }
 
-/// Strips the only nondeterministic fields (`wall_ms`, `wall_ms_total`)
-/// the way the CI `determinism` job does: drop whole lines.
-fn strip_wall_lines(text: &str) -> String {
-    text.lines()
-        .filter(|l| !l.contains("\"wall_ms"))
-        .collect::<Vec<_>>()
-        .join("\n")
+#[test]
+fn spans_timeseries_and_trace_summarize_work_end_to_end() {
+    let dir = std::env::temp_dir();
+    let tag = std::process::id();
+    let spans = dir.join(format!("ftcoma_test_s_{tag}.jsonl"));
+    let ts = dir.join(format!("ftcoma_test_ts_{tag}.jsonl"));
+    let spans_str = spans.to_string_lossy().into_owned();
+    let ts_str = ts.to_string_lossy().into_owned();
+
+    // A faulted run so the span log carries a recovery tree too.
+    let mut args: Vec<&str> = RUN_ARGS.to_vec();
+    args.extend([
+        "--fail-at",
+        "8000",
+        "--fail-kind",
+        "transient",
+        "--fail-node",
+        "2",
+        "--spans-out",
+        &spans_str,
+        "--timeseries-out",
+        &ts_str,
+        "--timeseries-every",
+        "5000",
+    ]);
+    let out = ftcoma(&args);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Spans JSONL: header + rows, transaction and recovery decompositions.
+    let text = std::fs::read_to_string(&spans).unwrap();
+    assert!(text.lines().count() > 1, "spans file needs header + rows");
+    for line in text.lines() {
+        Json::parse(line).expect("every spans line parses");
+    }
+    assert!(text.contains("\"transaction\""), "no transaction spans");
+    assert!(text.contains("\"recovery\""), "no recovery span");
+
+    // Time-series JSONL: header + sampled rows with the core columns.
+    let ts_text = std::fs::read_to_string(&ts).unwrap();
+    let rows: Vec<Json> = ts_text.lines().map(|l| Json::parse(l).unwrap()).collect();
+    assert!(rows.len() > 2, "time-series needs header + several rows");
+    assert!(rows[1].get("cycle").is_some() && rows[1].get("nodes_up").is_some());
+
+    // `trace summarize` reads the file back and prints a ranked listing.
+    let out = ftcoma(&["trace", "summarize", "--spans", &spans_str, "--top", "3"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("roots"), "summary header missing: {stdout}");
+    assert!(stdout.contains("#1"), "no ranked rows: {stdout}");
+
+    // Bad invocations fail cleanly.
+    assert!(!ftcoma(&["trace"]).status.success());
+    assert!(!ftcoma(&["trace", "bogus"]).status.success());
+
+    for p in [spans, ts] {
+        let _ = std::fs::remove_file(p);
+    }
 }
 
 #[test]
@@ -306,16 +363,15 @@ fn campaign_is_deterministic_across_job_counts() {
         );
         let text = std::str::from_utf8(&out.stdout).unwrap().to_string();
         let doc = Json::parse(&text).expect("campaign report parses");
-        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(5));
         assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("campaign"));
         // 2 workloads x (1 baseline + 2 scenarios) = 6 cells.
         assert_eq!(doc.get("cells").unwrap().as_array().unwrap().len(), 6);
         reports.push(text);
     }
     assert_eq!(
-        strip_wall_lines(&reports[0]),
-        strip_wall_lines(&reports[1]),
-        "--jobs 1 and --jobs 4 reports must be byte-identical modulo wall clock"
+        reports[0], reports[1],
+        "--jobs 1 and --jobs 4 reports must be byte-identical"
     );
 
     // Single-cell replay reproduces the full run's numbers for that cell.

@@ -59,8 +59,13 @@ pub struct MachineConfig {
     /// (costs memory; on by default in tests, off in benches).
     pub verify: bool,
     /// Retain the last N protocol events for post-mortem inspection
-    /// (`0` = tracing off; see [`crate::tracelog`]).
+    /// (`0` = tracing off; see [`crate::tracelog`]). Also bounds the causal
+    /// span ring (see `ftcoma_sim::span`).
     pub trace_capacity: usize,
+    /// Emit one time-series sample row every N cycles (`0` = off). Sampling
+    /// is pure observation: it never schedules events and cannot perturb
+    /// the simulation.
+    pub timeseries_every: ftcoma_sim::Cycles,
 }
 
 impl Default for MachineConfig {
@@ -80,6 +85,7 @@ impl Default for MachineConfig {
             seed: 0xF7C0_3A11,
             verify: false,
             trace_capacity: 0,
+            timeseries_every: 0,
         }
     }
 }

@@ -23,17 +23,18 @@
 //! });
 //! let metrics = m.run();
 //! let doc = export::metrics_json(&metrics, &m.link_report());
-//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(4));
-//! let trace = export::chrome_trace(&m.trace(), 20_000_000.0);
+//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(5));
+//! let trace = export::chrome_trace_with_spans(&m.trace(), &m.spans(), 20_000_000.0);
 //! assert!(!trace.get("traceEvents").unwrap().as_array().unwrap().is_empty());
 //! ```
 
 use ftcoma_net::LinkReport;
 use ftcoma_sim::json::Json;
 use ftcoma_sim::registry::MetricsRegistry;
+use ftcoma_sim::span::{SpanPhase, SpanRecord};
 use ftcoma_sim::Cycles;
 
-use crate::metrics::{NodeMetrics, RunMetrics};
+use crate::metrics::{NodeMetrics, RunMetrics, TsSample};
 use crate::tracelog::TraceEvent;
 
 /// Version of the exported JSON schemas. Bump on any breaking change to
@@ -54,7 +55,15 @@ use crate::tracelog::TraceEvent;
 ///   `retries`, `timeouts`, `detour_hops` and `dropped_msgs`; per-link rows
 ///   gain `"alive"`; traces gain `link_cut`/`router_down` events; outcomes
 ///   gain the `partitioned_network` status.
-pub const SCHEMA_VERSION: u64 = 4;
+/// * 5 — causal observability: the per-run document gains `"phases"`
+///   (per-phase latency percentiles of the transaction and recovery paths)
+///   and `"availability"` (per-node up intervals, MTTR, availability
+///   fraction); span ([`spans_jsonl`]) and time-series
+///   ([`timeseries_jsonl`]) JSONL exports and Chrome-trace flow events
+///   ([`chrome_trace_with_spans`]) are introduced; wall-clock timing moves
+///   out of campaign/chaos documents into a `*.timing.json` sidecar, so
+///   every document is byte-deterministic without post-processing.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Serializes a [`RecoveryOutcome`](ftcoma_core::RecoveryOutcome) as a JSON
 /// object: `{"status": <label>}` plus the variant's fields (`at`/`node` for
@@ -95,6 +104,8 @@ pub fn metrics_json(m: &RunMetrics, links: &[LinkReport]) -> Json {
         ("schema_version", Json::from(SCHEMA_VERSION)),
         ("machine", machine_section(m)),
         ("access_latency", latency_section(m)),
+        ("phases", phases_section(m)),
+        ("availability", availability_section(m)),
         (
             "per_node",
             Json::arr(m.per_node.iter().enumerate().map(|(i, n)| node_row(i, n))),
@@ -103,6 +114,57 @@ pub fn metrics_json(m: &RunMetrics, links: &[LinkReport]) -> Json {
             "per_link",
             Json::arr(links.iter().map(|l| link_row(l, m.total_cycles))),
         ),
+    ])
+}
+
+/// Per-phase latency summaries (p50/p90/p99/mean/max per causal phase).
+fn phases_section(m: &RunMetrics) -> Json {
+    Json::obj(
+        m.phases
+            .named()
+            .into_iter()
+            .map(|(name, h)| (name, h.summary().to_json())),
+    )
+}
+
+/// The availability timeline: machine-wide MTTR/availability plus per-node
+/// up intervals derived from the recorded down intervals.
+fn availability_section(m: &RunMetrics) -> Json {
+    let down_cycles: u64 = m.per_node.iter().map(|n| n.down_cycles).sum();
+    let down_count: u64 = m.per_node.iter().map(|n| n.down_count).sum();
+    let per_node = m.per_node.iter().enumerate().map(|(i, n)| {
+        let empty = Vec::new();
+        let down = m.down_intervals.get(i).unwrap_or(&empty);
+        let mut up: Vec<Json> = Vec::new();
+        let mut cursor: Cycles = 0;
+        for &(from, to) in down {
+            if from > cursor {
+                up.push(Json::arr([Json::from(cursor), Json::from(from)]));
+            }
+            cursor = cursor.max(to);
+        }
+        if cursor < m.total_cycles || down.is_empty() {
+            up.push(Json::arr([Json::from(cursor), Json::from(m.total_cycles)]));
+        }
+        let avail = if m.total_cycles == 0 {
+            1.0
+        } else {
+            1.0 - n.down_cycles as f64 / m.total_cycles as f64
+        };
+        Json::obj([
+            ("node", Json::from(i)),
+            ("down_count", Json::from(n.down_count)),
+            ("down_cycles", Json::from(n.down_cycles)),
+            ("availability", Json::from(avail)),
+            ("up", Json::arr(up)),
+        ])
+    });
+    Json::obj([
+        ("availability", Json::from(m.availability())),
+        ("mttr_cycles", Json::from(m.mttr_cycles())),
+        ("down_count", Json::from(down_count)),
+        ("down_cycles", Json::from(down_cycles)),
+        ("per_node", Json::arr(per_node)),
     ])
 }
 
@@ -184,6 +246,8 @@ fn node_row(i: usize, n: &NodeMetrics) -> Json {
         ("rollback_cycles", Json::from(n.rollback_cycles)),
         ("pages_allocated", Json::from(n.pages_allocated)),
         ("pages_peak", Json::from(n.pages_peak)),
+        ("down_cycles", Json::from(n.down_cycles)),
+        ("down_count", Json::from(n.down_count)),
     ])
 }
 
@@ -238,6 +302,15 @@ pub fn registry_from(m: &RunMetrics) -> MetricsRegistry {
     reg.gauge_set("access_latency_p50", &[], s.p50);
     reg.gauge_set("access_latency_p90", &[], s.p90);
     reg.gauge_set("access_latency_p99", &[], s.p99);
+    reg.gauge_set("availability", &[], m.availability());
+    reg.gauge_set("mttr_cycles", &[], m.mttr_cycles());
+    for (name, h) in m.phases.named() {
+        let labels: &[(&str, &str)] = &[("phase", name)];
+        let ps = h.summary();
+        reg.counter_add("phase_samples_total", labels, ps.count);
+        reg.gauge_set("phase_latency_p50", labels, ps.p50);
+        reg.gauge_set("phase_latency_p99", labels, ps.p99);
+    }
     for (i, n) in m.per_node.iter().enumerate() {
         let id = i.to_string();
         let labels: &[(&str, &str)] = &[("node", id.as_str())];
@@ -310,9 +383,80 @@ pub fn trace_jsonl(events: &[TraceEvent]) -> String {
     out
 }
 
+/// One span record as a flat JSON object.
+pub fn span_json(s: &SpanRecord) -> Json {
+    Json::obj([
+        ("id", Json::from(s.id)),
+        ("parent", Json::from(s.parent)),
+        ("phase", Json::from(s.phase.name())),
+        ("node", Json::from(s.node as u64)),
+        ("start", Json::from(s.start)),
+        ("end", Json::from(s.end)),
+    ])
+}
+
+/// Renders causal span records as JSON Lines: a `meta` header carrying
+/// [`SCHEMA_VERSION`], then one compact object per span ([`span_json`]).
+/// This is the input format of `ftcoma trace summarize`.
+pub fn spans_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    let header = Json::obj([
+        ("type", Json::from("meta")),
+        ("schema_version", Json::from(SCHEMA_VERSION)),
+        ("spans", Json::from(spans.len())),
+    ]);
+    out.push_str(&header.to_string_compact());
+    out.push('\n');
+    for s in spans {
+        out.push_str(&span_json(s).to_string_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders time-series samples as JSON Lines: a `meta` header carrying
+/// [`SCHEMA_VERSION`], then one compact row per sample.
+pub fn timeseries_jsonl(rows: &[TsSample]) -> String {
+    let mut out = String::new();
+    let header = Json::obj([
+        ("type", Json::from("meta")),
+        ("schema_version", Json::from(SCHEMA_VERSION)),
+        ("rows", Json::from(rows.len())),
+    ]);
+    out.push_str(&header.to_string_compact());
+    out.push('\n');
+    for r in rows {
+        let row = Json::obj([
+            ("cycle", Json::from(r.cycle)),
+            ("refs", Json::from(r.refs)),
+            ("refs_delta", Json::from(r.refs_delta)),
+            ("read_misses", Json::from(r.read_misses)),
+            ("write_misses", Json::from(r.write_misses)),
+            ("in_flight", Json::from(r.in_flight)),
+            ("queue_depth", Json::from(r.queue_depth)),
+            ("nodes_up", Json::from(r.nodes_up)),
+            (
+                "nodes_down",
+                Json::arr(r.nodes_down.iter().map(|&n| Json::from(n as u64))),
+            ),
+            ("checkpoints", Json::from(r.checkpoints)),
+            ("failures", Json::from(r.failures)),
+            ("ckpt_stall_cycles", Json::from(r.ckpt_stall_cycles)),
+            ("rollback_cycles", Json::from(r.rollback_cycles)),
+        ]);
+        out.push_str(&row.to_string_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// The `tid` of the synthetic "network" track carrying per-hop spans.
+const NET_TID: u64 = 1_000_000;
+
 /// Converts a trace into the Chrome trace-event format (the JSON object
 /// form, `{"traceEvents": [...]}`), viewable in Perfetto or
-/// `chrome://tracing`.
+/// `chrome://tracing`. Equivalent to [`chrome_trace_with_spans`] with no
+/// spans.
 ///
 /// Track layout: one process (`pid` 0) with `tid` 0 as the machine-wide
 /// coordinator track and `tid` *n*+1 as node *n*'s track. Timestamps are
@@ -321,6 +465,16 @@ pub fn trace_jsonl(events: &[TraceEvent]) -> String {
 /// end events; per-node commit and rollback scans become `"X"` spans on
 /// the node tracks; deliveries, failures and repairs are instants (`"i"`).
 pub fn chrome_trace(events: &[TraceEvent], clock_hz: f64) -> Json {
+    chrome_trace_with_spans(events, &[], clock_hz)
+}
+
+/// [`chrome_trace`] plus causal span records: each span becomes a complete
+/// (`"X"`) slice — roots on their node's track, network hops on a synthetic
+/// "network" track — and every root span additionally emits a flow
+/// (`"s"`/`"t"`/`"f"` rows sharing the span id), so Perfetto draws
+/// end-to-end arrows from a transaction's start through each leg to its
+/// completion (and likewise across a recovery's phases).
+pub fn chrome_trace_with_spans(events: &[TraceEvent], spans: &[SpanRecord], clock_hz: f64) -> Json {
     let us = |c: Cycles| c as f64 * 1e6 / clock_hz;
     let mut rows: Vec<Json> = Vec::new();
     let mut tids_seen: Vec<u64> = Vec::new();
@@ -456,6 +610,52 @@ pub fn chrome_trace(events: &[TraceEvent], clock_hz: f64) -> Json {
         }
     }
 
+    // Causal spans: one complete slice per record, plus a flow per root
+    // span so viewers draw arrows across the decomposition.
+    let span_tid = |s: &SpanRecord| {
+        if s.phase == SpanPhase::NetHop {
+            NET_TID
+        } else {
+            s.node as u64 + 1
+        }
+    };
+    for s in spans {
+        let tid = span_tid(s);
+        note_tid(tid, &mut tids_seen);
+        rows.push(complete(
+            s.phase.name(),
+            us(s.start),
+            us(s.end - s.start),
+            tid,
+            Json::obj([("span", Json::from(s.id)), ("parent", Json::from(s.parent))]),
+        ));
+    }
+    let flow = |ph: &str, name: &str, id: u64, ts: f64, tid: u64| {
+        let mut pairs = vec![
+            ("name".to_string(), Json::from(name)),
+            ("cat".to_string(), Json::from(name)),
+            ("ph".to_string(), Json::from(ph)),
+            ("id".to_string(), Json::from(id)),
+            ("ts".to_string(), Json::from(ts)),
+            ("pid".to_string(), Json::from(0u64)),
+            ("tid".to_string(), Json::from(tid)),
+        ];
+        if ph == "f" {
+            // Bind the arrow to the enclosing slice's end.
+            pairs.push(("bp".to_string(), Json::from("e")));
+        }
+        Json::Obj(pairs)
+    };
+    for root in spans.iter().filter(|s| s.parent == 0) {
+        let name = root.phase.name();
+        let root_tid = span_tid(root);
+        rows.push(flow("s", name, root.id, us(root.start), root_tid));
+        for child in spans.iter().filter(|c| c.parent == root.id) {
+            rows.push(flow("t", name, root.id, us(child.end), span_tid(child)));
+        }
+        rows.push(flow("f", name, root.id, us(root.end), root_tid));
+    }
+
     // Metadata rows name the tracks; emitted first so viewers label
     // every track before its first event.
     tids_seen.sort_unstable();
@@ -469,6 +669,8 @@ pub fn chrome_trace(events: &[TraceEvent], clock_hz: f64) -> Json {
     for tid in tids_seen {
         let label = if tid == 0 {
             "machine".to_string()
+        } else if tid == NET_TID {
+            "network".to_string()
         } else {
             format!("node {}", tid - 1)
         };
@@ -646,6 +848,184 @@ mod tests {
                     .and_then(|a| a.get("name"))
                     .and_then(|v| v.as_str())
                     == Some("node 0")
+        }));
+    }
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                id: 1,
+                parent: 0,
+                phase: SpanPhase::Transaction,
+                node: 0,
+                start: 100,
+                end: 300,
+            },
+            SpanRecord {
+                id: 2,
+                parent: 1,
+                phase: SpanPhase::DirLookup,
+                node: 1,
+                start: 100,
+                end: 180,
+            },
+            SpanRecord {
+                id: 3,
+                parent: 1,
+                phase: SpanPhase::NetHop,
+                node: 1,
+                start: 105,
+                end: 120,
+            },
+            SpanRecord {
+                id: 4,
+                parent: 1,
+                phase: SpanPhase::DataReply,
+                node: 0,
+                start: 180,
+                end: 300,
+            },
+        ]
+    }
+
+    #[test]
+    fn metrics_json_reports_phases_and_availability() {
+        let mut m = sample_metrics();
+        m.phases.dir_lookup.record(80);
+        m.phases.data_reply.record(120);
+        m.per_node[1].down_cycles = 2_000;
+        m.per_node[1].down_count = 1;
+        m.down_intervals = vec![Vec::new(), vec![(3_000, 5_000)]];
+        let doc = metrics_json(&m, &[]);
+        let phases = doc.get("phases").unwrap();
+        for k in [
+            "dir_lookup",
+            "home_fwd",
+            "data_reply",
+            "detection",
+            "rollback",
+            "reconfiguration",
+            "replay",
+        ] {
+            let p = phases.get(k).unwrap_or_else(|| panic!("missing phase {k}"));
+            for stat in ["count", "p50", "p90", "p99", "max"] {
+                assert!(p.get(stat).is_some(), "phase {k} missing {stat}");
+            }
+        }
+        assert_eq!(
+            phases
+                .get("dir_lookup")
+                .and_then(|p| p.get("count"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        let avail = doc.get("availability").unwrap();
+        assert_eq!(avail.get("down_count").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            avail.get("mttr_cycles").and_then(|v| v.as_f64()),
+            Some(2_000.0)
+        );
+        let rows = avail.get("per_node").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        // Node 1 was down in [3000, 5000): two up intervals around it.
+        let ups = rows[1].get("up").unwrap().as_array().unwrap();
+        assert_eq!(ups.len(), 2);
+        assert_eq!(ups[0].as_array().unwrap()[1].as_u64(), Some(3_000));
+        assert_eq!(ups[1].as_array().unwrap()[0].as_u64(), Some(5_000));
+        // Node 0 never went down: one full-run up interval.
+        let ups0 = rows[0].get("up").unwrap().as_array().unwrap();
+        assert_eq!(ups0.len(), 1);
+        assert_eq!(ups0[0].as_array().unwrap()[0].as_u64(), Some(0));
+        assert_eq!(ups0[0].as_array().unwrap()[1].as_u64(), Some(10_000));
+    }
+
+    #[test]
+    fn spans_jsonl_round_trips() {
+        let text = spans_jsonl(&sample_spans());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5); // meta + 4 spans
+        let meta = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            meta.get("schema_version").and_then(|v| v.as_u64()),
+            Some(SCHEMA_VERSION)
+        );
+        let first = Json::parse(lines[1]).unwrap();
+        assert_eq!(
+            first.get("phase").and_then(|v| v.as_str()),
+            Some("transaction")
+        );
+        assert_eq!(first.get("id").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(first.get("parent").and_then(|v| v.as_u64()), Some(0));
+    }
+
+    #[test]
+    fn timeseries_jsonl_emits_one_row_per_sample() {
+        let rows = vec![
+            TsSample {
+                cycle: 5_000,
+                refs: 120,
+                refs_delta: 120,
+                nodes_up: 4,
+                ..Default::default()
+            },
+            TsSample {
+                cycle: 10_000,
+                refs: 260,
+                refs_delta: 140,
+                nodes_up: 3,
+                nodes_down: vec![2],
+                failures: 1,
+                ..Default::default()
+            },
+        ];
+        let text = timeseries_jsonl(&rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let second = Json::parse(lines[2]).unwrap();
+        assert_eq!(second.get("refs_delta").and_then(|v| v.as_u64()), Some(140));
+        assert_eq!(
+            second.get("nodes_down").unwrap().as_array().unwrap()[0].as_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_with_spans_emits_slices_and_flows() {
+        let doc = chrome_trace_with_spans(&[], &sample_spans(), 20_000_000.0);
+        let rows = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let slices: Vec<_> = rows
+            .iter()
+            .filter(|r| r.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(slices.len(), 4, "one slice per span");
+        // The NetHop slice lands on the synthetic network track.
+        let hop = slices
+            .iter()
+            .find(|r| r.get("name").and_then(|v| v.as_str()) == Some("net_hop"))
+            .unwrap();
+        assert_eq!(hop.get("tid").and_then(|v| v.as_u64()), Some(NET_TID));
+        // One flow per root: start + one step per child + finish.
+        let phs = |p: &str| {
+            rows.iter()
+                .filter(|r| r.get("ph").and_then(|v| v.as_str()) == Some(p))
+                .count()
+        };
+        assert_eq!(phs("s"), 1);
+        assert_eq!(phs("t"), 3);
+        assert_eq!(phs("f"), 1);
+        let finish = rows
+            .iter()
+            .find(|r| r.get("ph").and_then(|v| v.as_str()) == Some("f"))
+            .unwrap();
+        assert_eq!(finish.get("bp").and_then(|v| v.as_str()), Some("e"));
+        assert_eq!(finish.get("id").and_then(|v| v.as_u64()), Some(1));
+        // The network track is named.
+        assert!(rows.iter().any(|r| {
+            r.get("ph").and_then(|v| v.as_str()) == Some("M")
+                && r.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|v| v.as_str())
+                    == Some("network")
         }));
     }
 

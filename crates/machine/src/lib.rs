@@ -45,4 +45,4 @@ pub mod tracelog;
 
 pub use config::{FailureKind, MachineConfig};
 pub use machine::Machine;
-pub use metrics::{NodeMetrics, RunMetrics};
+pub use metrics::{NodeMetrics, PhaseLatency, RunMetrics, TsSample};

@@ -9,14 +9,15 @@ use ftcoma_core::{
 };
 use ftcoma_mem::{ItemId, ItemState, NodeId};
 use ftcoma_net::{Fabric, FaultDecision, LogicalRing, NetClass, NetFaultPlan};
-use ftcoma_protocol::msg::{InjectCause, Msg};
+use ftcoma_protocol::msg::{InjectCause, Msg, TxnLeg};
 use ftcoma_protocol::transport::{backoff, DedupFilter, SeqSpace, MAX_RETRIES};
 use ftcoma_protocol::NodeState;
+use ftcoma_sim::span::{SpanId, SpanLog, SpanPhase, SpanRecord};
 use ftcoma_sim::{derive_seed, Cycles, EventQueue, FxHashMap};
 use ftcoma_workloads::{MemRef, NodeStream, RefStream, StreamSnapshot};
 
 use crate::config::{FailureKind, MachineConfig};
-use crate::metrics::{NodeMetrics, RunMetrics};
+use crate::metrics::{NodeMetrics, RunMetrics, TsSample};
 use crate::tracelog::{TraceEvent, TraceLog};
 
 #[derive(Debug)]
@@ -24,8 +25,9 @@ enum Event {
     /// Processor of `node` issues its buffered reference (valid only for
     /// the matching epoch).
     Proc { node: NodeId, epoch: u64 },
-    /// Network delivery.
-    Deliver { to: NodeId, msg: Msg },
+    /// Network delivery. `sent` is the departure time, kept so delivery
+    /// can attribute the end-to-end leg latency to its causal phase.
+    Deliver { to: NodeId, msg: Msg, sent: Cycles },
     /// Stalled access of `node` completed.
     Resume { node: NodeId, epoch: u64 },
     /// Periodic recovery-point establishment.
@@ -58,7 +60,15 @@ enum Event {
 struct InFlight {
     msg: Msg,
     attempts: u32,
+    /// Original departure time of the logical message (retransmissions keep
+    /// it, so the measured leg latency includes retry delays).
+    sent: Cycles,
 }
+
+/// Ceiling on retained time-series rows: when reached, every other row is
+/// dropped and the sampling stride doubles, keeping memory bounded on
+/// arbitrarily long runs while staying deterministic.
+const MAX_TS_ROWS: usize = 8192;
 
 /// Seed stream for the message-loss plan installed by
 /// [`Machine::set_message_loss`] (decorrelates it from workload streams).
@@ -152,6 +162,29 @@ pub struct Machine {
 
     committed_values: FxHashMap<ItemId, u64>,
     trace: TraceLog,
+
+    /// Causal span sink (inert when `trace_capacity` is 0).
+    spans: SpanLog,
+    /// Open root Transaction span per node (0 = none).
+    open_txn: Vec<SpanId>,
+    /// Open root Recovery span: `(id, failure time, failed node)`.
+    open_recovery: Option<(SpanId, Cycles, u16)>,
+    /// Open Replay child span: `(id, recovery-end time)`.
+    open_replay: Option<(SpanId, Cycles)>,
+    /// Start of the current replay window (always on; feeds the replay
+    /// phase histogram independently of span capture).
+    replay_start: Option<Cycles>,
+    /// Per-node down-interval opening time (always on; availability).
+    down_since: Vec<Option<Cycles>>,
+
+    /// Time-series sampling stride (0 = off; doubles when thinning).
+    ts_every: Cycles,
+    /// Next sample time.
+    ts_next: Cycles,
+    /// `refs` as of the previous sample (for per-interval deltas).
+    ts_last_refs: u64,
+    ts_rows: Vec<TsSample>,
+
     metrics: RunMetrics,
     /// Metrics snapshot taken when warmup completed.
     baseline: Option<(RunMetrics, Cycles)>,
@@ -215,9 +248,20 @@ impl Machine {
             in_flight: FxHashMap::default(),
             committed_values: FxHashMap::default(),
             trace: TraceLog::new(cfg.trace_capacity),
+            spans: SpanLog::new(cfg.trace_capacity),
+            open_txn: vec![0; n],
+            open_recovery: None,
+            open_replay: None,
+            replay_start: None,
+            down_since: vec![None; n],
+            ts_every: cfg.timeseries_every,
+            ts_next: cfg.timeseries_every,
+            ts_last_refs: 0,
+            ts_rows: Vec::new(),
             metrics: RunMetrics {
                 nodes: n as u64,
                 per_node: vec![NodeMetrics::default(); n],
+                down_intervals: vec![Vec::new(); n],
                 ..RunMetrics::default()
             },
             baseline: None,
@@ -226,6 +270,10 @@ impl Machine {
             halted: false,
             cfg,
         };
+        if machine.spans.enabled() {
+            // Pure observation on the mesh side; timing is unchanged.
+            machine.mesh.set_hop_trace(true);
+        }
         for i in 0..n {
             machine.prepare_and_schedule(NodeId::new(i as u16), 0, true);
         }
@@ -340,7 +388,10 @@ impl Machine {
     /// Runs the machine to completion and returns the metrics.
     pub fn run(&mut self) -> RunMetrics {
         assert!(!self.finished, "machine already ran");
-        while let Some((_, ev)) = self.queue.pop() {
+        while let Some((at, ev)) = self.queue.pop() {
+            if self.ts_every > 0 {
+                self.sample_timeseries_until(at);
+            }
             self.dispatch(ev);
             if self.halted {
                 break;
@@ -350,6 +401,7 @@ impl Machine {
             }
         }
         self.finished = true;
+        self.finalize_observability();
         self.metrics.total_cycles = self.queue.now();
         self.metrics.pages_allocated = self
             .live_nodes()
@@ -422,6 +474,19 @@ impl Machine {
     /// [`MachineConfig::trace_capacity`] was set).
     pub fn trace(&self) -> Vec<TraceEvent> {
         self.trace.events().cloned().collect()
+    }
+
+    /// The retained causal span records, oldest first (empty unless
+    /// [`MachineConfig::trace_capacity`] was set). Spans share the trace
+    /// ring's capacity; the newest closes survive wraparound.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.records()
+    }
+
+    /// The sampled time-series rows (empty unless
+    /// [`MachineConfig::timeseries_every`] was set).
+    pub fn timeseries(&self) -> &[TsSample] {
+        &self.ts_rows
     }
 
     /// Per-link interconnect traffic breakdown (empty for bus fabrics).
@@ -528,10 +593,190 @@ impl Machine {
             .all(|&p| matches!(p, ProcState::Done | ProcState::Dead))
     }
 
+    /// Emits every due sample row up to (and including) simulation time
+    /// `t`. Pure observation: reads counters, schedules nothing.
+    fn sample_timeseries_until(&mut self, t: Cycles) {
+        while self.ts_next <= t {
+            let in_flight = self
+                .proc
+                .iter()
+                .filter(|&&p| p == ProcState::Stalled)
+                .count()
+                + self.deliver_pending;
+            let nodes_down: Vec<u16> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, n)| !n.alive || self.down_since[*i].is_some())
+                .map(|(i, _)| i as u16)
+                .collect();
+            let row = TsSample {
+                cycle: self.ts_next,
+                refs: self.metrics.refs,
+                refs_delta: self.metrics.refs - self.ts_last_refs,
+                read_misses: self.metrics.read_misses,
+                write_misses: self.metrics.write_misses,
+                in_flight: in_flight as u64,
+                queue_depth: self.queue.len() as u64,
+                nodes_up: self.ring.alive_count() as u64,
+                nodes_down,
+                checkpoints: self.metrics.checkpoints,
+                failures: self.metrics.failures,
+                ckpt_stall_cycles: self
+                    .metrics
+                    .per_node
+                    .iter()
+                    .map(|n| n.ckpt_stall_cycles)
+                    .sum(),
+                rollback_cycles: self
+                    .metrics
+                    .per_node
+                    .iter()
+                    .map(|n| n.rollback_cycles)
+                    .sum(),
+            };
+            self.ts_last_refs = self.metrics.refs;
+            self.ts_rows.push(row);
+            self.ts_next += self.ts_every;
+            if self.ts_rows.len() >= MAX_TS_ROWS {
+                // Thin deterministically: keep every other row, double the
+                // stride. Long runs stay bounded without a config knob.
+                let mut idx = 0;
+                self.ts_rows.retain(|_| {
+                    idx += 1;
+                    idx % 2 == 1
+                });
+                self.ts_every *= 2;
+            }
+        }
+    }
+
+    /// Closes every still-open span and down interval at the end of the
+    /// run (or at a halt), so exported timelines never dangle.
+    fn finalize_observability(&mut self) {
+        let now = self.queue.now();
+        for i in 0..self.nodes.len() {
+            if let Some(from) = self.down_since[i].take() {
+                self.metrics.per_node[i].down_cycles += now - from;
+                self.metrics.down_intervals[i].push((from, now));
+            }
+        }
+        if let Some(start) = self.replay_start.take() {
+            self.metrics.phases.replay.record(now.saturating_sub(start));
+        }
+        if self.spans.enabled() {
+            self.close_open_txn_spans(now);
+            let (parent, victim) = self
+                .open_recovery
+                .map(|(id, _, node)| (id, node))
+                .unwrap_or((0, 0));
+            if let Some((id, start)) = self.open_replay.take() {
+                self.spans.push(SpanRecord {
+                    id,
+                    parent,
+                    phase: SpanPhase::Replay,
+                    node: victim,
+                    start: start.min(now),
+                    end: now,
+                });
+            }
+            if let Some((id, start, node)) = self.open_recovery.take() {
+                self.spans.push(SpanRecord {
+                    id,
+                    parent: 0,
+                    phase: SpanPhase::Recovery,
+                    node,
+                    start,
+                    end: now,
+                });
+            }
+        }
+    }
+
+    /// Closes every open root Transaction span at `end` (normal closes
+    /// happen on resume; this handles rollback aborts and end-of-run).
+    fn close_open_txn_spans(&mut self, end: Cycles) {
+        for i in 0..self.open_txn.len() {
+            let id = std::mem::take(&mut self.open_txn[i]);
+            if id != 0 {
+                self.spans.push(SpanRecord {
+                    id,
+                    parent: 0,
+                    phase: SpanPhase::Transaction,
+                    node: i as u16,
+                    start: self.stall_start[i],
+                    end,
+                });
+            }
+        }
+    }
+
+    /// Attributes a delivered message to its transaction leg: records the
+    /// end-to-end latency in the always-on phase histogram and, when span
+    /// capture is enabled, emits a leg span parented to the requester's
+    /// open Transaction span.
+    fn record_leg(&mut self, to: NodeId, msg: &Msg, sent: Cycles) {
+        let Some(leg) = msg.txn_leg() else {
+            return;
+        };
+        let now = self.queue.now();
+        let dur = now - sent;
+        match leg {
+            TxnLeg::DirLookup => self.metrics.phases.dir_lookup.record(dur),
+            TxnLeg::HomeFwd => self.metrics.phases.home_fwd.record(dur),
+            TxnLeg::DataReply => self.metrics.phases.data_reply.record(dur),
+        }
+        if self.spans.enabled() {
+            let requester = msg.requester().map(NodeId::index).unwrap_or(to.index());
+            let parent = self.open_txn.get(requester).copied().unwrap_or(0);
+            if parent != 0 {
+                let phase = match leg {
+                    TxnLeg::DirLookup => SpanPhase::DirLookup,
+                    TxnLeg::HomeFwd => SpanPhase::HomeFwd,
+                    TxnLeg::DataReply => SpanPhase::DataReply,
+                };
+                let id = self.spans.alloc_id();
+                self.spans.push(SpanRecord {
+                    id,
+                    parent,
+                    phase,
+                    node: to.index() as u16,
+                    start: sent,
+                    end: now,
+                });
+            }
+        }
+    }
+
+    /// Emits NetHop spans for the hop segments of the send just issued on
+    /// the mesh, parented to the requester's open Transaction span.
+    fn record_hop_spans(&mut self, msg: &Msg, to: NodeId) {
+        if !self.spans.enabled() || msg.txn_leg().is_none() {
+            return;
+        }
+        let requester = msg.requester().map(NodeId::index).unwrap_or(to.index());
+        let parent = self.open_txn.get(requester).copied().unwrap_or(0);
+        if parent == 0 {
+            return;
+        }
+        let hops: Vec<ftcoma_net::HopSegment> = self.mesh.last_hops().to_vec();
+        for h in hops {
+            let id = self.spans.alloc_id();
+            self.spans.push(SpanRecord {
+                id,
+                parent,
+                phase: SpanPhase::NetHop,
+                node: to.index() as u16,
+                start: h.start,
+                end: h.end,
+            });
+        }
+    }
+
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::Proc { node, epoch } => self.on_proc(node, epoch),
-            Event::Deliver { to, msg } => self.on_deliver(to, msg),
+            Event::Deliver { to, msg, sent } => self.on_deliver(to, msg, sent),
             Event::Resume { node, epoch } => self.on_resume(node, epoch),
             Event::CkptTimer => self.on_ckpt_timer(),
             Event::Failure { node, kind } => self.on_failure(node, kind),
@@ -713,6 +958,11 @@ impl Machine {
         let mut ctx = Ctx::new(&self.ring, self.queue.now());
         let outcome = self.engine.access(&mut self.nodes[i], req, &mut ctx);
         let (out, effects) = ctx.finish();
+        if self.spans.enabled() && matches!(outcome, AccessOutcome::Stalled) {
+            // Open the root Transaction span before the request messages
+            // leave, so their hop spans find their parent.
+            self.open_txn[i] = self.spans.alloc_id();
+        }
         self.apply_outgoing(node, out);
         self.apply_effects(node, effects);
 
@@ -740,7 +990,7 @@ impl Machine {
         }
     }
 
-    fn on_deliver(&mut self, to: NodeId, msg: Msg) {
+    fn on_deliver(&mut self, to: NodeId, msg: Msg, sent: Cycles) {
         self.deliver_pending -= 1;
         if !self.nodes[to.index()].alive {
             return; // fail-silent node swallows the message
@@ -753,6 +1003,7 @@ impl Machine {
                 item: msg.item(),
             });
         }
+        self.record_leg(to, &msg, sent);
         let mut ctx = Ctx::new(&self.ring, self.queue.now());
         self.engine
             .handle(&mut self.nodes[to.index()], msg, &mut ctx);
@@ -769,6 +1020,19 @@ impl Machine {
         self.metrics
             .access_latency
             .record(self.queue.now() - self.stall_start[i]);
+        if self.spans.enabled() {
+            let id = std::mem::take(&mut self.open_txn[i]);
+            if id != 0 {
+                self.spans.push(SpanRecord {
+                    id,
+                    parent: 0,
+                    phase: SpanPhase::Transaction,
+                    node: i as u16,
+                    start: self.stall_start[i],
+                    end: self.queue.now(),
+                });
+            }
+        }
         if self.phase == Phase::Running {
             self.prepare_and_schedule(node, 0, true);
         } else {
@@ -842,6 +1106,37 @@ impl Machine {
     fn do_commit(&mut self) {
         debug_assert_eq!(self.phase, Phase::Create);
         let commit_start = self.queue.now();
+        // A commit ends the replay window: lost work is re-covered by a
+        // durable recovery point from here on. (Clamped: the window can
+        // open at a recovery end scheduled past this event.)
+        if let Some(start) = self.replay_start.take() {
+            self.metrics
+                .phases
+                .replay
+                .record(commit_start.saturating_sub(start));
+        }
+        if self.spans.enabled() {
+            if let Some((root, rstart, victim)) = self.open_recovery.take() {
+                if let Some((id, start)) = self.open_replay.take() {
+                    self.spans.push(SpanRecord {
+                        id,
+                        parent: root,
+                        phase: SpanPhase::Replay,
+                        node: victim,
+                        start: start.min(commit_start),
+                        end: commit_start,
+                    });
+                }
+                self.spans.push(SpanRecord {
+                    id: root,
+                    parent: 0,
+                    phase: SpanPhase::Recovery,
+                    node: victim,
+                    start: rstart,
+                    end: commit_start,
+                });
+            }
+        }
         self.metrics.t_create += commit_start - self.ckpt_start;
         self.gen += 1;
         self.metrics.checkpoints += 1;
@@ -964,6 +1259,10 @@ impl Machine {
             self.assigned[i].push(i);
         }
         self.metrics.repairs += 1;
+        if let Some(from) = self.down_since[i].take() {
+            self.metrics.per_node[i].down_cycles += self.queue.now() - from;
+            self.metrics.down_intervals[i].push((from, self.queue.now()));
+        }
         self.trace.push(TraceEvent::Repaired {
             at: self.queue.now(),
             node,
@@ -992,6 +1291,7 @@ impl Machine {
             // consistent recovery point can no longer be guaranteed.
             // Report it structurally and stop instead of aborting.
             self.metrics.failures += 1;
+            self.note_down(node);
             self.trace.push(TraceEvent::Failure {
                 at: self.queue.now(),
                 node,
@@ -1011,6 +1311,56 @@ impl Machine {
             node,
             permanent: kind == FailureKind::Permanent,
         });
+        // A failure inside a replay window ends that window early. The
+        // window can open in the *future* (a recovery end pushed past the
+        // failure event by the rollback scan), so clamp at zero.
+        if let Some(start) = self.replay_start.take() {
+            self.metrics
+                .phases
+                .replay
+                .record(self.recovery_start.saturating_sub(start));
+        }
+        // Detection is immediate under the fail-stop model; the zero-width
+        // sample keeps the phase present in the decomposition.
+        self.metrics.phases.detection.record(0);
+        self.note_down(node);
+        if self.spans.enabled() {
+            let now = self.queue.now();
+            // In-flight transactions are about to be aborted by the purge.
+            self.close_open_txn_spans(now);
+            // Close a stale recovery tree (failure during a replay window).
+            if let Some((rid, rstart, victim)) = self.open_recovery.take() {
+                if let Some((id, start)) = self.open_replay.take() {
+                    self.spans.push(SpanRecord {
+                        id,
+                        parent: rid,
+                        phase: SpanPhase::Replay,
+                        node: victim,
+                        start: start.min(now),
+                        end: now,
+                    });
+                }
+                self.spans.push(SpanRecord {
+                    id: rid,
+                    parent: 0,
+                    phase: SpanPhase::Recovery,
+                    node: victim,
+                    start: rstart,
+                    end: now,
+                });
+            }
+            let root = self.spans.alloc_id();
+            self.open_recovery = Some((root, now, node.index() as u16));
+            let det = self.spans.alloc_id();
+            self.spans.push(SpanRecord {
+                id: det,
+                parent: root,
+                phase: SpanPhase::Detection,
+                node: node.index() as u16,
+                start: now,
+                end: now,
+            });
+        }
 
         // 1. Every in-flight message and scheduled processor issue is moot
         //    (scheduled interconnect faults survive: the mesh keeps its own
@@ -1064,12 +1414,26 @@ impl Machine {
             max_scan = max_scan.max(stats.duration);
             let id = self.nodes[i].id;
             self.metrics.per_node[i].rollback_cycles += stats.duration;
+            self.metrics.phases.rollback.record(stats.duration);
             if self.trace.enabled() {
                 self.trace.push(TraceEvent::NodeRollback {
                     at: self.recovery_start,
                     node: id,
                     dur: stats.duration,
                 });
+            }
+            if self.spans.enabled() {
+                if let Some((root, _, _)) = self.open_recovery {
+                    let sid = self.spans.alloc_id();
+                    self.spans.push(SpanRecord {
+                        id: sid,
+                        parent: root,
+                        phase: SpanPhase::Rollback,
+                        node: i as u16,
+                        start: self.recovery_start,
+                        end: self.recovery_start + stats.duration,
+                    });
+                }
             }
             self.engine.reset_node(id);
             if self.proc[i] != ProcState::Dead {
@@ -1139,10 +1503,23 @@ impl Machine {
         }
     }
 
+    /// Opens a down interval for `node` (availability accounting).
+    fn note_down(&mut self, node: NodeId) {
+        let i = node.index();
+        self.metrics.per_node[i].down_count += 1;
+        if self.down_since[i].is_none() {
+            self.down_since[i] = Some(self.queue.now());
+        }
+    }
+
     fn finish_recovery(&mut self) {
         debug_assert_eq!(self.phase, Phase::Recovering);
         let end = self.queue.now().max(self.recovery_scan_end);
         self.metrics.t_recovery += end - self.recovery_start;
+        self.metrics
+            .phases
+            .reconfiguration
+            .record(end - self.recovery_start);
 
         if self.cfg.verify {
             if let Err(problems) = self.verify_against_oracle() {
@@ -1153,6 +1530,32 @@ impl Machine {
         }
 
         self.trace.push(TraceEvent::Recovered { at: end });
+        // Surviving (transient) victims come back up when the machine
+        // resumes; permanently failed nodes stay down until repair.
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].alive {
+                if let Some(from) = self.down_since[i].take() {
+                    self.metrics.per_node[i].down_cycles += end - from;
+                    self.metrics.down_intervals[i].push((from, end));
+                }
+            }
+        }
+        self.replay_start = Some(end);
+        if self.spans.enabled() {
+            if let Some((root, _, victim)) = self.open_recovery {
+                let id = self.spans.alloc_id();
+                self.spans.push(SpanRecord {
+                    id,
+                    parent: root,
+                    phase: SpanPhase::Reconfiguration,
+                    node: victim,
+                    start: self.recovery_start,
+                    end,
+                });
+                let rid = self.spans.alloc_id();
+                self.open_replay = Some((rid, end));
+            }
+        }
         self.phase = Phase::Running;
         let delay = end - self.queue.now();
         for i in 0..self.nodes.len() {
@@ -1206,11 +1609,13 @@ impl Machine {
                     .send(depart, from, o.to, o.msg.class(), o.msg.payload_bytes())
                 {
                     Ok(arrival) => {
+                        self.record_hop_spans(&o.msg, o.to);
                         self.queue.schedule(
                             arrival,
                             Event::Deliver {
                                 to: o.to,
                                 msg: o.msg,
+                                sent: depart,
                             },
                         );
                         self.deliver_pending += 1;
@@ -1237,6 +1642,7 @@ impl Machine {
                 InFlight {
                     msg: o.msg,
                     attempts: 0,
+                    sent: depart,
                 },
             );
             self.transmit(depart, from, o.to, seq);
@@ -1269,6 +1675,9 @@ impl Machine {
                     // Clone only per physical copy scheduled (the stored
                     // packet must stay in `in_flight` for retransmission).
                     let msg = self.in_flight[&(src, dst, seq)].msg.clone();
+                    if attempt == 0 {
+                        self.record_hop_spans(&msg, dst);
+                    }
                     self.queue.schedule(
                         arrival + extra_delay,
                         Event::NetDeliver {
@@ -1310,6 +1719,12 @@ impl Machine {
                 item: msg.item(),
             });
         }
+        let sent = self
+            .in_flight
+            .get(&(src, to, seq))
+            .map(|e| e.sent)
+            .unwrap_or_else(|| self.queue.now());
+        self.record_leg(to, &msg, sent);
         let mut ctx = Ctx::new(&self.ring, self.queue.now());
         self.engine
             .handle(&mut self.nodes[to.index()], msg, &mut ctx);
@@ -1539,6 +1954,165 @@ mod tests {
             .map(|(_, n)| n.pages_peak)
             .sum();
         assert_eq!(metrics.pages_peak, live_peak);
+    }
+
+    #[test]
+    fn spans_decompose_transactions_and_recoveries() {
+        let mut m = Machine::new(MachineConfig {
+            trace_capacity: 100_000,
+            ..small_ecp_config()
+        });
+        m.schedule_failure(20_000, NodeId::new(2), FailureKind::Transient);
+        let metrics = m.run();
+        assert!(m.outcome().is_recovered());
+
+        let spans = m.spans();
+        assert!(!spans.is_empty());
+        for s in &spans {
+            assert!(s.end >= s.start, "span {s:?} ends before it starts");
+            assert_ne!(s.id, 0);
+        }
+        let roots: Vec<_> = spans
+            .iter()
+            .filter(|s| s.phase == ftcoma_sim::span::SpanPhase::Transaction)
+            .collect();
+        assert!(!roots.is_empty(), "miss transactions must produce roots");
+        // Every child points at a recorded parent of the right kind.
+        let recovery_roots: Vec<_> = spans
+            .iter()
+            .filter(|s| s.phase == ftcoma_sim::span::SpanPhase::Recovery)
+            .collect();
+        assert_eq!(recovery_roots.len(), 1, "one failure, one recovery root");
+        let root = recovery_roots[0];
+        for phase in [
+            ftcoma_sim::span::SpanPhase::Detection,
+            ftcoma_sim::span::SpanPhase::Rollback,
+            ftcoma_sim::span::SpanPhase::Reconfiguration,
+            ftcoma_sim::span::SpanPhase::Replay,
+        ] {
+            let children: Vec<_> = spans
+                .iter()
+                .filter(|s| s.phase == phase && s.parent == root.id)
+                .collect();
+            assert!(
+                !children.is_empty(),
+                "recovery must contain a {phase} child"
+            );
+            for c in children {
+                assert!(c.start >= root.start && c.end <= root.end);
+            }
+        }
+        // The always-on phase histograms saw the same decomposition.
+        assert!(metrics.phases.dir_lookup.summary().count > 0);
+        assert!(metrics.phases.data_reply.summary().count > 0);
+        assert_eq!(metrics.phases.detection.summary().count, 1);
+        assert!(metrics.phases.rollback.summary().count > 0);
+        assert_eq!(metrics.phases.reconfiguration.summary().count, 1);
+        assert_eq!(metrics.phases.replay.summary().count, 1);
+    }
+
+    #[test]
+    fn availability_tracks_down_intervals() {
+        let victim = NodeId::new(3);
+        let mut m = Machine::new(small_ecp_config());
+        m.schedule_failure(30_000, victim, FailureKind::Permanent);
+        let metrics = m.run();
+        assert!(m.outcome().is_recovered());
+        let i = victim.index();
+        assert_eq!(metrics.per_node[i].down_count, 1);
+        assert!(metrics.per_node[i].down_cycles > 0);
+        assert_eq!(metrics.down_intervals[i].len(), 1);
+        let (from, to) = metrics.down_intervals[i][0];
+        assert_eq!(from, 30_000);
+        assert_eq!(
+            to, metrics.total_cycles,
+            "a permanent failure stays down to the end of the run"
+        );
+        assert_eq!(metrics.per_node[i].down_cycles, to - from);
+        assert!(metrics.availability() < 1.0);
+        assert!(metrics.mttr_cycles() > 0.0);
+        // Other nodes never went down.
+        for (k, n) in metrics.per_node.iter().enumerate() {
+            if k != i {
+                assert_eq!(n.down_count, 0);
+                assert!(metrics.down_intervals[k].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn transient_down_interval_closes_at_recovery_end() {
+        let victim = NodeId::new(1);
+        let mut m = Machine::new(small_ecp_config());
+        m.schedule_failure(30_000, victim, FailureKind::Transient);
+        let metrics = m.run();
+        assert!(m.outcome().is_recovered());
+        let i = victim.index();
+        assert_eq!(metrics.down_intervals[i].len(), 1);
+        let (from, to) = metrics.down_intervals[i][0];
+        assert_eq!(from, 30_000);
+        assert!(
+            to < metrics.total_cycles,
+            "a transient victim comes back before the run ends"
+        );
+        assert_eq!(metrics.per_node[i].down_cycles, to - from);
+    }
+
+    #[test]
+    fn timeseries_rows_are_sampled_and_monotone() {
+        let mut m = Machine::new(MachineConfig {
+            timeseries_every: 5_000,
+            ..small_ecp_config()
+        });
+        m.schedule_failure(30_000, NodeId::new(2), FailureKind::Permanent);
+        let metrics = m.run();
+        let rows = m.timeseries();
+        assert!(rows.len() > 2, "a multi-epoch run yields several samples");
+        for w in rows.windows(2) {
+            assert!(w[1].cycle > w[0].cycle);
+            assert!(w[1].refs >= w[0].refs);
+            assert_eq!(w[1].refs_delta, w[1].refs - w[0].refs);
+        }
+        assert!(rows.last().expect("nonempty").refs <= metrics.refs);
+        // After the permanent failure every sample reports the node down.
+        let post: Vec<_> = rows.iter().filter(|r| r.cycle > 30_000).collect();
+        assert!(!post.is_empty());
+        for r in post {
+            assert_eq!(r.nodes_up, 7);
+            assert_eq!(r.nodes_down, vec![2]);
+        }
+    }
+
+    #[test]
+    fn timeseries_thinning_keeps_memory_bounded() {
+        let mut m = Machine::new(MachineConfig {
+            timeseries_every: 1,
+            refs_per_node: 2_000,
+            ..small_ecp_config()
+        });
+        m.run();
+        assert!(
+            m.timeseries().len() < super::MAX_TS_ROWS,
+            "thinning must hold the row count under the cap"
+        );
+        let rows = m.timeseries();
+        for w in rows.windows(2) {
+            assert!(w[1].cycle > w[0].cycle);
+        }
+    }
+
+    #[test]
+    fn observability_sinks_do_not_change_metrics() {
+        let quiet = Machine::new(small_ecp_config()).run();
+        let mut m = Machine::new(MachineConfig {
+            trace_capacity: 50_000,
+            timeseries_every: 2_000,
+            ..small_ecp_config()
+        });
+        let loud = m.run();
+        assert_eq!(quiet, loud, "sinks must be pure observation");
+        assert!(!m.spans().is_empty());
+        assert!(!m.timeseries().is_empty());
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub struct NodeMetrics {
     pub pages_allocated: u64,
     /// Peak page allocation in this node's attraction memory.
     pub pages_peak: u64,
+    /// Cycles this node spent down (from failure injection until the end of
+    /// the recovery that revived it, or until repair / end of run for
+    /// permanent failures).
+    pub down_cycles: Cycles,
+    /// Failures injected on this node.
+    pub down_count: u64,
 }
 
 impl NodeMetrics {
@@ -51,12 +57,119 @@ impl NodeMetrics {
             rollback_cycles: self.rollback_cycles - base.rollback_cycles,
             pages_allocated: self.pages_allocated,
             pages_peak: self.pages_peak,
+            down_cycles: self.down_cycles - base.down_cycles,
+            down_count: self.down_count - base.down_count,
         }
     }
 
     /// Total misses (loads + stores).
     pub fn misses(&self) -> u64 {
         self.read_misses + self.write_misses
+    }
+}
+
+/// One sample row of the streaming time-series telemetry
+/// ([`MachineConfig::timeseries_every`](crate::MachineConfig)).
+///
+/// Counters (`refs`, misses, `checkpoints`, …) are cumulative machine-wide
+/// totals as of `cycle`; `refs_delta` is the per-interval difference so a
+/// rate needs no neighbouring row. Rows are pure observation: sampling
+/// never schedules events, so enabling it cannot perturb the simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TsSample {
+    /// Sample time (absolute cycles).
+    pub cycle: Cycles,
+    /// Memory references completed so far.
+    pub refs: u64,
+    /// References completed since the previous sample.
+    pub refs_delta: u64,
+    /// Load misses so far.
+    pub read_misses: u64,
+    /// Store misses so far.
+    pub write_misses: u64,
+    /// Coherence transactions in flight (stalled processors + undelivered
+    /// messages).
+    pub in_flight: u64,
+    /// Events pending in the simulation queue.
+    pub queue_depth: u64,
+    /// Live nodes.
+    pub nodes_up: u64,
+    /// Node ids currently down (failed and not yet recovered/repaired).
+    pub nodes_down: Vec<u16>,
+    /// Recovery points committed so far.
+    pub checkpoints: u64,
+    /// Failures injected so far.
+    pub failures: u64,
+    /// Total processor cycles lost to checkpoint stalls so far.
+    pub ckpt_stall_cycles: Cycles,
+    /// Total processor cycles lost to rollback scans so far.
+    pub rollback_cycles: Cycles,
+}
+
+/// Per-phase latency distributions of the transaction and recovery paths.
+///
+/// Each histogram records the duration (in cycles) of one causal phase:
+/// the three legs of a remote coherence transaction (request travelling to
+/// the item's home, a forward to the current owner, and the data reply) and
+/// the four stages of failure handling (detection, per-node rollback scans,
+/// reconfiguration, and the replay window until the next commit). These are
+/// always recorded — they are part of [`RunMetrics`] and therefore covered
+/// by the zero-cost-tracing invariant (identical whether span capture is on
+/// or off).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseLatency {
+    /// Request leg: requester → home (localization-pointer lookup).
+    pub dir_lookup: Histogram,
+    /// Forward leg: home → current owner.
+    pub home_fwd: Histogram,
+    /// Data leg: owner/home → requester.
+    pub data_reply: Histogram,
+    /// Failure-detection time (zero under the fail-stop model).
+    pub detection: Histogram,
+    /// Per-node rollback scans (one sample per surviving node per failure).
+    pub rollback: Histogram,
+    /// Reconfiguration window (failure → machine ready to resume).
+    pub reconfiguration: Histogram,
+    /// Replay window (recovery end → next commit re-covers lost work).
+    pub replay: Histogram,
+}
+
+impl PhaseLatency {
+    /// Per-histogram [`Histogram::delta_since`].
+    pub fn delta_since(&self, base: &PhaseLatency) -> PhaseLatency {
+        PhaseLatency {
+            dir_lookup: self.dir_lookup.delta_since(&base.dir_lookup),
+            home_fwd: self.home_fwd.delta_since(&base.home_fwd),
+            data_reply: self.data_reply.delta_since(&base.data_reply),
+            detection: self.detection.delta_since(&base.detection),
+            rollback: self.rollback.delta_since(&base.rollback),
+            reconfiguration: self.reconfiguration.delta_since(&base.reconfiguration),
+            replay: self.replay.delta_since(&base.replay),
+        }
+    }
+
+    /// (name, histogram) pairs in stable export order.
+    pub fn named(&self) -> [(&'static str, &Histogram); 7] {
+        [
+            ("dir_lookup", &self.dir_lookup),
+            ("home_fwd", &self.home_fwd),
+            ("data_reply", &self.data_reply),
+            ("detection", &self.detection),
+            ("rollback", &self.rollback),
+            ("reconfiguration", &self.reconfiguration),
+            ("replay", &self.replay),
+        ]
+    }
+
+    /// Merges another run's distributions into this one (bucket-wise).
+    pub fn merge(&mut self, other: &PhaseLatency) {
+        self.dir_lookup.merge(&other.dir_lookup);
+        self.home_fwd.merge(&other.home_fwd);
+        self.data_reply.merge(&other.data_reply);
+        self.detection.merge(&other.detection);
+        self.rollback.merge(&other.rollback);
+        self.reconfiguration.merge(&other.reconfiguration);
+        self.replay.merge(&other.replay);
     }
 }
 
@@ -151,6 +264,16 @@ pub struct RunMetrics {
     /// Distribution of memory-access completion latencies (cycles), from
     /// 1-cycle cache hits to stalled coherence transactions.
     pub access_latency: Histogram,
+
+    /// Per-phase latency distributions of the transaction and recovery
+    /// paths (always on; see [`PhaseLatency`]).
+    pub phases: PhaseLatency,
+
+    /// Per-node down intervals `(from, to)` in absolute cycles, indexed by
+    /// node id (empty until the machine has run). Like the page gauges,
+    /// these describe the whole run's timeline and are kept intact by
+    /// [`RunMetrics::delta_since`].
+    pub down_intervals: Vec<Vec<(Cycles, Cycles)>>,
 }
 
 impl RunMetrics {
@@ -201,7 +324,32 @@ impl RunMetrics {
                 })
                 .collect(),
             access_latency: self.access_latency.delta_since(&base.access_latency),
+            phases: self.phases.delta_since(&base.phases),
+            down_intervals: self.down_intervals.clone(),
         }
+    }
+
+    /// Mean time to repair, in cycles (total down time / failure count over
+    /// all nodes). 0.0 when no failure occurred.
+    pub fn mttr_cycles(&self) -> f64 {
+        let (down, count) = self.per_node.iter().fold((0u64, 0u64), |(d, c), n| {
+            (d + n.down_cycles, c + n.down_count)
+        });
+        if count == 0 {
+            0.0
+        } else {
+            down as f64 / count as f64
+        }
+    }
+
+    /// Fraction of node-cycles the machine's nodes were up:
+    /// `1 - Σ down_cycles / (nodes × total_cycles)`. 1.0 for an empty run.
+    pub fn availability(&self) -> f64 {
+        if self.nodes == 0 || self.total_cycles == 0 {
+            return 1.0;
+        }
+        let down: u64 = self.per_node.iter().map(|n| n.down_cycles).sum();
+        1.0 - down as f64 / (self.nodes as f64 * self.total_cycles as f64)
     }
 
     /// Injections triggered by processor writes on recovery copies.
@@ -379,6 +527,53 @@ mod tests {
         assert_eq!(d.per_node[0].pages_allocated, 8);
         assert_eq!(d.per_node[0].pages_peak, 11);
         assert_eq!(d.per_node[0].misses(), 7);
+    }
+
+    #[test]
+    fn availability_and_mttr() {
+        let m = RunMetrics {
+            total_cycles: 1000,
+            nodes: 4,
+            per_node: vec![
+                NodeMetrics {
+                    down_cycles: 300,
+                    down_count: 2,
+                    ..Default::default()
+                },
+                NodeMetrics {
+                    down_cycles: 100,
+                    down_count: 1,
+                    ..Default::default()
+                },
+                NodeMetrics::default(),
+                NodeMetrics::default(),
+            ],
+            ..Default::default()
+        };
+        // 400 down node-cycles out of 4000.
+        assert!((m.availability() - 0.9).abs() < 1e-12);
+        assert!((m.mttr_cycles() - 400.0 / 3.0).abs() < 1e-9);
+        let empty = RunMetrics::default();
+        assert_eq!(empty.availability(), 1.0);
+        assert_eq!(empty.mttr_cycles(), 0.0);
+    }
+
+    #[test]
+    fn phase_delta_and_merge() {
+        let mut a = PhaseLatency::default();
+        a.dir_lookup.record(10);
+        a.replay.record(100);
+        let base = a.clone();
+        a.dir_lookup.record(20);
+        let d = a.delta_since(&base);
+        assert_eq!(d.dir_lookup.summary().count, 1);
+        assert_eq!(d.replay.summary().count, 0);
+        let mut b = PhaseLatency::default();
+        b.dir_lookup.record(5);
+        b.merge(&a);
+        assert_eq!(b.dir_lookup.summary().count, 3);
+        assert_eq!(b.replay.summary().count, 1);
+        assert_eq!(b.named().len(), 7);
     }
 
     #[test]

@@ -4,7 +4,9 @@ use ftcoma_mem::NodeId;
 use ftcoma_sim::Cycles;
 
 use crate::bus::{Bus, BusConfig};
-use crate::mesh::{LinkReport, Mesh, MeshGeometry, NetClass, NetConfig, NetStats, RouteError};
+use crate::mesh::{
+    HopSegment, LinkReport, Mesh, MeshGeometry, NetClass, NetConfig, NetStats, RouteError,
+};
 
 /// Which interconnect to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +134,24 @@ impl Fabric {
         match self {
             Fabric::Mesh(m) => m.link_report(),
             Fabric::Bus(_) => Vec::new(),
+        }
+    }
+
+    /// Enables per-hop recording for the span exporter (mesh only; a bus
+    /// has no hops). Pure observation — timing and statistics are
+    /// unchanged.
+    pub fn set_hop_trace(&mut self, on: bool) {
+        if let Fabric::Mesh(m) = self {
+            m.set_hop_trace(on);
+        }
+    }
+
+    /// Hop segments of the most recent send while hop tracing is on
+    /// (always empty for a bus).
+    pub fn last_hops(&self) -> &[HopSegment] {
+        match self {
+            Fabric::Mesh(m) => m.last_hops(),
+            Fabric::Bus(_) => &[],
         }
     }
 }

@@ -41,7 +41,7 @@ pub use bus::{Bus, BusConfig};
 pub use fabric::{Fabric, FabricConfig};
 pub use fault::{FaultDecision, NetFaultPlan};
 pub use mesh::{
-    LinkReport, LinkStats, Mesh, MeshGeometry, NetClass, NetConfig, NetStats, RouteError,
-    SwitchingModel,
+    HopSegment, LinkReport, LinkStats, Mesh, MeshGeometry, NetClass, NetConfig, NetStats,
+    RouteError, SwitchingModel,
 };
 pub use ring::LogicalRing;

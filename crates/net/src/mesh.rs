@@ -364,6 +364,27 @@ pub struct Mesh {
     /// Failed routers by coordinate; no message may traverse or terminate
     /// at a failed router.
     failed_routers: BTreeSet<(usize, usize)>,
+    /// When set, [`Mesh::send`] records the per-hop occupancy segments of
+    /// the last routed message for the span exporter. Pure observation:
+    /// arrival times and statistics are identical either way.
+    hop_trace: bool,
+    /// The last traced message's hops (see [`Mesh::last_hops`]).
+    last_hops: Vec<HopSegment>,
+}
+
+/// One traversed hop of a traced message: the directed link plus the
+/// interval during which the message's header held it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopSegment {
+    /// Source router coordinates.
+    pub from: (usize, usize),
+    /// Destination router coordinates.
+    pub to: (usize, usize),
+    /// Cycle the header claimed the link (after any contention wait).
+    pub start: Cycles,
+    /// Cycle the message cleared this hop (the next hop's claim, or the
+    /// final arrival for the last hop).
+    pub end: Cycles,
 }
 
 impl Mesh {
@@ -377,7 +398,24 @@ impl Mesh {
             link_stats: FxHashMap::default(),
             failed_links: BTreeSet::new(),
             failed_routers: BTreeSet::new(),
+            hop_trace: false,
+            last_hops: Vec::new(),
         }
+    }
+
+    /// Enables or disables per-hop recording for subsequent sends. Off by
+    /// default; enabling it changes no timing and no statistics.
+    pub fn set_hop_trace(&mut self, on: bool) {
+        self.hop_trace = on;
+        if !on {
+            self.last_hops.clear();
+        }
+    }
+
+    /// The hop segments of the most recent [`Mesh::send`] while hop
+    /// tracing is on (empty for node-local sends or when tracing is off).
+    pub fn last_hops(&self) -> &[HopSegment] {
+        &self.last_hops
     }
 
     /// The mesh geometry.
@@ -534,6 +572,9 @@ impl Mesh {
         class: NetClass,
         payload_bytes: u64,
     ) -> Result<Cycles, RouteError> {
+        if self.hop_trace {
+            self.last_hops.clear();
+        }
         if from == to {
             self.stats.messages += 1;
             self.stats.payload_bytes += payload_bytes;
@@ -558,6 +599,17 @@ impl Mesh {
             head = start + self.cfg.router_delay;
         }
         let arrival = head + flits;
+        if self.hop_trace {
+            for (i, (&(a, b), &start)) in path.iter().zip(&starts).enumerate() {
+                let end = starts.get(i + 1).copied().unwrap_or(arrival);
+                self.last_hops.push(HopSegment {
+                    from: a,
+                    to: b,
+                    start,
+                    end,
+                });
+            }
+        }
         match self.cfg.switching {
             SwitchingModel::VirtualCutThrough => {
                 // Each link is held for the serialization time only.
@@ -794,6 +846,36 @@ mod tests {
         assert_eq!(cont, mesh.stats().contention_cycles);
         assert!(report[1].utilization(1000) > 0.0);
         assert_eq!(report[1].utilization(0), 0.0);
+    }
+
+    #[test]
+    fn hop_trace_records_contiguous_segments_without_changing_timing() {
+        let mut plain = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        let mut traced = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        traced.set_hop_trace(true);
+        // Two-hop message: (0,0) -> (1,0) -> (2,0).
+        let a = plain.send(100, n(0), n(2), NetClass::Request, 128).unwrap();
+        let b = traced
+            .send(100, n(0), n(2), NetClass::Request, 128)
+            .unwrap();
+        assert_eq!(a, b, "hop tracing must not perturb arrival times");
+        assert_eq!(plain.stats(), traced.stats());
+
+        let hops = traced.last_hops().to_vec();
+        assert_eq!(hops.len(), 2);
+        assert_eq!(hops[0].from, (0, 0));
+        assert_eq!(hops[1].to, (2, 0));
+        // Segments are contiguous and end at the arrival time.
+        assert_eq!(hops[0].end, hops[1].start);
+        assert_eq!(hops[1].end, b);
+        assert_eq!(hops[0].start, 100 + NetConfig::default().ni_overhead);
+
+        // Local sends and disabled tracing leave no hops behind.
+        traced.send(200, n(5), n(5), NetClass::Request, 0).unwrap();
+        assert!(traced.last_hops().is_empty());
+        traced.set_hop_trace(false);
+        traced.send(300, n(0), n(2), NetClass::Request, 0).unwrap();
+        assert!(traced.last_hops().is_empty());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod transport;
 
 pub use dir::OwnerDirectory;
 pub use home::{HomeTable, QueuedReq};
-pub use msg::{Msg, Outgoing};
+pub use msg::{Msg, Outgoing, TxnLeg};
 pub use node::NodeState;
 pub use timing::MemTiming;
 

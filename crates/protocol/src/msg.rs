@@ -342,6 +342,38 @@ impl Msg {
         }
     }
 
+    /// Which leg of a memory transaction this message is, if any.
+    ///
+    /// Drives the per-phase latency decomposition and the causal span
+    /// tree: a remote miss is requester → home ([`TxnLeg::DirLookup`]),
+    /// optionally home → owner ([`TxnLeg::HomeFwd`]), then data or grant
+    /// back to the requester ([`TxnLeg::DataReply`]). Invalidations,
+    /// injections, checkpoint traffic and other side-band messages are
+    /// not transaction legs and return `None`.
+    pub fn txn_leg(&self) -> Option<TxnLeg> {
+        match self {
+            Msg::ReadReq { .. } | Msg::WriteReq { .. } => Some(TxnLeg::DirLookup),
+            Msg::ReadFwd { .. } | Msg::WriteFwd { .. } => Some(TxnLeg::HomeFwd),
+            Msg::DataShared { .. } | Msg::DataExclusive { .. } | Msg::InitGrant { .. } => {
+                Some(TxnLeg::DataReply)
+            }
+            _ => None,
+        }
+    }
+
+    /// The faulting node a request or forward acts for, when the message
+    /// carries one. Data replies travel *to* the requester, so the
+    /// receiver already knows it.
+    pub fn requester(&self) -> Option<NodeId> {
+        match self {
+            Msg::ReadReq { requester, .. }
+            | Msg::WriteReq { requester, .. }
+            | Msg::ReadFwd { requester, .. }
+            | Msg::WriteFwd { requester, .. } => Some(*requester),
+            _ => None,
+        }
+    }
+
     /// Which sub-network this message travels on.
     pub fn class(&self) -> NetClass {
         match self {
@@ -370,6 +402,20 @@ impl Msg {
             | Msg::PreCommitMarkAck { .. } => NetClass::Reply,
         }
     }
+}
+
+/// The phase of a memory transaction a coherence message implements.
+///
+/// See [`Msg::txn_leg`]. The names line up with the span phases in
+/// `ftcoma_sim::span::SpanPhase`, which the machine maps them onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnLeg {
+    /// Requester → home-node directory (ReadReq / WriteReq).
+    DirLookup,
+    /// Home directory → current owner (ReadFwd / WriteFwd).
+    HomeFwd,
+    /// Data or initial grant travelling back to the requester.
+    DataReply,
 }
 
 /// A message queued for transmission by a protocol handler.
@@ -514,6 +560,43 @@ mod tests {
             "ReadReq"
         );
         assert_eq!(Msg::TxnDone { item: item() }.kind(), "TxnDone");
+    }
+
+    #[test]
+    fn txn_legs_cover_the_miss_path_only() {
+        let req = Msg::ReadReq {
+            item: item(),
+            requester: NodeId::new(3),
+        };
+        assert_eq!(req.txn_leg(), Some(TxnLeg::DirLookup));
+        assert_eq!(req.requester(), Some(NodeId::new(3)));
+        assert_eq!(
+            Msg::WriteFwd {
+                item: item(),
+                requester: NodeId::new(3)
+            }
+            .txn_leg(),
+            Some(TxnLeg::HomeFwd)
+        );
+        assert_eq!(
+            Msg::InitGrant {
+                item: item(),
+                state: ItemState::Exclusive
+            }
+            .txn_leg(),
+            Some(TxnLeg::DataReply)
+        );
+        // Side-band traffic is not part of the transaction decomposition.
+        assert_eq!(Msg::TxnDone { item: item() }.txn_leg(), None);
+        assert_eq!(
+            Msg::Inval {
+                item: item(),
+                ack_to: NodeId::new(1)
+            }
+            .txn_leg(),
+            None
+        );
+        assert_eq!(Msg::InvalAck { item: item() }.requester(), None);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * [`rng`] — seeded, splittable random-number generation so that every
 //!   simulation run is exactly reproducible;
 //! * [`stats`] — counters, ratios and running statistics used by the
-//!   metrics collection in `ftcoma-machine`.
+//!   metrics collection in `ftcoma-machine`;
+//! * [`span`] — causal span records (typed phases, parent links) for the
+//!   transaction- and recovery-time decompositions.
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@ pub mod json;
 pub mod queue;
 pub mod registry;
 pub mod rng;
+pub mod span;
 pub mod stats;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -130,6 +130,13 @@ impl MetricsRegistry {
     /// Serializes every series as a JSON array of
     /// `{"name", "labels", "value"}` objects, counters first, each group in
     /// key order.
+    ///
+    /// The order is a **pinned contract**: counters before gauges, and
+    /// within each group lexicographic `SeriesKey` order — name first,
+    /// then the (already canonically sorted) label pairs. Series are
+    /// stored in `BTreeMap`s keyed by [`SeriesKey`], so the export can
+    /// never depend on any hash map's iteration order (the in-tree
+    /// `FxHash` tables make no ordering promise across versions).
     pub fn to_json(&self) -> Json {
         fn series(key: &SeriesKey, kind: &str, value: Json) -> Json {
             Json::obj([
@@ -190,6 +197,63 @@ mod tests {
         reg.gauge_set("rate", &[], 0.5);
         reg.gauge_set("rate", &[], 0.75);
         assert_eq!(reg.gauge("rate", &[]), Some(0.75));
+    }
+
+    /// Satellite regression: the JSON export order is a pure function of
+    /// the series keys — independent of insertion order, including among
+    /// series that share a name and differ only in labels. A change that
+    /// routed series through a hash map would shuffle this and break
+    /// byte-identical reports.
+    #[test]
+    fn json_export_order_is_insertion_order_independent() {
+        let build = |perm: &[usize]| {
+            let entries: Vec<(&str, Vec<(&str, &str)>)> = vec![
+                ("refs", vec![("node", "10")]),
+                ("refs", vec![]),
+                ("refs", vec![("node", "2")]),
+                ("aaa", vec![("z", "1"), ("a", "9")]),
+                ("refs", vec![("node", "2"), ("kind", "read")]),
+                ("zzz", vec![]),
+            ];
+            let mut reg = MetricsRegistry::new();
+            for &i in perm {
+                let (name, labels) = &entries[i];
+                reg.counter_add(name, labels, i as u64 + 1);
+                reg.gauge_set(name, labels, i as f64);
+            }
+            reg.to_json().to_string_compact()
+        };
+        let a = build(&[0, 1, 2, 3, 4, 5]);
+        let b = build(&[5, 3, 1, 4, 2, 0]);
+        let c = build(&[2, 4, 0, 5, 1, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // And the order really is lexicographic by (name, labels):
+        // unlabelled series sort before labelled ones of the same name,
+        // label *values* compare as strings ("10" < "2").
+        let doc = Json::parse(&a).unwrap();
+        let keys: Vec<String> = doc
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}{}",
+                    s.get("name").and_then(|v| v.as_str()).unwrap(),
+                    s.get("labels").unwrap().to_string_compact()
+                )
+            })
+            .collect();
+        let expected = [
+            r#"aaa{"a":"9","z":"1"}"#,
+            r#"refs{}"#,
+            r#"refs{"kind":"read","node":"2"}"#,
+            r#"refs{"node":"10"}"#,
+            r#"refs{"node":"2"}"#,
+            r#"zzz{}"#,
+        ];
+        assert_eq!(keys[..6], expected, "counters out of key order");
+        assert_eq!(keys[6..], expected, "gauges out of key order");
     }
 
     #[test]

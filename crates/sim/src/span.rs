@@ -1,0 +1,299 @@
+//! Causal spans: typed, parent-linked time intervals.
+//!
+//! The paper's central measurements are *time decompositions* — where a
+//! reference's latency goes (directory lookup, home forwarding, data
+//! reply, network hops) and where recovery time goes after a fault
+//! (detection, reconfiguration, rollback, re-execution). A [`SpanRecord`]
+//! is one measured interval of such a phase; records link to a parent
+//! span, so a remote miss becomes a small causal tree rooted at its
+//! transaction span and a recovery becomes a tree rooted at the recovery
+//! span.
+//!
+//! Collection follows the same discipline as the machine's trace ring:
+//! a [`SpanLog`] with capacity 0 is a no-op sink (the zero-cost-when-
+//! disabled invariant), a bounded one retains the **newest** closed spans
+//! and evicts the oldest. Records are pushed when a span *closes*, so
+//! eviction can never drop the most recent span-close events.
+//!
+//! # Example
+//!
+//! ```
+//! use ftcoma_sim::span::{SpanLog, SpanPhase, SpanRecord};
+//!
+//! let mut log = SpanLog::new(16);
+//! let txn = log.alloc_id();
+//! let leg = log.alloc_id();
+//! log.push(SpanRecord { id: leg, parent: txn, phase: SpanPhase::DirLookup,
+//!                       node: 3, start: 100, end: 130 });
+//! log.push(SpanRecord { id: txn, parent: 0, phase: SpanPhase::Transaction,
+//!                       node: 0, start: 100, end: 216 });
+//! assert_eq!(log.records().len(), 2);
+//! assert_eq!(log.records()[1].duration(), 116);
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::Cycles;
+
+/// Identifier of a span within one run. `0` means "no span" and is never
+/// allocated; parent links use it for roots.
+pub type SpanId = u64;
+
+/// The typed phase a span measures.
+///
+/// The first group decomposes a memory transaction (a reference that
+/// missed and stalled its processor); the second decomposes a recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanPhase {
+    /// Root span of one stalled memory reference: processor stall to
+    /// resume.
+    Transaction,
+    /// Request leg: requester → home-node directory (ReadReq/WriteReq in
+    /// flight).
+    DirLookup,
+    /// Forwarded leg: home directory → current owner (ReadFwd/WriteFwd).
+    HomeFwd,
+    /// Data leg: data or grant travelling back to the requester.
+    DataReply,
+    /// One router-to-router hop of a message on the mesh.
+    NetHop,
+    /// Root span of one fault recovery: detection through replay.
+    Recovery,
+    /// Fault detection (zero-length under the fail-stop model).
+    Detection,
+    /// Global rollback to the last recovery point (per-node scans).
+    Rollback,
+    /// Directory reconfiguration and copy promotion after the rollback.
+    Reconfiguration,
+    /// Re-execution of the work lost between the recovery point and the
+    /// fault, ending at the first post-recovery commit.
+    Replay,
+}
+
+impl SpanPhase {
+    /// Stable lowercase name used by every exporter.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanPhase::Transaction => "transaction",
+            SpanPhase::DirLookup => "dir_lookup",
+            SpanPhase::HomeFwd => "home_fwd",
+            SpanPhase::DataReply => "data_reply",
+            SpanPhase::NetHop => "net_hop",
+            SpanPhase::Recovery => "recovery",
+            SpanPhase::Detection => "detection",
+            SpanPhase::Rollback => "rollback",
+            SpanPhase::Reconfiguration => "reconfiguration",
+            SpanPhase::Replay => "replay",
+        }
+    }
+
+    /// Inverse of [`SpanPhase::name`].
+    pub fn from_name(name: &str) -> Option<SpanPhase> {
+        Some(match name {
+            "transaction" => SpanPhase::Transaction,
+            "dir_lookup" => SpanPhase::DirLookup,
+            "home_fwd" => SpanPhase::HomeFwd,
+            "data_reply" => SpanPhase::DataReply,
+            "net_hop" => SpanPhase::NetHop,
+            "recovery" => SpanPhase::Recovery,
+            "detection" => SpanPhase::Detection,
+            "rollback" => SpanPhase::Rollback,
+            "reconfiguration" => SpanPhase::Reconfiguration,
+            "replay" => SpanPhase::Replay,
+            _ => return None,
+        })
+    }
+
+    /// Does this phase belong to the recovery decomposition (rather than
+    /// the transaction one)?
+    pub fn is_recovery(&self) -> bool {
+        matches!(
+            self,
+            SpanPhase::Recovery
+                | SpanPhase::Detection
+                | SpanPhase::Rollback
+                | SpanPhase::Reconfiguration
+                | SpanPhase::Replay
+        )
+    }
+}
+
+impl std::fmt::Display for SpanPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One closed span: a measured interval with causal parentage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// This span's id (unique within a run, never 0).
+    pub id: SpanId,
+    /// Parent span id, or 0 for a root.
+    pub parent: SpanId,
+    /// What the interval measures.
+    pub phase: SpanPhase,
+    /// The node the phase executed on (for message legs: the receiver).
+    pub node: u16,
+    /// Interval start, in cycles.
+    pub start: Cycles,
+    /// Interval end, in cycles (`end >= start`).
+    pub end: Cycles,
+}
+
+impl SpanRecord {
+    /// Length of the interval in cycles.
+    pub fn duration(&self) -> Cycles {
+        self.end - self.start
+    }
+}
+
+/// A bounded ring of closed spans.
+///
+/// Mirrors the machine's `TraceLog`: capacity 0 disables the sink
+/// entirely (`push` is a no-op, [`SpanLog::enabled`] is false), a bounded
+/// log evicts the *oldest* record when full. Because records are pushed
+/// at close time, the newest span-close events always survive
+/// wraparound.
+#[derive(Debug, Clone, Default)]
+pub struct SpanLog {
+    records: VecDeque<SpanRecord>,
+    capacity: usize,
+    next_id: SpanId,
+}
+
+impl SpanLog {
+    /// Creates a log retaining at most `capacity` records (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            next_id: 0,
+        }
+    }
+
+    /// Is the sink collecting at all?
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Allocates a fresh span id (1, 2, 3, ... within a run). Returns 0
+    /// when the sink is disabled, so disabled runs allocate nothing and
+    /// parent links stay inert.
+    pub fn alloc_id(&mut self) -> SpanId {
+        if self.capacity == 0 {
+            return 0;
+        }
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Records a closed span, evicting the oldest record when full.
+    /// No-op while disabled or for records of disabled allocations
+    /// (`id == 0`).
+    pub fn push(&mut self, record: SpanRecord) {
+        if self.capacity == 0 || record.id == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(record);
+    }
+
+    /// The retained records, oldest close first.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.iter().copied().collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: SpanId, end: Cycles) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: 0,
+            phase: SpanPhase::Transaction,
+            node: 0,
+            start: end.saturating_sub(10),
+            end,
+        }
+    }
+
+    #[test]
+    fn disabled_log_is_inert() {
+        let mut log = SpanLog::new(0);
+        assert!(!log.enabled());
+        assert_eq!(log.alloc_id(), 0);
+        log.push(rec(1, 50));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ids_are_dense_and_nonzero() {
+        let mut log = SpanLog::new(4);
+        assert_eq!(log.alloc_id(), 1);
+        assert_eq!(log.alloc_id(), 2);
+        assert_eq!(log.alloc_id(), 3);
+    }
+
+    #[test]
+    fn records_with_zero_id_are_dropped() {
+        // A span allocated while the sink was disabled must not be
+        // recorded even if the record is pushed later.
+        let mut log = SpanLog::new(4);
+        log.push(rec(0, 10));
+        assert!(log.is_empty());
+    }
+
+    /// Satellite regression: ring wraparound evicts the *oldest* closes;
+    /// the newest span-close events are always retained.
+    #[test]
+    fn wraparound_keeps_newest_closes() {
+        let mut log = SpanLog::new(3);
+        for end in 1..=10u64 {
+            let id = log.alloc_id();
+            log.push(rec(id, end));
+        }
+        let kept = log.records();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(
+            kept.iter().map(|r| r.end).collect::<Vec<_>>(),
+            vec![8, 9, 10],
+            "eviction must drop the oldest closes, never the newest"
+        );
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for phase in [
+            SpanPhase::Transaction,
+            SpanPhase::DirLookup,
+            SpanPhase::HomeFwd,
+            SpanPhase::DataReply,
+            SpanPhase::NetHop,
+            SpanPhase::Recovery,
+            SpanPhase::Detection,
+            SpanPhase::Rollback,
+            SpanPhase::Reconfiguration,
+            SpanPhase::Replay,
+        ] {
+            assert_eq!(SpanPhase::from_name(phase.name()), Some(phase));
+        }
+        assert_eq!(SpanPhase::from_name("bogus"), None);
+        assert!(SpanPhase::Rollback.is_recovery());
+        assert!(!SpanPhase::DataReply.is_recovery());
+    }
+}

@@ -218,6 +218,10 @@ impl RunningStats {
 /// Accumulates bytes moved during tagged windows of simulated time, used for
 /// the replication-throughput figures (Figs. 4 and 9).
 ///
+/// All quantities are **simulated cycles**, never host wall-clock time:
+/// nothing in this module (or anywhere in `ftcoma-sim`) reads `Instant`,
+/// so no wall-clock value can leak into a determinism-gated document.
+///
 /// # Example
 ///
 /// ```
@@ -489,6 +493,26 @@ impl Histogram {
             .collect()
     }
 
+    /// Folds another histogram into this one: bucket counts, `count` and
+    /// `sum` add, `max` takes the larger high-water mark. Used by the
+    /// campaign aggregator to combine per-cell phase histograms; the
+    /// operation is associative and commutative (property-tested in the
+    /// integration suite), so aggregation order cannot affect a report.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 && other.max == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; 65];
+        }
+        for (i, slot) in self.buckets.iter_mut().enumerate() {
+            *slot += other.buckets.get(i).copied().unwrap_or(0);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Counters accumulated since `base` (for warmup windows).
     ///
     /// # Panics
@@ -615,6 +639,38 @@ mod histogram_tests {
         h.record(5);
         h.record(6);
         assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (7, 2)]);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_keeps_max() {
+        let mut a = Histogram::new();
+        a.record(5);
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(7);
+        b.record(3000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max(), 3000);
+        assert!((a.mean() - (5.0 + 100.0 + 7.0 + 3000.0) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_handles_default_histograms() {
+        // `Histogram::default()` has an *empty* bucket vector (it only
+        // materialises on first record); merge must cope on both sides.
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.merge(&b); // empty into empty
+        assert_eq!(a.count(), 0);
+        b.record(42);
+        a.merge(&b); // populated into empty
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.max(), 42);
+        let c = Histogram::default();
+        a.merge(&c); // empty into populated
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.summary().max, 42);
     }
 
     #[test]

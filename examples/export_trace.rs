@@ -1,15 +1,20 @@
-//! Structured export: metrics JSON, a Chrome trace and a JSONL trace.
+//! Structured export: metrics JSON, a Chrome trace, JSONL trace/span/
+//! time-series logs.
 //!
-//! Runs a small ECP machine with a transient failure, then writes three
+//! Runs a small ECP machine with a transient failure, then writes five
 //! artifacts next to the working directory:
 //!
 //! * `ftcoma_metrics.json` — the versioned metrics document (machine-wide,
-//!   per-node and per-link sections);
+//!   per-node and per-link sections, phase percentiles, availability);
 //! * `ftcoma_trace.json` — a Chrome trace-event file: open it in Perfetto
 //!   (<https://ui.perfetto.dev>) or `chrome://tracing` to see per-node
-//!   timelines of checkpoint creates, commit scans and the recovery window;
+//!   timelines of checkpoint creates, commit scans and the recovery window,
+//!   plus causal spans with flow arrows linking each transaction's hops;
 //! * `ftcoma_trace.jsonl` — the same events as one JSON object per line,
-//!   for `jq`-style ad-hoc analysis.
+//!   for `jq`-style ad-hoc analysis;
+//! * `ftcoma_spans.jsonl` — the causal span log (`ftcoma trace summarize
+//!   --spans ftcoma_spans.jsonl` digests it);
+//! * `ftcoma_timeseries.jsonl` — one epoch sample every 10k cycles.
 //!
 //! Run with:
 //!
@@ -30,6 +35,7 @@ fn main() -> std::io::Result<()> {
         workload: presets::mp3d(),
         ft: FtConfig::enabled(200.0),
         trace_capacity: 500_000,
+        timeseries_every: 10_000,
         verify: true,
         ..MachineConfig::default()
     });
@@ -41,9 +47,15 @@ fn main() -> std::io::Result<()> {
     std::fs::write("ftcoma_metrics.json", doc.to_string_pretty() + "\n")?;
 
     let trace = machine.trace();
-    let chrome = export::chrome_trace(&trace, Clock::ksr1().hz());
+    let spans = machine.spans();
+    let chrome = export::chrome_trace_with_spans(&trace, &spans, Clock::ksr1().hz());
     std::fs::write("ftcoma_trace.json", chrome.to_string_compact() + "\n")?;
     std::fs::write("ftcoma_trace.jsonl", export::trace_jsonl(&trace))?;
+    std::fs::write("ftcoma_spans.jsonl", export::spans_jsonl(&spans))?;
+    std::fs::write(
+        "ftcoma_timeseries.jsonl",
+        export::timeseries_jsonl(machine.timeseries()),
+    )?;
 
     let s = metrics.access_latency.summary();
     println!(
@@ -54,14 +66,25 @@ fn main() -> std::io::Result<()> {
         "access latency: p50<={:.0} p90<={:.0} p99<={:.0} max={}",
         s.p50, s.p90, s.p99, s.max
     );
+    let d = metrics.phases.dir_lookup.summary();
+    println!(
+        "dir_lookup phase: {} lookups, p99<={:.0}; availability {:.4}, MTTR {:.0} cycles",
+        d.count,
+        d.p99,
+        metrics.availability(),
+        metrics.mttr_cycles()
+    );
     println!("per-node share of injections:");
     for n in &metrics.per_node {
         print!(" {:>4}", n.injections);
     }
     println!();
     println!(
-        "wrote ftcoma_metrics.json, ftcoma_trace.json ({} events), ftcoma_trace.jsonl",
-        trace.len()
+        "wrote ftcoma_metrics.json, ftcoma_trace.json ({} events), ftcoma_trace.jsonl, \
+         ftcoma_spans.jsonl ({} spans), ftcoma_timeseries.jsonl ({} rows)",
+        trace.len(),
+        spans.len(),
+        machine.timeseries().len()
     );
     println!("open ftcoma_trace.json in https://ui.perfetto.dev to browse the timeline");
     Ok(())

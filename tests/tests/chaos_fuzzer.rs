@@ -52,6 +52,7 @@ fn replay_rejects_stale_seed_derivations() {
         original: Scenario::none(),
         reasons: Vec::new(),
         shrink_runs: 0,
+        recovery_timeline: Vec::new(),
     };
     assert!(replay(&cx).unwrap_err().contains("stale artifact"));
 }
@@ -85,6 +86,7 @@ fn replay_of_a_healthy_scenario_reports_no_reproduction() {
         },
         reasons: vec!["stale reason from a fixed bug".into()],
         shrink_runs: 3,
+        recovery_timeline: Vec::new(),
     };
     match replay(&cx).expect("replay runs") {
         Verdict::Fail(reasons) => panic!("healthy scenario failed: {reasons:?}"),

@@ -90,15 +90,19 @@ fn trace_disabled_by_default() {
 
 #[test]
 fn tracing_is_zero_cost() {
-    // Enabling the trace sink must not perturb the simulation: identical
-    // timing, identical RNG stream, identical metrics (including the new
-    // per-node counters), event for event.
+    // Enabling every observability sink (trace ring, span log, epoch
+    // time-series sampler) must not perturb the simulation: identical
+    // timing, identical RNG stream, identical metrics (including the
+    // always-on phase histograms and availability timeline), event for
+    // event.
     let mut quiet = Machine::new(MachineConfig {
         trace_capacity: 0,
+        timeseries_every: 0,
         ..base()
     });
     let mut traced = Machine::new(MachineConfig {
         trace_capacity: 1_000_000,
+        timeseries_every: 5_000,
         ..base()
     });
     quiet.schedule_failure(25_000, NodeId::new(2), FailureKind::Transient);
@@ -109,6 +113,39 @@ fn tracing_is_zero_cost() {
     assert_eq!(a, b, "tracing changed the metrics");
     assert!(quiet.trace().is_empty());
     assert!(!traced.trace().is_empty());
+    assert!(quiet.spans().is_empty() && quiet.timeseries().is_empty());
+    assert!(!traced.spans().is_empty(), "spans collected when enabled");
+    assert!(
+        !traced.timeseries().is_empty(),
+        "time-series sampled when enabled"
+    );
+}
+
+/// Satellite regression: a small `--trace-capacity` ring must wrap by
+/// evicting the *oldest* span closes — the newest closes (the end-of-run
+/// tail of a full-capacity log) always survive.
+#[test]
+fn span_ring_wraparound_never_drops_newest_closes() {
+    let run_with = |capacity: usize| {
+        let mut m = Machine::new(MachineConfig {
+            trace_capacity: capacity,
+            ..base()
+        });
+        m.schedule_failure(25_000, NodeId::new(2), FailureKind::Transient);
+        m.run();
+        m.spans()
+    };
+    let full = run_with(1_000_000);
+    let small = run_with(64);
+    assert!(
+        full.len() > 64,
+        "fixture too small to exercise wraparound ({} spans)",
+        full.len()
+    );
+    assert_eq!(small.len(), 64);
+    // The bounded log's content is exactly the newest 64 closes of the
+    // full log (same run: the sink is pure observation).
+    assert_eq!(small, full[full.len() - 64..].to_vec());
 }
 
 #[test]

@@ -12,6 +12,7 @@ use ftcoma_mem::addr::LineId;
 use ftcoma_mem::{
     AmGeometry, AttractionMemory, Cache, CacheGeometry, ItemId, ItemState, NodeId, PageId,
 };
+use ftcoma_sim::stats::Histogram;
 use ftcoma_sim::DetRng;
 use ftcoma_workloads::{presets, NodeStream, RefStream};
 
@@ -140,6 +141,59 @@ fn stream_replay_is_exact() {
         s.restore(&snap);
         let b: Vec<_> = (0..200).map(|_| s.next_ref()).collect();
         assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram merge algebra
+// ---------------------------------------------------------------------------
+
+fn random_histogram(rng: &mut DetRng) -> Histogram {
+    let mut h = Histogram::new();
+    let n = rng.below(200);
+    for _ in 0..n {
+        // Spread samples across many log2 buckets, including zero.
+        let shift = 1 + rng.below(30);
+        h.record(rng.below(1 << shift));
+    }
+    h
+}
+
+/// `Histogram::merge` is associative and commutative, and preserves
+/// count, sum-derived mean and max — so campaign aggregation gives the
+/// same totals no matter how cells are grouped or ordered.
+#[test]
+fn histogram_merge_is_associative_and_commutative() {
+    let mut rng = DetRng::seeded(0x4157);
+    for _case in 0..64 {
+        let a = random_histogram(&mut rng);
+        let b = random_histogram(&mut rng);
+        let c = random_histogram(&mut rng);
+
+        // (a + b) + c == a + (b + c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge is not associative");
+
+        // a + b == b + a
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is not commutative");
+
+        // Count and max are exactly preserved; the mean follows from the
+        // preserved sum.
+        assert_eq!(ab.count(), a.count() + b.count());
+        assert_eq!(ab.max(), a.max().max(b.max()));
+        // (Relative tolerance: the mean round-trips through f64.)
+        let sum = |h: &Histogram| h.summary().mean * h.count() as f64;
+        let total = sum(&ab);
+        assert!((total - sum(&a) - sum(&b)).abs() <= 1e-9 * (1.0 + total.abs()));
     }
 }
 
