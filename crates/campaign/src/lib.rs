@@ -5,7 +5,7 @@
 //! frequencies × failure scenarios. This crate expands such a grid from a
 //! declarative spec into flat [`Cell`]s, runs them on a `std::thread`
 //! worker pool, and aggregates everything into one versioned JSON report
-//! (`schema_version` 5). Host wall-clock timings stay out of the report;
+//! (`schema_version` 6). Host wall-clock timings stay out of the report;
 //! [`report::timing_json`] builds them as a separate sidecar document.
 //!
 //! Determinism is the design center: every cell's RNG seed is derived from
@@ -33,7 +33,7 @@
 //! assert_eq!(cells.len(), 2); // baseline + one ECP cell
 //! let outcomes = run_cells(&cells, 2);
 //! let doc = report::campaign_json(&spec, &cells, &outcomes);
-//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(5));
+//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(6));
 //! ```
 
 #![forbid(unsafe_code)]

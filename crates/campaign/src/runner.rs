@@ -13,7 +13,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use ftcoma_core::RecoveryOutcome;
-use ftcoma_machine::{tracelog::TraceEvent, FailureKind, Machine};
+use ftcoma_machine::{tracelog::TraceEvent, FailureKind, FaultDist, FaultProcessConfig, Machine};
 use ftcoma_mem::NodeId;
 use ftcoma_net::LinkReport;
 
@@ -95,6 +95,21 @@ pub fn run_cell(cell: &Cell) -> CellOutcome {
         }
         ScenarioKind::MessageLoss { rate } => {
             machine.set_message_loss(cell.scenario.at, rate);
+        }
+        ScenarioKind::Continuous {
+            node_mtbf,
+            node_mttr,
+            link_mtbf,
+            link_mttr,
+        } => {
+            machine.install_fault_process(FaultProcessConfig {
+                node_mtbf,
+                node_mttr,
+                link_mtbf,
+                link_mttr,
+                dist: FaultDist::Exponential,
+                start: cell.scenario.at,
+            });
         }
     }
     let metrics = machine.run();
@@ -235,5 +250,42 @@ mod tests {
         assert!(outcomes[0].metrics.net_dropped_msgs > 0);
         // ...and traffic detoured around the cut link.
         assert!(outcomes[1].metrics.net_detour_hops > 0);
+    }
+
+    #[test]
+    fn continuous_cells_cycle_faults_and_stay_deterministic() {
+        let spec = CampaignSpec::parse(
+            r#"{
+                "workloads": ["water"],
+                "nodes": [8],
+                "freqs": [400],
+                "refs": 5000,
+                "warmup": 0,
+                "baseline": false,
+                "scenarios": [
+                    {"kind": "continuous", "at": 0, "node_mtbf": 60000, "node_mttr": 10000,
+                     "link_mtbf": 80000, "link_mttr": 10000}
+                ]
+            }"#,
+        )
+        .unwrap();
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].label.ends_with("cont@0+n60000/10000+l80000/10000"));
+        let serial = run_cells(&cells, 1);
+        let parallel = run_cells(&cells, 2);
+        assert_eq!(serial[0].metrics, parallel[0].metrics);
+        assert_eq!(serial[0].owner_image, parallel[0].owner_image);
+        // The process kept failing and repairing nodes for the whole run.
+        assert!(serial[0].metrics.failures >= 2, "{:?}", serial[0].metrics);
+        assert!(serial[0].metrics.repairs >= 1, "{:?}", serial[0].metrics);
+        if serial[0].outcome.is_recovered() {
+            assert_eq!(
+                serial[0].metrics.faults_survived,
+                serial[0].metrics.failures
+            );
+        } else {
+            assert_eq!(serial[0].metrics.faults_unsurvivable, 1);
+        }
     }
 }

@@ -109,6 +109,24 @@ pub enum ScenarioKind {
         /// Drop rate in per-mille (`1..=999`).
         rate: u32,
     },
+    /// Continuous MTBF/MTTR failure–repair process: instead of a scripted
+    /// fault list, the machine installs a seeded
+    /// [`ftcoma_machine::FaultProcess`] that keeps sampling node failures,
+    /// node repairs, link cuts and link repairs for the whole run. The
+    /// scenario's `at` is the process start offset (0 = sample from the
+    /// beginning); `node` and `repair_at` are unused. A mean of 0 disables
+    /// that sub-process; at least one MTBF must be set, and every set MTBF
+    /// needs its MTTR.
+    Continuous {
+        /// Mean cycles between node failures (0 = no node process).
+        node_mtbf: u64,
+        /// Mean cycles from node failure to repair request.
+        node_mttr: u64,
+        /// Mean cycles between link cuts (0 = no link process).
+        link_mtbf: u64,
+        /// Mean cycles from link cut to link restoration.
+        link_mttr: u64,
+    },
 }
 
 /// One fault-injection scenario applied to an ECP cell.
@@ -155,6 +173,21 @@ impl Scenario {
             }
             ScenarioKind::RouterDown => format!("rd{}@{}", self.node, self.at),
             ScenarioKind::MessageLoss { rate } => format!("ml{rate}@{}", self.at),
+            ScenarioKind::Continuous {
+                node_mtbf,
+                node_mttr,
+                link_mtbf,
+                link_mttr,
+            } => {
+                let mut s = format!("cont@{}", self.at);
+                if node_mtbf > 0 {
+                    s.push_str(&format!("+n{node_mtbf}/{node_mttr}"));
+                }
+                if link_mtbf > 0 {
+                    s.push_str(&format!("+l{link_mtbf}/{link_mttr}"));
+                }
+                s
+            }
         }
     }
 
@@ -181,6 +214,7 @@ impl Scenario {
             ScenarioKind::LinkCut { .. } => "link_cut",
             ScenarioKind::RouterDown => "router_down",
             ScenarioKind::MessageLoss { .. } => "message_loss",
+            ScenarioKind::Continuous { .. } => "continuous",
         };
         let mut pairs = vec![("kind".to_string(), Json::from(kind))];
         if self.kind != ScenarioKind::None {
@@ -206,6 +240,18 @@ impl Scenario {
         }
         if let ScenarioKind::MessageLoss { rate } = self.kind {
             pairs.push(("rate".to_string(), Json::from(u64::from(rate))));
+        }
+        if let ScenarioKind::Continuous {
+            node_mtbf,
+            node_mttr,
+            link_mtbf,
+            link_mttr,
+        } = self.kind
+        {
+            pairs.push(("node_mtbf".to_string(), Json::from(node_mtbf)));
+            pairs.push(("node_mttr".to_string(), Json::from(node_mttr)));
+            pairs.push(("link_mtbf".to_string(), Json::from(link_mtbf)));
+            pairs.push(("link_mttr".to_string(), Json::from(link_mttr)));
         }
         Json::Obj(pairs)
     }
@@ -309,6 +355,10 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
         "second_node",
         "to_node",
         "rate",
+        "node_mtbf",
+        "node_mttr",
+        "link_mtbf",
+        "link_mttr",
     ];
     for (k, _) in pairs {
         if !KNOWN.contains(&k.as_str()) {
@@ -374,15 +424,34 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
                 None => 100,
             },
         },
+        "continuous" => {
+            let mean = |key| match v.get(key) {
+                Some(m) => as_u64(m, key),
+                None => Ok(0),
+            };
+            ScenarioKind::Continuous {
+                node_mtbf: mean("node_mtbf")?,
+                node_mttr: mean("node_mttr")?,
+                link_mtbf: mean("link_mtbf")?,
+                link_mttr: mean("link_mttr")?,
+            }
+        }
         other => {
             return Err(err(format!(
                 "scenario kind must be none|transient|permanent|cycle|back_to_back|link_cut\
-                 |router_down|message_loss, got `{other}`"
+                 |router_down|message_loss|continuous, got `{other}`"
             )))
         }
     };
     if repair_at.is_some() && kind != ScenarioKind::Permanent {
         return Err(err("`repair_at` only applies to permanent failures"));
+    }
+    if let Some(r) = repair_at {
+        if r <= at {
+            return Err(err(format!(
+                "`repair_at` ({r}) must come strictly after the failure at {at}"
+            )));
+        }
     }
     if matches!(kind, ScenarioKind::Cycle { .. }) {
         // period/count defaults applied above; nothing more to check here.
@@ -417,7 +486,35 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
     } else if v.get("rate").is_some() {
         return Err(err("`rate` only applies to message_loss scenarios"));
     }
-    if kind != ScenarioKind::None && at == 0 {
+    if let ScenarioKind::Continuous {
+        node_mtbf,
+        node_mttr,
+        link_mtbf,
+        link_mttr,
+    } = kind
+    {
+        if node_mtbf == 0 && link_mtbf == 0 {
+            return Err(err(
+                "continuous scenario needs `node_mtbf` and/or `link_mtbf`",
+            ));
+        }
+        if node_mtbf > 0 && node_mttr == 0 {
+            return Err(err("continuous `node_mtbf` needs a positive `node_mttr`"));
+        }
+        if link_mtbf > 0 && link_mttr == 0 {
+            return Err(err("continuous `link_mtbf` needs a positive `link_mttr`"));
+        }
+    } else if ["node_mtbf", "node_mttr", "link_mtbf", "link_mttr"]
+        .iter()
+        .any(|k| v.get(k).is_some())
+    {
+        return Err(err(
+            "`node_mtbf`/`node_mttr`/`link_mtbf`/`link_mttr` only apply to continuous scenarios",
+        ));
+    }
+    // Continuous scenarios may start at 0 (`at` is a start offset, not a
+    // fault time); every scripted fault needs a positive injection cycle.
+    if kind != ScenarioKind::None && !matches!(kind, ScenarioKind::Continuous { .. }) && at == 0 {
         return Err(err("scenario `at` must be positive"));
     }
     Ok(Scenario {
@@ -785,6 +882,20 @@ mod tests {
             CampaignSpec::parse(r#"{"scenarios": [{"kind": "transient", "repair_at": 10}]}"#)
                 .is_err()
         );
+        // repair_at must come strictly after the failure itself.
+        let e = parse_scenario(
+            &Json::parse(r#"{"kind": "permanent", "at": 500, "repair_at": 500}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("strictly after"), "{e}");
+        assert!(parse_scenario(
+            &Json::parse(r#"{"kind": "permanent", "at": 500, "repair_at": 400}"#).unwrap()
+        )
+        .is_err());
+        assert!(parse_scenario(
+            &Json::parse(r#"{"kind": "permanent", "at": 500, "repair_at": 501}"#).unwrap()
+        )
+        .is_ok());
         // paper lengths conflict with explicit refs.
         assert!(CampaignSpec::parse(r#"{"lengths": "paper", "refs": 100}"#).is_err());
         // Baseline-only campaigns are allowed.
@@ -871,5 +982,40 @@ mod tests {
         )
         .unwrap();
         assert!(ok.expand().iter().any(|c| c.label.ends_with("lc0-1@20000")));
+    }
+
+    #[test]
+    fn continuous_scenarios_parse_label_and_validate() {
+        let sc = parse_scenario(
+            &Json::parse(
+                r#"{"kind": "continuous", "at": 0, "node_mtbf": 60000, "node_mttr": 9000,
+                    "link_mtbf": 80000, "link_mttr": 7000}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(sc.label(), "cont@0+n60000/9000+l80000/7000");
+        // `at` is a start offset here, so 0 is allowed.
+        assert_eq!(sc.at, 0);
+        // Round-trip through to_json/from_json.
+        assert_eq!(Scenario::from_json(&sc.to_json()).unwrap(), sc);
+        // Node-only process: the link half stays disabled and off the label.
+        let node_only = parse_scenario(
+            &Json::parse(r#"{"kind": "continuous", "node_mtbf": 50000, "node_mttr": 5000}"#)
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(node_only.label(), "cont@20000+n50000/5000");
+        // An MTBF without its MTTR, or no process at all, is rejected.
+        assert!(
+            parse_scenario(&Json::parse(r#"{"kind": "continuous", "node_mtbf": 9}"#).unwrap())
+                .is_err()
+        );
+        assert!(parse_scenario(&Json::parse(r#"{"kind": "continuous"}"#).unwrap()).is_err());
+        // The mean keys belong to continuous scenarios alone.
+        assert!(
+            parse_scenario(&Json::parse(r#"{"kind": "transient", "node_mtbf": 9}"#).unwrap())
+                .is_err()
+        );
     }
 }

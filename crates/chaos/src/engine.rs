@@ -52,6 +52,13 @@ pub struct ChaosConfig {
     /// sampling streams are untouched when disabled, so existing runs
     /// stay byte-identical.
     pub net_faults: bool,
+    /// Mix continuous MTBF/MTTR failure–repair processes (soak cases) into
+    /// the sampled grid: the case machine keeps failing, repairing and
+    /// re-failing nodes (and links) for its whole run instead of taking
+    /// one scripted fault. Off by default with the same RNG discipline as
+    /// `net_faults`: disabled soak sampling consumes no draws, so existing
+    /// runs stay byte-identical.
+    pub soak: bool,
 }
 
 impl ChaosConfig {
@@ -72,6 +79,7 @@ impl ChaosConfig {
             refs_per_node: if quick { 4_000 } else { 8_000 },
             shrink_budget: 24,
             net_faults: false,
+            soak: false,
         }
     }
 
@@ -244,6 +252,40 @@ fn sample_net_scenario(rng: &mut DetRng, nodes: u16, horizon: u64) -> Scenario {
     }
 }
 
+/// Samples one continuous-process soak scenario (only drawn when
+/// [`ChaosConfig::soak`] is on). Means are scaled to the golden run's
+/// horizon so several failure/repair cycles — including repair-then-refail
+/// sequences — land inside every case. The MTBF floor sits at a third of
+/// the horizon on purpose: every fault costs a rollback (lost progress
+/// since the last recovery point) plus a reconfiguration, so denser
+/// processes inflate the run far past the fault-free horizon without
+/// probing anything new.
+fn sample_soak_scenario(rng: &mut DetRng, horizon: u64) -> Scenario {
+    let horizon = horizon.max(4_096);
+    let node_mtbf = rng.range(horizon / 3, horizon);
+    let node_mttr = rng.range(horizon / 64, horizon / 16);
+    let (link_mtbf, link_mttr) = if rng.chance(0.5) {
+        (
+            rng.range(horizon / 3, horizon),
+            rng.range(horizon / 64, horizon / 16),
+        )
+    } else {
+        (0, 0)
+    };
+    Scenario {
+        kind: ScenarioKind::Continuous {
+            node_mtbf: node_mtbf.max(1),
+            node_mttr: node_mttr.max(1),
+            link_mtbf,
+            link_mttr,
+        },
+        node: 0,
+        // Process start offset; 0 means the process samples from cycle 0.
+        at: rng.below(horizon / 4),
+        repair_at: None,
+    }
+}
+
 /// What one fuzzing run produced.
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
@@ -302,7 +344,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         let mut rng = cfg.case_rng(k);
         for _ in 0..n {
             let horizon = goldens[k as usize].total_cycles;
-            let sc = if cfg.net_faults && rng.chance(0.5) {
+            // Short-circuit order matters: a disabled gate consumes no
+            // draws, so turning a mode off never perturbs the others.
+            let sc = if cfg.soak && rng.chance(0.25) {
+                sample_soak_scenario(&mut rng, horizon)
+            } else if cfg.net_faults && rng.chance(0.5) {
                 sample_net_scenario(&mut rng, cfg.nodes, horizon)
             } else {
                 sample_scenario(&mut rng, cfg.nodes, horizon, period)
@@ -368,6 +414,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
                 ("refs_per_node", Json::from(cfg.refs_per_node)),
                 ("shrink_budget", Json::from(u64::from(cfg.shrink_budget))),
                 ("net_faults", Json::from(cfg.net_faults)),
+                ("soak", Json::from(cfg.soak)),
             ]),
         ),
         ("goldens", Json::arr(golden_rows)),
@@ -472,9 +519,10 @@ pub fn replay(cx: &Counterexample) -> Result<Verdict, String> {
         freq_hz: cx.freq_hz,
         refs_per_node: cx.refs_per_node,
         shrink_budget: 0,
-        // Only steers case sampling; a replay re-runs the recorded
+        // Only steer case sampling; a replay re-runs the recorded
         // scenario directly.
         net_faults: false,
+        soak: false,
     };
     cfg.validate()?;
     if cfg.machine_seed(cx.seed_group) != cx.machine_seed {
@@ -514,6 +562,7 @@ mod tests {
             refs_per_node: 1_500,
             shrink_budget: 8,
             net_faults: false,
+            soak: false,
         }
     }
 
@@ -578,6 +627,55 @@ mod tests {
                 .iter()
                 .any(|k| text.contains(k)),
             "no net-fault cases sampled"
+        );
+    }
+
+    #[test]
+    fn soak_sampling_scales_means_to_the_horizon() {
+        let mut rng = DetRng::seeded(17);
+        for _ in 0..200 {
+            let sc = sample_soak_scenario(&mut rng, 120_000);
+            assert!(sc.at < 30_000);
+            let ScenarioKind::Continuous {
+                node_mtbf,
+                node_mttr,
+                link_mtbf,
+                link_mttr,
+            } = sc.kind
+            else {
+                panic!("soak sampler produced {:?}", sc.kind);
+            };
+            assert!((40_000..=120_000).contains(&node_mtbf));
+            assert!((1_875..=7_500).contains(&node_mttr));
+            // Either both link means are set or the link half is off.
+            assert_eq!(link_mtbf > 0, link_mttr > 0);
+        }
+    }
+
+    #[test]
+    fn soak_fuzzing_is_deterministic_and_violation_free() {
+        let cfg1 = ChaosConfig {
+            jobs: 1,
+            soak: true,
+            cases: 12,
+            ..tiny(31)
+        };
+        let cfg4 = ChaosConfig {
+            jobs: 4,
+            ..cfg1.clone()
+        };
+        let r1 = run_chaos(&cfg1).unwrap();
+        let r4 = run_chaos(&cfg4).unwrap();
+        assert_eq!(r1.doc.to_string_pretty(), r4.doc.to_string_pretty());
+        assert_eq!(
+            r1.failed, 0,
+            "soak bug or oracle bug: {:#?}",
+            r1.counterexamples
+        );
+        // The mix actually drew continuous processes.
+        assert!(
+            r1.doc.to_string_pretty().contains("continuous"),
+            "no soak cases sampled"
         );
     }
 

@@ -48,11 +48,19 @@ impl GoldenRef {
         }
     }
 
-    /// The liveness bound: a faulted run pays rollback re-execution and
-    /// recovery scans, but anything past `4x golden + 2M cycles` means the
-    /// machine stopped making progress.
-    pub fn cycle_bound(&self) -> u64 {
-        self.total_cycles.saturating_mul(4) + 2_000_000
+    /// The liveness bound: a faulted run pays rollback re-execution,
+    /// recovery scans and degraded (MTTR) progress for *every* fault it
+    /// absorbs. Scripted scenarios absorb a handful, so the base bound of
+    /// `4x golden + 2M cycles` dominates; a continuous soak process
+    /// absorbs dozens, so the bound scales with the absorbed count —
+    /// anything past it means the machine stopped making progress.
+    pub fn cycle_bound(&self, faults_absorbed: u64) -> u64 {
+        // Per fault: rollback replays at most ~one checkpoint interval
+        // per node (<= golden/2 is generous), plus the reconfiguration
+        // window and an MTTR of degraded throughput (~250k covers both
+        // at any shipped scale).
+        let per_fault = self.total_cycles / 2 + 250_000;
+        self.total_cycles.saturating_mul(4) + 2_000_000 + faults_absorbed.saturating_mul(per_fault)
     }
 }
 
@@ -119,7 +127,7 @@ fn liveness(outcome: &CellOutcome, golden: &GoldenRef, reasons: &mut Vec<String>
             ));
         }
     }
-    let bound = golden.cycle_bound();
+    let bound = golden.cycle_bound(outcome.metrics.failures);
     if outcome.metrics.total_cycles > bound {
         reasons.push(format!(
             "liveness: run took {} cycles, bound {bound} (golden {})",
@@ -265,9 +273,26 @@ mod tests {
         let o = outcome(
             vec![(1, 11), (2, 22), (100, 77)],
             vec![500, 500],
-            golden().cycle_bound() + 1,
+            golden().cycle_bound(0) + 1,
             RecoveryOutcome::Recovered,
         );
+        assert!(judge(&o, &golden()).is_fail());
+    }
+
+    #[test]
+    fn cycle_bound_scales_with_absorbed_faults() {
+        // A soak run that absorbed 40 faults may legitimately run far
+        // past the scripted-scenario bound...
+        let mut o = outcome(
+            vec![(1, 11), (2, 22), (100, 77)],
+            vec![500, 500],
+            golden().cycle_bound(0) + 1,
+            RecoveryOutcome::Recovered,
+        );
+        o.metrics.failures = 40;
+        assert_eq!(judge(&o, &golden()), Verdict::Pass);
+        // ...but the scaled bound still cuts off a stalled machine.
+        o.metrics.total_cycles = golden().cycle_bound(40) + 1;
         assert!(judge(&o, &golden()).is_fail());
     }
 

@@ -14,7 +14,9 @@ use ftcoma_campaign::{Scenario, ScenarioKind};
 ///
 /// Strategy, in order:
 /// 1. structural: drop the second fault of a back-to-back pair, collapse
-///    a failure cycle to its first fault, demote permanent to transient;
+///    a failure cycle to its first fault, demote permanent to transient,
+///    demote a continuous failure–repair process to one scripted fault
+///    (or to its node-only half);
 /// 2. bisect the injection cycle `at` downwards;
 /// 3. for surviving back-to-back pairs, bisect the `gap` downwards;
 /// 4. for surviving message-loss episodes, halve the drop `rate` downwards
@@ -34,6 +36,25 @@ pub fn shrink_scenario<F: FnMut(&Scenario) -> bool>(
         }
         ScenarioKind::Cycle { .. } => vec![ScenarioKind::Transient],
         ScenarioKind::Permanent => vec![ScenarioKind::Transient],
+        // A continuous process shrinks towards a single scripted fault;
+        // failing that, towards the node-only half of the process.
+        ScenarioKind::Continuous {
+            node_mtbf,
+            node_mttr,
+            link_mtbf,
+            ..
+        } => {
+            let mut cands = vec![ScenarioKind::Transient, ScenarioKind::Permanent];
+            if link_mtbf > 0 {
+                cands.push(ScenarioKind::Continuous {
+                    node_mtbf,
+                    node_mttr,
+                    link_mtbf: 0,
+                    link_mttr: 0,
+                });
+            }
+            cands
+        }
         // Interconnect faults have no simpler node-level equivalent: a
         // link cut or router death is already its own minimal shape.
         ScenarioKind::Transient
@@ -46,6 +67,13 @@ pub fn shrink_scenario<F: FnMut(&Scenario) -> bool>(
         let cand = Scenario {
             kind,
             repair_at: None,
+            // A continuous process may start at offset 0; a scripted fault
+            // needs a positive injection cycle.
+            at: if matches!(kind, ScenarioKind::Continuous { .. }) {
+                best.at
+            } else {
+                best.at.max(1)
+            },
             ..best
         };
         if attempt(&cand, &mut best, &mut used, budget, &mut still_fails) {
@@ -182,6 +210,43 @@ mod tests {
         );
         assert_eq!(best.kind, ScenarioKind::MessageLoss { rate: 100 });
         assert_eq!(best.at, 1);
+    }
+
+    #[test]
+    fn continuous_demotes_to_a_scripted_fault_or_its_node_half() {
+        let cont = Scenario {
+            kind: ScenarioKind::Continuous {
+                node_mtbf: 30_000,
+                node_mttr: 5_000,
+                link_mtbf: 40_000,
+                link_mttr: 5_000,
+            },
+            node: 0,
+            at: 0,
+            repair_at: None,
+        };
+        // Everything fails: the simplest reproduction is one transient
+        // fault, and the demoted fault gets a positive injection cycle.
+        let (best, _) = shrink_scenario(&cont, |_| true, 64);
+        assert_eq!(best.kind, ScenarioKind::Transient);
+        assert_eq!(best.at, 1);
+        // Only continuous processes fail: the link half is dropped, the
+        // start offset survives untouched.
+        let (best, _) = shrink_scenario(
+            &cont,
+            |s| matches!(s.kind, ScenarioKind::Continuous { .. }),
+            64,
+        );
+        assert_eq!(
+            best.kind,
+            ScenarioKind::Continuous {
+                node_mtbf: 30_000,
+                node_mttr: 5_000,
+                link_mtbf: 0,
+                link_mttr: 0,
+            }
+        );
+        assert_eq!(best.at, 0);
     }
 
     #[test]

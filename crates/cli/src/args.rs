@@ -60,7 +60,10 @@ impl Parsed {
             if key.is_empty() {
                 return Err(ArgError("empty flag name".into()));
             }
-            let value = if matches!(key, "no-ft" | "verify" | "wormhole" | "json" | "net-faults") {
+            let value = if matches!(
+                key,
+                "no-ft" | "verify" | "wormhole" | "json" | "net-faults" | "soak"
+            ) {
                 "true".to_string() // boolean flags take no value
             } else {
                 it.next()

@@ -26,7 +26,8 @@ use ftcoma_chaos::{ChaosConfig, Counterexample, Verdict};
 use ftcoma_core::{FtConfig, RecoveryOutcome};
 use ftcoma_machine::TsSample;
 use ftcoma_machine::{
-    export, probe, tracelog::TraceEvent, FailureKind, Machine, MachineConfig, RunMetrics,
+    export, probe, tracelog::TraceEvent, FailureKind, Machine, MachineConfig, RetryPolicy,
+    RunMetrics,
 };
 use ftcoma_mem::NodeId;
 use ftcoma_net::LinkReport;
@@ -77,18 +78,20 @@ USAGE
                   [--freq RP_PER_S | --no-ft] [--seed S] [--verify]
                   [--fail-at CYCLES [--fail-kind transient|permanent]
                   [--fail-node K]]
+                  [--rto-base C] [--rto-cap C] [--max-retries N]
                   [--json] [--metrics-out FILE] [--trace-out FILE]
                   [--trace-jsonl FILE] [--trace-capacity N]
                   [--spans-out FILE] [--timeseries-out FILE]
                   [--timeseries-every CYCLES]
   ftcoma compare  --workload W [--nodes N] [--refs R] [--warmup U] [--freq F]
   ftcoma sweep    --workload W [--nodes N] [--freqs F1,F2,...] [--jobs J]
-  ftcoma failure  --workload W --kind transient|permanent [--node K]
-                  [--at CYCLES] [--repair-at CYCLES]
+  ftcoma failure  --workload W --kind transient|permanent|continuous
+                  [--node K] [--at CYCLES] [--repair-at CYCLES]
+                  [--node-mtbf C --node-mttr C] [--link-mtbf C --link-mttr C]
   ftcoma campaign --spec FILE [--jobs J] [--json] [--out FILE] [--cell ID]
   ftcoma chaos    [--seeds G] [--cases N] [--jobs J] [--seed S]
                   [--workload W] [--nodes K] [--freq F] [--refs R]
-                  [--net-faults] [--out FILE] [--json]
+                  [--net-faults] [--soak] [--out FILE] [--json]
   ftcoma chaos    --replay ARTIFACT.json
   ftcoma trace summarize --spans FILE [--top K]
   ftcoma latency
@@ -100,7 +103,10 @@ CAMPAIGNS
   on J worker threads. Per-cell seeds are derived from the campaign seed
   at expansion time, so the aggregated JSON report is byte-identical at
   any --jobs level (wall-clock timings go to a separate <out>.timing.json
-  sidecar). --cell replays one cell.
+  sidecar). --cell replays one cell. A `continuous` scenario installs a
+  seeded MTBF/MTTR failure-repair process instead of scripted faults; the
+  report's availability section carries the availability-vs-time curve
+  and steady-state MTTR (see docs/CAMPAIGNS.md).
 
 CHAOS (see docs/CHAOS.md)
   A seeded fuzzer sweeps failure injections across the whole protocol
@@ -114,6 +120,10 @@ CHAOS (see docs/CHAOS.md)
   cuts, router deaths and message-loss episodes, which the fault-aware
   routing and reliable transport must mask or escalate cleanly (see
   docs/NETWORK.md).
+  --soak mixes continuous MTBF/MTTR failure-repair processes into the
+  sampled cases: the case machine keeps failing, repairing and re-failing
+  nodes (and links) for its whole run, probing long-horizon availability
+  instead of one scripted fault.
   Reports are byte-identical across --jobs; wall-clock time goes to the
   <out>.timing.json sidecar. Counterexample artifacts carry the failing
   case's recovery span timeline.
@@ -170,6 +180,19 @@ fn machine_config(p: &Parsed) -> Result<MachineConfig, ArgError> {
         0
     };
     let default_ts_every = if p.has("timeseries-out") { 10_000 } else { 0 };
+    // Reliable-transport retry policy. The defaults reproduce the
+    // historical constants, so runs that leave these flags alone are
+    // byte-identical to builds that predate them.
+    let retry = {
+        let d = RetryPolicy::default();
+        let retry = RetryPolicy {
+            rto_base: p.u64_or("rto-base", d.rto_base)?,
+            rto_cap: p.u64_or("rto-cap", d.rto_cap)?,
+            max_retries: p.u64_or("max-retries", u64::from(d.max_retries))? as u32,
+        };
+        retry.validate().map_err(ArgError)?;
+        retry
+    };
     Ok(MachineConfig {
         nodes: p.u64_or("nodes", 16)? as u16,
         refs_per_node: p.u64_or("refs", 60_000)?,
@@ -179,6 +202,7 @@ fn machine_config(p: &Parsed) -> Result<MachineConfig, ArgError> {
         net,
         seed: p.u64_or("seed", 0xF7C0_3A11)?,
         verify: p.has("verify"),
+        retry,
         trace_capacity: p.u64_or("trace-capacity", default_trace_capacity)? as usize,
         timeseries_every: p.u64_or("timeseries-every", default_ts_every)?,
         ..MachineConfig::default()
@@ -290,6 +314,9 @@ const RUN_FLAGS: &[&str] = &[
     "fail-at",
     "fail-kind",
     "fail-node",
+    "rto-base",
+    "rto-cap",
+    "max-retries",
     "json",
     "metrics-out",
     "trace-out",
@@ -516,6 +543,13 @@ fn cmd_failure(p: &Parsed) -> Result<(), ArgError> {
         "node",
         "at",
         "repair-at",
+        "node-mtbf",
+        "node-mttr",
+        "link-mtbf",
+        "link-mttr",
+        "rto-base",
+        "rto-cap",
+        "max-retries",
         "json",
         "metrics-out",
         "trace-out",
@@ -530,12 +564,49 @@ fn cmd_failure(p: &Parsed) -> Result<(), ArgError> {
     let kind = match p.str_or("kind", "transient").as_str() {
         "transient" => ScenarioKind::Transient,
         "permanent" => ScenarioKind::Permanent,
+        "continuous" => {
+            let kind = ScenarioKind::Continuous {
+                node_mtbf: p.u64_or("node-mtbf", 0)?,
+                node_mttr: p.u64_or("node-mttr", 0)?,
+                link_mtbf: p.u64_or("link-mtbf", 0)?,
+                link_mttr: p.u64_or("link-mttr", 0)?,
+            };
+            if let ScenarioKind::Continuous {
+                node_mtbf,
+                node_mttr,
+                link_mtbf,
+                link_mttr,
+            } = kind
+            {
+                if node_mtbf == 0 && link_mtbf == 0 {
+                    return Err(ArgError(
+                        "--kind continuous needs --node-mtbf and/or --link-mtbf".into(),
+                    ));
+                }
+                if node_mtbf > 0 && node_mttr == 0 {
+                    return Err(ArgError("--node-mtbf needs a positive --node-mttr".into()));
+                }
+                if link_mtbf > 0 && link_mttr == 0 {
+                    return Err(ArgError("--link-mtbf needs a positive --link-mttr".into()));
+                }
+            }
+            kind
+        }
         other => {
             return Err(ArgError(format!(
-                "--kind must be transient|permanent, got {other}"
+                "--kind must be transient|permanent|continuous, got {other}"
             )))
         }
     };
+    if !matches!(kind, ScenarioKind::Continuous { .. })
+        && ["node-mtbf", "node-mttr", "link-mtbf", "link-mttr"]
+            .iter()
+            .any(|k| p.has(k))
+    {
+        return Err(ArgError(
+            "--node-mtbf/--node-mttr/--link-mtbf/--link-mttr need --kind continuous".into(),
+        ));
+    }
     let repair_at = match p.u64_or("repair-at", u64::MAX)? {
         u64::MAX => None,
         at => Some(at),
@@ -548,9 +619,26 @@ fn cmd_failure(p: &Parsed) -> Result<(), ArgError> {
     let scenario = Scenario {
         kind,
         node: p.u64_or("node", 1)? as u16,
-        at: p.u64_or("at", 20_000)?,
+        // For a continuous process `at` is the start offset (0 = sample
+        // from the beginning); for scripted faults it is the fault cycle.
+        at: p.u64_or(
+            "at",
+            if matches!(kind, ScenarioKind::Continuous { .. }) {
+                0
+            } else {
+                20_000
+            },
+        )?,
         repair_at,
     };
+    if let Some(r) = repair_at {
+        if r <= scenario.at {
+            return Err(ArgError(format!(
+                "--repair-at ({r}) must come strictly after the failure at {}",
+                scenario.at
+            )));
+        }
+    }
     // A failure run is a single campaign cell with an explicit seed.
     let cell = Cell {
         id: 0,
@@ -574,14 +662,17 @@ fn cmd_failure(p: &Parsed) -> Result<(), ArgError> {
         &outcome.outcome,
     )? {
         match &outcome.outcome {
-            RecoveryOutcome::Recovered => println!(
-                "{kind:?} failure of node {} at cycle {}: recovered and verified",
-                scenario.node, scenario.at
-            ),
-            other => println!(
-                "{kind:?} failure of node {} at cycle {}: {other}",
-                scenario.node, scenario.at
-            ),
+            RecoveryOutcome::Recovered => {
+                println!("scenario `{}`: recovered and verified", scenario.label());
+            }
+            other => println!("scenario `{}`: {other}", scenario.label()),
+        }
+        if let ScenarioKind::Continuous { .. } = kind {
+            println!("faults survived  {:>14}", outcome.metrics.faults_survived);
+            println!(
+                "steady MTTR      {:>11.0} cy",
+                outcome.metrics.steady_mttr_cycles()
+            );
         }
         print_metrics(&outcome.metrics);
     }
@@ -731,6 +822,7 @@ const CHAOS_FLAGS: &[&str] = &[
     "json",
     "replay",
     "net-faults",
+    "soak",
 ];
 
 /// Where the wall-clock sidecar of `--out report.json` lands:
@@ -767,6 +859,7 @@ fn cmd_chaos(p: &Parsed) -> Result<(), ArgError> {
     cfg.freq_hz = p.f64_or("freq", cfg.freq_hz)?;
     cfg.refs_per_node = p.u64_or("refs", cfg.refs_per_node)?;
     cfg.net_faults = p.has("net-faults");
+    cfg.soak = p.has("soak");
     let quiet = p.has("json");
     if !quiet {
         println!(

@@ -6,8 +6,11 @@
 //! restored to Shared-CK. … No action is required for Shared-CK copies."
 //! For a *permanent* failure, "each Shared-CK copy has to check whether its
 //! replica is still alive or not. If not, a new Shared-CK copy has to be
-//! created on a safe node" — see [`promote_and_collect_orphans`], whose
-//! output feeds [`crate::Engine::begin_reconfig`].
+//! created on a safe node" — see [`promote_and_collect_orphans`] (the
+//! paper's pointer-chasing formulation) and [`collect_singleton_orphans`]
+//! (the pointer-agnostic variant the machine uses, robust to stale
+//! partner pointers); either's output feeds
+//! [`crate::Engine::begin_reconfig`].
 //!
 //! The paper does not detail how the localization pointers of a failed home
 //! are rebuilt; [`rebuild_homes`] implements the natural mechanism (owners
@@ -209,6 +212,59 @@ pub fn promote_and_collect_orphans(ns: &mut NodeState, dead: NodeId) -> Vec<Item
     orphans
 }
 
+/// After the rollback and dedup passes of a *permanent* failure: finds
+/// every committed recovery copy whose sibling no longer exists on any
+/// live node, promotes the survivor to `Shared-CK1` and returns the
+/// orphans grouped by surviving host (in node order, each node's items in
+/// its AM's deterministic iteration order).
+///
+/// This deliberately does **not** trust partner pointers, unlike
+/// [`promote_and_collect_orphans`]: a copy that had just finished
+/// migrating when the failure struck may leave its sibling's pointer
+/// aimed at the *old* host (the `PartnerUpdate` message was purged with
+/// the rest of the in-flight traffic), so a pointer scan misses the
+/// orphan when the fault kills the new host. Counting live copies per
+/// item is immune to stale pointers.
+pub fn collect_singleton_orphans(nodes: &mut [NodeState]) -> Vec<(NodeId, Vec<ItemId>)> {
+    use std::collections::HashMap;
+    let mut copies: HashMap<ItemId, u32> = HashMap::new();
+    for ns in nodes.iter() {
+        if !ns.alive {
+            continue;
+        }
+        for (item, slot) in ns.am.iter_present() {
+            if slot.state.is_committed_recovery() {
+                *copies.entry(item).or_default() += 1;
+            }
+        }
+    }
+    let mut by_node: Vec<(NodeId, Vec<ItemId>)> = Vec::new();
+    for ns in nodes.iter_mut() {
+        if !ns.alive {
+            continue;
+        }
+        let orphans: Vec<ItemId> = ns
+            .am
+            .items_where(|s| s.state.is_committed_recovery())
+            .into_iter()
+            .filter(|item| copies.get(item) == Some(&1))
+            .collect();
+        for &item in &orphans {
+            let slot = ns.am.slot_mut(item).expect("orphan present");
+            debug_assert!(matches!(
+                slot.state,
+                ItemState::SharedCk1 | ItemState::SharedCk2
+            ));
+            slot.state = ItemState::SharedCk1; // survivor becomes the primary
+            slot.partner = None;
+        }
+        if !orphans.is_empty() {
+            by_node.push((ns.id, orphans));
+        }
+    }
+    by_node
+}
+
 /// Repairs recovery pairs damaged by in-flight injections at failure time.
 ///
 /// A recovery copy that was mid-move when the failure struck can exist
@@ -376,6 +432,34 @@ mod tests {
             ns.am.slot(ItemId::new(2)).unwrap().partner,
             Some(NodeId::new(2))
         );
+    }
+
+    #[test]
+    fn singleton_scan_finds_orphans_with_stale_partner_pointers() {
+        // Pair was (n0, n2); the n2 copy had just migrated to n1 when n1
+        // died, and the PartnerUpdate to n0 was purged in flight: n0 still
+        // points at n2, which holds nothing. A pointer scan for
+        // partner == n1 finds no orphan; the copy count does.
+        let mut nodes = vec![
+            NodeState::ksr1(NodeId::new(0)),
+            NodeState::ksr1(NodeId::new(1)),
+            NodeState::ksr1(NodeId::new(2)),
+        ];
+        install(&mut nodes[0], 0, ItemState::SharedCk2, Some(NodeId::new(2)));
+        // An intact pair on (n0, n2) must be left alone.
+        install(&mut nodes[0], 1, ItemState::SharedCk1, Some(NodeId::new(2)));
+        install(&mut nodes[2], 1, ItemState::SharedCk2, Some(NodeId::new(0)));
+        nodes[1].alive = false;
+
+        let orphans = collect_singleton_orphans(&mut nodes);
+        assert_eq!(orphans, vec![(NodeId::new(0), vec![ItemId::new(0)])]);
+        // Survivor was promoted to primary and unpaired.
+        let slot = nodes[0].am.slot(ItemId::new(0)).unwrap();
+        assert_eq!(slot.state, ItemState::SharedCk1);
+        assert_eq!(slot.partner, None);
+        // The intact pair kept its states and pointers.
+        assert_eq!(nodes[0].am.state(ItemId::new(1)), ItemState::SharedCk1);
+        assert_eq!(nodes[2].am.state(ItemId::new(1)), ItemState::SharedCk2);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use ftcoma_core::FtConfig;
 use ftcoma_mem::{AmGeometry, CacheGeometry};
 use ftcoma_net::{NetConfig, NetFaultPlan};
+use ftcoma_protocol::transport::RetryPolicy;
 use ftcoma_protocol::MemTiming;
 use ftcoma_workloads::{presets, SplashConfig};
 
@@ -45,6 +46,11 @@ pub struct MachineConfig {
     /// bounded-backoff retries); `None` keeps the exact fault-free fast
     /// path, byte-identical to a machine without this feature.
     pub net_fault: Option<NetFaultPlan>,
+    /// Retransmission policy of the reliable transport (RTO base/cap and
+    /// the retry budget before escalation). The default reproduces the
+    /// historical constants, so fault-free runs — and faulted runs that
+    /// don't override it — are byte-identical to before it was a knob.
+    pub retry: RetryPolicy,
     /// Attraction-memory geometry.
     pub am: AmGeometry,
     /// Cache geometry.
@@ -79,6 +85,7 @@ impl Default for MachineConfig {
             net: NetConfig::default(),
             bus: None,
             net_fault: None,
+            retry: RetryPolicy::default(),
             am: AmGeometry::ksr1(),
             cache: CacheGeometry::ksr1(),
             warmup_refs_per_node: 0,
@@ -117,6 +124,9 @@ impl MachineConfig {
             "the ECP needs at least four nodes (four copies per modified              item during establishment)"
         );
         assert!(self.refs_per_node > 0, "refs_per_node must be positive");
+        if let Err(e) = self.retry.validate() {
+            panic!("{e}");
+        }
         self.workload.validate();
         self.timing.validate();
         self.am.validate();

@@ -23,7 +23,7 @@
 //! });
 //! let metrics = m.run();
 //! let doc = export::metrics_json(&metrics, &m.link_report());
-//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(5));
+//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(6));
 //! let trace = export::chrome_trace_with_spans(&m.trace(), &m.spans(), 20_000_000.0);
 //! assert!(!trace.get("traceEvents").unwrap().as_array().unwrap().is_empty());
 //! ```
@@ -63,7 +63,14 @@ use crate::tracelog::TraceEvent;
 ///   ([`chrome_trace_with_spans`]) are introduced; wall-clock timing moves
 ///   out of campaign/chaos documents into a `*.timing.json` sidecar, so
 ///   every document is byte-deterministic without post-processing.
-pub const SCHEMA_VERSION: u64 = 5;
+/// * 6 — continuous fault model: the `"availability"` section gains
+///   `steady_mttr_cycles` (mean of closed down intervals only) and
+///   `curve` (bucketed availability-vs-time rows `{"to", "availability"}`);
+///   the `"machine"` section gains `faults_survived` and
+///   `faults_unsurvivable`; per-node rows gain `repairs`; traces gain
+///   `link_repaired` events; the `continuous` campaign scenario and the
+///   chaos report's `"soak"` config flag are introduced.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Serializes a [`RecoveryOutcome`](ftcoma_core::RecoveryOutcome) as a JSON
 /// object: `{"status": <label>}` plus the variant's fields (`at`/`node` for
@@ -162,11 +169,26 @@ fn availability_section(m: &RunMetrics) -> Json {
     Json::obj([
         ("availability", Json::from(m.availability())),
         ("mttr_cycles", Json::from(m.mttr_cycles())),
+        ("steady_mttr_cycles", Json::from(m.steady_mttr_cycles())),
         ("down_count", Json::from(down_count)),
         ("down_cycles", Json::from(down_cycles)),
+        (
+            "curve",
+            Json::arr(
+                m.availability_curve(AVAILABILITY_CURVE_BUCKETS)
+                    .into_iter()
+                    .map(|(to, a)| {
+                        Json::obj([("to", Json::from(to)), ("availability", Json::from(a))])
+                    }),
+            ),
+        ),
         ("per_node", Json::arr(per_node)),
     ])
 }
+
+/// Windows in the exported availability-vs-time curve. Fixed rather than
+/// configurable so documents from different runs line up row-for-row.
+const AVAILABILITY_CURVE_BUCKETS: usize = 16;
 
 fn machine_section(m: &RunMetrics) -> Json {
     Json::obj([
@@ -188,6 +210,8 @@ fn machine_section(m: &RunMetrics) -> Json {
         ("t_recovery", Json::from(m.t_recovery)),
         ("failures", Json::from(m.failures)),
         ("repairs", Json::from(m.repairs)),
+        ("faults_survived", Json::from(m.faults_survived)),
+        ("faults_unsurvivable", Json::from(m.faults_unsurvivable)),
         ("items_checkpointed", Json::from(m.items_checkpointed)),
         ("reused_replicas", Json::from(m.reused_replicas)),
         ("replication_bytes", Json::from(m.replication_bytes)),
@@ -248,6 +272,7 @@ fn node_row(i: usize, n: &NodeMetrics) -> Json {
         ("pages_peak", Json::from(n.pages_peak)),
         ("down_cycles", Json::from(n.down_cycles)),
         ("down_count", Json::from(n.down_count)),
+        ("repairs", Json::from(n.repairs)),
     ])
 }
 
@@ -279,6 +304,8 @@ pub fn registry_from(m: &RunMetrics) -> MetricsRegistry {
     reg.counter_add("checkpoints_total", &[], m.checkpoints);
     reg.counter_add("failures_total", &[], m.failures);
     reg.counter_add("repairs_total", &[], m.repairs);
+    reg.counter_add("faults_survived_total", &[], m.faults_survived);
+    reg.counter_add("faults_unsurvivable_total", &[], m.faults_unsurvivable);
     reg.counter_add("items_checkpointed_total", &[], m.items_checkpointed);
     reg.counter_add("replication_bytes_total", &[], m.replication_bytes);
     reg.counter_add("net_messages_total", &[], m.net_messages);
@@ -344,7 +371,7 @@ pub fn trace_event_json(e: &TraceEvent) -> Json {
             pairs.push(("node".to_string(), Json::from(node.index())));
             pairs.push(("dur".to_string(), Json::from(*dur)));
         }
-        TraceEvent::LinkCut { a, b, .. } => {
+        TraceEvent::LinkCut { a, b, .. } | TraceEvent::LinkRepaired { a, b, .. } => {
             pairs.push(("a".to_string(), Json::from(a.index())));
             pairs.push(("b".to_string(), Json::from(b.index())));
         }
@@ -606,6 +633,15 @@ pub fn chrome_trace_with_spans(events: &[TraceEvent], spans: &[SpanRecord], cloc
                 let tid = node.index() as u64 + 1;
                 note_tid(tid, &mut tids_seen);
                 rows.push(instant("repaired", us(*at), tid, Json::Obj(Vec::new())));
+            }
+            TraceEvent::LinkRepaired { at, a, b } => {
+                note_tid(0, &mut tids_seen);
+                rows.push(instant(
+                    "link repaired",
+                    us(*at),
+                    0,
+                    Json::obj([("a", Json::from(a.index())), ("b", Json::from(b.index()))]),
+                ));
             }
         }
     }

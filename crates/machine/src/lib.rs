@@ -38,11 +38,14 @@
 
 pub mod config;
 pub mod export;
+pub mod faultproc;
 pub mod machine;
 pub mod metrics;
 pub mod probe;
 pub mod tracelog;
 
 pub use config::{FailureKind, MachineConfig};
+pub use faultproc::{FaultDist, FaultProcess, FaultProcessConfig};
+pub use ftcoma_protocol::transport::RetryPolicy;
 pub use machine::Machine;
 pub use metrics::{NodeMetrics, PhaseLatency, RunMetrics, TsSample};

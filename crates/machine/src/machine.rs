@@ -10,13 +10,14 @@ use ftcoma_core::{
 use ftcoma_mem::{ItemId, ItemState, NodeId};
 use ftcoma_net::{Fabric, FaultDecision, LogicalRing, NetClass, NetFaultPlan};
 use ftcoma_protocol::msg::{InjectCause, Msg, TxnLeg};
-use ftcoma_protocol::transport::{backoff, DedupFilter, SeqSpace, MAX_RETRIES};
+use ftcoma_protocol::transport::{DedupFilter, SeqSpace};
 use ftcoma_protocol::NodeState;
 use ftcoma_sim::span::{SpanId, SpanLog, SpanPhase, SpanRecord};
 use ftcoma_sim::{derive_seed, Cycles, EventQueue, FxHashMap};
 use ftcoma_workloads::{MemRef, NodeStream, RefStream, StreamSnapshot};
 
 use crate::config::{FailureKind, MachineConfig};
+use crate::faultproc::{FaultAction, FaultProcess, FaultProcessConfig};
 use crate::metrics::{NodeMetrics, RunMetrics, TsSample};
 use crate::tracelog::{TraceEvent, TraceLog};
 
@@ -53,6 +54,9 @@ enum Event {
     LinkCut { a: NodeId, b: NodeId },
     /// Scheduled interconnect fault: a mesh router dies.
     RouterDown { node: NodeId },
+    /// The continuous fault process has events due ([`FaultProcess`]);
+    /// exactly one tick is in flight whenever a process is installed.
+    FaultTick,
 }
 
 /// An unacknowledged transport packet awaiting its ack or next retry.
@@ -73,6 +77,16 @@ const MAX_TS_ROWS: usize = 8192;
 /// Seed stream for the message-loss plan installed by
 /// [`Machine::set_message_loss`] (decorrelates it from workload streams).
 const NET_PLAN_STREAM: u64 = 0xD1A5_7E2C_0FF3_1D07;
+
+/// Seed stream for the continuous fault process installed by
+/// [`Machine::install_fault_process`].
+const FAULT_PROC_STREAM: u64 = 0x8F17_0C55_C0D1_2ED9;
+
+/// The continuous fault process never sinks the machine below this many
+/// live nodes: the ECP's establishment needs four distinct copy holders
+/// per modified item, so a sampled failure that would breach the floor is
+/// deferred by a fresh MTBF draw instead.
+const FAULT_PROC_MIN_ALIVE: usize = 4;
 
 /// How long a [`Machine::set_message_loss`] window stays open. Bounded so
 /// a lossy episode behaves like a transient network fault rather than a
@@ -146,6 +160,9 @@ pub struct Machine {
     recovery_scan_end: Cycles,
     timer_in_queue: bool,
     pending_repair: Option<NodeId>,
+    /// Continuous MTBF/MTTR failure–repair schedule generator
+    /// ([`Machine::install_fault_process`]; `None` = scripted faults only).
+    fault_process: Option<FaultProcess>,
 
     /// Reliable transport active? Flips on when a fault plan is installed
     /// or an interconnect fault is scheduled; off = the exact legacy
@@ -241,6 +258,7 @@ impl Machine {
             recovery_scan_end: 0,
             timer_in_queue: false,
             pending_repair: None,
+            fault_process: None,
             transport_active: cfg.net_fault.is_some(),
             net_plan: cfg.net_fault.clone(),
             seqs: vec![SeqSpace::new(); n],
@@ -383,6 +401,50 @@ impl Machine {
                 .with_window(at, at + LOSS_WINDOW);
         self.transport_active = true;
         self.net_plan = Some(plan);
+    }
+
+    /// Installs the continuous MTBF/MTTR failure–repair process
+    /// ([`crate::faultproc`]): from `cfg.start` on, nodes permanently
+    /// fail and rejoin — and, when the link process is enabled, mesh
+    /// links are cut and restored — on an unbounded seeded stochastic
+    /// schedule. Node repairs re-enter through the full rejoin path
+    /// (router restored, home ranges migrated back, work reclaimed);
+    /// enabling the link process activates the reliable transport, since
+    /// a cut may sever the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fault tolerance is disabled, a process is already
+    /// installed, the configuration does not validate, or a link process
+    /// is requested on a bus fabric.
+    pub fn install_fault_process(&mut self, cfg: FaultProcessConfig) {
+        assert!(
+            self.cfg.ft.mode.is_enabled(),
+            "continuous faults require the ECP; the standard protocol cannot recover"
+        );
+        assert!(
+            self.fault_process.is_none(),
+            "one fault process per machine"
+        );
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
+        let links = if cfg.link_mtbf > 0 {
+            assert!(self.cfg.bus.is_none(), "link faults need a mesh fabric");
+            self.transport_active = true;
+            mesh_links(self.nodes.len())
+        } else {
+            Vec::new()
+        };
+        let fp = FaultProcess::new(
+            cfg,
+            derive_seed(self.cfg.seed, FAULT_PROC_STREAM),
+            self.cfg.nodes,
+            links,
+        );
+        let first = fp.next_at().expect("a validated process is always armed");
+        self.queue.schedule(first.max(1), Event::FaultTick);
+        self.fault_process = Some(fp);
     }
 
     /// Runs the machine to completion and returns the metrics.
@@ -801,6 +863,7 @@ impl Machine {
                 });
                 self.mesh.fail_router(node);
             }
+            Event::FaultTick => self.on_fault_tick(),
         }
         if self.halted {
             return; // terminal outcome: no phase may make progress
@@ -1208,12 +1271,130 @@ impl Machine {
         self.timer_in_queue = true;
     }
 
+    /// The continuous fault process has events due: apply every due
+    /// action through the same machinery the scripted APIs use, then arm
+    /// the next tick. A failure that cannot be applied (its node is still
+    /// down, or the ECP's four-node floor would be breached) is deferred
+    /// by a fresh MTBF draw instead of being forced.
+    fn on_fault_tick(&mut self) {
+        let now = self.queue.now();
+        let Some(mut fp) = self.fault_process.take() else {
+            return;
+        };
+        for action in fp.fire(now) {
+            if self.halted {
+                break;
+            }
+            match action {
+                FaultAction::FailNode(node) => {
+                    // A sampled failure landing inside an active
+                    // reconfiguration is deferred rather than applied: the
+                    // single-failure hypothesis makes that window's outcome
+                    // a foregone conclusion (unrecoverable), and the soak's
+                    // purpose is the long-horizon failure–repair regime.
+                    // Deliberate second-fault probing stays the job of the
+                    // scripted back-to-back scenario and the chaos
+                    // establishment-window buckets; a link-loss escalation
+                    // during recovery can still produce a genuine second
+                    // fault here.
+                    if !self.nodes[node.index()].alive
+                        || self.phase == Phase::Recovering
+                        || self.ring.alive_count() <= FAULT_PROC_MIN_ALIVE
+                        || !self.kill_keeps_mesh_connected(node)
+                    {
+                        fp.defer_node_fail(node, now);
+                    } else {
+                        self.on_failure(node, FailureKind::Permanent);
+                    }
+                }
+                FaultAction::RepairNode(node) => self.on_repair_request(node),
+                FaultAction::CutLink(a, b) => {
+                    self.trace.push(TraceEvent::LinkCut { at: now, a, b });
+                    self.mesh.fail_link(a, b);
+                }
+                FaultAction::RepairLink(a, b) => {
+                    self.trace.push(TraceEvent::LinkRepaired { at: now, a, b });
+                    self.mesh.repair_link(a, b);
+                }
+            }
+        }
+        if !self.halted {
+            if let Some(at) = fp.next_at() {
+                self.queue.schedule(at.max(now + 1), Event::FaultTick);
+            }
+        }
+        self.fault_process = Some(fp);
+    }
+
+    /// Whether the grid of live mesh routers stays connected after
+    /// `victim` dies. A permanent failure takes the router down with the
+    /// node, and the continuous fault process may hold several nodes down
+    /// at once — but it must never partition the live machine: on a
+    /// healthy-link fabric every live pair must stay routable (the
+    /// fire-and-forget send path treats an unroutable live destination as
+    /// a protocol violation). Cut links are deliberately ignored here:
+    /// when the link process is active the reliable transport is too, and
+    /// it escalates residual partitions instead of asserting.
+    fn kill_keeps_mesh_connected(&self, victim: NodeId) -> bool {
+        if self.cfg.bus.is_some() {
+            return true; // a bus has no routers to lose
+        }
+        self.mesh_single_component(|i| self.nodes[i].alive && i != victim.index())
+    }
+
+    /// Whether the nodes selected by `up` form one mesh-connected
+    /// component (grid adjacency, links assumed healthy — see the caller
+    /// docs for why cut links are ignored).
+    fn mesh_single_component(&self, up: impl Fn(usize) -> bool) -> bool {
+        let n = self.nodes.len();
+        let Some(start) = (0..n).find(|&i| up(i)) else {
+            return false;
+        };
+        let geo = ftcoma_net::MeshGeometry::for_nodes(n);
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(i) = stack.pop() {
+            let (x, y) = geo.coords(NodeId::new(i as u16));
+            for (j, seen_j) in seen.iter_mut().enumerate() {
+                if !*seen_j && up(j) {
+                    let (bx, by) = geo.coords(NodeId::new(j as u16));
+                    if x.abs_diff(bx) + y.abs_diff(by) == 1 {
+                        *seen_j = true;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+        (0..n).filter(|&i| up(i)).all(|i| seen[i])
+    }
+
+    /// Whether rejoining `node` leaves every live router (including the
+    /// rejoined one) in a single mesh component. The dual of
+    /// [`Self::kill_keeps_mesh_connected`]: the continuous fault process
+    /// may ask for a repair while all of the node's grid neighbours are
+    /// still down, and granting it would create a live-but-unroutable
+    /// node. Cut links are ignored for the same reason as on the kill
+    /// side.
+    fn rejoin_reaches_mesh(&self, node: NodeId) -> bool {
+        if self.cfg.bus.is_some() {
+            return true;
+        }
+        self.mesh_single_component(|i| self.nodes[i].alive || i == node.index())
+    }
+
     fn on_repair_request(&mut self, node: NodeId) {
         if self.nodes[node.index()].alive {
             return; // nothing to repair
         }
-        if self.phase != Phase::Running || self.pending_repair.is_some() {
-            // Let the current checkpoint/recovery finish first.
+        if self.phase != Phase::Running
+            || self.pending_repair.is_some()
+            || !self.rejoin_reaches_mesh(node)
+        {
+            // Let the current checkpoint/recovery finish first — or, under
+            // the continuous fault process, wait until a mesh neighbour is
+            // back up: rejoining a node every live router is dead to would
+            // make it live but unroutable.
             self.queue.schedule_in(10_000, Event::Repair { node });
             return;
         }
@@ -1259,6 +1440,7 @@ impl Machine {
             self.assigned[i].push(i);
         }
         self.metrics.repairs += 1;
+        self.metrics.per_node[i].repairs += 1;
         if let Some(from) = self.down_since[i].take() {
             self.metrics.per_node[i].down_cycles += self.queue.now() - from;
             self.metrics.down_intervals[i].push((from, self.queue.now()));
@@ -1297,6 +1479,7 @@ impl Machine {
                 node,
                 permanent: kind == FailureKind::Permanent,
             });
+            self.metrics.faults_unsurvivable += 1;
             self.outcome = RecoveryOutcome::UnrecoverableSecondFault {
                 at: self.queue.now(),
                 node,
@@ -1374,8 +1557,17 @@ impl Machine {
                     | Event::Repair { .. }
                     | Event::LinkCut { .. }
                     | Event::RouterDown { .. }
+                    | Event::FaultTick
             )
         });
+        // A repair that was draining toward quiescence when this failure
+        // hit would otherwise be lost for good (the phase leaves Draining
+        // and `pending_repair` is only consumed at quiescence), wedging
+        // every later repair of the run behind it: re-queue it as a fresh
+        // request once recovery is over.
+        if let Some(r) = self.pending_repair.take() {
+            self.queue.schedule_in(10_000, Event::Repair { node: r });
+        }
         self.deliver_pending = 0;
         self.in_flight.clear();
         for s in &mut self.seqs {
@@ -1473,18 +1665,15 @@ impl Machine {
 
         // 5. Reconfiguration: re-replicate orphaned recovery copies, then
         //    rebuild the localization pointers from the surviving primaries.
-        let mut orphan_lists: Vec<(NodeId, Vec<ItemId>)> = Vec::new();
-        if permanent {
-            for i in 0..self.nodes.len() {
-                if !self.nodes[i].alive {
-                    continue;
-                }
-                let orphans = recovery::promote_and_collect_orphans(&mut self.nodes[i], node);
-                if !orphans.is_empty() {
-                    orphan_lists.push((self.nodes[i].id, orphans));
-                }
-            }
-        }
+        //    Orphans are found by counting live copies per item rather than
+        //    chasing partner pointers: a pointer can be stale when the
+        //    failure purged an in-flight `PartnerUpdate` of a copy that had
+        //    just migrated, and a stale pointer must not hide an orphan.
+        let orphan_lists: Vec<(NodeId, Vec<ItemId>)> = if permanent {
+            recovery::collect_singleton_orphans(&mut self.nodes)
+        } else {
+            Vec::new()
+        };
         recovery::rebuild_homes(&mut self.nodes, &self.ring);
 
         self.phase = Phase::Recovering;
@@ -1529,6 +1718,7 @@ impl Machine {
             }
         }
 
+        self.metrics.faults_survived += 1;
         self.trace.push(TraceEvent::Recovered { at: end });
         // Surviving (transient) victims come back up when the machine
         // resumes; permanently failed nodes stay down until repair.
@@ -1694,8 +1884,10 @@ impl Machine {
                 }
             }
         }
-        self.queue
-            .schedule(depart + backoff(attempt), Event::NetRetry { src, dst, seq });
+        self.queue.schedule(
+            depart + self.cfg.retry.backoff(attempt),
+            Event::NetRetry { src, dst, seq },
+        );
     }
 
     /// A physical copy of `(src, seq)` reached `to`: ack it, and hand the
@@ -1779,7 +1971,7 @@ impl Machine {
             return; // acked in time
         };
         self.metrics.net_timeouts += 1;
-        if entry.attempts >= MAX_RETRIES {
+        if entry.attempts >= self.cfg.retry.max_retries {
             self.in_flight.remove(&(src, dst, seq));
             self.escalate(src, dst);
             return;
@@ -1790,7 +1982,8 @@ impl Machine {
         self.transmit(now, src, dst, seq);
     }
 
-    /// The transport gave up on `dst` after [`MAX_RETRIES`]: decide what
+    /// The transport gave up on `dst` after the policy's retry budget
+    /// ([`MachineConfig::retry`]): decide what
     /// that means for the machine. A peer that is still routable looks
     /// dead, so the single-failure machinery handles it. If the mesh is
     /// severed, the largest connected component of live nodes (ties broken
@@ -1899,6 +2092,25 @@ impl Machine {
             }
         }
     }
+}
+
+/// Every link of the mesh a machine of `n` nodes routes on: one entry per
+/// undirected pair of mesh-adjacent node ids, ordered by ascending
+/// `(low, high)` — the link universe the continuous fault process samples
+/// cuts from.
+fn mesh_links(n: usize) -> Vec<(NodeId, NodeId)> {
+    let geo = ftcoma_net::MeshGeometry::for_nodes(n);
+    let mut links = Vec::new();
+    for i in 0..n {
+        let (ax, ay) = geo.coords(NodeId::new(i as u16));
+        for j in (i + 1)..n {
+            let (bx, by) = geo.coords(NodeId::new(j as u16));
+            if ax.abs_diff(bx) + ay.abs_diff(by) == 1 {
+                links.push((NodeId::new(i as u16), NodeId::new(j as u16)));
+            }
+        }
+    }
+    links
 }
 
 #[cfg(test)]
@@ -2123,5 +2335,72 @@ mod tests {
             assert!(n.pages_peak >= n.pages_allocated);
             assert!(n.pages_allocated > 0, "every live node touched pages");
         }
+    }
+
+    #[test]
+    fn continuous_fault_process_cycles_failures_and_repairs() {
+        let run = || {
+            let mut m = Machine::new(MachineConfig {
+                refs_per_node: 6_000,
+                ..small_ecp_config()
+            });
+            m.install_fault_process(FaultProcessConfig {
+                node_mtbf: 60_000,
+                node_mttr: 10_000,
+                link_mtbf: 80_000,
+                link_mttr: 10_000,
+                ..FaultProcessConfig::default()
+            });
+            let metrics = m.run();
+            let progress = m.stream_progress();
+            (metrics, m.outcome().clone(), m.check_invariants(), progress)
+        };
+        let (metrics, outcome, violations, progress) = run();
+        assert!(
+            metrics.failures >= 2 && metrics.repairs >= 1,
+            "the process must drive fault/repair cycles (got {} failures, {} repairs)",
+            metrics.failures,
+            metrics.repairs
+        );
+        if outcome.is_recovered() {
+            assert!(violations.is_empty(), "{violations:?}");
+            assert_eq!(metrics.faults_survived, metrics.failures);
+            assert_eq!(metrics.faults_unsurvivable, 0);
+            // Every stream reached its quota despite the churn (metrics.refs
+            // counts rollback re-execution too, so it only bounds below).
+            assert!(progress.iter().all(|&p| p == 6_000));
+            assert!(metrics.refs >= 8 * 6_000);
+        } else {
+            assert_eq!(metrics.faults_unsurvivable, 1);
+        }
+        // The schedule is a pure function of the configuration.
+        let again = run();
+        assert_eq!((metrics, outcome, violations, progress), again);
+    }
+
+    #[test]
+    fn fault_process_defers_below_the_four_node_floor() {
+        let mut m = Machine::new(MachineConfig {
+            nodes: 4,
+            ..small_ecp_config()
+        });
+        // Aggressive MTBF on the smallest legal ECP machine: every sampled
+        // failure must be deferred, never breaching the floor.
+        m.install_fault_process(FaultProcessConfig {
+            node_mtbf: 5_000,
+            node_mttr: 1_000,
+            ..FaultProcessConfig::default()
+        });
+        let metrics = m.run();
+        assert!(m.outcome().is_recovered());
+        assert_eq!(metrics.failures, 0, "the floor defers every failure");
+        assert_eq!(metrics.refs, 4 * 3_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "no process enabled")]
+    fn fault_process_rejects_an_empty_configuration() {
+        let mut m = Machine::new(small_ecp_config());
+        m.install_fault_process(FaultProcessConfig::default());
     }
 }

@@ -40,6 +40,9 @@ pub struct NodeMetrics {
     pub down_cycles: Cycles,
     /// Failures injected on this node.
     pub down_count: u64,
+    /// Times this node was repaired and re-integrated after a permanent
+    /// failure.
+    pub repairs: u64,
 }
 
 impl NodeMetrics {
@@ -59,6 +62,7 @@ impl NodeMetrics {
             pages_peak: self.pages_peak,
             down_cycles: self.down_cycles - base.down_cycles,
             down_count: self.down_count - base.down_count,
+            repairs: self.repairs - base.repairs,
         }
     }
 
@@ -215,6 +219,13 @@ pub struct RunMetrics {
     pub failures: u64,
     /// Permanently failed nodes repaired and re-integrated.
     pub repairs: u64,
+    /// Failures whose recovery ran to completion (reconfiguration done,
+    /// verification — when enabled — passed).
+    pub faults_survived: u64,
+    /// Failures that exceeded the paper's single-failure hypothesis (a
+    /// second fault landed inside a recovery window) and halted the
+    /// machine. At most 1 per run, since such a fault is terminal.
+    pub faults_unsurvivable: u64,
 
     /// Items secured per create phase, totalled.
     pub items_checkpointed: u64,
@@ -297,6 +308,8 @@ impl RunMetrics {
             t_recovery: self.t_recovery - base.t_recovery,
             failures: self.failures - base.failures,
             repairs: self.repairs - base.repairs,
+            faults_survived: self.faults_survived - base.faults_survived,
+            faults_unsurvivable: self.faults_unsurvivable - base.faults_unsurvivable,
             items_checkpointed: self.items_checkpointed - base.items_checkpointed,
             reused_replicas: self.reused_replicas - base.reused_replicas,
             replication_bytes: self.replication_bytes - base.replication_bytes,
@@ -350,6 +363,69 @@ impl RunMetrics {
         }
         let down: u64 = self.per_node.iter().map(|n| n.down_cycles).sum();
         1.0 - down as f64 / (self.nodes as f64 * self.total_cycles as f64)
+    }
+
+    /// Availability-vs-time curve: the run's timeline split into `buckets`
+    /// equal windows, each reporting `(window end, availability within the
+    /// window)` computed from the overlap of every down interval with the
+    /// window. Empty when the machine has not run (`total_cycles == 0`) or
+    /// `buckets == 0`. The long-horizon soak reports use this to show
+    /// availability settling around its steady state as fault/repair
+    /// cycles accumulate.
+    pub fn availability_curve(&self, buckets: usize) -> Vec<(Cycles, f64)> {
+        if self.total_cycles == 0 || self.nodes == 0 || buckets == 0 {
+            return Vec::new();
+        }
+        let mut curve = Vec::with_capacity(buckets);
+        // Integer bucket edges: the last bucket absorbs the remainder.
+        let width = (self.total_cycles / buckets as u64).max(1);
+        for k in 0..buckets {
+            let from = k as u64 * width;
+            if from >= self.total_cycles {
+                break;
+            }
+            let to = if k == buckets - 1 {
+                self.total_cycles
+            } else {
+                ((k as u64 + 1) * width).min(self.total_cycles)
+            };
+            let mut down = 0u64;
+            for intervals in &self.down_intervals {
+                for &(s, e) in intervals {
+                    down += e.min(to).saturating_sub(s.max(from));
+                }
+            }
+            let node_cycles = self.nodes as f64 * (to - from) as f64;
+            curve.push((to, 1.0 - down as f64 / node_cycles));
+        }
+        curve
+    }
+
+    /// Steady-state mean time to repair, in cycles: the mean length of the
+    /// *closed* down intervals (failure → recovery end or repair). Unlike
+    /// [`RunMetrics::mttr_cycles`] it excludes nodes still down at the end
+    /// of the run, whose truncated intervals understate the repair time.
+    /// 0.0 when no interval closed before the run ended.
+    pub fn steady_mttr_cycles(&self) -> f64 {
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for intervals in &self.down_intervals {
+            for &(s, e) in intervals {
+                // An interval ending exactly at the run's end is the
+                // end-of-run force-close of a node that was still down,
+                // not a completed repair: exclude it.
+                if e == self.total_cycles {
+                    continue;
+                }
+                total += e - s;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
     }
 
     /// Injections triggered by processor writes on recovery copies.
@@ -556,6 +632,36 @@ mod tests {
         let empty = RunMetrics::default();
         assert_eq!(empty.availability(), 1.0);
         assert_eq!(empty.mttr_cycles(), 0.0);
+    }
+
+    #[test]
+    fn availability_curve_buckets_the_down_intervals() {
+        let m = RunMetrics {
+            total_cycles: 1_000,
+            nodes: 2,
+            per_node: vec![NodeMetrics::default(); 2],
+            // Node 0 down for the whole second quarter; node 1 down for a
+            // stretch closing exactly at end of run (still down).
+            down_intervals: vec![vec![(250, 500)], vec![(900, 1_000)]],
+            ..Default::default()
+        };
+        let curve = m.availability_curve(4);
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve[0], (250, 1.0));
+        // Bucket [250, 500): node 0 fully down = half the node-cycles.
+        assert!((curve[1].1 - 0.5).abs() < 1e-12);
+        assert!((curve[2].1 - 1.0).abs() < 1e-12);
+        // Bucket [750, 1000): node 1 down for 100 of 2×250 node-cycles.
+        assert!((curve[3].1 - 0.8).abs() < 1e-12);
+        assert!(RunMetrics::default().availability_curve(4).is_empty());
+        // Only the closed interval counts toward the steady-state MTTR.
+        assert!((m.steady_mttr_cycles() - 250.0).abs() < 1e-12);
+        let none = RunMetrics {
+            total_cycles: 1_000,
+            down_intervals: vec![vec![(900, 1_000)]],
+            ..Default::default()
+        };
+        assert_eq!(none.steady_mttr_cycles(), 0.0);
     }
 
     #[test]

@@ -119,6 +119,15 @@ pub enum TraceEvent {
         /// The node.
         node: NodeId,
     },
+    /// A severed mesh link was restored (both directions).
+    LinkRepaired {
+        /// Repair time.
+        at: Cycles,
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -134,7 +143,8 @@ impl TraceEvent {
             | TraceEvent::RouterDown { at, .. }
             | TraceEvent::Failure { at, .. }
             | TraceEvent::Recovered { at }
-            | TraceEvent::Repaired { at, .. } => *at,
+            | TraceEvent::Repaired { at, .. }
+            | TraceEvent::LinkRepaired { at, .. } => *at,
         }
     }
 
@@ -151,6 +161,7 @@ impl TraceEvent {
             TraceEvent::Failure { .. } => "failure",
             TraceEvent::Recovered { .. } => "recovered",
             TraceEvent::Repaired { .. } => "repaired",
+            TraceEvent::LinkRepaired { .. } => "link_repaired",
         }
     }
 }
@@ -192,6 +203,9 @@ impl std::fmt::Display for TraceEvent {
             }
             TraceEvent::Recovered { at } => write!(f, "{at:>12} recovery complete"),
             TraceEvent::Repaired { at, node } => write!(f, "{at:>12} {node} repaired"),
+            TraceEvent::LinkRepaired { at, a, b } => {
+                write!(f, "{at:>12} link {a}<->{b} repaired")
+            }
         }
     }
 }

@@ -102,6 +102,18 @@ impl Fabric {
         }
     }
 
+    /// Restores a severed mesh link between two adjacent nodes (bus:
+    /// no-op). Repairing an intact link is a no-op on the mesh too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric is a mesh and the nodes are not mesh-adjacent.
+    pub fn repair_link(&mut self, a: NodeId, b: NodeId) {
+        if let Fabric::Mesh(m) = self {
+            m.repair_link(a, b);
+        }
+    }
+
     /// Is there a healthy route from `from` to `to`? A bus always connects
     /// all nodes.
     pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {

@@ -451,6 +451,25 @@ impl Mesh {
         self.failed_links.insert((cb, ca));
     }
 
+    /// Restores a severed link between the routers of `a` and `b` (both
+    /// directions); later traffic takes it again. Repairing a link that
+    /// was never cut is a no-op, so repair schedules may race failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two nodes are not mesh-adjacent.
+    pub fn repair_link(&mut self, a: NodeId, b: NodeId) {
+        let ca = self.geo.coords(a);
+        let cb = self.geo.coords(b);
+        assert_eq!(
+            ca.0.abs_diff(cb.0) + ca.1.abs_diff(cb.1),
+            1,
+            "repair_link needs mesh-adjacent nodes, got {a} at {ca:?} and {b} at {cb:?}"
+        );
+        self.failed_links.remove(&(ca, cb));
+        self.failed_links.remove(&(cb, ca));
+    }
+
     /// Marks `node`'s router failed: no message may traverse or terminate
     /// at it until [`Mesh::repair_router`].
     pub fn fail_router(&mut self, node: NodeId) {
@@ -932,6 +951,22 @@ mod tests {
         assert!(mesh.healthy());
         assert_eq!(mesh.send(0, n(0), n(2), NetClass::Request, 0), Ok(20));
         assert_eq!(mesh.stats().detour_hops, 0);
+    }
+
+    #[test]
+    fn repairing_a_cut_link_restores_the_direct_route() {
+        let mut mesh = Mesh::new(MeshGeometry::for_nodes(16), NetConfig::default());
+        mesh.fail_link(n(0), n(1));
+        // Detoured while cut: 3 hops instead of 1.
+        assert_eq!(mesh.send(0, n(0), n(1), NetClass::Request, 0), Ok(24));
+        mesh.repair_link(n(0), n(1));
+        assert!(mesh.healthy());
+        // Direct again — and both directions were restored.
+        assert_eq!(mesh.send(100, n(0), n(1), NetClass::Request, 0), Ok(116));
+        assert_eq!(mesh.send(200, n(1), n(0), NetClass::Request, 0), Ok(216));
+        // Repairing an intact link is a no-op, so schedules may race.
+        mesh.repair_link(n(0), n(1));
+        assert!(mesh.healthy());
     }
 
     #[test]

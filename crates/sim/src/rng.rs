@@ -190,6 +190,56 @@ impl DetRng {
         }
         n
     }
+
+    /// Samples an exponentially distributed interval with integer `mean`
+    /// (in whatever unit the caller uses — the failure processes use
+    /// cycles), by inverse CDF: `⌊-mean · ln U⌋` with `U` uniform in
+    /// `(0, 1]`.
+    ///
+    /// Integer-safe like [`chance_with`](Self::chance_with): `U` is the
+    /// exact dyadic `(k+1) · 2⁻⁵³` from a single draw, and `ln` is
+    /// evaluated by [`ln_unit`], an in-crate routine built only from
+    /// exactly-rounded IEEE primitives (`+ - * /`) — never `f64::ln`,
+    /// whose libm implementation varies across platforms — so a sampled
+    /// failure/repair schedule is bit-identical everywhere. Always
+    /// consumes exactly one draw; `mean == 0` returns 0 (still one draw,
+    /// so disabling a process never shifts sibling streams).
+    ///
+    /// The result is bounded: at the smallest `U`, `-ln U < 37`, so the
+    /// sample never exceeds `37 · mean` (no unbounded tail blow-up in an
+    /// event calendar).
+    pub fn exp_with(&mut self, mean: u64) -> u64 {
+        let draw = self.next_u64() >> 11; // 53 uniform bits
+        if mean == 0 {
+            return 0;
+        }
+        let u = (draw + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+        (-ln_unit(u) * mean as f64) as u64
+    }
+}
+
+/// Deterministic `ln x` for `x ∈ (0, 1]`, from exactly-rounded IEEE
+/// primitives only (see [`DetRng::exp_with`]).
+///
+/// Decomposes `x = m · 2ᵉ` with `m ∈ [1, 2)` from the bit pattern, then
+/// evaluates `ln m = 2·atanh t` with `t = (m-1)/(m+1) ≤ 1/3` by its odd
+/// power series — 14 terms reach full `f64` precision at `t = 1/3`.
+fn ln_unit(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x <= 1.0, "ln_unit domain: {x}");
+    let bits = x.to_bits();
+    let e = ((bits >> 52) & 0x7FF) as i64 - 1023;
+    let m = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | (1023u64 << 52));
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let mut term = t;
+    let mut sum = 0.0;
+    let mut k = 1.0;
+    for _ in 0..14 {
+        sum += term / k;
+        term *= t2;
+        k += 2.0;
+    }
+    e as f64 * core::f64::consts::LN_2 + 2.0 * sum
 }
 
 impl DetRng {
@@ -336,6 +386,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ln_unit_matches_libm_to_full_precision() {
+        // The in-crate ln must agree with the platform libm to ~1 ulp on
+        // the whole (0, 1] domain exp_with draws from — the point of
+        // rolling our own is cross-platform bit-stability, not a
+        // different function.
+        let mut r = DetRng::seeded(71);
+        let mut xs: Vec<f64> = vec![1.0, 0.5, 0.25, 1.0 / (1u64 << 53) as f64];
+        xs.extend(
+            (0..10_000)
+                .map(|_| (r.next_u64() >> 11).wrapping_add(1) as f64 * (1.0 / (1u64 << 53) as f64)),
+        );
+        for x in xs {
+            let got = ln_unit(x);
+            let want = x.ln();
+            assert!(
+                (got - want).abs() <= 1e-14 * want.abs().max(1.0),
+                "ln({x}) = {got}, libm {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_with_is_deterministic_and_has_the_right_mean() {
+        // One draw per sample, identical across generators with the same
+        // seed — the continuous failure processes schedule from this.
+        let mut a = DetRng::seeded(31);
+        let mut b = DetRng::seeded(31);
+        for _ in 0..1000 {
+            assert_eq!(a.exp_with(50_000), b.exp_with(50_000));
+            assert_eq!(a.snapshot(), b.snapshot());
+        }
+        // mean == 0 is a disabled process: returns 0 but still consumes
+        // exactly one draw, so sibling streams never shift.
+        let mut c = DetRng::seeded(31);
+        let mut d = DetRng::seeded(31);
+        assert_eq!(c.exp_with(0), 0);
+        d.next_u64();
+        assert_eq!(c.snapshot(), d.snapshot());
+        // Sample mean within 5% of the requested mean, and bounded tail.
+        let mut r = DetRng::seeded(37);
+        let mean = 100_000u64;
+        let n = 20_000u64;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let x = r.exp_with(mean);
+            assert!(x <= 37 * mean, "tail blow-up: {x}");
+            sum += x;
+        }
+        let got = sum as f64 / n as f64;
+        assert!(
+            (got - mean as f64).abs() < 0.05 * mean as f64,
+            "sample mean {got}"
+        );
     }
 
     #[test]

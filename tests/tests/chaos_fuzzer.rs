@@ -19,6 +19,7 @@ fn small(seed: u64) -> ChaosConfig {
         refs_per_node: 1_500,
         shrink_budget: 8,
         net_faults: false,
+        soak: false,
     }
 }
 

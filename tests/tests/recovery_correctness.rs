@@ -315,3 +315,64 @@ fn rollback_replays_references_buffered_at_the_recovery_point() {
         "private image diverged"
     );
 }
+
+#[test]
+fn repaired_node_reintegrates_and_survives_a_second_failure() {
+    // The repair re-integration property behind the continuous fault
+    // process: a repaired node must rejoin with the protocol invariants
+    // intact, its availability interval must close at the repair, and a
+    // *later* failure — of the very node that was repaired — must be an
+    // ordinary recoverable fault, not an `UnrecoverableSecondFault`.
+    let victim = NodeId::new(4);
+    let mut m = Machine::new(MachineConfig {
+        nodes: 9,
+        refs_per_node: 25_000,
+        workload: presets::mp3d(),
+        ft: FtConfig::enabled(400.0),
+        verify: true,
+        ..MachineConfig::default()
+    });
+    m.schedule_failure(20_000, victim, FailureKind::Permanent);
+    m.schedule_repair(120_000, victim);
+    m.schedule_failure(250_000, victim, FailureKind::Permanent);
+    m.schedule_repair(400_000, victim);
+    let run = m.run();
+
+    assert_eq!(run.failures, 2, "both scripted failures must fire");
+    assert!(run.repairs >= 1, "at least the first repair must land");
+    assert!(
+        !matches!(
+            m.outcome(),
+            RecoveryOutcome::UnrecoverableSecondFault { .. }
+        ),
+        "a failure after a completed repair is within the single-failure \
+         hypothesis: {}",
+        m.outcome()
+    );
+    assert!(m.outcome().is_recovered(), "{}", m.outcome());
+    assert_eq!(run.faults_survived, 2);
+    assert_eq!(run.faults_unsurvivable, 0);
+    m.assert_invariants();
+
+    // Availability accounting: every down interval of the victim closed
+    // (repair or end-of-run), in order, and none is empty.
+    let intervals = &run.down_intervals[victim.index()];
+    assert!(
+        intervals.len() >= 2,
+        "two failures leave two down intervals: {intervals:?}"
+    );
+    for w in intervals.windows(2) {
+        assert!(w[0].1 <= w[1].0, "intervals overlap: {intervals:?}");
+    }
+    let mut down = 0;
+    for &(from, to) in intervals {
+        assert!(from < to, "unclosed or empty interval: {intervals:?}");
+        down += to - from;
+    }
+    assert_eq!(run.per_node[victim.index()].down_cycles, down);
+    assert_eq!(run.per_node[victim.index()].repairs, run.repairs);
+    assert!(run.availability() < 1.0);
+
+    // Re-integration is real: the node ended the run back in the ring.
+    assert!(m.ring().is_alive(victim), "victim must be repaired at end");
+}
