@@ -46,6 +46,11 @@ pub struct CellOutcome {
     /// Sampled time-series rows (empty unless the cell's config set
     /// `timeseries_every`).
     pub timeseries: Vec<ftcoma_machine::TsSample>,
+    /// Whether the post-run copy-accounting audit certifies a data loss:
+    /// some written committed item retains zero live copies. An
+    /// `unrecoverable_data_loss` outcome is only legitimate when this is
+    /// set (the chaos oracle enforces it).
+    pub data_loss_certified: bool,
     /// Host wall-clock time of this cell, in milliseconds. Never
     /// serialized into the report document (it lands in the `timing`
     /// sidecar), so reports stay byte-deterministic.
@@ -86,6 +91,34 @@ pub fn run_cell(cell: &Cell) -> CellOutcome {
                 NodeId::new(second_node),
                 FailureKind::Transient,
             );
+        }
+        ScenarioKind::Nested {
+            gap,
+            second_node,
+            gap2,
+            third_node,
+            permanent_mask,
+        } => {
+            let kind_of = |bit: u8| {
+                if permanent_mask & bit != 0 {
+                    FailureKind::Permanent
+                } else {
+                    FailureKind::Transient
+                }
+            };
+            machine.schedule_failure(cell.scenario.at, node, kind_of(0b001));
+            machine.schedule_failure(
+                cell.scenario.at + gap,
+                NodeId::new(second_node),
+                kind_of(0b010),
+            );
+            if gap2 > 0 {
+                machine.schedule_failure(
+                    cell.scenario.at + gap + gap2,
+                    NodeId::new(third_node),
+                    kind_of(0b100),
+                );
+            }
         }
         ScenarioKind::LinkCut { to_node } => {
             machine.schedule_link_cut(cell.scenario.at, node, NodeId::new(to_node));
@@ -133,6 +166,7 @@ pub fn run_cell(cell: &Cell) -> CellOutcome {
         stream_progress: machine.stream_progress(),
         spans: machine.spans(),
         timeseries: machine.timeseries().to_vec(),
+        data_loss_certified: machine.audit_data_loss().is_some(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
     }
 }
@@ -285,7 +319,60 @@ mod tests {
                 serial[0].metrics.failures
             );
         } else {
-            assert_eq!(serial[0].metrics.faults_unsurvivable, 1);
+            // The only unrecovered ends left are a certified data loss or
+            // a network partition; only the former counts as unsurvivable.
+            let data_loss = matches!(
+                serial[0].outcome,
+                RecoveryOutcome::UnrecoverableDataLoss { .. }
+            );
+            assert_eq!(serial[0].metrics.faults_unsurvivable, u64::from(data_loss));
+            if data_loss {
+                assert!(serial[0].data_loss_certified);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_cells_restart_recovery_and_survive() {
+        let spec = CampaignSpec::parse(
+            r#"{
+                "workloads": ["mp3d"],
+                "nodes": [9],
+                "freqs": [1000],
+                "refs": 40000,
+                "warmup": 0,
+                "baseline": false,
+                "scenarios": [
+                    {"kind": "nested", "node": 2, "at": 30000, "gap": 60, "second_node": 5,
+                     "permanent_mask": 1},
+                    {"kind": "nested", "node": 1, "at": 30000, "gap": 40, "second_node": 3,
+                     "gap2": 90, "third_node": 6, "permanent_mask": 1}
+                ]
+            }"#,
+        )
+        .unwrap();
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 2);
+        let serial = run_cells(&cells, 1);
+        let parallel = run_cells(&cells, 2);
+        for (o, p, cell) in serial
+            .iter()
+            .zip(&parallel)
+            .zip(&cells)
+            .map(|((a, b), c)| (a, b, c))
+        {
+            assert_eq!(o.metrics, p.metrics, "{} diverged across jobs", cell.label);
+            assert!(o.outcome.is_recovered(), "{}: {:?}", cell.label, o.outcome);
+            assert!(!o.data_loss_certified, "{}", cell.label);
+            // The tight gaps landed at least one fault inside an open
+            // recovery window, so recovery restarted instead of halting.
+            assert!(
+                o.metrics.recovery_restarts >= 1,
+                "{}: no restart recorded",
+                cell.label
+            );
+            assert!(o.metrics.recovery_max_depth >= 2, "{}", cell.label);
+            assert_eq!(o.metrics.faults_survived, o.metrics.failures);
         }
     }
 }

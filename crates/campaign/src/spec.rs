@@ -78,11 +78,13 @@ pub enum ScenarioKind {
         /// Number of failures injected.
         count: u32,
     },
-    /// Back-to-back faults probing the single-failure hypothesis: a
-    /// *permanent* failure of `node` at `at`, then a transient failure of
+    /// Back-to-back faults probing restartable recovery: a *permanent*
+    /// failure of `node` at `at`, then a transient failure of
     /// `second_node` only `gap` cycles later — tight gaps land inside the
-    /// reconfiguration window and are expected to report
-    /// `unrecoverable_second_fault` rather than recover.
+    /// first fault's recovery window, forcing the machine to abandon the
+    /// in-flight recovery and restart it with both victims folded in.
+    /// The run is expected to recover unless the copy-accounting audit
+    /// certifies a committed item with zero live copies.
     BackToBack {
         /// Cycles between the first (permanent) and second (transient)
         /// failure.
@@ -90,6 +92,27 @@ pub enum ScenarioKind {
         /// Victim of the second failure (must differ from `node` and be
         /// alive, i.e. not the permanently failed node).
         second_node: u16,
+    },
+    /// Nested-fault chain stressing recovery restarts: a failure of `node`
+    /// at `at`, a second failure of `second_node` `gap` cycles later, and
+    /// (when `gap2` > 0) a third failure of `third_node` another `gap2`
+    /// cycles after that. Tight gaps land the later faults inside open
+    /// recovery windows. Bit *i* of `permanent_mask` makes fault *i*
+    /// permanent; at most one bit may be set so scripted kills cannot
+    /// partition the mesh.
+    Nested {
+        /// Cycles between the first and second failure.
+        gap: u64,
+        /// Victim of the second failure.
+        second_node: u16,
+        /// Cycles between the second and third failure (0 = no third
+        /// fault).
+        gap2: u64,
+        /// Victim of the third failure (ignored when `gap2` is 0).
+        third_node: u16,
+        /// Bit *i* (0 = first fault) marks fault *i* as permanent. At most
+        /// one bit may be set.
+        permanent_mask: u8,
     },
     /// Interconnect fault: the mesh link between `node` and `to_node`
     /// (which must be mesh-adjacent) is cut at `at`. Traffic detours; if
@@ -168,6 +191,20 @@ impl Scenario {
             ScenarioKind::BackToBack { gap, second_node } => {
                 format!("b{}@{}+{}t{}", self.node, self.at, gap, second_node)
             }
+            ScenarioKind::Nested {
+                gap,
+                second_node,
+                gap2,
+                third_node,
+                permanent_mask,
+            } => {
+                let mut s = format!("nf{}@{}+{}f{}", self.node, self.at, gap, second_node);
+                if gap2 > 0 {
+                    s.push_str(&format!("+{gap2}f{third_node}"));
+                }
+                s.push_str(&format!("m{permanent_mask}"));
+                s
+            }
             ScenarioKind::LinkCut { to_node } => {
                 format!("lc{}-{}@{}", self.node, to_node, self.at)
             }
@@ -211,6 +248,7 @@ impl Scenario {
             ScenarioKind::Permanent => "permanent",
             ScenarioKind::Cycle { .. } => "cycle",
             ScenarioKind::BackToBack { .. } => "back_to_back",
+            ScenarioKind::Nested { .. } => "nested",
             ScenarioKind::LinkCut { .. } => "link_cut",
             ScenarioKind::RouterDown => "router_down",
             ScenarioKind::MessageLoss { .. } => "message_loss",
@@ -233,6 +271,26 @@ impl Scenario {
             pairs.push((
                 "second_node".to_string(),
                 Json::from(u64::from(second_node)),
+            ));
+        }
+        if let ScenarioKind::Nested {
+            gap,
+            second_node,
+            gap2,
+            third_node,
+            permanent_mask,
+        } = self.kind
+        {
+            pairs.push(("gap".to_string(), Json::from(gap)));
+            pairs.push((
+                "second_node".to_string(),
+                Json::from(u64::from(second_node)),
+            ));
+            pairs.push(("gap2".to_string(), Json::from(gap2)));
+            pairs.push(("third_node".to_string(), Json::from(u64::from(third_node))));
+            pairs.push((
+                "permanent_mask".to_string(),
+                Json::from(u64::from(permanent_mask)),
             ));
         }
         if let ScenarioKind::LinkCut { to_node } = self.kind {
@@ -353,6 +411,9 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
         "count",
         "gap",
         "second_node",
+        "gap2",
+        "third_node",
+        "permanent_mask",
         "to_node",
         "rate",
         "node_mtbf",
@@ -409,6 +470,31 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
                 None => 0,
             },
         },
+        "nested" => ScenarioKind::Nested {
+            gap: match v.get("gap") {
+                Some(g) => as_u64(g, "gap")?,
+                None => 1_000,
+            },
+            second_node: match v.get("second_node") {
+                Some(s) => u16::try_from(as_u64(s, "second_node")?)
+                    .map_err(|_| err("scenario `second_node` out of range"))?,
+                None => 0,
+            },
+            gap2: match v.get("gap2") {
+                Some(g) => as_u64(g, "gap2")?,
+                None => 0,
+            },
+            third_node: match v.get("third_node") {
+                Some(t) => u16::try_from(as_u64(t, "third_node")?)
+                    .map_err(|_| err("scenario `third_node` out of range"))?,
+                None => 0,
+            },
+            permanent_mask: match v.get("permanent_mask") {
+                Some(m) => u8::try_from(as_u64(m, "permanent_mask")?)
+                    .map_err(|_| err("scenario `permanent_mask` out of range"))?,
+                None => 1,
+            },
+        },
         "link_cut" => ScenarioKind::LinkCut {
             to_node: match v.get("to_node") {
                 Some(t) => u16::try_from(as_u64(t, "to_node")?)
@@ -438,8 +524,8 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
         }
         other => {
             return Err(err(format!(
-                "scenario kind must be none|transient|permanent|cycle|back_to_back|link_cut\
-                 |router_down|message_loss|continuous, got `{other}`"
+                "scenario kind must be none|transient|permanent|cycle|back_to_back|nested\
+                 |link_cut|router_down|message_loss|continuous, got `{other}`"
             )))
         }
     };
@@ -467,9 +553,54 @@ fn parse_scenario(v: &Json) -> Result<Scenario, SpecError> {
                 "back_to_back `second_node` must differ from the (dead) first victim",
             ));
         }
-    } else if v.get("gap").is_some() || v.get("second_node").is_some() {
+    } else if !matches!(kind, ScenarioKind::Nested { .. })
+        && (v.get("gap").is_some() || v.get("second_node").is_some())
+    {
         return Err(err(
-            "`gap`/`second_node` only apply to back_to_back scenarios",
+            "`gap`/`second_node` only apply to back_to_back and nested scenarios",
+        ));
+    }
+    if let ScenarioKind::Nested {
+        gap,
+        second_node,
+        gap2,
+        third_node,
+        permanent_mask,
+    } = kind
+    {
+        if gap == 0 {
+            return Err(err("nested `gap` must be positive"));
+        }
+        if second_node == node {
+            return Err(err(
+                "nested `second_node` must differ from the first victim",
+            ));
+        }
+        if gap2 > 0 && (third_node == node || third_node == second_node) {
+            return Err(err(
+                "nested `third_node` must differ from the earlier victims",
+            ));
+        }
+        if permanent_mask > 0b111 {
+            return Err(err("nested `permanent_mask` has only three fault bits"));
+        }
+        if gap2 == 0 && permanent_mask & 0b100 != 0 {
+            return Err(err(
+                "nested `permanent_mask` marks the third fault but `gap2` is 0",
+            ));
+        }
+        if permanent_mask.count_ones() > 1 {
+            return Err(err(
+                "nested `permanent_mask` may set at most one bit (more permanent kills \
+                 could partition the mesh)",
+            ));
+        }
+    } else if ["gap2", "third_node", "permanent_mask"]
+        .iter()
+        .any(|k| v.get(k).is_some())
+    {
+        return Err(err(
+            "`gap2`/`third_node`/`permanent_mask` only apply to nested scenarios",
         ));
     }
     if let ScenarioKind::LinkCut { to_node } = kind {
@@ -695,6 +826,19 @@ impl CampaignSpec {
                         return Err(err(format!(
                             "scenario targets second node {second_node} but the machine has \
                              only {n} nodes"
+                        )));
+                    }
+                }
+                if let ScenarioKind::Nested {
+                    second_node,
+                    gap2,
+                    third_node,
+                    ..
+                } = sc.kind
+                {
+                    if second_node >= n || (gap2 > 0 && third_node >= n) {
+                        return Err(err(format!(
+                            "nested scenario targets a node outside the {n}-node machine"
                         )));
                     }
                 }
@@ -982,6 +1126,49 @@ mod tests {
         )
         .unwrap();
         assert!(ok.expand().iter().any(|c| c.label.ends_with("lc0-1@20000")));
+    }
+
+    #[test]
+    fn nested_scenarios_parse_label_and_validate() {
+        let sc = parse_scenario(
+            &Json::parse(
+                r#"{"kind": "nested", "node": 2, "at": 30000, "gap": 50, "second_node": 5,
+                    "gap2": 800, "third_node": 1, "permanent_mask": 1}"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(sc.label(), "nf2@30000+50f5+800f1m1");
+        assert_eq!(Scenario::from_json(&sc.to_json()).unwrap(), sc);
+        // Two-fault form: gap2 defaults to 0, first fault permanent.
+        let two = parse_scenario(
+            &Json::parse(r#"{"kind": "nested", "node": 2, "gap": 50, "second_node": 5}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(two.label(), "nf2@20000+50f5m1");
+        assert_eq!(Scenario::from_json(&two.to_json()).unwrap(), two);
+        // Distinct victims, one permanent bit at most, third bit needs gap2.
+        assert!(parse_scenario(
+            &Json::parse(r#"{"kind": "nested", "node": 2, "second_node": 2}"#).unwrap()
+        )
+        .is_err());
+        assert!(parse_scenario(
+            &Json::parse(r#"{"kind": "nested", "second_node": 1, "permanent_mask": 3}"#).unwrap()
+        )
+        .is_err());
+        assert!(parse_scenario(
+            &Json::parse(r#"{"kind": "nested", "second_node": 1, "permanent_mask": 4}"#).unwrap()
+        )
+        .is_err());
+        // The nested-only keys are rejected elsewhere.
+        assert!(
+            parse_scenario(&Json::parse(r#"{"kind": "transient", "gap2": 9}"#).unwrap()).is_err()
+        );
+        // Victims must exist on the machine.
+        assert!(CampaignSpec::parse(
+            r#"{"nodes": [4], "scenarios": [{"kind": "nested", "node": 1, "second_node": 9}]}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub struct ChaosConfig {
     /// `net_faults`: disabled soak sampling consumes no draws, so existing
     /// runs stay byte-identical.
     pub soak: bool,
+    /// Mix nested-fault chains into the sampled grid: two- and three-fault
+    /// sequences with gaps tight enough to land later faults inside open
+    /// recovery windows, stressing the restartable-recovery path. Off by
+    /// default with the same RNG discipline as `net_faults`/`soak`:
+    /// disabled nested sampling consumes no draws, so existing runs stay
+    /// byte-identical.
+    pub nested: bool,
 }
 
 impl ChaosConfig {
@@ -80,6 +87,7 @@ impl ChaosConfig {
             shrink_budget: 24,
             net_faults: false,
             soak: false,
+            nested: false,
         }
     }
 
@@ -286,6 +294,57 @@ fn sample_soak_scenario(rng: &mut DetRng, horizon: u64) -> Scenario {
     }
 }
 
+/// Samples one nested-fault chain (only drawn when
+/// [`ChaosConfig::nested`] is on): a first fault, a second one a tight
+/// gap later, and — half the time — a third fault another tight gap after
+/// that. Tight gaps land the later faults inside the detection, rollback,
+/// reconfiguration or replay window of the recovery already in flight, so
+/// these cases exercise recovery restarts rather than independent
+/// episodes. At most one fault in the chain is permanent: scripted kills
+/// carry no mesh-connectivity guard, so two permanents could partition
+/// the mesh and mask the restart path under test.
+fn sample_nested_scenario(rng: &mut DetRng, nodes: u16, horizon: u64) -> Scenario {
+    let horizon = horizon.max(4);
+    let node = rng.below(u64::from(nodes)) as u16;
+    let at = rng.range(1, (horizon * 3 / 4).max(2));
+    let gap = 1 + rng.below(4_000);
+    let mut second = rng.below(u64::from(nodes) - 1) as u16;
+    if second >= node {
+        second += 1;
+    }
+    let (gap2, third_node) = if rng.chance(0.5) {
+        let g2 = 1 + rng.below(4_000);
+        let mut third = rng.below(u64::from(nodes) - 2) as u16;
+        for taken in [node.min(second), node.max(second)] {
+            if third >= taken {
+                third += 1;
+            }
+        }
+        (g2, third)
+    } else {
+        (0, 0)
+    };
+    // One permanent fault at most; bit 2 only when the third fault exists.
+    let masks: &[u8] = if gap2 > 0 {
+        &[0b000, 0b001, 0b010, 0b100]
+    } else {
+        &[0b000, 0b001, 0b010]
+    };
+    let permanent_mask = masks[rng.below(masks.len() as u64) as usize];
+    Scenario {
+        kind: ScenarioKind::Nested {
+            gap,
+            second_node: second,
+            gap2,
+            third_node,
+            permanent_mask,
+        },
+        node,
+        at,
+        repair_at: None,
+    }
+}
+
 /// What one fuzzing run produced.
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
@@ -299,7 +358,8 @@ pub struct ChaosReport {
     pub counterexamples: Vec<Counterexample>,
     /// Cases that recovered and passed all three oracles.
     pub passed: u64,
-    /// Cases legally reported as `unrecoverable_second_fault`.
+    /// Cases legally reported unrecoverable: a network partition, or a
+    /// data loss certified by the copy-accounting audit.
     pub unrecoverable: u64,
     /// Cases that failed an oracle (== `counterexamples.len()`).
     pub failed: u64,
@@ -346,7 +406,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             let horizon = goldens[k as usize].total_cycles;
             // Short-circuit order matters: a disabled gate consumes no
             // draws, so turning a mode off never perturbs the others.
-            let sc = if cfg.soak && rng.chance(0.25) {
+            let sc = if cfg.nested && rng.chance(0.25) {
+                sample_nested_scenario(&mut rng, cfg.nodes, horizon)
+            } else if cfg.soak && rng.chance(0.25) {
                 sample_soak_scenario(&mut rng, horizon)
             } else if cfg.net_faults && rng.chance(0.5) {
                 sample_net_scenario(&mut rng, cfg.nodes, horizon)
@@ -415,6 +477,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
                 ("shrink_budget", Json::from(u64::from(cfg.shrink_budget))),
                 ("net_faults", Json::from(cfg.net_faults)),
                 ("soak", Json::from(cfg.soak)),
+                ("nested", Json::from(cfg.nested)),
             ]),
         ),
         ("goldens", Json::arr(golden_rows)),
@@ -523,6 +586,7 @@ pub fn replay(cx: &Counterexample) -> Result<Verdict, String> {
         // scenario directly.
         net_faults: false,
         soak: false,
+        nested: false,
     };
     cfg.validate()?;
     if cfg.machine_seed(cx.seed_group) != cx.machine_seed {
@@ -563,6 +627,7 @@ mod tests {
             shrink_budget: 8,
             net_faults: false,
             soak: false,
+            nested: false,
         }
     }
 
@@ -627,6 +692,68 @@ mod tests {
                 .iter()
                 .any(|k| text.contains(k)),
             "no net-fault cases sampled"
+        );
+    }
+
+    #[test]
+    fn nested_sampling_is_in_range() {
+        let mut rng = DetRng::seeded(29);
+        let mut saw_third = false;
+        for _ in 0..300 {
+            let sc = sample_nested_scenario(&mut rng, 8, 120_000);
+            assert!(sc.at >= 1);
+            assert!(sc.node < 8);
+            let ScenarioKind::Nested {
+                gap,
+                second_node,
+                gap2,
+                third_node,
+                permanent_mask,
+            } = sc.kind
+            else {
+                panic!("nested sampler produced {:?}", sc.kind);
+            };
+            assert!((1..=4_000).contains(&gap));
+            assert!(second_node < 8 && second_node != sc.node);
+            // At most one permanent kill, and only over faults that exist.
+            assert!(permanent_mask.count_ones() <= 1);
+            if gap2 > 0 {
+                saw_third = true;
+                assert!((1..=4_000).contains(&gap2));
+                assert!(third_node < 8);
+                assert!(third_node != sc.node && third_node != second_node);
+            } else {
+                assert_eq!(permanent_mask & 0b100, 0);
+            }
+        }
+        assert!(saw_third, "three-fault chains never sampled");
+    }
+
+    #[test]
+    fn nested_fuzzing_is_deterministic_and_violation_free() {
+        let cfg1 = ChaosConfig {
+            jobs: 1,
+            nested: true,
+            cases: 12,
+            ..tiny(37)
+        };
+        let cfg4 = ChaosConfig {
+            jobs: 4,
+            ..cfg1.clone()
+        };
+        let r1 = run_chaos(&cfg1).unwrap();
+        let r4 = run_chaos(&cfg4).unwrap();
+        assert_eq!(r1.doc.to_string_pretty(), r4.doc.to_string_pretty());
+        assert_eq!(
+            r1.failed, 0,
+            "nested-fault bug or oracle bug: {:#?}",
+            r1.counterexamples
+        );
+        // The mix actually drew nested chains (the config key alone would
+        // match a bare "nested" substring).
+        assert!(
+            r1.doc.to_string_pretty().contains("\"kind\": \"nested\""),
+            "no nested cases sampled"
         );
     }
 
@@ -729,6 +856,7 @@ mod tests {
                 stream_progress: Vec::new(),
                 spans: Vec::new(),
                 timeseries: Vec::new(),
+                data_loss_certified: false,
                 wall_ms: 0.0,
             }
         };

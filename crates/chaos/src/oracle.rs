@@ -69,10 +69,14 @@ impl GoldenRef {
 pub enum Verdict {
     /// Recovered and passed all three oracle layers.
     Pass,
-    /// Reported `unrecoverable_second_fault` or `partitioned_network` —
-    /// outside the single-failure hypothesis (or the mesh split so no
-    /// component could safely reconfigure), a *legal* fail-stop outcome,
-    /// not an oracle failure.
+    /// A *legal* fail-stop outcome, not an oracle failure: either the mesh
+    /// split so no component could safely reconfigure
+    /// (`partitioned_network`), or the run reported
+    /// `unrecoverable_data_loss` *and* the copy-accounting audit certifies
+    /// it — some written committed item really retains zero live copies.
+    /// An uncertified data-loss claim is an oracle failure: recovery is
+    /// restartable, so the machine may only halt when data is provably
+    /// gone.
     Unrecoverable,
     /// An oracle failed; the reasons name each divergence.
     Fail(Vec<String>),
@@ -97,8 +101,17 @@ impl Verdict {
 /// Judges one case outcome against its golden reference.
 pub fn judge(outcome: &CellOutcome, golden: &GoldenRef) -> Verdict {
     match &outcome.outcome {
-        RecoveryOutcome::UnrecoverableSecondFault { .. }
-        | RecoveryOutcome::PartitionedNetwork { .. } => Verdict::Unrecoverable,
+        RecoveryOutcome::PartitionedNetwork { .. } => Verdict::Unrecoverable,
+        RecoveryOutcome::UnrecoverableDataLoss { at, item } => {
+            if outcome.data_loss_certified {
+                Verdict::Unrecoverable
+            } else {
+                Verdict::Fail(vec![format!(
+                    "uncertified data loss: machine claimed {item} unrecoverable at cycle \
+                     {at} but the copy audit found no zero-copy committed item"
+                )])
+            }
+        }
         RecoveryOutcome::InvariantViolation { at, problems } => Verdict::Fail(
             problems
                 .iter()
@@ -209,6 +222,7 @@ mod tests {
             stream_progress: progress,
             spans: Vec::new(),
             timeseries: Vec::new(),
+            data_loss_certified: false,
             wall_ms: 0.0,
         }
     }
@@ -298,16 +312,24 @@ mod tests {
 
     #[test]
     fn machine_outcomes_map_to_verdicts() {
-        let o = outcome(
+        // A data-loss halt is only legal when the copy audit certifies it.
+        let mut o = outcome(
             Vec::new(),
             Vec::new(),
             0,
-            RecoveryOutcome::UnrecoverableSecondFault {
+            RecoveryOutcome::UnrecoverableDataLoss {
                 at: 5,
-                node: ftcoma_mem::NodeId::new(1),
+                item: ftcoma_mem::ItemId::new(42),
             },
         );
+        o.data_loss_certified = true;
         assert_eq!(judge(&o, &golden()), Verdict::Unrecoverable);
+        o.data_loss_certified = false;
+        let v = judge(&o, &golden());
+        assert!(v.is_fail(), "{v:?}");
+        if let Verdict::Fail(reasons) = v {
+            assert!(reasons[0].contains("uncertified data loss"), "{reasons:?}");
+        }
         let o = outcome(
             Vec::new(),
             Vec::new(),

@@ -13,12 +13,14 @@ use ftcoma_campaign::{Scenario, ScenarioKind};
 /// the smallest failing scenario found and the evaluations spent.
 ///
 /// Strategy, in order:
-/// 1. structural: drop the second fault of a back-to-back pair, collapse
-///    a failure cycle to its first fault, demote permanent to transient,
-///    demote a continuous failure–repair process to one scripted fault
-///    (or to its node-only half);
+/// 1. structural: drop the third then second fault of a nested chain,
+///    drop the second fault of a back-to-back pair, collapse a failure
+///    cycle to its first fault, demote permanent to transient, demote a
+///    continuous failure–repair process to one scripted fault (or to its
+///    node-only half);
 /// 2. bisect the injection cycle `at` downwards;
-/// 3. for surviving back-to-back pairs, bisect the `gap` downwards;
+/// 3. for surviving back-to-back pairs and nested chains, bisect the
+///    inter-fault gaps downwards;
 /// 4. for surviving message-loss episodes, halve the drop `rate` downwards
 ///    (a lower rate is a gentler, easier-to-analyse reproduction).
 pub fn shrink_scenario<F: FnMut(&Scenario) -> bool>(
@@ -33,6 +35,28 @@ pub fn shrink_scenario<F: FnMut(&Scenario) -> bool>(
     let simpler: Vec<ScenarioKind> = match best.kind {
         ScenarioKind::BackToBack { .. } => {
             vec![ScenarioKind::Transient, ScenarioKind::Permanent]
+        }
+        // A nested chain shrinks towards fewer faults: first to its
+        // back-to-back prefix (dropping the third fault), then to a single
+        // scripted fault.
+        ScenarioKind::Nested {
+            gap,
+            second_node,
+            gap2,
+            ..
+        } => {
+            let mut cands = vec![ScenarioKind::Transient, ScenarioKind::Permanent];
+            cands.push(ScenarioKind::BackToBack { gap, second_node });
+            if gap2 > 0 {
+                cands.push(ScenarioKind::Nested {
+                    gap,
+                    second_node,
+                    gap2: 0,
+                    third_node: 0,
+                    permanent_mask: 0,
+                });
+            }
+            cands
         }
         ScenarioKind::Cycle { .. } => vec![ScenarioKind::Transient],
         ScenarioKind::Permanent => vec![ScenarioKind::Transient],
@@ -102,6 +126,34 @@ pub fn shrink_scenario<F: FnMut(&Scenario) -> bool>(
             kind: ScenarioKind::BackToBack {
                 gap: gap / 2,
                 second_node,
+            },
+            ..best
+        };
+        if !attempt(&cand, &mut best, &mut used, budget, &mut still_fails) {
+            break;
+        }
+    }
+
+    // Bisect the gaps of a surviving nested chain towards 1, second gap
+    // first (dropping it to 0 would change the shape, so it stops at 1).
+    while let ScenarioKind::Nested {
+        gap,
+        second_node,
+        gap2,
+        third_node,
+        permanent_mask,
+    } = best.kind
+    {
+        if used >= budget || (gap <= 1 && gap2 <= 1) {
+            break;
+        }
+        let cand = Scenario {
+            kind: ScenarioKind::Nested {
+                gap: if gap2 > 1 { gap } else { gap / 2 },
+                second_node,
+                gap2: if gap2 > 1 { gap2 / 2 } else { gap2 },
+                third_node,
+                permanent_mask,
             },
             ..best
         };
@@ -191,6 +243,43 @@ mod tests {
             64,
         );
         assert!(matches!(best.kind, ScenarioKind::BackToBack { gap: 1, .. }));
+    }
+
+    #[test]
+    fn nested_chains_drop_faults_then_tighten_gaps() {
+        let nested = Scenario {
+            kind: ScenarioKind::Nested {
+                gap: 2_000,
+                second_node: 3,
+                gap2: 1_600,
+                third_node: 5,
+                permanent_mask: 1,
+            },
+            node: 1,
+            at: 50_000,
+            repair_at: None,
+        };
+        // Everything fails: the simplest reproduction is one transient.
+        let (best, _) = shrink_scenario(&nested, |_| true, 64);
+        assert_eq!(best.kind, ScenarioKind::Transient);
+        // Only three-fault chains fail: the kind survives, both gaps
+        // bisect down to 1.
+        let (best, _) = shrink_scenario(
+            &nested,
+            |s| matches!(s.kind, ScenarioKind::Nested { gap2, .. } if gap2 > 0),
+            128,
+        );
+        assert!(
+            matches!(
+                best.kind,
+                ScenarioKind::Nested {
+                    gap: 1,
+                    gap2: 1,
+                    ..
+                }
+            ),
+            "{best:?}"
+        );
     }
 
     #[test]

@@ -62,7 +62,7 @@ impl Parsed {
             }
             let value = if matches!(
                 key,
-                "no-ft" | "verify" | "wormhole" | "json" | "net-faults" | "soak"
+                "no-ft" | "verify" | "wormhole" | "json" | "net-faults" | "soak" | "nested"
             ) {
                 "true".to_string() // boolean flags take no value
             } else {

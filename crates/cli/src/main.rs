@@ -91,7 +91,7 @@ USAGE
   ftcoma campaign --spec FILE [--jobs J] [--json] [--out FILE] [--cell ID]
   ftcoma chaos    [--seeds G] [--cases N] [--jobs J] [--seed S]
                   [--workload W] [--nodes K] [--freq F] [--refs R]
-                  [--net-faults] [--soak] [--out FILE] [--json]
+                  [--net-faults] [--soak] [--nested] [--out FILE] [--json]
   ftcoma chaos    --replay ARTIFACT.json
   ftcoma trace summarize --spans FILE [--top K]
   ftcoma latency
@@ -124,6 +124,11 @@ CHAOS (see docs/CHAOS.md)
   sampled cases: the case machine keeps failing, repairing and re-failing
   nodes (and links) for its whole run, probing long-horizon availability
   instead of one scripted fault.
+  --nested mixes nested-fault chains into the sampled cases: two- and
+  three-fault sequences with gaps tight enough to land later faults
+  inside open recovery windows, forcing recovery to abandon and restart.
+  A case may only end unrecoverable if the copy-accounting audit
+  certifies a committed item with zero live copies.
   Reports are byte-identical across --jobs; wall-clock time goes to the
   <out>.timing.json sidecar. Counterexample artifacts carry the failing
   case's recovery span timeline.
@@ -823,6 +828,7 @@ const CHAOS_FLAGS: &[&str] = &[
     "replay",
     "net-faults",
     "soak",
+    "nested",
 ];
 
 /// Where the wall-clock sidecar of `--out report.json` lands:
@@ -860,6 +866,7 @@ fn cmd_chaos(p: &Parsed) -> Result<(), ArgError> {
     cfg.refs_per_node = p.u64_or("refs", cfg.refs_per_node)?;
     cfg.net_faults = p.has("net-faults");
     cfg.soak = p.has("soak");
+    cfg.nested = p.has("nested");
     let quiet = p.has("json");
     if !quiet {
         println!(
@@ -911,7 +918,7 @@ fn cmd_chaos(p: &Parsed) -> Result<(), ArgError> {
         println!("{}", report.doc.to_string_pretty());
     } else {
         println!(
-            "verdicts: {} pass, {} unrecoverable (legal second faults), {} fail",
+            "verdicts: {} pass, {} unrecoverable (certified halts), {} fail",
             report.passed, report.unrecoverable, report.failed
         );
     }

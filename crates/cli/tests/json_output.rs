@@ -41,7 +41,7 @@ fn run_json_emits_versioned_schema_on_stdout() {
     let text = std::str::from_utf8(&out.stdout).expect("utf-8 stdout");
     let doc = Json::parse(text).expect("stdout is one valid JSON document");
 
-    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(6));
+    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(7));
     let machine = doc.get("machine").expect("machine section");
     for key in [
         "nodes",
@@ -146,7 +146,7 @@ fn chaos_smoke_is_deterministic_and_passes() {
         );
         let text = std::str::from_utf8(&out.stdout).unwrap().to_string();
         let doc = Json::parse(&text).expect("chaos report parses");
-        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(6));
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(7));
         assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("chaos"));
         let oracle = doc.get("oracle").expect("oracle tallies");
         assert_eq!(oracle.get("fail").and_then(|v| v.as_u64()), Some(0));
@@ -221,7 +221,7 @@ fn metrics_and_trace_files_are_valid_json() {
     );
 
     let m = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
-    assert_eq!(m.get("schema_version").and_then(|v| v.as_u64()), Some(6));
+    assert_eq!(m.get("schema_version").and_then(|v| v.as_u64()), Some(7));
 
     let t = Json::parse(&std::fs::read_to_string(&trace).unwrap()).unwrap();
     let events = t.get("traceEvents").unwrap().as_array().unwrap();
@@ -254,7 +254,7 @@ fn metrics_and_trace_files_are_valid_json() {
             .unwrap()
             .get("schema_version")
             .and_then(|v| v.as_u64()),
-        Some(6)
+        Some(7)
     );
 
     for p in [metrics, trace, jsonl] {
@@ -363,7 +363,7 @@ fn campaign_is_deterministic_across_job_counts() {
         );
         let text = std::str::from_utf8(&out.stdout).unwrap().to_string();
         let doc = Json::parse(&text).expect("campaign report parses");
-        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(6));
+        assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(7));
         assert_eq!(doc.get("kind").and_then(|v| v.as_str()), Some("campaign"));
         // 2 workloads x (1 baseline + 2 scenarios) = 6 cells.
         assert_eq!(doc.get("cells").unwrap().as_array().unwrap().len(), 6);

@@ -16,6 +16,13 @@
 //! are rebuilt; [`rebuild_homes`] implements the natural mechanism (owners
 //! re-register with the possibly-migrated home) as a
 //! reproduction-completing extension (DESIGN.md §3).
+//!
+//! Recovery is **restartable** (DESIGN.md §6): a fault landing while a
+//! previous recovery is still in flight re-enters the whole pipeline
+//! against the on-node committed state instead of halting. [`audit_copies`]
+//! is the per-item copy-accounting audit that decides whether a restart is
+//! possible — only a written committed item with zero live copies is
+//! certified unrecoverable ([`RecoveryOutcome::UnrecoverableDataLoss`]).
 
 use ftcoma_mem::addr::ITEMS_PER_PAGE;
 use ftcoma_mem::{ItemId, ItemState, NodeId};
@@ -26,10 +33,14 @@ use ftcoma_sim::Cycles;
 /// Final recovery verdict of a whole run.
 ///
 /// The machine starts out `Recovered` (a run without failures trivially
-/// satisfies the recovery contract) and degrades monotonically: a second
-/// fault striking while a reconfiguration is still in flight exceeds the
-/// paper's single-failure hypothesis (§2) and becomes
-/// [`RecoveryOutcome::UnrecoverableSecondFault`]; a post-recovery memory
+/// satisfies the recovery contract) and degrades monotonically. Recovery
+/// itself is *restartable*: a fault striking while a previous recovery is
+/// still in flight abandons that recovery, folds the new victim into the
+/// failure set and re-enters from the on-node committed state — the
+/// paper's single-failure hypothesis (§2) is replaced by per-item copy
+/// accounting. Only a *certified* loss (a written committed item with
+/// zero live copies left) becomes
+/// [`RecoveryOutcome::UnrecoverableDataLoss`]; a post-recovery memory
 /// image that contradicts the committed recovery point becomes
 /// [`RecoveryOutcome::InvariantViolation`]. Either terminal state halts
 /// the machine instead of aborting the process, so harnesses can report
@@ -39,13 +50,16 @@ pub enum RecoveryOutcome {
     /// Every injected failure was recovered from (or none occurred).
     #[default]
     Recovered,
-    /// A failure struck while a previous recovery was still reconfiguring
-    /// — outside the single-failure hypothesis, reported and halted.
-    UnrecoverableSecondFault {
-        /// Simulation time of the second fault.
+    /// The copy-accounting audit certified that a written committed item
+    /// retains zero live copies: every node holding either recovery
+    /// replica died before a restarted recovery could re-replicate it.
+    /// No reconfiguration can reconstruct the value, so the machine
+    /// halts fail-stop.
+    UnrecoverableDataLoss {
+        /// Simulation time of the fault that destroyed the last copy.
         at: Cycles,
-        /// The node that suffered the second fault.
-        node: NodeId,
+        /// The lowest-numbered item certified lost.
+        item: ItemId,
     },
     /// Post-recovery verification found an inconsistent memory image.
     InvariantViolation {
@@ -75,12 +89,12 @@ impl RecoveryOutcome {
     }
 
     /// Stable machine-readable tag (`recovered` /
-    /// `unrecoverable_second_fault` / `invariant_violation` /
+    /// `unrecoverable_data_loss` / `invariant_violation` /
     /// `partitioned_network`).
     pub fn label(&self) -> &'static str {
         match self {
             RecoveryOutcome::Recovered => "recovered",
-            RecoveryOutcome::UnrecoverableSecondFault { .. } => "unrecoverable_second_fault",
+            RecoveryOutcome::UnrecoverableDataLoss { .. } => "unrecoverable_data_loss",
             RecoveryOutcome::InvariantViolation { .. } => "invariant_violation",
             RecoveryOutcome::PartitionedNetwork { .. } => "partitioned_network",
         }
@@ -91,8 +105,8 @@ impl std::fmt::Display for RecoveryOutcome {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RecoveryOutcome::Recovered => write!(f, "recovered"),
-            RecoveryOutcome::UnrecoverableSecondFault { at, node } => {
-                write!(f, "unrecoverable second fault on {node} at cycle {at}")
+            RecoveryOutcome::UnrecoverableDataLoss { at, item } => {
+                write!(f, "unrecoverable data loss of {item} at cycle {at}")
             }
             RecoveryOutcome::InvariantViolation { at, problems } => {
                 write!(f, "invariant violation at cycle {at}:")?;
@@ -263,6 +277,68 @@ pub fn collect_singleton_orphans(nodes: &mut [NodeState]) -> Vec<(NodeId, Vec<It
         }
     }
     by_node
+}
+
+/// Per-item data-loss certification: the copy-accounting audit behind the
+/// restartable-recovery model.
+///
+/// Counts the live committed recovery copies (`Shared-CK1/2`) of every
+/// item and splits the committed set (`(item, committed value)` pairs from
+/// the last committed recovery point) into:
+///
+/// * `lost` — *written* committed items (value ≠ 0) with **zero** live
+///   copies. These are certified data loss: the value existed only in the
+///   recovery pair and every host of either replica has died, so no
+///   reconfiguration can reconstruct it. Sorted ascending, so `lost[0]`
+///   is the deterministic representative for reporting.
+/// * `droppable` — never-written committed items (value 0) with zero live
+///   copies. Their content is the well-known initial value: the machine
+///   recreates them on first touch (the same path that serves items
+///   annihilated by a pre-first-commit rollback), so losing every copy is
+///   survivable. The caller must drop them from its committed-set oracle
+///   or post-recovery verification would demand copies of a recreatable
+///   item.
+///
+/// Recovery may restart as long as `lost` is empty — this is the audit
+/// that retired the paper's blanket single-failure halt.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CopyAudit {
+    /// Written committed items with zero live copies (certified loss).
+    pub lost: Vec<ItemId>,
+    /// Never-written committed items with zero live copies (recreatable).
+    pub droppable: Vec<ItemId>,
+}
+
+/// Runs the copy-accounting audit of `committed` (the last committed
+/// recovery point's `(item, value)` pairs) against the live nodes' memory
+/// images. Pointer-agnostic like [`collect_singleton_orphans`]: only copy
+/// counts matter, so stale partner pointers cannot hide a loss.
+pub fn audit_copies(
+    nodes: &[NodeState],
+    committed: impl IntoIterator<Item = (ItemId, u64)>,
+) -> CopyAudit {
+    use std::collections::HashSet;
+    let mut present: HashSet<ItemId> = HashSet::new();
+    for ns in nodes.iter().filter(|n| n.alive) {
+        for (item, slot) in ns.am.iter_present() {
+            if slot.state.is_committed_recovery() {
+                present.insert(item);
+            }
+        }
+    }
+    let mut audit = CopyAudit::default();
+    for (item, value) in committed {
+        if !present.contains(&item) {
+            if value == 0 {
+                audit.droppable.push(item);
+            } else {
+                audit.lost.push(item);
+            }
+        }
+    }
+    audit.lost.sort_unstable();
+    audit.droppable.sort_unstable();
+    audit
 }
 
 /// Repairs recovery pairs damaged by in-flight injections at failure time.
@@ -460,6 +536,33 @@ mod tests {
         // The intact pair kept its states and pointers.
         assert_eq!(nodes[0].am.state(ItemId::new(1)), ItemState::SharedCk1);
         assert_eq!(nodes[2].am.state(ItemId::new(1)), ItemState::SharedCk2);
+    }
+
+    #[test]
+    fn copy_audit_certifies_only_written_zero_copy_items() {
+        let mut nodes = vec![
+            NodeState::ksr1(NodeId::new(0)),
+            NodeState::ksr1(NodeId::new(1)),
+        ];
+        // Item 0: one live copy left — not lost. Item 1: no live copy and a
+        // written value — certified loss. Item 2: no live copy but never
+        // written — droppable. Item 3: copy only on a dead node — lost.
+        install(&mut nodes[0], 0, ItemState::SharedCk1, Some(NodeId::new(1)));
+        install(&mut nodes[1], 3, ItemState::SharedCk2, Some(NodeId::new(0)));
+        nodes[1].alive = false;
+        let committed = [
+            (ItemId::new(0), 10),
+            (ItemId::new(1), 11),
+            (ItemId::new(2), 0),
+            (ItemId::new(3), 13),
+        ];
+        let audit = audit_copies(&nodes, committed);
+        assert_eq!(audit.lost, vec![ItemId::new(1), ItemId::new(3)]);
+        assert_eq!(audit.droppable, vec![ItemId::new(2)]);
+        // Everything present: a clean audit.
+        nodes[1].alive = true;
+        let clean = audit_copies(&nodes, [(ItemId::new(0), 10), (ItemId::new(3), 13)]);
+        assert_eq!(clean, CopyAudit::default());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! });
 //! let metrics = m.run();
 //! let doc = export::metrics_json(&metrics, &m.link_report());
-//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(6));
+//! assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(7));
 //! let trace = export::chrome_trace_with_spans(&m.trace(), &m.spans(), 20_000_000.0);
 //! assert!(!trace.get("traceEvents").unwrap().as_array().unwrap().is_empty());
 //! ```
@@ -70,19 +70,26 @@ use crate::tracelog::TraceEvent;
 ///   `faults_unsurvivable`; per-node rows gain `repairs`; traces gain
 ///   `link_repaired` events; the `continuous` campaign scenario and the
 ///   chaos report's `"soak"` config flag are introduced.
-pub const SCHEMA_VERSION: u64 = 6;
+/// * 7 — restartable recovery: the `unrecoverable_second_fault` outcome is
+///   replaced by `unrecoverable_data_loss` (fields `at`/`item`, certified
+///   by the per-item copy audit); the `"machine"` section gains
+///   `recovery_restarts` and `recovery_max_depth`; the `"phases"` section
+///   gains the `restart` histogram (abandoned recovery windows); traces
+///   gain `recovery_restarted` events; the `nested` campaign scenario and
+///   the chaos report's `"nested"` config flag are introduced.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Serializes a [`RecoveryOutcome`](ftcoma_core::RecoveryOutcome) as a JSON
-/// object: `{"status": <label>}` plus the variant's fields (`at`/`node` for
-/// a second fault, `at`/`problems` for a violation).
+/// object: `{"status": <label>}` plus the variant's fields (`at`/`item` for
+/// a certified data loss, `at`/`problems` for a violation).
 pub fn outcome_json(o: &ftcoma_core::RecoveryOutcome) -> Json {
     use ftcoma_core::RecoveryOutcome;
     let mut pairs = vec![("status".to_string(), Json::from(o.label()))];
     match o {
         RecoveryOutcome::Recovered => {}
-        RecoveryOutcome::UnrecoverableSecondFault { at, node } => {
+        RecoveryOutcome::UnrecoverableDataLoss { at, item } => {
             pairs.push(("at".to_string(), Json::from(*at)));
-            pairs.push(("node".to_string(), Json::from(node.index())));
+            pairs.push(("item".to_string(), Json::from(item.index())));
         }
         RecoveryOutcome::InvariantViolation { at, problems } => {
             pairs.push(("at".to_string(), Json::from(*at)));
@@ -212,6 +219,8 @@ fn machine_section(m: &RunMetrics) -> Json {
         ("repairs", Json::from(m.repairs)),
         ("faults_survived", Json::from(m.faults_survived)),
         ("faults_unsurvivable", Json::from(m.faults_unsurvivable)),
+        ("recovery_restarts", Json::from(m.recovery_restarts)),
+        ("recovery_max_depth", Json::from(m.recovery_max_depth)),
         ("items_checkpointed", Json::from(m.items_checkpointed)),
         ("reused_replicas", Json::from(m.reused_replicas)),
         ("replication_bytes", Json::from(m.replication_bytes)),
@@ -306,6 +315,7 @@ pub fn registry_from(m: &RunMetrics) -> MetricsRegistry {
     reg.counter_add("repairs_total", &[], m.repairs);
     reg.counter_add("faults_survived_total", &[], m.faults_survived);
     reg.counter_add("faults_unsurvivable_total", &[], m.faults_unsurvivable);
+    reg.counter_add("recovery_restarts_total", &[], m.recovery_restarts);
     reg.counter_add("items_checkpointed_total", &[], m.items_checkpointed);
     reg.counter_add("replication_bytes_total", &[], m.replication_bytes);
     reg.counter_add("net_messages_total", &[], m.net_messages);
@@ -383,6 +393,10 @@ pub fn trace_event_json(e: &TraceEvent) -> Json {
         } => {
             pairs.push(("node".to_string(), Json::from(node.index())));
             pairs.push(("permanent".to_string(), Json::from(*permanent)));
+        }
+        TraceEvent::RecoveryRestarted { node, depth, .. } => {
+            pairs.push(("node".to_string(), Json::from(node.index())));
+            pairs.push(("depth".to_string(), Json::from(*depth)));
         }
         TraceEvent::Recovered { .. } => {}
         TraceEvent::Repaired { node, .. } => {
@@ -605,6 +619,18 @@ pub fn chrome_trace_with_spans(events: &[TraceEvent], spans: &[SpanRecord], cloc
                 permanent,
             } => {
                 note_tid(0, &mut tids_seen);
+                // A failure with a recovery window still open is a nested
+                // fault: the in-flight recovery is abandoned here and the
+                // follow-up `RecoveryRestarted` event opens a fresh window.
+                if let Some(ts) = open_recovery.take() {
+                    rows.push(complete(
+                        "recovery (abandoned)",
+                        ts,
+                        us(*at) - ts,
+                        0,
+                        Json::Obj(Vec::new()),
+                    ));
+                }
                 open_recovery = Some(us(*at));
                 rows.push(instant(
                     "failure",
@@ -613,6 +639,18 @@ pub fn chrome_trace_with_spans(events: &[TraceEvent], spans: &[SpanRecord], cloc
                     Json::obj([
                         ("node", Json::from(node.index())),
                         ("permanent", Json::from(*permanent)),
+                    ]),
+                ));
+            }
+            TraceEvent::RecoveryRestarted { at, node, depth } => {
+                note_tid(0, &mut tids_seen);
+                rows.push(instant(
+                    "recovery restarted",
+                    us(*at),
+                    0,
+                    Json::obj([
+                        ("node", Json::from(node.index())),
+                        ("depth", Json::from(*depth)),
                     ]),
                 ));
             }
@@ -942,6 +980,7 @@ mod tests {
             "rollback",
             "reconfiguration",
             "replay",
+            "restart",
         ] {
             let p = phases.get(k).unwrap_or_else(|| panic!("missing phase {k}"));
             for stat in ["count", "p50", "p90", "p99", "max"] {

@@ -26,12 +26,17 @@
 //!   full rejoin path (router restored, homes migrated back, work
 //!   reclaimed). This exercises the interesting ECP machinery; a transient
 //!   blip is strictly weaker.
-//! * A failure sampled while its target cannot fail (the node is still
-//!   down awaiting a deferred repair, or failing it would leave fewer than
-//!   the ECP's four-node establishment floor) is **deferred**: the machine
+//! * A failure sampled while its target *structurally* cannot fail (the
+//!   node is still down awaiting a deferred repair, failing it would
+//!   leave fewer than the ECP's four-node establishment floor, or the
+//!   kill would partition the live mesh) is **deferred**: the machine
 //!   calls [`FaultProcess::defer_node_fail`] and the clock re-arms with a
 //!   fresh MTBF draw. Deferral consumes the same single draw a real
-//!   failure would, keeping sibling streams aligned.
+//!   failure would, keeping sibling streams aligned. A draw landing
+//!   inside an open recovery window is **not** deferred: recovery is
+//!   restartable, so the nested fault fires and folds into the episode —
+//!   the sampled failure distribution is no longer skewed around
+//!   reconfiguration windows.
 //! * Link faults pick a random *currently intact* mesh link, cut it, and
 //!   schedule its repair one MTTR draw later. With no intact link left the
 //!   draw is burned and the process re-arms.
@@ -290,8 +295,9 @@ impl FaultProcess {
     }
 
     /// The machine could not apply a [`FaultAction::FailNode`] for `node`
-    /// (it is still down awaiting a deferred repair, or failing it would
-    /// drop the machine below the ECP's establishment floor): put the node
+    /// (it is still down awaiting a deferred repair, failing it would
+    /// drop the machine below the ECP's establishment floor, or the kill
+    /// would partition the live mesh): put the node
     /// back in the `Up` state and re-arm its failure clock from `now`,
     /// discarding the repair time `fire` had armed for the aborted
     /// failure. Uses the node's own stream, so the deferral stays a pure

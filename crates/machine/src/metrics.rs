@@ -136,6 +136,10 @@ pub struct PhaseLatency {
     pub reconfiguration: Histogram,
     /// Replay window (recovery end → next commit re-covers lost work).
     pub replay: Histogram,
+    /// Abandoned recovery windows: one sample per restart, recording how
+    /// far the abandoned attempt had progressed (its failure → the nested
+    /// fault that restarted it).
+    pub restart: Histogram,
 }
 
 impl PhaseLatency {
@@ -149,11 +153,12 @@ impl PhaseLatency {
             rollback: self.rollback.delta_since(&base.rollback),
             reconfiguration: self.reconfiguration.delta_since(&base.reconfiguration),
             replay: self.replay.delta_since(&base.replay),
+            restart: self.restart.delta_since(&base.restart),
         }
     }
 
     /// (name, histogram) pairs in stable export order.
-    pub fn named(&self) -> [(&'static str, &Histogram); 7] {
+    pub fn named(&self) -> [(&'static str, &Histogram); 8] {
         [
             ("dir_lookup", &self.dir_lookup),
             ("home_fwd", &self.home_fwd),
@@ -162,6 +167,7 @@ impl PhaseLatency {
             ("rollback", &self.rollback),
             ("reconfiguration", &self.reconfiguration),
             ("replay", &self.replay),
+            ("restart", &self.restart),
         ]
     }
 
@@ -174,6 +180,7 @@ impl PhaseLatency {
         self.rollback.merge(&other.rollback);
         self.reconfiguration.merge(&other.reconfiguration);
         self.replay.merge(&other.replay);
+        self.restart.merge(&other.restart);
     }
 }
 
@@ -220,12 +227,21 @@ pub struct RunMetrics {
     /// Permanently failed nodes repaired and re-integrated.
     pub repairs: u64,
     /// Failures whose recovery ran to completion (reconfiguration done,
-    /// verification — when enabled — passed).
+    /// verification — when enabled — passed). A restarted recovery
+    /// credits every fault folded into the episode when it completes.
     pub faults_survived: u64,
-    /// Failures that exceeded the paper's single-failure hypothesis (a
-    /// second fault landed inside a recovery window) and halted the
+    /// Failures whose copy-accounting audit certified a data loss (some
+    /// written committed item retained zero live copies) and halted the
     /// machine. At most 1 per run, since such a fault is terminal.
     pub faults_unsurvivable: u64,
+    /// Recovery restarts: faults that landed inside an open recovery
+    /// window, abandoned the in-flight recovery and re-entered it with
+    /// the new victim folded in.
+    pub recovery_restarts: u64,
+    /// Deepest recovery episode of the run: the most faults ever folded
+    /// into one recovery before it completed (1 = no nesting, 0 = no
+    /// faults). A gauge — kept intact by [`RunMetrics::delta_since`].
+    pub recovery_max_depth: u64,
 
     /// Items secured per create phase, totalled.
     pub items_checkpointed: u64,
@@ -310,6 +326,8 @@ impl RunMetrics {
             repairs: self.repairs - base.repairs,
             faults_survived: self.faults_survived - base.faults_survived,
             faults_unsurvivable: self.faults_unsurvivable - base.faults_unsurvivable,
+            recovery_restarts: self.recovery_restarts - base.recovery_restarts,
+            recovery_max_depth: self.recovery_max_depth,
             items_checkpointed: self.items_checkpointed - base.items_checkpointed,
             reused_replicas: self.reused_replicas - base.reused_replicas,
             replication_bytes: self.replication_bytes - base.replication_bytes,
@@ -679,7 +697,8 @@ mod tests {
         b.merge(&a);
         assert_eq!(b.dir_lookup.summary().count, 3);
         assert_eq!(b.replay.summary().count, 1);
-        assert_eq!(b.named().len(), 7);
+        assert_eq!(b.named().len(), 8);
+        assert_eq!(b.named()[7].0, "restart");
     }
 
     #[test]

@@ -107,6 +107,17 @@ pub enum TraceEvent {
         /// Whether the node is gone for good.
         permanent: bool,
     },
+    /// A fault landed inside an open recovery window: the in-flight
+    /// recovery was abandoned and restarted with the new victim folded
+    /// into the failure set. Follows the victim's own `Failure` event.
+    RecoveryRestarted {
+        /// Restart time (the nested fault's injection time).
+        at: Cycles,
+        /// The nested fault's victim.
+        node: NodeId,
+        /// Faults folded into the episode so far (2 = first restart).
+        depth: u64,
+    },
     /// Recovery (rollback + any reconfiguration) finished.
     Recovered {
         /// Completion time.
@@ -142,6 +153,7 @@ impl TraceEvent {
             | TraceEvent::LinkCut { at, .. }
             | TraceEvent::RouterDown { at, .. }
             | TraceEvent::Failure { at, .. }
+            | TraceEvent::RecoveryRestarted { at, .. }
             | TraceEvent::Recovered { at }
             | TraceEvent::Repaired { at, .. }
             | TraceEvent::LinkRepaired { at, .. } => *at,
@@ -159,6 +171,7 @@ impl TraceEvent {
             TraceEvent::LinkCut { .. } => "link_cut",
             TraceEvent::RouterDown { .. } => "router_down",
             TraceEvent::Failure { .. } => "failure",
+            TraceEvent::RecoveryRestarted { .. } => "recovery_restarted",
             TraceEvent::Recovered { .. } => "recovered",
             TraceEvent::Repaired { .. } => "repaired",
             TraceEvent::LinkRepaired { .. } => "link_repaired",
@@ -200,6 +213,9 @@ impl std::fmt::Display for TraceEvent {
                     "{at:>12} {node} failed ({})",
                     if *permanent { "permanent" } else { "transient" }
                 )
+            }
+            TraceEvent::RecoveryRestarted { at, node, depth } => {
+                write!(f, "{at:>12} recovery restarted for {node} (depth {depth})")
             }
             TraceEvent::Recovered { at } => write!(f, "{at:>12} recovery complete"),
             TraceEvent::Repaired { at, node } => write!(f, "{at:>12} {node} repaired"),

@@ -20,6 +20,7 @@ fn small(seed: u64) -> ChaosConfig {
         shrink_budget: 8,
         net_faults: false,
         soak: false,
+        nested: false,
     }
 }
 

@@ -149,11 +149,14 @@ fn recovery_discards_uncommitted_writes() {
 }
 
 #[test]
-fn second_fault_during_reconfiguration_is_reported_not_aborted() {
+fn second_fault_during_reconfiguration_restarts_recovery() {
     // A permanent failure opens the recovery/reconfiguration window (orphan
-    // re-replication is asynchronous); a second fault inside that window is
-    // outside the paper's single-failure hypothesis. The machine must stop
-    // and *report* it as a structured outcome, not abort the process.
+    // re-replication is asynchronous); a second fault inside that window
+    // used to be a blanket `UnrecoverableSecondFault` halt. Recovery is
+    // restartable now: the in-flight recovery is abandoned, the new victim
+    // folds into the failure set, and recovery restarts from on-node
+    // committed state — the run must end recovered, with the restart
+    // visible in the metrics.
     // 1000 rp/s = one establishment every 20k cycles, so the permanent
     // fault at 30k lands after the first recovery point committed and
     // leaves orphaned recovery copies to re-replicate; the second fault 50
@@ -165,13 +168,13 @@ fn second_fault_during_reconfiguration_is_reported_not_aborted() {
     m.schedule_failure(30_050, NodeId::new(5), FailureKind::Transient);
     let run = m.run();
     assert_eq!(run.failures, 2, "both faults must be recorded");
-    match m.outcome() {
-        RecoveryOutcome::UnrecoverableSecondFault { at, node } => {
-            assert_eq!(*at, 30_050);
-            assert_eq!(*node, NodeId::new(5));
-        }
-        other => panic!("expected an unrecoverable second fault, got {other}"),
-    }
+    assert!(m.outcome().is_recovered(), "{}", m.outcome());
+    assert!(run.recovery_restarts >= 1, "the nested fault must restart");
+    assert_eq!(run.recovery_max_depth, 2);
+    assert_eq!(run.faults_survived, 2);
+    assert_eq!(run.faults_unsurvivable, 0);
+    assert_eq!(m.audit_data_loss(), None);
+    m.assert_invariants();
 }
 
 #[test]
@@ -322,7 +325,7 @@ fn repaired_node_reintegrates_and_survives_a_second_failure() {
     // process: a repaired node must rejoin with the protocol invariants
     // intact, its availability interval must close at the repair, and a
     // *later* failure — of the very node that was repaired — must be an
-    // ordinary recoverable fault, not an `UnrecoverableSecondFault`.
+    // ordinary recoverable fault.
     let victim = NodeId::new(4);
     let mut m = Machine::new(MachineConfig {
         nodes: 9,
@@ -340,16 +343,9 @@ fn repaired_node_reintegrates_and_survives_a_second_failure() {
 
     assert_eq!(run.failures, 2, "both scripted failures must fire");
     assert!(run.repairs >= 1, "at least the first repair must land");
-    assert!(
-        !matches!(
-            m.outcome(),
-            RecoveryOutcome::UnrecoverableSecondFault { .. }
-        ),
-        "a failure after a completed repair is within the single-failure \
-         hypothesis: {}",
-        m.outcome()
-    );
     assert!(m.outcome().is_recovered(), "{}", m.outcome());
+    // Well-separated faults are independent episodes: no restart fires.
+    assert_eq!(run.recovery_restarts, 0);
     assert_eq!(run.faults_survived, 2);
     assert_eq!(run.faults_unsurvivable, 0);
     m.assert_invariants();
@@ -375,4 +371,125 @@ fn repaired_node_reintegrates_and_survives_a_second_failure() {
 
     // Re-integration is real: the node ended the run back in the ring.
     assert!(m.ring().is_alive(victim), "victim must be repaired at end");
+}
+
+#[test]
+fn random_nested_fault_sequences_recover_or_certify_data_loss() {
+    // Property test of restartable recovery: random K-fault sequences
+    // (K <= 4, mixed transient/permanent, gaps tight enough that later
+    // faults often land inside open recovery windows) must either recover
+    // — invariants intact, every stream at quota, every fault credited —
+    // or halt with a data loss the copy-accounting audit certifies. At
+    // most one permanent kill per sequence: scripted failures carry no
+    // mesh-connectivity guard, and this property is about restarts, not
+    // partitions.
+    let mut rng = ftcoma_sim::DetRng::seeded(0x5EED_FA17);
+    for case in 0..12u32 {
+        let mut config = cfg(presets::water(), 1_000.0);
+        config.nodes = 8;
+        config.refs_per_node = 6_000;
+        let quota = config.warmup_refs_per_node + config.refs_per_node;
+        let mut m = Machine::new(config);
+        let k = 2 + rng.below(3); // 2..=4 faults
+        let mut at = 10_000 + rng.below(30_000);
+        let mut permanents = 0u32;
+        let mut victims: Vec<u16> = Vec::new();
+        for _ in 0..k {
+            let mut node = rng.below(8) as u16;
+            while victims.contains(&node) {
+                node = (node + 1) % 8;
+            }
+            victims.push(node);
+            let kind = if permanents == 0 && rng.chance(0.3) {
+                permanents += 1;
+                FailureKind::Permanent
+            } else {
+                FailureKind::Transient
+            };
+            m.schedule_failure(at, NodeId::new(node), kind);
+            // Tight gaps: most land inside the previous fault's window.
+            at += 1 + rng.below(3_000);
+        }
+        let run = m.run();
+        assert_eq!(run.failures, k, "case {case}: all faults fire");
+        match m.outcome() {
+            RecoveryOutcome::Recovered => {
+                m.assert_invariants();
+                assert_eq!(m.audit_data_loss(), None, "case {case}");
+                assert_eq!(run.faults_survived, run.failures, "case {case}");
+                assert_eq!(run.faults_unsurvivable, 0, "case {case}");
+                assert!(
+                    m.stream_progress().iter().all(|&p| p == quota),
+                    "case {case}: a stream stalled short of quota"
+                );
+            }
+            RecoveryOutcome::UnrecoverableDataLoss { item, .. } => {
+                assert_eq!(
+                    m.audit_data_loss(),
+                    Some(*item),
+                    "case {case}: data-loss halt must be audit-certified"
+                );
+                assert_eq!(run.faults_unsurvivable, 1, "case {case}");
+            }
+            other => panic!("case {case}: unexpected outcome {other}"),
+        }
+    }
+}
+
+#[test]
+fn nested_fault_in_each_recovery_subphase_restarts_and_recovers() {
+    use ftcoma_machine::tracelog::TraceEvent;
+
+    // Probe run: locate the recovery window of a single permanent fault,
+    // so the nested injections below can hit each sub-phase precisely.
+    let probe_cfg = || {
+        let mut c = cfg(presets::mp3d(), 1_000.0);
+        c.refs_per_node = 40_000;
+        c
+    };
+    let mut probe_config = probe_cfg();
+    probe_config.trace_capacity = 200_000;
+    let mut probe = Machine::new(probe_config);
+    probe.schedule_failure(30_000, NodeId::new(2), FailureKind::Permanent);
+    let _ = probe.run();
+    let recovered_at = probe
+        .trace()
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Recovered { at } if *at >= 30_000 => Some(*at),
+            _ => None,
+        })
+        .expect("probe run must recover");
+    assert!(recovered_at > 30_001, "window too narrow to subdivide");
+
+    // Pin a nested fault in each recovery sub-phase. Detection is
+    // zero-width, so "during detection" means the failure cycle itself;
+    // rollback starts immediately after; reconfiguration runs until the
+    // `Recovered` event; replay follows recovery until the next commit
+    // (where a fault opens its own episode instead of restarting).
+    for (phase, at2, expect_restart) in [
+        ("detection", 30_000, true),
+        ("rollback", 30_001, true),
+        ("reconfiguration", recovered_at - 1, true),
+        ("replay", recovered_at + 50, false),
+    ] {
+        let mut m = Machine::new(probe_cfg());
+        m.schedule_failure(30_000, NodeId::new(2), FailureKind::Permanent);
+        m.schedule_failure(at2, NodeId::new(5), FailureKind::Transient);
+        let run = m.run();
+        assert_eq!(run.failures, 2, "{phase}");
+        assert!(m.outcome().is_recovered(), "{phase}: {}", m.outcome());
+        m.assert_invariants();
+        if expect_restart {
+            assert!(run.recovery_restarts >= 1, "{phase}: no restart recorded");
+            assert!(run.recovery_max_depth >= 2, "{phase}");
+        } else {
+            assert_eq!(
+                run.recovery_restarts, 0,
+                "{phase}: a fault after recovery completes is its own episode"
+            );
+        }
+        assert_eq!(run.faults_survived, run.failures, "{phase}");
+        assert_eq!(m.audit_data_loss(), None, "{phase}");
+    }
 }
