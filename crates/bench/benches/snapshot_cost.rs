@@ -1,0 +1,135 @@
+//! Snapshot-fork micro-costs: what one engine-state snapshot and one
+//! restore (fork) cost, per node, on a warmed machine.
+//!
+//! Snapshot-fork execution (docs/PERFORMANCE.md) only pays off while
+//! `snapshot + restore` stays far below re-simulating the shared prefix,
+//! so this bench pins both sides of that trade: the per-node cost of
+//! `Machine::snapshot()` / `Snapshot::to_machine()` and, for scale, the
+//! wall time of simulating the same prefix from scratch. The CI
+//! `perf-smoke` job reads the `snapshot_cost_us_per_node` line and fails
+//! when the per-node cost leaves its absolute budget — a deep-copy
+//! snapshot that silently grows a new O(history) component would erase
+//! the chaos/campaign fork speedup without failing any correctness test.
+//!
+//! Wall-clock timing is inherently noisy; every measurement runs
+//! `REPEATS` times and the minimum wall time wins (the standard low-noise
+//! estimator for cost benches).
+
+use std::time::Instant;
+
+use ftcoma_bench::{banner, quick_mode, write_bench_json};
+use ftcoma_core::FtConfig;
+use ftcoma_machine::{Machine, MachineConfig};
+use ftcoma_sim::Json;
+use ftcoma_workloads::presets;
+
+/// Timed passes per measurement; the minimum wall time wins.
+const REPEATS: u32 = 3;
+/// Snapshot/restore pairs per timed pass (one pair is too fast to time).
+const PAIRS: u32 = 32;
+
+struct Row {
+    label: String,
+    nodes: u16,
+    prefix_ms: f64,
+    snapshot_us: f64,
+    restore_us: f64,
+}
+
+/// Costs on one machine size: warm a prefix to `prefix_cycles`, then time
+/// `PAIRS` snapshot+restore pairs, keeping each restored machine alive so
+/// the copies cannot be optimized away.
+fn measure(nodes: u16, refs: u64, prefix_cycles: u64) -> Row {
+    let cfg = MachineConfig {
+        nodes,
+        refs_per_node: refs,
+        warmup_refs_per_node: 0,
+        workload: presets::water(),
+        ft: FtConfig::enabled(400.0),
+        verify: false,
+        ..MachineConfig::default()
+    };
+
+    let mut prefix_best = f64::INFINITY;
+    let mut snap_best = f64::INFINITY;
+    let mut restore_best = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let mut machine = Machine::new(cfg.clone());
+        let start = Instant::now();
+        machine.run_until(prefix_cycles);
+        prefix_best = prefix_best.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let snaps: Vec<_> = (0..PAIRS).map(|_| machine.snapshot()).collect();
+        snap_best = snap_best.min(start.elapsed().as_secs_f64() / f64::from(PAIRS));
+
+        let start = Instant::now();
+        let forks: Vec<Machine> = snaps.iter().map(|s| s.to_machine()).collect();
+        restore_best = restore_best.min(start.elapsed().as_secs_f64() / f64::from(PAIRS));
+        assert_eq!(forks.len(), snaps.len());
+    }
+    Row {
+        label: format!("water/n{nodes}"),
+        nodes,
+        prefix_ms: prefix_best * 1e3,
+        snapshot_us: snap_best * 1e6,
+        restore_us: restore_best * 1e6,
+    }
+}
+
+fn main() {
+    // Quick mode (CI smoke / the perf gate) times two small meshes; full
+    // mode adds the paper's 16-node machine with a longer prefix.
+    let cells: &[(u16, u64, u64)] = if quick_mode() {
+        &[(4, 4_000, 10_000), (8, 4_000, 10_000)]
+    } else {
+        &[(4, 8_000, 20_000), (8, 8_000, 20_000), (16, 8_000, 20_000)]
+    };
+
+    banner(
+        "snapshot_cost: engine snapshot/restore micro-costs",
+        "infrastructure bench (no paper figure) — gates the snapshot-fork budget",
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &(nodes, refs, prefix) in cells {
+        let r = measure(nodes, refs, prefix);
+        println!(
+            "{:<12} prefix {:>8.1} ms   snapshot {:>8.1} us   restore {:>8.1} us",
+            r.label, r.prefix_ms, r.snapshot_us, r.restore_us
+        );
+        rows.push(r);
+    }
+
+    // Per-node cost of one full snapshot+restore pair, worst cell wins:
+    // the budget must hold on every machine size, not on the average.
+    let per_node = rows
+        .iter()
+        .map(|r| (r.snapshot_us + r.restore_us) / f64::from(r.nodes))
+        .fold(0.0_f64, f64::max);
+    println!("{}", "-".repeat(72));
+    // Machine-parseable: the CI perf gate reads exactly this line.
+    println!("snapshot_cost_us_per_node {per_node:.1}");
+
+    let json: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("label", Json::from(r.label.as_str())),
+                ("nodes", Json::from(u64::from(r.nodes))),
+                ("prefix_ms", Json::from(r.prefix_ms)),
+                ("snapshot_us", Json::from(r.snapshot_us)),
+                ("restore_us", Json::from(r.restore_us)),
+            ])
+        })
+        .chain([Json::obj([
+            ("label", Json::from("us_per_node")),
+            ("snapshot_cost_us_per_node", Json::from(per_node)),
+        ])])
+        .collect();
+    match write_bench_json("snapshot_cost", json) {
+        Ok(Some(path)) => eprintln!("wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("bench JSON export failed: {e}"),
+    }
+}

@@ -43,5 +43,8 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
-pub use runner::{run_cell, run_cells, CellOutcome};
+pub use runner::{
+    apply_scenario, fork_cycle, needs_net, run_cell, run_cell_on, run_cells, CellOutcome,
+    SnapshotForge,
+};
 pub use spec::{lengths_for, CampaignSpec, Cell, Lengths, Scenario, ScenarioKind, SpecError};

@@ -11,7 +11,10 @@
 
 use std::time::Instant;
 
-use ftcoma_campaign::{run_cell, run_cells, Cell, CellOutcome, Scenario, ScenarioKind};
+use ftcoma_campaign::{
+    fork_cycle, needs_net, run_cell, run_cell_on, run_cells, Cell, CellOutcome, Scenario,
+    ScenarioKind, SnapshotForge,
+};
 use ftcoma_core::FtConfig;
 use ftcoma_machine::{export, MachineConfig};
 use ftcoma_mem::addr::ITEMS_PER_PAGE;
@@ -156,8 +159,14 @@ impl ChaosConfig {
 /// two-phase establishment windows around each `k * period`, back-to-back
 /// pairs with tight gaps probing the rollback/reconfiguration window, and
 /// multi-failure cycles.
+/// Floor for sampled horizons: a degenerate golden horizon (tiny runs in
+/// quick/test modes) must not collapse every sampling window to a single
+/// cycle, or bias every draw to cycle 1. All scripted samplers clamp to
+/// the same floor so their draw streams stay aligned across modes.
+const MIN_HORIZON: u64 = 8;
+
 fn sample_scenario(rng: &mut DetRng, nodes: u16, horizon: u64, period: u64) -> Scenario {
-    let horizon = horizon.max(2);
+    let horizon = horizon.max(MIN_HORIZON);
     let full = [(1, horizon)];
     let node = rng.below(u64::from(nodes)) as u16;
     let bucket = rng.below(100);
@@ -234,7 +243,7 @@ fn sample_scenario(rng: &mut DetRng, nodes: u16, horizon: u64, period: u64) -> S
 /// the reliable transport and fault-aware routing must mask or escalate
 /// cleanly.
 fn sample_net_scenario(rng: &mut DetRng, nodes: u16, horizon: u64) -> Scenario {
-    let horizon = horizon.max(2);
+    let horizon = horizon.max(MIN_HORIZON);
     let node = rng.below(u64::from(nodes)) as u16;
     let at = rng.in_windows(&[(1, horizon)]).expect("non-empty window");
     let bucket = rng.below(100);
@@ -304,7 +313,7 @@ fn sample_soak_scenario(rng: &mut DetRng, horizon: u64) -> Scenario {
 /// carry no mesh-connectivity guard, so two permanents could partition
 /// the mesh and mask the restart path under test.
 fn sample_nested_scenario(rng: &mut DetRng, nodes: u16, horizon: u64) -> Scenario {
-    let horizon = horizon.max(4);
+    let horizon = horizon.max(MIN_HORIZON);
     let node = rng.below(u64::from(nodes)) as u16;
     let at = rng.range(1, (horizon * 3 / 4).max(2));
     let gap = 1 + rng.below(4_000);
@@ -441,7 +450,26 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
             Verdict::Unrecoverable => unrecoverable += 1,
             Verdict::Fail(reasons) => {
                 failed += 1;
-                let cx = minimize_case(cfg, cell, golden, reasons, run_cell);
+                // Fork-aware shrink runner: bisection probes share prefix
+                // snapshots (one forge per transport band) instead of
+                // re-simulating the unfaulted prefix per probe. The final
+                // artifact re-run raises `trace_capacity`, so its config
+                // differs from the forge's and it runs straight — exactly
+                // as a from-scratch shrinker would have run it.
+                let base_cfg = &cell.cfg;
+                let mut forges: [Option<SnapshotForge>; 2] = [None, None];
+                let cx = minimize_case(cfg, cell, golden, reasons, |c: &Cell| {
+                    if c.cfg == *base_cfg {
+                        if let Some(at) = fork_cycle(&c.scenario) {
+                            let band = usize::from(needs_net(&c.scenario.kind));
+                            let forge = forges[band].get_or_insert_with(|| {
+                                SnapshotForge::new(c.cfg.clone(), band == 1)
+                            });
+                            return run_cell_on(c, forge.machine_at(at));
+                        }
+                    }
+                    run_cell(c)
+                });
                 row.push(("counterexample".to_string(), Json::from(cx.case_id)));
                 counterexamples.push(cx);
             }
@@ -804,6 +832,58 @@ mod tests {
             r1.doc.to_string_pretty().contains("continuous"),
             "no soak cases sampled"
         );
+    }
+
+    /// Satellite regression: degenerate golden horizons (tiny quick-mode
+    /// runs) used to collapse the sampling windows — `range(1, 2)` pins
+    /// every draw to cycle 1. With the shared [`MIN_HORIZON`] clamp the
+    /// samplers stay in range *and* keep spreading their draws.
+    #[test]
+    fn tiny_horizon_sampling_stays_in_range_and_unbiased() {
+        for horizon in [0, 1, 2, 3, 5, 7] {
+            let mut rng = DetRng::seeded(0xBAD0 + horizon);
+            let mut ats = std::collections::BTreeSet::new();
+            for _ in 0..200 {
+                let sc = sample_scenario(&mut rng, 8, horizon, 20_000);
+                assert!(sc.at >= 1, "horizon {horizon}: at {} below 1", sc.at);
+                assert!(sc.at < MIN_HORIZON, "horizon {horizon}: at {}", sc.at);
+                assert!(sc.node < 8);
+                ats.insert(sc.at);
+
+                let net = sample_net_scenario(&mut rng, 8, horizon);
+                assert!(net.at >= 1 && net.at < MIN_HORIZON);
+
+                let nested = sample_nested_scenario(&mut rng, 8, horizon);
+                assert!(nested.at >= 1 && nested.at < MIN_HORIZON);
+            }
+            assert!(
+                ats.len() > 1,
+                "horizon {horizon}: every scripted draw biased to cycle {:?}",
+                ats
+            );
+        }
+    }
+
+    /// End-to-end quick-mode sweep over a tiny golden horizon: short runs
+    /// must neither panic in the samplers nor lose jobs-level determinism.
+    #[test]
+    fn tiny_horizon_sweep_is_deterministic() {
+        let cfg1 = ChaosConfig {
+            jobs: 1,
+            refs_per_node: 120,
+            cases: 10,
+            net_faults: true,
+            nested: true,
+            ..tiny(61)
+        };
+        let cfg4 = ChaosConfig {
+            jobs: 4,
+            ..cfg1.clone()
+        };
+        let r1 = run_chaos(&cfg1).unwrap();
+        let r4 = run_chaos(&cfg4).unwrap();
+        assert_eq!(r1.doc.to_string_pretty(), r4.doc.to_string_pretty());
+        assert_eq!(r1.passed + r1.unrecoverable + r1.failed, 10);
     }
 
     #[test]

@@ -231,8 +231,13 @@ fn export_outputs(
     let wants_doc = p.has("json") || p.has("metrics-out");
     let doc = if wants_doc {
         let mut d = export::metrics_json(metrics, links);
-        if let Json::Obj(pairs) = &mut d {
-            pairs.push(("outcome".into(), export::outcome_json(outcome)));
+        match &mut d {
+            Json::Obj(pairs) => pairs.push(("outcome".into(), export::outcome_json(outcome))),
+            _ => {
+                return Err(ArgError(
+                    "malformed metrics document: top level must be a JSON object".into(),
+                ))
+            }
         }
         Some(d)
     } else {
@@ -264,7 +269,10 @@ fn export_outputs(
         )?;
     }
     if p.has("json") {
-        println!("{}", doc.expect("built above").to_string_pretty());
+        let doc = doc.ok_or_else(|| {
+            ArgError("internal: --json was requested but no document was built".into())
+        })?;
+        println!("{}", doc.to_string_pretty());
         return Ok(true);
     }
     Ok(false)

@@ -404,6 +404,35 @@ fn campaign_rejects_bad_specs() {
 }
 
 #[test]
+fn export_failures_exit_through_the_error_path_not_a_panic() {
+    // An unwritable --metrics-out must surface as a clean CLI error even
+    // when --json is also requested: exit code, an `error:` line on
+    // stderr, and crucially no panic backtrace from the doc plumbing.
+    let mut args = RUN_ARGS.to_vec();
+    args.extend([
+        "--json",
+        "--metrics-out",
+        "/nonexistent-ftcoma-dir/metrics.json",
+    ]);
+    let out = ftcoma(&args);
+    assert!(!out.status.success(), "unwritable path must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error: cannot write /nonexistent-ftcoma-dir/metrics.json"),
+        "expected the CLI error path, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "export errors must not panic: {stderr}"
+    );
+    // The failed export must not have half-emitted the JSON document.
+    assert!(
+        out.stdout.is_empty(),
+        "stdout must stay empty on export failure"
+    );
+}
+
+#[test]
 fn json_rejects_unknown_subcommand_flags() {
     let out = ftcoma(&["latency", "--json"]);
     assert!(!out.status.success(), "latency does not take --json");

@@ -99,7 +99,7 @@ enum InjStage {
     WaitPartnerAck,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct InjectionTask {
     cause: InjectCause,
     then: AfterInject,
@@ -111,7 +111,7 @@ struct InjectionTask {
     moved_state: Option<ItemState>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct WriteCollect {
     /// Invalidation acks still unknown until the data reply arrives.
     needed: Option<u32>,
@@ -122,7 +122,7 @@ struct WriteCollect {
     upgrade_in_place: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PendingAccess {
     item: ItemId,
     addr: Addr,
@@ -130,14 +130,14 @@ struct PendingAccess {
     write_value: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct EvictTask {
     victim: PageId,
     to_inject: VecDeque<ItemId>,
     then_alloc: PageId,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CreateTask {
     gen: u64,
     queue: VecDeque<ItemId>,
@@ -153,13 +153,13 @@ struct CreateTask {
     marks_outstanding: u32,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ReconfigTask {
     queue: VecDeque<ItemId>,
 }
 
 /// Per-node transaction bookkeeping (the node's transient-state memory).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct NodeEngine {
     pending: Option<PendingAccess>,
     /// The pending access targets a slot reserved for an in-flight
@@ -190,7 +190,7 @@ impl NodeEngine {
 /// The coherence engine for the whole machine (one logical instance per
 /// node; kept together for simulation convenience — handlers only ever
 /// touch the state of the node they run on).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Engine {
     cfg: FtConfig,
     timing: MemTiming,

@@ -24,7 +24,7 @@ pub enum FailureKind {
 /// The defaults are the paper's: KSR1-like node (20 MHz, 256 KB cache,
 /// 8 MB AM), 4×4-capable mesh parameters, standard protocol, Water
 /// workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Number of nodes (the paper evaluates 9–56; default 16 = 4×4).
     pub nodes: u16,

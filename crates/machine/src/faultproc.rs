@@ -135,7 +135,7 @@ enum NodeClock {
 
 /// The deterministic continuous failure-process generator. See the module
 /// docs for the contract.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FaultProcess {
     cfg: FaultProcessConfig,
     /// One independent stream per node, so adding or disabling one node's

@@ -47,5 +47,5 @@ pub mod tracelog;
 pub use config::{FailureKind, MachineConfig};
 pub use faultproc::{FaultDist, FaultProcess, FaultProcessConfig};
 pub use ftcoma_protocol::transport::RetryPolicy;
-pub use machine::Machine;
+pub use machine::{Machine, Snapshot};
 pub use metrics::{NodeMetrics, PhaseLatency, RunMetrics, TsSample};

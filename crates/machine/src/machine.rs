@@ -21,7 +21,7 @@ use crate::faultproc::{FaultAction, FaultProcess, FaultProcessConfig};
 use crate::metrics::{NodeMetrics, RunMetrics, TsSample};
 use crate::tracelog::{TraceEvent, TraceLog};
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Event {
     /// Processor of `node` issues its buffered reference (valid only for
     /// the matching epoch).
@@ -60,7 +60,7 @@ enum Event {
 }
 
 /// An unacknowledged transport packet awaiting its ack or next retry.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct InFlight {
     msg: Msg,
     attempts: u32,
@@ -122,7 +122,10 @@ enum Phase {
 }
 
 /// The simulated ft-coma machine. See the crate docs for an example.
-#[derive(Debug)]
+///
+/// `Clone` is deep and deterministic: the clone replays exactly like the
+/// original (see [`Machine::snapshot`]).
+#[derive(Debug, Clone)]
 pub struct Machine {
     cfg: MachineConfig,
     nodes: Vec<NodeState>,
@@ -214,6 +217,30 @@ pub struct Machine {
     outcome: RecoveryOutcome,
     /// Set when the machine stopped early on a terminal outcome.
     halted: bool,
+}
+
+/// A frozen, deeply-cloned [`Machine`] state, cheap to fork from.
+///
+/// Produced by [`Machine::snapshot`]; turned back into a runnable machine
+/// by [`Snapshot::to_machine`] (any number of times — each fork is
+/// independent) or applied over an existing machine by
+/// [`Machine::restore`]. Forked runs are byte-identical to straight runs:
+/// the event calendar's two-band sequence numbering makes scenario
+/// injection into a resumed snapshot tie-break exactly like
+/// construction-time injection.
+#[derive(Debug, Clone)]
+pub struct Snapshot(Box<Machine>);
+
+impl Snapshot {
+    /// Forks an independent runnable machine from the captured state.
+    pub fn to_machine(&self) -> Machine {
+        (*self.0).clone()
+    }
+
+    /// Simulation time at which the state was captured.
+    pub fn at(&self) -> Cycles {
+        self.0.queue.now()
+    }
 }
 
 impl Machine {
@@ -320,7 +347,7 @@ impl Machine {
             "failures require the ECP; the standard protocol cannot recover"
         );
         assert!(node.index() < self.nodes.len(), "no such node");
-        self.queue.schedule(at, Event::Failure { node, kind });
+        self.queue.schedule_pre(at, Event::Failure { node, kind });
     }
 
     /// Schedules the repair of a permanently failed node: a fresh
@@ -337,7 +364,7 @@ impl Machine {
             "repair requires the ECP machine"
         );
         assert!(node.index() < self.nodes.len(), "no such node");
-        self.queue.schedule(at, Event::Repair { node });
+        self.queue.schedule_pre(at, Event::Repair { node });
     }
 
     /// Schedules a mesh link cut at `at`: both directions of the `a`–`b`
@@ -360,7 +387,7 @@ impl Machine {
             "no such node"
         );
         self.transport_active = true;
-        self.queue.schedule(at, Event::LinkCut { a, b });
+        self.queue.schedule_pre(at, Event::LinkCut { a, b });
     }
 
     /// Schedules a mesh router failure at `at`: the node's router stops
@@ -380,7 +407,7 @@ impl Machine {
         assert!(self.cfg.bus.is_none(), "router faults need a mesh fabric");
         assert!(node.index() < self.nodes.len(), "no such node");
         self.transport_active = true;
-        self.queue.schedule(at, Event::RouterDown { node });
+        self.queue.schedule_pre(at, Event::RouterDown { node });
     }
 
     /// Installs a seeded message-loss episode: starting at `at`, each
@@ -398,15 +425,47 @@ impl Machine {
             self.cfg.ft.mode.is_enabled(),
             "interconnect faults require the ECP machine"
         );
-        assert!(
-            self.net_plan.is_none(),
-            "one message fault plan per machine"
-        );
-        let plan =
-            NetFaultPlan::message_loss(derive_seed(self.cfg.seed, NET_PLAN_STREAM), rate_per_mille)
+        match &mut self.net_plan {
+            None => {
+                let plan = NetFaultPlan::message_loss(
+                    derive_seed(self.cfg.seed, NET_PLAN_STREAM),
+                    rate_per_mille,
+                )
                 .with_window(at, at + LOSS_WINDOW);
+                self.net_plan = Some(plan);
+            }
+            // A zero-rate standby plan ([`Machine::preactivate_transport`])
+            // arms in place, keeping its seed and send ordinal so a forked
+            // run rolls the same per-packet dice as a straight one.
+            Some(plan) if plan.rate_per_mille() == 0 => {
+                plan.arm_message_loss(rate_per_mille, at, at + LOSS_WINDOW);
+            }
+            Some(_) => panic!("one message fault plan per machine"),
+        }
         self.transport_active = true;
-        self.net_plan = Some(plan);
+    }
+
+    /// Switches the machine onto the reliable-transport path from cycle 0
+    /// with an inert (zero-rate) fault plan, without changing behavior:
+    /// every packet is delivered, merely through the sequenced/acked path
+    /// an armed plan would use. A prefix run snapshotted for later
+    /// network-fault injection must run pre-activated so the fork point
+    /// inherits transport state (and the plan's send ordinal) identical to
+    /// a straight run's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a (non-inert) fault plan is already installed.
+    pub fn preactivate_transport(&mut self) {
+        if let Some(plan) = &self.net_plan {
+            assert!(plan.rate_per_mille() == 0, "a fault plan is already armed");
+        } else {
+            self.net_plan = Some(NetFaultPlan::new(derive_seed(
+                self.cfg.seed,
+                NET_PLAN_STREAM,
+            )));
+        }
+        self.transport_active = true;
     }
 
     /// Installs the continuous MTBF/MTTR failure–repair process
@@ -449,25 +508,63 @@ impl Machine {
             links,
         );
         let first = fp.next_at().expect("a validated process is always armed");
-        self.queue.schedule(first.max(1), Event::FaultTick);
+        self.queue.schedule_pre(first.max(1), Event::FaultTick);
         self.fault_process = Some(fp);
+    }
+
+    /// Dispatches queued events in order until a terminal condition —
+    /// halt, quiescent completion, or (when `limit` is set) the next
+    /// event not being strictly before `limit`.
+    ///
+    /// The termination checks run *before* each pop, so an event queued
+    /// past the natural end of the run (e.g. a fault injected into a
+    /// resumed snapshot at a cycle the straight run never reached) is
+    /// left undelivered exactly as a straight run would leave it.
+    fn advance(&mut self, limit: Option<Cycles>) {
+        self.queue.seal();
+        loop {
+            if self.halted {
+                return;
+            }
+            if self.all_done() && self.deliver_pending == 0 && self.phase == Phase::Running {
+                return;
+            }
+            if let Some(l) = limit {
+                match self.queue.peek_time() {
+                    Some(t) if t < l => {}
+                    _ => return,
+                }
+            }
+            let Some((at, ev)) = self.queue.pop() else {
+                return;
+            };
+            if self.ts_every > 0 {
+                self.sample_timeseries_until(at);
+            }
+            self.dispatch(ev);
+        }
+    }
+
+    /// Runs the machine up to (but not including) simulation time `limit`,
+    /// then stops with all state intact: every event strictly before
+    /// `limit` is dispatched, nothing at or after it. The machine can
+    /// continue via another [`Machine::run_until`] or finish with
+    /// [`Machine::run`] — the composite run is byte-identical to an
+    /// uninterrupted one. This is the prefix half of snapshot-fork
+    /// execution: run to an injection cycle once, snapshot, fork many.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine already finished.
+    pub fn run_until(&mut self, limit: Cycles) {
+        assert!(!self.finished, "machine already ran");
+        self.advance(Some(limit));
     }
 
     /// Runs the machine to completion and returns the metrics.
     pub fn run(&mut self) -> RunMetrics {
         assert!(!self.finished, "machine already ran");
-        while let Some((at, ev)) = self.queue.pop() {
-            if self.ts_every > 0 {
-                self.sample_timeseries_until(at);
-            }
-            self.dispatch(ev);
-            if self.halted {
-                break;
-            }
-            if self.all_done() && self.deliver_pending == 0 && self.phase == Phase::Running {
-                break;
-            }
-        }
+        self.advance(None);
         self.finished = true;
         self.finalize_observability();
         self.metrics.total_cycles = self.queue.now();
@@ -498,6 +595,22 @@ impl Machine {
             self.metrics.total_cycles = self.queue.now() - base_cycles;
         }
         self.metrics.clone()
+    }
+
+    /// Captures the machine's complete state — engine, attraction
+    /// memories, caches, directory/home tables, transport, mesh, fault
+    /// plan, workload streams, RNG streams, metrics/trace/span/time-series
+    /// sinks and the event calendar with both sequence bands — as a
+    /// deterministic snapshot. A machine restored from the snapshot and
+    /// run to completion produces a report byte-identical to running the
+    /// original straight through.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot(Box::new(self.clone()))
+    }
+
+    /// Replaces this machine's state with the snapshot's.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        *self = (*snap.0).clone();
     }
 
     /// The metrics collected so far (complete after [`Machine::run`]).
@@ -747,7 +860,12 @@ impl Machine {
             }
         }
         if let Some(start) = self.replay_start.take() {
-            self.metrics.phases.replay.record(now.saturating_sub(start));
+            // The window can open at a recovery end scheduled past the
+            // final event; a window that never opened has no duration to
+            // record (a zero would pollute the replay p50).
+            if now >= start {
+                self.metrics.phases.replay.record(now - start);
+            }
         }
         if self.spans.enabled() {
             self.close_open_txn_spans(now);
@@ -1193,13 +1311,14 @@ impl Machine {
         debug_assert_eq!(self.phase, Phase::Create);
         let commit_start = self.queue.now();
         // A commit ends the replay window: lost work is re-covered by a
-        // durable recovery point from here on. (Clamped: the window can
-        // open at a recovery end scheduled past this event.)
+        // durable recovery point from here on. The window can open at a
+        // recovery end scheduled past this event; such a not-yet-open
+        // window is discarded without a sample (a clamped zero would
+        // pollute the replay p50).
         if let Some(start) = self.replay_start.take() {
-            self.metrics
-                .phases
-                .replay
-                .record(commit_start.saturating_sub(start));
+            if commit_start >= start {
+                self.metrics.phases.replay.record(commit_start - start);
+            }
         }
         if self.spans.enabled() {
             if let Some((root, rstart, victim)) = self.open_recovery.take() {
@@ -1525,12 +1644,16 @@ impl Machine {
         }
         // A failure inside a replay window ends that window early. The
         // window can open in the *future* (a recovery end pushed past the
-        // failure event by the rollback scan), so clamp at zero.
+        // failure event by the rollback scan); such a window never opened,
+        // so it is discarded without a sample (a clamped zero would
+        // pollute the replay p50).
         if let Some(start) = self.replay_start.take() {
-            self.metrics
-                .phases
-                .replay
-                .record(self.recovery_start.saturating_sub(start));
+            if self.recovery_start >= start {
+                self.metrics
+                    .phases
+                    .replay
+                    .record(self.recovery_start - start);
+            }
         }
         // Detection is immediate under the fail-stop model; the zero-width
         // sample keeps the phase present in the decomposition.
@@ -2473,5 +2596,100 @@ mod tests {
     fn fault_process_rejects_an_empty_configuration() {
         let mut m = Machine::new(small_ecp_config());
         m.install_fault_process(FaultProcessConfig::default());
+    }
+
+    #[test]
+    fn replay_window_opening_in_the_future_is_discarded_not_clamped() {
+        // `finish_recovery` can open the replay window at a cycle past the
+        // current event (the rollback scan end); if the run ends first,
+        // the window never opened and must not contribute a sample.
+        let mut m = Machine::new(small_ecp_config());
+        m.run();
+        let before = m.metrics().phases.replay.count();
+        m.replay_start = Some(m.queue.now() + 10_000);
+        m.finalize_observability();
+        assert_eq!(
+            m.metrics().phases.replay.count(),
+            before,
+            "a window that never opened must not record a zero-length sample"
+        );
+        // A window that did open still records normally.
+        m.replay_start = Some(m.queue.now().saturating_sub(50));
+        m.finalize_observability();
+        assert_eq!(m.metrics().phases.replay.count(), before + 1);
+    }
+
+    #[test]
+    fn nested_fault_before_the_replay_window_opens_records_no_zero_sample() {
+        // Regression for the `saturating_sub` clamp: drive a real recovery
+        // with `run_until` until `finish_recovery` has opened the replay
+        // window at a *future* cycle, inject a nested fault inside that
+        // gap, and check the aborted window contributes no (zero) sample —
+        // only the second episode's commit-closed window is recorded.
+        let mut m = Machine::new(small_ecp_config());
+        m.schedule_failure(20_000, NodeId::new(2), FailureKind::Transient);
+        m.run_until(20_001); // process the failure event
+        while m.replay_start.is_none() {
+            let t = m.queue.peek_time().expect("recovery still in flight");
+            m.run_until(t + 1);
+        }
+        let window_opens = m.replay_start.expect("just observed");
+        let now = m.queue.now();
+        assert!(
+            window_opens > now,
+            "config must produce a future-opening window ({window_opens} vs {now})"
+        );
+        m.schedule_failure(now, NodeId::new(3), FailureKind::Transient);
+        let metrics = m.run();
+        assert!(m.outcome().is_recovered());
+        assert_eq!(metrics.failures, 2);
+        assert_eq!(
+            metrics.phases.replay.count(),
+            1,
+            "only the completed episode's replay window may be sampled"
+        );
+    }
+
+    #[test]
+    fn forked_run_report_matches_a_straight_run() {
+        let cfg = small_ecp_config();
+        let mut straight = Machine::new(cfg.clone());
+        straight.schedule_failure(20_000, NodeId::new(2), FailureKind::Transient);
+        let want = straight.run();
+
+        // Fork: run an unfaulted prefix to the injection cycle, snapshot,
+        // clone a machine off it, inject, finish.
+        let mut prefix = Machine::new(cfg);
+        prefix.run_until(20_000);
+        let snap = prefix.snapshot();
+        let mut fork = snap.to_machine();
+        fork.schedule_failure(20_000, NodeId::new(2), FailureKind::Transient);
+        let got = fork.run();
+        assert_eq!(got, want, "forked report differs from the straight run");
+        assert_eq!(fork.stream_progress(), straight.stream_progress());
+        assert_eq!(fork.outcome(), straight.outcome());
+        assert_eq!(fork.timeseries(), straight.timeseries());
+
+        // The snapshot is reusable: a second fork replays identically too.
+        let mut fork2 = snap.to_machine();
+        fork2.schedule_failure(20_000, NodeId::new(2), FailureKind::Transient);
+        assert_eq!(fork2.run(), want);
+    }
+
+    #[test]
+    fn run_until_composes_into_an_uninterrupted_run() {
+        let cfg = small_ecp_config();
+        let mut straight = Machine::new(cfg.clone());
+        straight.schedule_failure(15_000, NodeId::new(1), FailureKind::Permanent);
+        straight.schedule_repair(60_000, NodeId::new(1));
+        let want = straight.run();
+
+        let mut stepped = Machine::new(cfg);
+        stepped.schedule_failure(15_000, NodeId::new(1), FailureKind::Permanent);
+        stepped.schedule_repair(60_000, NodeId::new(1));
+        for limit in [1, 10_000, 15_000, 15_001, 40_000, 90_000] {
+            stepped.run_until(limit);
+        }
+        assert_eq!(stepped.run(), want);
     }
 }

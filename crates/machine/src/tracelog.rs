@@ -227,7 +227,7 @@ impl std::fmt::Display for TraceEvent {
 }
 
 /// Bounded ring buffer of [`TraceEvent`]s (oldest evicted first).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TraceLog {
     cap: usize,
     events: VecDeque<TraceEvent>,

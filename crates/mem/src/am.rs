@@ -91,7 +91,7 @@ pub struct ItemSlot {
     pub ckpt_gen: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PageFrame {
     page: PageId,
     slots: Box<[ItemSlot]>,
@@ -177,7 +177,7 @@ impl std::error::Error for SetFull {}
 /// assert_eq!(am.state(item), ItemState::Exclusive);
 /// assert_eq!(am.slot(item).unwrap().value, 7);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AttractionMemory {
     geo: AmGeometry,
     sets: Vec<Vec<Option<PageFrame>>>,

@@ -102,7 +102,7 @@ impl Default for CacheGeometry {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Sector {
     /// Global sector index (`line.index() / lines_per_sector`).
     id: u64,
@@ -136,7 +136,7 @@ pub struct FillOutcome {
 /// assert!(c.mark_dirty(l));
 /// assert_eq!(c.line_state(l), LineState::Dirty);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cache {
     geo: CacheGeometry,
     sets: Vec<Vec<Option<Sector>>>,

@@ -75,7 +75,7 @@ impl BusConfig {
 /// let b = bus.send(0, NodeId::new(2), NodeId::new(3), NetClass::Request, 0);
 /// assert!(b > a, "the second transaction waits for the bus");
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Bus {
     cfg: BusConfig,
     free: [Cycles; 2],

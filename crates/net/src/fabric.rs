@@ -35,7 +35,7 @@ impl Default for FabricConfig {
 /// let arrival = f.send(0, NodeId::new(0), NodeId::new(1), NetClass::Request, 0);
 /// assert_eq!(arrival, Ok(16)); // mesh zero-load latency at 1 hop
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Fabric {
     /// A mesh instance.
     Mesh(Mesh),

@@ -130,6 +130,25 @@ impl NetFaultPlan {
         self.drop_per_mille + self.dup_per_mille + self.delay_per_mille
     }
 
+    /// Arms an inert (zero-rate) plan as a windowed message-loss episode
+    /// *in place*, keeping its seed and send ordinal. A plan that stood by
+    /// delivering everything during a shared run prefix then rolls exactly
+    /// the dice a freshly-built `message_loss(seed, ..)` plan would have
+    /// rolled for the same send sequence — the key to forking a
+    /// network-fault case from a snapshot byte-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan already has a non-zero rate, `per_mille > 1000`,
+    /// or the window is empty.
+    pub fn arm_message_loss(&mut self, per_mille: u32, start: Cycles, end: Cycles) {
+        assert!(self.rate_per_mille() == 0, "plan is already armed");
+        assert!(per_mille <= 1000, "rate is per-mille");
+        assert!(start < end, "fault window must be non-empty");
+        self.drop_per_mille = per_mille;
+        self.window = Some((start, end));
+    }
+
     /// Decides the fate of the next packet, sent at time `now`.
     pub fn decide(&mut self, now: Cycles) -> FaultDecision {
         let ordinal = self.sent;
@@ -207,6 +226,33 @@ mod tests {
             }
         }
         assert!(seen_delay);
+    }
+
+    #[test]
+    fn arming_a_standby_plan_matches_a_fresh_plan_with_shifted_ordinals() {
+        // A standby plan burns 100 ordinals delivering, then arms. From
+        // that point it must decide exactly like a fresh message_loss plan
+        // whose ordinal counter was advanced by the same 100 sends.
+        let mut standby = NetFaultPlan::new(77);
+        for t in 0..100 {
+            assert_eq!(standby.decide(t), FaultDecision::Deliver);
+        }
+        standby.arm_message_loss(500, 100, 10_000);
+        let mut fresh = NetFaultPlan::message_loss(77, 500).with_window(100, 10_000);
+        for t in 0..100 {
+            fresh.decide(t); // advance ordinals through the prefix
+        }
+        for t in 100..1_000 {
+            assert_eq!(standby.decide(t), fresh.decide(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already armed")]
+    fn arming_twice_panics() {
+        let mut plan = NetFaultPlan::new(1);
+        plan.arm_message_loss(10, 0, 100);
+        plan.arm_message_loss(10, 0, 100);
     }
 
     #[test]

@@ -349,7 +349,7 @@ impl LinkReport {
 /// let arrival = mesh.send(0, NodeId::new(0), NodeId::new(1), NetClass::Request, 0);
 /// assert_eq!(arrival, Ok(16));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Mesh {
     geo: MeshGeometry,
     cfg: NetConfig,

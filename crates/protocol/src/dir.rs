@@ -31,7 +31,7 @@ use ftcoma_sim::FxHashMap;
 /// assert_eq!(moved, vec![NodeId::new(2)]);
 /// assert!(!dir.owns(item));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OwnerDirectory {
     entries: FxHashMap<ItemId, Vec<NodeId>>,
 }

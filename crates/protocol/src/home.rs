@@ -50,7 +50,7 @@ impl QueuedReq {
 /// assert_eq!(home.release(item), None);  // now idle
 /// assert!(!home.is_busy(item));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct HomeTable {
     owner: FxHashMap<ItemId, NodeId>,
     busy: FxHashMap<ItemId, VecDeque<QueuedReq>>,

@@ -12,7 +12,7 @@ use crate::home::HomeTable;
 ///
 /// This is a passive, compound structure in the C spirit: the protocol
 /// engines in `ftcoma-core` operate on its public fields.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NodeState {
     /// This node's identity.
     pub id: NodeId,

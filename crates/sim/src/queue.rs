@@ -33,7 +33,13 @@ use crate::Cycles;
 const LANES: usize = 1024;
 const LANE_MASK: u64 = LANES as u64 - 1;
 
-#[derive(Debug)]
+/// First sequence number of the *main* band: events scheduled after
+/// [`EventQueue::seal`]. Construction-time and fork-time events live in
+/// the pre band `[0, MAIN_SEQ_BASE)`, so a fault scheduled into a resumed
+/// snapshot ties exactly like one scheduled before the run started.
+const MAIN_SEQ_BASE: u64 = 1 << 63;
+
+#[derive(Debug, Clone)]
 struct Entry<E> {
     at: Cycles,
     seq: u64,
@@ -79,7 +85,7 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.now(), 1);
 /// assert_eq!(q.pop(), Some((3, 'x')));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     /// Near-future ring: lane `at & LANE_MASK` holds the FIFO of cycle
     /// `at` for every `at` in `[now, now + LANES)`. Entries are
@@ -93,7 +99,18 @@ pub struct EventQueue<E> {
     /// cache that makes consecutive pops amortised O(1) instead of
     /// rescanning the same empty prefix of the ring.
     scan_floor: Cycles,
-    seq: u64,
+    /// Sequence counter for the pre band `[0, MAIN_SEQ_BASE)`: events
+    /// scheduled before [`EventQueue::seal`] and via
+    /// [`EventQueue::schedule_pre`] afterwards. Run-time scheduling never
+    /// touches this counter, so a fork and a straight run hand identical
+    /// pre seqs to scenario-injected events.
+    pre_seq: u64,
+    /// Sequence counter for the main band `[MAIN_SEQ_BASE, ..)`: events
+    /// scheduled by the running simulation itself.
+    main_seq: u64,
+    /// Set by the first [`EventQueue::seal`]; routes plain `schedule`
+    /// calls to the main band from then on.
+    sealed: bool,
     now: Cycles,
 }
 
@@ -105,7 +122,9 @@ impl<E> EventQueue<E> {
             near_count: 0,
             far: BinaryHeap::new(),
             scan_floor: 0,
-            seq: 0,
+            pre_seq: 0,
+            main_seq: MAIN_SEQ_BASE,
+            sealed: false,
             now: 0,
         }
     }
@@ -137,8 +156,13 @@ impl<E> EventQueue<E> {
             "event scheduled in the past: {at} < {}",
             self.now
         );
-        let seq = self.seq;
-        self.seq += 1;
+        let seq = if self.sealed {
+            self.main_seq += 1;
+            self.main_seq - 1
+        } else {
+            self.pre_seq += 1;
+            self.pre_seq - 1
+        };
         if at - self.now < LANES as u64 {
             self.lanes[(at & LANE_MASK) as usize].push_back((seq, event));
             self.near_count += 1;
@@ -151,6 +175,43 @@ impl<E> EventQueue<E> {
     /// Schedules `event` `delay` cycles after the current time.
     pub fn schedule_in(&mut self, delay: Cycles, event: E) {
         self.schedule(self.now + delay, event);
+    }
+
+    /// Schedules `event` in the *pre* band regardless of sealing: the
+    /// event ties with (and among) construction-time events, never with
+    /// run-time ones. Scenario injection into a resumed snapshot uses
+    /// this so a forked run pops faults in exactly the order a straight
+    /// run would have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at < self.now()`, like [`EventQueue::schedule`].
+    pub fn schedule_pre(&mut self, at: Cycles, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
+        let seq = self.pre_seq;
+        self.pre_seq += 1;
+        if at - self.now < LANES as u64 {
+            // The lane may already hold main-band entries for this cycle;
+            // keep it sorted by seq so the front stays the minimum.
+            let lane = &mut self.lanes[(at & LANE_MASK) as usize];
+            let pos = lane.partition_point(|(s, _)| *s < seq);
+            lane.insert(pos, (seq, event));
+            self.near_count += 1;
+            self.scan_floor = self.scan_floor.min(at);
+        } else {
+            self.far.push(Reverse(Entry { at, seq, event }));
+        }
+    }
+
+    /// Seals the pre band: subsequent [`EventQueue::schedule`] calls
+    /// allocate from the main band. Idempotent; the run loop calls it
+    /// once before popping the first event.
+    pub fn seal(&mut self) {
+        self.sealed = true;
     }
 
     /// Cycle of the earliest non-empty lane, bounded by `bound` (the far
@@ -484,6 +545,85 @@ mod tests {
             expect.sort_by_key(|&(at, _)| at);
             let drained: Vec<(Cycles, u32)> = std::iter::from_fn(|| q.pop()).collect();
             assert_eq!(drained, expect);
+        }
+    }
+
+    #[test]
+    fn pre_band_events_pop_before_main_band_at_same_cycle() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 'a'); // pre band (unsealed)
+        q.seal();
+        q.schedule(10, 'b'); // main band
+        q.schedule_pre(10, 'c'); // pre band, sorted into the occupied lane
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(10, 'a'), (10, 'c'), (10, 'b')]);
+    }
+
+    #[test]
+    fn schedule_pre_ties_like_construction_time_scheduling() {
+        // A straight run schedules both faults before sealing; a forked
+        // run schedules them via `schedule_pre` after sealing, possibly
+        // after main-band events already landed at the same cycle. Both
+        // must deliver the faults first, in schedule order.
+        let far = LANES as u64 * 5;
+        let mut straight = EventQueue::new();
+        straight.schedule(far, 'x');
+        straight.schedule(far, 'y');
+        straight.seal();
+        let drained: Vec<_> = std::iter::from_fn(|| straight.pop()).collect();
+        assert_eq!(drained, vec![(far, 'x'), (far, 'y')]);
+
+        let mut forked = EventQueue::new();
+        forked.seal();
+        forked.schedule(far, 'm'); // main-band noise at the same cycle
+        forked.schedule_pre(far, 'x');
+        forked.schedule_pre(far, 'y');
+        assert_eq!(forked.pop(), Some((far, 'x')));
+        assert_eq!(forked.pop(), Some((far, 'y')));
+        assert_eq!(forked.pop(), Some((far, 'm')));
+        assert_eq!(forked.pop(), None);
+    }
+
+    #[test]
+    fn seal_is_idempotent() {
+        let mut q = EventQueue::new();
+        q.seal();
+        q.seal();
+        q.schedule(1, 'a');
+        q.schedule_pre(1, 'b');
+        assert_eq!(q.pop(), Some((1, 'b')));
+        assert_eq!(q.pop(), Some((1, 'a')));
+    }
+
+    /// Tentpole gate: a cloned queue must replay the exact pop stream of
+    /// the original, including events scheduled *after* the clone point
+    /// (both bands), because the seq counters travel with the clone.
+    #[test]
+    fn clone_reproduces_the_exact_pop_stream() {
+        let mut rng = DetRng::seeded(0xC10E_5EED);
+        let mut q = EventQueue::new();
+        for id in 0..500u32 {
+            q.schedule(rng.below(LANES as u64 * 3), id);
+        }
+        q.seal();
+        for _ in 0..100 {
+            q.pop();
+        }
+        for id in 500..600u32 {
+            q.schedule_in(rng.below(LANES as u64 * 2), id);
+        }
+        let mut c = q.clone();
+        q.schedule_pre(q.now() + 7, 1_000);
+        c.schedule_pre(c.now() + 7, 1_000);
+        q.schedule(q.now() + 3, 1_001);
+        c.schedule(c.now() + 3, 1_001);
+        loop {
+            let (a, b) = (q.pop(), c.pop());
+            assert_eq!(a, b);
+            assert_eq!(q.now(), c.now());
+            if a.is_none() {
+                break;
+            }
         }
     }
 
